@@ -1,0 +1,99 @@
+// Ablations for the design choices called out in DESIGN.md:
+//   (1) JoinEst subtraction variants — group-scaled (ours) vs the paper's
+//       literal full-table subtraction (deviation #2);
+//   (2) value of the two-phase FAP separation — LDPJoinSketch+ vs plain
+//       LDPJoinSketch vs "plus without separation" (theta so large that FI
+//       is empty, making phase 2 a pure low-frequency sketch);
+//   (3) O(1) client fast path vs the literal O(m log m) Algorithm-1
+//       pipeline (same output, construction throughput differs).
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/ldp_join_sketch.h"
+#include "data/join.h"
+
+using namespace ldpjs;
+using namespace ldpjs::bench;
+
+int main() {
+  std::printf("== Ablation studies (Zipf(1.1), eps=4, k=18, m=1024) ==\n\n");
+  const uint64_t rows = std::min<uint64_t>(ScaledRows(40'000'000), 1'000'000);
+  const JoinWorkload w = MakeZipfWorkload(1.1, 3'000'000, rows, 113);
+  const double truth = ExactJoinSize(w.table_a, w.table_b);
+
+  JoinMethodConfig base;
+  base.epsilon = 4.0;
+  base.sketch.k = 18;
+  base.sketch.m = 1024;
+  base.sketch.seed = 127;
+  base.plus_sample_rate = 0.1;
+  base.plus_threshold = 0.001;
+  base.run_seed = 23;
+
+  std::printf("-- (1) JoinEst subtraction variant --\n");
+  PrintTableHeader({"variant", "AE", "RE"});
+  {
+    const ErrorStats ours = MeasureJoinError(
+        JoinMethod::kLdpJoinSketchPlus, w.table_a, w.table_b, truth, base);
+    PrintTableRow({"group-scaled", Sci(ours.mean_ae), Sci(ours.mean_re)});
+    JoinMethodConfig literal = base;
+    literal.plus_join_est.paper_literal_subtraction = true;
+    const ErrorStats paper = MeasureJoinError(
+        JoinMethod::kLdpJoinSketchPlus, w.table_a, w.table_b, truth, literal);
+    PrintTableRow({"paper-literal", Sci(paper.mean_ae), Sci(paper.mean_re)});
+  }
+
+  std::printf("\n-- (2) value of frequency-aware separation --\n");
+  PrintTableHeader({"variant", "AE", "RE"});
+  {
+    const ErrorStats plus = MeasureJoinError(
+        JoinMethod::kLdpJoinSketchPlus, w.table_a, w.table_b, truth, base);
+    PrintTableRow({"LDPJoinSketch+", Sci(plus.mean_ae), Sci(plus.mean_re)});
+    const ErrorStats plain = MeasureJoinError(
+        JoinMethod::kLdpJoinSketch, w.table_a, w.table_b, truth, base);
+    PrintTableRow({"LDPJoinSketch", Sci(plain.mean_ae), Sci(plain.mean_re)});
+    JoinMethodConfig no_fi = base;
+    no_fi.plus_threshold = 0.9;  // FI is empty → no separation happens
+    const ErrorStats off = MeasureJoinError(
+        JoinMethod::kLdpJoinSketchPlus, w.table_a, w.table_b, truth, no_fi);
+    PrintTableRow({"plus, FI empty", Sci(off.mean_ae), Sci(off.mean_re)});
+  }
+
+  std::printf("\n-- (3) client fast path vs literal Algorithm 1 --\n");
+  PrintTableHeader({"variant", "reports/s"});
+  {
+    SketchParams params = base.sketch;
+    LdpJoinSketchClient client(params, base.epsilon);
+    const size_t n = 200000;
+    Xoshiro256 rng(31);
+    auto time_path = [&](auto&& perturb) {
+      const auto start = std::chrono::steady_clock::now();
+      int8_t sink = 0;
+      for (size_t i = 0; i < n; ++i) {
+        sink ^= perturb(w.table_a[i % w.table_a.size()], rng).y;
+      }
+      const double seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      // Keep the compiler from dropping the loop.
+      if (sink == 42) std::printf("");
+      return static_cast<double>(n) / seconds;
+    };
+    const double fast = time_path([&](uint64_t v, Xoshiro256& r) {
+      return client.Perturb(v, r);
+    });
+    const double reference = time_path([&](uint64_t v, Xoshiro256& r) {
+      return client.PerturbReference(v, r);
+    });
+    PrintTableRow({"fast O(1)", Sci(fast)});
+    PrintTableRow({"literal O(m log m)", Sci(reference)});
+    std::printf("speedup: %.1fx\n", fast / reference);
+  }
+
+  std::printf("\nshape check: (1) group-scaled subtraction no worse than "
+              "literal; (2) separation reduces error on skewed data; "
+              "(3) fast path orders of magnitude quicker, same output.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Fig. 7: total client → server communication (bits) on Zipf(1.1) and
+// MovieLens; eps = 4, (k, m) = (18, 1024). Expected shape:
+// LDPJoinSketch ≈ Apple-HCMS (one ±1 plus indices per user) << k-RR
+// (log2 |D| per user) and FLH (hash index + g-ary value per user).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "ldp/frequency_oracle.h"
+#include "ldp/olh.h"
+
+using namespace ldpjs;
+using namespace ldpjs::bench;
+
+int main() {
+  std::printf("== Fig. 7: communication cost (total bits), eps=4, k=18, "
+              "m=1024 ==\n\n");
+  const int k = 18, m = 1024;
+  const uint32_t flh_pool = 1024;
+  FlhParams flh;
+  flh.epsilon = 4.0;
+  flh.pool_size = flh_pool;
+  const uint32_t g = FlhClient(flh).g();
+
+  PrintTableHeader({"dataset", "method", "bits_per_user", "total_bits"});
+  for (DatasetId id : {DatasetId::kZipf, DatasetId::kMovieLens}) {
+    const DatasetSpec spec = GetDatasetSpec(id);
+    const uint64_t rows = ScaledRows(spec.paper_rows);
+    const double users = 2.0 * static_cast<double>(rows);  // both tables
+    struct Entry {
+      const char* name;
+      double bits;
+    };
+    const Entry entries[] = {
+        {"k-RR", CommCostModel::KrrBitsPerUser(spec.domain)},
+        {"Apple-HCMS", CommCostModel::HadamardSketchBitsPerUser(k, m)},
+        {"FLH", CommCostModel::FlhBitsPerUser(flh_pool, g)},
+        {"LDPJoinSketch", CommCostModel::HadamardSketchBitsPerUser(k, m)},
+    };
+    for (const Entry& e : entries) {
+      PrintTableRow({spec.name, e.name, Fixed(e.bits, 0),
+                     Sci(e.bits * users)});
+    }
+  }
+  std::printf("\nshape check: sketch methods transmit ~15 bits/user vs ~22 "
+              "(Zipf |D|=3M) for k-RR; FLH sits between.\n");
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Micro-benchmarks (google-benchmark): hashing, Hadamard transforms, client
+// perturbation and server absorption — the building blocks whose O(1)/
+// O(m log m) costs the DESIGN.md claims rest on.
+#include <benchmark/benchmark.h>
+
+#include "common/hadamard.h"
+#include "common/hash.h"
+#include "common/random.h"
+#include "core/fap.h"
+#include "core/ldp_join_sketch.h"
+#include "data/zipf.h"
+
+namespace ldpjs {
+namespace {
+
+void BM_BucketHash(benchmark::State& state) {
+  BucketHash h(1, 1024);
+  uint64_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h(x++));
+  }
+}
+BENCHMARK(BM_BucketHash);
+
+void BM_SignHash(benchmark::State& state) {
+  SignHash xi(2);
+  uint64_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xi(x++));
+  }
+}
+BENCHMARK(BM_SignHash);
+
+void BM_TabulationHash(benchmark::State& state) {
+  TabulationHash h(3);
+  uint64_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h(x++));
+  }
+}
+BENCHMARK(BM_TabulationHash);
+
+void BM_HadamardEntry(benchmark::State& state) {
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HadamardEntry(i, i + 1));
+    ++i;
+  }
+}
+BENCHMARK(BM_HadamardEntry);
+
+void BM_Fwht(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  std::vector<double> data(m, 1.0);
+  for (auto _ : state) {
+    FastWalshHadamardTransform(std::span<double>(data));
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Fwht)->RangeMultiplier(4)->Range(64, 16384)->Complexity();
+
+void BM_ClientPerturbFast(benchmark::State& state) {
+  SketchParams params;
+  params.k = 18;
+  params.m = static_cast<int>(state.range(0));
+  LdpJoinSketchClient client(params, 4.0);
+  Xoshiro256 rng(1);
+  uint64_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.Perturb(v++, rng));
+  }
+}
+BENCHMARK(BM_ClientPerturbFast)->Arg(1024)->Arg(16384);
+
+void BM_ClientPerturbReference(benchmark::State& state) {
+  SketchParams params;
+  params.k = 18;
+  params.m = static_cast<int>(state.range(0));
+  LdpJoinSketchClient client(params, 4.0);
+  Xoshiro256 rng(1);
+  uint64_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.PerturbReference(v++, rng));
+  }
+}
+BENCHMARK(BM_ClientPerturbReference)->Arg(1024)->Arg(16384);
+
+void BM_FapPerturbNonTarget(benchmark::State& state) {
+  SketchParams params;
+  params.k = 18;
+  params.m = 1024;
+  FapClient client(params, 4.0, FapMode::kHigh, {});  // everything non-target
+  Xoshiro256 rng(1);
+  uint64_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.Perturb(v++, rng));
+  }
+}
+BENCHMARK(BM_FapPerturbNonTarget);
+
+void BM_ServerAbsorb(benchmark::State& state) {
+  SketchParams params;
+  params.k = 18;
+  params.m = 1024;
+  LdpJoinSketchServer server(params, 4.0);
+  LdpReport report{1, 3, 17};
+  for (auto _ : state) {
+    server.Absorb(report);
+  }
+  benchmark::DoNotOptimize(server.total_reports());
+}
+BENCHMARK(BM_ServerAbsorb);
+
+void BM_ServerFinalize(benchmark::State& state) {
+  SketchParams params;
+  params.k = 18;
+  params.m = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    LdpJoinSketchServer server(params, 4.0);
+    state.ResumeTiming();
+    server.Finalize();
+  }
+}
+BENCHMARK(BM_ServerFinalize)->Arg(1024)->Arg(4096);
+
+void BM_ZipfGeneration(benchmark::State& state) {
+  ZipfParams params;
+  params.alpha = 1.1;
+  params.domain = 100000;
+  params.rows = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GenerateZipf(params));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ZipfGeneration)->Arg(100000);
+
+}  // namespace
+}  // namespace ldpjs
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// Fig. 12: relative error vs Zipf skewness alpha in {1.1..1.9}; eps = 4,
+// (k, m) = (18, 1024). Expected shape: RE of every method falls as alpha
+// grows (true join size grows sharply, distinct count falls); the LDP
+// sketches track FAGMS, k-RR/FLH trail far behind.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "data/join.h"
+
+using namespace ldpjs;
+using namespace ldpjs::bench;
+
+int main() {
+  std::printf("== Fig. 12: RE vs Zipf skewness alpha, eps=4, k=18, "
+              "m=1024 ==\n\n");
+  const JoinMethod methods[] = {
+      JoinMethod::kFagms,         JoinMethod::kKrr,
+      JoinMethod::kAppleHcms,     JoinMethod::kFlh,
+      JoinMethod::kLdpJoinSketch, JoinMethod::kLdpJoinSketchPlus};
+  const uint64_t rows = std::min<uint64_t>(ScaledRows(40'000'000), 1'000'000);
+
+  PrintTableHeader({"alpha", "method", "RE", "AE"});
+  for (double alpha : {1.1, 1.3, 1.5, 1.7, 1.9}) {
+    const JoinWorkload w = MakeZipfWorkload(alpha, 3'000'000, rows, 59);
+    const double truth = ExactJoinSize(w.table_a, w.table_b);
+    for (JoinMethod method : methods) {
+      JoinMethodConfig config;
+      config.epsilon = 4.0;
+      config.sketch.k = 18;
+      config.sketch.m = 1024;
+      config.sketch.seed = 61;
+      config.flh_pool_size = 128;
+      config.run_seed = 17;
+      const ErrorStats stats =
+          MeasureJoinError(method, w.table_a, w.table_b, truth, config);
+      PrintTableRow({Fixed(alpha, 1), std::string(JoinMethodName(method)),
+                     Sci(stats.mean_re), Sci(stats.mean_ae)});
+    }
+  }
+  std::printf("\nshape check: RE decreases with alpha for all methods; "
+              "LDPJoinSketch(+) nearly matches FAGMS at high skew.\n");
+  return 0;
+}

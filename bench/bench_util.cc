@@ -1,0 +1,94 @@
+#include "bench_util.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/stats.h"
+
+namespace ldpjs::bench {
+
+namespace {
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoull(value, nullptr, 10);
+}
+
+constexpr int kCellWidth = 14;
+
+}  // namespace
+
+uint64_t ScaledRows(uint64_t paper_rows) {
+  const uint64_t num = EnvU64("LDPJS_SCALE_NUM", 1);
+  const uint64_t den = EnvU64("LDPJS_SCALE_DEN", 10);
+  const uint64_t cap = EnvU64("LDPJS_MAX_ROWS", 4'000'000);
+  const uint64_t scaled = std::max<uint64_t>(paper_rows * num / std::max<uint64_t>(den, 1), 50'000);
+  return std::min(scaled, cap);
+}
+
+int NumTrials() {
+  return static_cast<int>(EnvU64("LDPJS_TRIALS", 2));
+}
+
+ErrorStats MeasureJoinError(JoinMethod method, const Column& a,
+                            const Column& b, double truth,
+                            JoinMethodConfig config) {
+  ErrorStats stats;
+  const int trials = NumTrials();
+  for (int t = 0; t < trials; ++t) {
+    config.run_seed = Mix64(config.run_seed ^ (0x7157ULL + static_cast<uint64_t>(t)));
+    const JoinMethodResult result = EstimateJoin(method, a, b, config);
+    stats.mean_ae += AbsoluteError(truth, result.estimate);
+    stats.mean_re += RelativeError(truth, result.estimate);
+    stats.mean_offline_s += result.offline_seconds;
+    stats.mean_online_s += result.online_seconds;
+    stats.comm_bits = result.comm_bits;
+    stats.mean_estimate += result.estimate;
+  }
+  const double n = static_cast<double>(trials);
+  stats.mean_ae /= n;
+  stats.mean_re /= n;
+  stats.mean_offline_s /= n;
+  stats.mean_online_s /= n;
+  stats.mean_estimate /= n;
+  return stats;
+}
+
+void PrintTableHeader(const std::vector<std::string>& columns) {
+  PrintTableRow(columns);
+  std::string rule;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    rule += std::string(kCellWidth, '-');
+    rule += (i + 1 < columns.size()) ? "-+-" : "";
+  }
+  std::printf("%s\n", rule.c_str());
+}
+
+void PrintTableRow(const std::vector<std::string>& cells) {
+  std::string line;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    std::string cell = cells[i];
+    if (cell.size() < kCellWidth) {
+      cell.insert(0, kCellWidth - cell.size(), ' ');
+    }
+    line += cell;
+    line += (i + 1 < cells.size()) ? " | " : "";
+  }
+  std::printf("%s\n", line.c_str());
+}
+
+std::string Sci(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3e", v);
+  return buffer;
+}
+
+std::string Fixed(double v, int decimals) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, v);
+  return buffer;
+}
+
+}  // namespace ldpjs::bench

@@ -1,0 +1,51 @@
+// Shared harness helpers for the figure/table benches: scaled-down default
+// row counts (env-overridable), trial loops, and aligned table printing.
+//
+// Scale: the paper runs 40M-row tables; the default here is
+// rows = paper_rows * LDPJS_SCALE_NUM / LDPJS_SCALE_DEN with 1/10 defaults,
+// capped by LDPJS_MAX_ROWS (default 4,000,000) so the full suite finishes
+// in minutes. All client-side work is O(1) per row, so shapes are preserved.
+#ifndef LDPJS_BENCH_BENCH_UTIL_H_
+#define LDPJS_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/join_methods.h"
+#include "data/datasets.h"
+
+namespace ldpjs::bench {
+
+/// Rows to simulate for a dataset whose paper-scale size is `paper_rows`.
+uint64_t ScaledRows(uint64_t paper_rows);
+
+/// Number of repeated trials per configuration (env LDPJS_TRIALS, default 2).
+int NumTrials();
+
+/// Mean absolute / relative error of `method` over NumTrials() runs with
+/// distinct run seeds.
+struct ErrorStats {
+  double mean_ae = 0.0;
+  double mean_re = 0.0;
+  double mean_offline_s = 0.0;
+  double mean_online_s = 0.0;
+  double comm_bits = 0.0;
+  double mean_estimate = 0.0;
+};
+ErrorStats MeasureJoinError(JoinMethod method, const Column& a,
+                            const Column& b, double truth,
+                            JoinMethodConfig config);
+
+/// Prints a row of right-aligned cells under a fixed-width layout.
+void PrintTableHeader(const std::vector<std::string>& columns);
+void PrintTableRow(const std::vector<std::string>& cells);
+
+/// Formats a double in compact scientific form ("1.23e+10").
+std::string Sci(double v);
+/// Formats with fixed decimals.
+std::string Fixed(double v, int decimals = 3);
+
+}  // namespace ldpjs::bench
+
+#endif  // LDPJS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,81 @@
+// Approximate query processing on private sketches (paper §I, application
+// 3): once the aggregator holds LDPJoinSketches for two private columns it
+// can answer a small relational workload without touching users again —
+// range COUNTs, predicate joins, weighted sums, and support estimates.
+#include <cstdio>
+
+#include "core/aqp.h"
+#include "core/simulation.h"
+#include "data/datasets.h"
+#include "data/join.h"
+
+int main() {
+  using namespace ldpjs;
+
+  // A "purchases" scenario: item ids are zipf-popular, two retailers.
+  const uint64_t domain = 10'000;
+  const JoinWorkload w = MakeZipfWorkload(1.4, domain, 800'000, 5);
+
+  SketchParams params;
+  params.k = 18;
+  params.m = 1024;
+  params.seed = 13;
+  const double epsilon = 4.0;
+  SimulationOptions sim;
+  sim.run_seed = 17;
+  const LdpJoinSketchServer sa = BuildLdpJoinSketch(w.table_a, params, epsilon, sim);
+  sim.run_seed = 18;
+  const LdpJoinSketchServer sb = BuildLdpJoinSketch(w.table_b, params, epsilon, sim);
+
+  const auto fa = w.table_a.Frequencies();
+  const auto fb = w.table_b.Frequencies();
+
+  // Q1: COUNT(*) WHERE item < 50 (the hot range).
+  const ValueRange hot{0, 49};
+  double q1_truth = 0;
+  for (uint64_t d = hot.lo; d <= hot.hi; ++d) q1_truth += static_cast<double>(fa[d]);
+  std::printf("Q1  COUNT(*) WHERE item in [0,49]\n");
+  std::printf("    true %.0f   estimate %.0f\n", q1_truth,
+              RangeCountEstimate(sa, hot));
+
+  // Q2: join size restricted to the hot range.
+  double q2_truth = 0;
+  for (uint64_t d = hot.lo; d <= hot.hi; ++d) {
+    q2_truth += static_cast<double>(fa[d]) * static_cast<double>(fb[d]);
+  }
+  std::printf("Q2  JOIN COUNT WHERE key in [0,49]\n");
+  std::printf("    true %.4e   estimate %.4e\n", q2_truth,
+              PredicateJoinEstimate(sa, sb, hot));
+
+  // Q3: SUM of a public per-item weight (say, price) over the hot range.
+  auto price = [](uint64_t item) {
+    return 5.0 + static_cast<double>(item % 97);
+  };
+  double q3_truth = 0;
+  for (uint64_t d = hot.lo; d <= hot.hi; ++d) {
+    q3_truth += price(d) * static_cast<double>(fa[d]);
+  }
+  std::printf("Q3  SUM(price(item)) WHERE item in [0,49]\n");
+  std::printf("    true %.4e   estimate %.4e\n", q3_truth,
+              RangeWeightedSumEstimate(sa, hot, price));
+
+  // Q4: how many items among the top of the catalog sell clearly above the
+  // noise floor? (Support estimation needs frequencies to clear both the
+  // floor and the heavy-collision scale — see aqp.h.)
+  const ValueRange head{0, 199};
+  const double floor = NoiseFloorSuggestion(sa);
+  uint64_t q4_truth = 0;
+  for (uint64_t d = head.lo; d <= head.hi; ++d) {
+    q4_truth += (static_cast<double>(fa[d]) > floor) ? 1 : 0;
+  }
+  std::printf("Q4  #items in [0,199] with count above the noise floor "
+              "(%.0f)\n", floor);
+  std::printf("    true %llu   estimate %llu\n",
+              static_cast<unsigned long long>(q4_truth),
+              static_cast<unsigned long long>(
+                  SupportSizeEstimate(sa, head, floor)));
+
+  std::printf("\nall four queries reused the same two sketches — users were "
+              "contacted exactly once.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Private dataset search and discovery (paper §I application 2): a data
+// catalog holds several private candidate columns (e.g. from hospitals or
+// genetics labs). A researcher with a private query column wants to rank
+// the candidates by joinability — estimated join size with the query —
+// before requesting a collaboration. Every column is summarized once by an
+// LDPJoinSketch; ranking needs only sketch products.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/ldp_join_sketch.h"
+#include "core/simulation.h"
+#include "data/datasets.h"
+#include "data/join.h"
+
+int main() {
+  using namespace ldpjs;
+
+  const uint64_t domain = 30'000;
+  const uint64_t rows = 400'000;
+
+  // The catalog: five private columns with varying overlap with the query.
+  // Candidate i draws a fraction of its values from the query's population
+  // and the rest from a disjoint shifted range.
+  const JoinWorkload query_pop = MakeZipfWorkload(1.4, domain, rows, 31);
+  const Column& query = query_pop.table_a;
+
+  struct Candidate {
+    std::string name;
+    double overlap;  // fraction drawn from the query population
+    Column column;
+  };
+  std::vector<Candidate> catalog;
+  const double overlaps[] = {0.9, 0.6, 0.4, 0.15, 0.0};
+  for (int i = 0; i < 5; ++i) {
+    const JoinWorkload pop = MakeZipfWorkload(1.4, domain, rows,
+                                              100 + static_cast<uint64_t>(i));
+    std::vector<uint64_t> values;
+    values.reserve(rows);
+    for (size_t j = 0; j < pop.table_b.size(); ++j) {
+      const bool from_query_pop =
+          (static_cast<double>(j % 100) / 100.0) < overlaps[i];
+      values.push_back(from_query_pop
+                           ? pop.table_b[j]
+                           : (pop.table_b[j] + domain / 2) % domain);
+    }
+    catalog.push_back({"candidate-" + std::to_string(i), overlaps[i],
+                       Column(std::move(values), domain)});
+  }
+
+  // Shared public parameters: one sketch per column, built once, reusable
+  // for every future discovery query.
+  SketchParams params;
+  params.k = 18;
+  params.m = 1024;
+  params.seed = 77;
+  const double epsilon = 4.0;
+
+  SimulationOptions sim;
+  sim.run_seed = 41;
+  const LdpJoinSketchServer query_sketch =
+      BuildLdpJoinSketch(query, params, epsilon, sim);
+
+  struct Ranked {
+    std::string name;
+    double overlap;
+    double estimated_join;
+    double true_join;
+  };
+  std::vector<Ranked> ranking;
+  for (size_t i = 0; i < catalog.size(); ++i) {
+    sim.run_seed = 50 + i;
+    const LdpJoinSketchServer sketch =
+        BuildLdpJoinSketch(catalog[i].column, params, epsilon, sim);
+    ranking.push_back({catalog[i].name, catalog[i].overlap,
+                       query_sketch.JoinEstimate(sketch),
+                       ExactJoinSize(query, catalog[i].column)});
+  }
+  std::sort(ranking.begin(), ranking.end(),
+            [](const Ranked& a, const Ranked& b) {
+              return a.estimated_join > b.estimated_join;
+            });
+
+  std::printf("%-14s %9s %18s %18s\n", "candidate", "overlap",
+              "est. join size", "true join size");
+  for (const Ranked& r : ranking) {
+    std::printf("%-14s %9.2f %18.3e %18.3e\n", r.name.c_str(), r.overlap,
+                r.estimated_join, r.true_join);
+  }
+  std::printf("\nthe privately computed ranking recovers the true overlap "
+              "order, so the researcher can shortlist collaborators without "
+              "seeing any raw column.\n");
+  return 0;
+}

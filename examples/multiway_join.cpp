@@ -1,0 +1,86 @@
+// Multi-way chain join under LDP (paper §VI): estimate
+//   Q = T1(A) ⋈ T2(A, B) ⋈ T3(B)
+// where T2 is a private two-attribute table (e.g. a user-movie rating edge
+// list), using per-attribute hash families shared between the end sketches
+// and the middle matrix sketch. The non-private COMPASS estimate is shown
+// as the floor.
+#include <cstdio>
+
+#include "core/multiway.h"
+#include "core/simulation.h"
+#include "data/datasets.h"
+#include "data/join.h"
+#include "data/zipf.h"
+#include "sketch/compass.h"
+
+int main() {
+  using namespace ldpjs;
+
+  const uint64_t domain = 20'000;
+  const uint64_t rows = 500'000;
+  const double epsilon = 4.0;
+  const int k = 18, m = 512;
+
+  // T1 and T3: single-attribute end tables. T2: pair column linking them.
+  const JoinWorkload ends = MakeZipfWorkload(1.4, domain, rows, 51);
+  PairColumn t2;
+  t2.left_domain = t2.right_domain = domain;
+  {
+    ZipfParams zp;
+    zp.alpha = 1.4;
+    zp.domain = domain;
+    zp.rows = rows;
+    zp.seed = 151;
+    t2.left = GenerateZipf(zp).values();
+    zp.seed = 152;
+    t2.right = GenerateZipf(zp).values();
+  }
+  const double truth = ExactChainJoinSize(ends.table_a, {t2}, ends.table_b);
+
+  // Per-attribute seeds: attribute A = 1001, attribute B = 1002. Every
+  // sketch touching an attribute uses that attribute's seed.
+  const uint64_t seed_attr_a = 1001, seed_attr_b = 1002;
+
+  // Non-private COMPASS floor.
+  FastAgmsSketch c_left(seed_attr_a, k, m), c_right(seed_attr_b, k, m);
+  c_left.UpdateColumn(ends.table_a);
+  c_right.UpdateColumn(ends.table_b);
+  FastAgmsMatrixSketch c_mid(seed_attr_a, seed_attr_b, k, m, m);
+  c_mid.UpdatePairColumn(t2);
+  const double compass = CompassChainJoinEstimate(c_left, {&c_mid}, c_right);
+
+  // LDP version: end tables via LDPJoinSketch, middle via the 2-dim sketch.
+  SketchParams end_params;
+  end_params.k = k;
+  end_params.m = m;
+  end_params.seed = seed_attr_a;
+  SimulationOptions sim;
+  sim.run_seed = 61;
+  const LdpJoinSketchServer left =
+      BuildLdpJoinSketch(ends.table_a, end_params, epsilon, sim);
+  end_params.seed = seed_attr_b;
+  sim.run_seed = 62;
+  const LdpJoinSketchServer right =
+      BuildLdpJoinSketch(ends.table_b, end_params, epsilon, sim);
+
+  MultiwayParams mid_params;
+  mid_params.k = k;
+  mid_params.m_left = m;
+  mid_params.m_right = m;
+  mid_params.left_seed = seed_attr_a;
+  mid_params.right_seed = seed_attr_b;
+  const LdpMultiwayServer mid =
+      BuildLdpMultiwaySketch(t2, mid_params, epsilon, 63);
+
+  const double ldp = LdpChainJoinEstimate(left, {&mid}, right);
+
+  std::printf("3-way chain join  T1(A) ⋈ T2(A,B) ⋈ T3(B)\n");
+  std::printf("  exact          : %.4e\n", truth);
+  std::printf("  COMPASS (no DP): %.4e  (RE %.3f)\n", compass,
+              std::abs(compass - truth) / truth);
+  std::printf("  LDPJoinSketch  : %.4e  (RE %.3f, eps=%.1f)\n", ldp,
+              std::abs(ldp - truth) / truth, epsilon);
+  std::printf("\neach T2 user still sends a single ±1 bit plus indices; no "
+              "tuple leaves a device unperturbed.\n");
+  return 0;
+}

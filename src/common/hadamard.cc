@@ -1,0 +1,43 @@
+#include "common/hadamard.h"
+
+namespace ldpjs {
+
+void FastWalshHadamardTransform(std::span<double> data) {
+  const size_t n = data.size();
+  LDPJS_CHECK(IsPowerOfTwo(n));
+  for (size_t len = 1; len < n; len <<= 1) {
+    for (size_t i = 0; i < n; i += len << 1) {
+      for (size_t j = i; j < i + len; ++j) {
+        const double u = data[j];
+        const double v = data[j + len];
+        data[j] = u + v;
+        data[j + len] = u - v;
+      }
+    }
+  }
+}
+
+std::vector<double> NaiveHadamardTransform(const std::vector<double>& data) {
+  const size_t n = data.size();
+  LDPJS_CHECK(IsPowerOfTwo(n));
+  std::vector<double> out(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      out[i] += data[j] * HadamardEntry(j, i);
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<int>> MakeHadamardMatrix(uint64_t m) {
+  LDPJS_CHECK(IsPowerOfTwo(m));
+  std::vector<std::vector<int>> h(m, std::vector<int>(m));
+  for (uint64_t i = 0; i < m; ++i) {
+    for (uint64_t j = 0; j < m; ++j) {
+      h[i][j] = HadamardEntry(i, j);
+    }
+  }
+  return h;
+}
+
+}  // namespace ldpjs

@@ -1,0 +1,46 @@
+// Hadamard transform utilities (paper §III-C).
+//
+// H_m is the order-m Sylvester Hadamard matrix, m a power of two, with
+// entries H_m[i][j] = (-1)^{popcount(i & j)}. Two access patterns are
+// provided:
+//   * HadamardEntry(i, j): one entry in O(1) — this is what makes the
+//     LDPJoinSketch client O(1) instead of O(m log m);
+//   * FastWalshHadamardTransform: in-place O(m log m) transform of a vector,
+//     used by the server to rotate whole sketch rows back (Alg. 2 line 6).
+#ifndef LDPJS_COMMON_HADAMARD_H_
+#define LDPJS_COMMON_HADAMARD_H_
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ldpjs {
+
+/// True iff m is a power of two (valid Hadamard order), m >= 1.
+constexpr bool IsPowerOfTwo(uint64_t m) {
+  return m != 0 && (m & (m - 1)) == 0;
+}
+
+/// Entry H_m[i][j] in {-1, +1} for the Sylvester construction.
+/// Requires i, j < m (unchecked; callers are hot loops).
+inline int HadamardEntry(uint64_t i, uint64_t j) {
+  return (std::popcount(i & j) & 1) ? -1 : +1;
+}
+
+/// In-place fast Walsh-Hadamard transform: data <- data * H_m (H_m is
+/// symmetric, so this is also H_m * data for column vectors).
+/// Requires data.size() to be a power of two.
+void FastWalshHadamardTransform(std::span<double> data);
+
+/// Reference O(m^2) transform used to validate the fast path in tests.
+std::vector<double> NaiveHadamardTransform(const std::vector<double>& data);
+
+/// Explicitly materialized H_m (tests and documentation only; O(m^2) memory).
+std::vector<std::vector<int>> MakeHadamardMatrix(uint64_t m);
+
+}  // namespace ldpjs
+
+#endif  // LDPJS_COMMON_HADAMARD_H_

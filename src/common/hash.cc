@@ -1,0 +1,84 @@
+#include "common/hash.h"
+
+#include "common/random.h"
+
+namespace ldpjs {
+
+PolynomialHash::PolynomialHash(uint64_t seed, int degree_plus_one) {
+  LDPJS_CHECK(degree_plus_one >= 1);
+  coeffs_.resize(static_cast<size_t>(degree_plus_one));
+  uint64_t sm = seed;
+  for (auto& c : coeffs_) {
+    do {
+      c = SplitMix64Next(sm) & kMersenne61;
+    } while (c >= kMersenne61);  // rejection keeps the draw uniform in [0, p)
+  }
+  // Non-zero leading coefficient so the family has full degree.
+  while (coeffs_[0] == 0) {
+    coeffs_[0] = SplitMix64Next(sm) & kMersenne61;
+    if (coeffs_[0] >= kMersenne61) coeffs_[0] = 0;
+  }
+}
+
+uint64_t PolynomialHash::operator()(uint64_t x) const {
+  uint64_t xr = x % kMersenne61;
+  uint64_t acc = coeffs_[0];
+  for (size_t i = 1; i < coeffs_.size(); ++i) {
+    acc = internal::AddMod61(internal::MulMod61(acc, xr), coeffs_[i]);
+  }
+  return acc;
+}
+
+BucketHash::BucketHash(uint64_t seed, uint64_t m) : m_(m) {
+  LDPJS_CHECK(m >= 1);
+  uint64_t sm = seed;
+  for (auto& table : tables_) {
+    for (auto& entry : table) entry = SplitMix64Next(sm);
+  }
+}
+
+uint64_t BucketHash::operator()(uint64_t x) const {
+  uint64_t h = 0;
+  for (size_t byte = 0; byte < 8; ++byte) {
+    h ^= tables_[byte][(x >> (8 * byte)) & 0xff];
+  }
+  // Multiply-shift reduction onto [0, m): unbiased up to O(m / 2^64).
+  return static_cast<uint64_t>((static_cast<__uint128_t>(h) * m_) >> 64);
+}
+
+SignHash::SignHash(uint64_t seed) : poly_(seed, /*degree_plus_one=*/4) {}
+
+int SignHash::operator()(uint64_t x) const {
+  // Use a mid bit of the 4-wise independent value as the sign bit.
+  return (poly_(x) >> 30) & 1 ? +1 : -1;
+}
+
+std::vector<RowHashes> MakeRowHashes(uint64_t seed, int k, uint64_t m) {
+  LDPJS_CHECK(k >= 1);
+  std::vector<RowHashes> rows;
+  rows.reserve(static_cast<size_t>(k));
+  for (int j = 0; j < k; ++j) {
+    const uint64_t row_seed =
+        Mix64(seed ^ (0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(j) + 1)));
+    rows.push_back(RowHashes{BucketHash(Mix64(row_seed ^ 0xb7e151628aed2a6bULL), m),
+                             SignHash(Mix64(row_seed ^ 0x243f6a8885a308d3ULL))});
+  }
+  return rows;
+}
+
+TabulationHash::TabulationHash(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& table : tables_) {
+    for (auto& entry : table) entry = SplitMix64Next(sm);
+  }
+}
+
+uint64_t TabulationHash::operator()(uint64_t x) const {
+  uint64_t h = 0;
+  for (size_t byte = 0; byte < 8; ++byte) {
+    h ^= tables_[byte][(x >> (8 * byte)) & 0xff];
+  }
+  return h;
+}
+
+}  // namespace ldpjs

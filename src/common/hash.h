@@ -1,0 +1,128 @@
+// Hash families used by the sketches.
+//
+// The AGMS analysis (paper §III-A) needs a 4-wise independent ±1 family ξ and
+// a (at least pairwise independent) bucket family h. Both are implemented as
+// polynomial hashing over the Mersenne prime p = 2^61 - 1: a degree-(t-1)
+// polynomial with coefficients drawn uniformly from [0, p) is exactly t-wise
+// independent on inputs < p.
+//
+// TabulationHash is provided as a fast 3-wise-independent alternative used by
+// the OLH/FLH baselines where full 4-wise independence is not required.
+#ifndef LDPJS_COMMON_HASH_H_
+#define LDPJS_COMMON_HASH_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ldpjs {
+
+/// The Mersenne prime 2^61 - 1 used as the field modulus.
+inline constexpr uint64_t kMersenne61 = (1ULL << 61) - 1;
+
+namespace internal {
+
+/// (a * b) mod (2^61 - 1) without overflow, via 128-bit intermediate.
+inline uint64_t MulMod61(uint64_t a, uint64_t b) {
+  __uint128_t prod = static_cast<__uint128_t>(a) * b;
+  uint64_t lo = static_cast<uint64_t>(prod & kMersenne61);
+  uint64_t hi = static_cast<uint64_t>(prod >> 61);
+  uint64_t s = lo + hi;
+  if (s >= kMersenne61) s -= kMersenne61;
+  return s;
+}
+
+/// (a + b) mod (2^61 - 1); requires a, b < 2^61 - 1.
+inline uint64_t AddMod61(uint64_t a, uint64_t b) {
+  uint64_t s = a + b;
+  if (s >= kMersenne61) s -= kMersenne61;
+  return s;
+}
+
+}  // namespace internal
+
+/// Degree-(t-1) polynomial over GF(2^61 - 1): a t-wise independent family.
+/// Evaluation is Horner's rule, O(t) multiplications.
+class PolynomialHash {
+ public:
+  /// Draws `degree_plus_one` coefficients from the stream seeded by `seed`.
+  /// `degree_plus_one` == t gives t-wise independence. The leading coefficient
+  /// is forced non-zero so the polynomial has full degree.
+  PolynomialHash(uint64_t seed, int degree_plus_one);
+
+  /// Evaluates the polynomial at x (reduced mod p first). Result in [0, p).
+  uint64_t operator()(uint64_t x) const;
+
+  int independence() const { return static_cast<int>(coeffs_.size()); }
+
+ private:
+  std::vector<uint64_t> coeffs_;  // coeffs_[0] is the leading coefficient.
+};
+
+class TabulationHash;  // forward declaration, defined below
+
+/// Bucket hash h : U -> [0, m), 3-wise independent via simple tabulation
+/// plus multiply-shift reduction. m need not be a power of two.
+///
+/// Tabulation (rather than an affine polynomial over GF(p)) matters for real
+/// workloads: sequential keys under an affine hash form an arithmetic
+/// progression whose bucket collisions are lattice-structured — per-seed
+/// collision counts are heavy-tailed instead of binomial. Tabulation behaves
+/// like a random function on such inputs (Pătraşcu & Thorup).
+class BucketHash {
+ public:
+  /// `m` is the number of buckets; requires m >= 1.
+  BucketHash(uint64_t seed, uint64_t m);
+
+  /// Bucket index in [0, m).
+  uint64_t operator()(uint64_t x) const;
+
+  uint64_t num_buckets() const { return m_; }
+
+ private:
+  std::array<std::array<uint64_t, 256>, 8> tables_;
+  uint64_t m_;
+};
+
+/// 4-wise independent sign hash ξ : U -> {-1, +1} (paper notation ξ_j).
+/// Implemented as the parity of a high bit of a degree-3 polynomial.
+class SignHash {
+ public:
+  explicit SignHash(uint64_t seed);
+
+  /// +1 or -1.
+  int operator()(uint64_t x) const;
+
+ private:
+  PolynomialHash poly_;
+};
+
+/// A (h_j, ξ_j) pair for one sketch row, as used by Fast-AGMS (paper §III-A).
+struct RowHashes {
+  BucketHash bucket;
+  SignHash sign;
+};
+
+/// Builds the k per-row hash pairs {(h_0, ξ_0), ..., (h_{k-1}, ξ_{k-1})}
+/// deterministically from `seed`. All sketches that must be mergeable /
+/// comparable (e.g. M_A and M_B for a join) must be built from the same seed.
+std::vector<RowHashes> MakeRowHashes(uint64_t seed, int k, uint64_t m);
+
+/// Simple tabulation hashing on the 8 bytes of the key: 3-wise independent,
+/// very fast. Output is a full 64-bit value; reduce with NextBounded-style
+/// multiply-shift if a range is needed.
+class TabulationHash {
+ public:
+  explicit TabulationHash(uint64_t seed);
+
+  uint64_t operator()(uint64_t x) const;
+
+ private:
+  std::array<std::array<uint64_t, 256>, 8> tables_;
+};
+
+}  // namespace ldpjs
+
+#endif  // LDPJS_COMMON_HASH_H_

@@ -1,0 +1,70 @@
+// Deterministic, fast pseudo-random generators.
+//
+// SplitMix64 seeds and derives independent streams; Xoshiro256++ is the
+// general-purpose engine (satisfies UniformRandomBitGenerator, so it plugs
+// into <random> distributions). Every randomized component in the library
+// takes an explicit seed so that runs are reproducible.
+#ifndef LDPJS_COMMON_RANDOM_H_
+#define LDPJS_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace ldpjs {
+
+/// One step of the SplitMix64 sequence starting at `x`; updates `x`.
+/// Good avalanche properties; used for seeding and stream derivation.
+uint64_t SplitMix64Next(uint64_t& x);
+
+/// Stateless mix: maps x to a well-distributed 64-bit value (SplitMix64
+/// finalizer).
+uint64_t Mix64(uint64_t x);
+
+/// Derives the seed of substream `index` of the run identified by
+/// `run_seed`. Streams of different runs are decorrelated even when the
+/// run seeds differ only by a small constant: naive Mix64(seed ^ index)
+/// evaluates the finalizer at constant-XOR input pairs across runs, whose
+/// outputs correlate enough to bias cross-sketch inner products by several
+/// percent (observed; see DESIGN.md). This derivation first randomizes the
+/// run offset, then walks a Weyl sequence from it — the access pattern
+/// SplitMix64 is designed for.
+uint64_t DeriveStreamSeed(uint64_t run_seed, uint64_t index);
+
+/// Xoshiro256++ engine (Blackman & Vigna). Period 2^256 - 1.
+class Xoshiro256 {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the four state words from SplitMix64(seed).
+  explicit Xoshiro256(uint64_t seed = 0xdeadbeefcafef00dULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next 64 random bits.
+  result_type operator()();
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double NextDouble();
+
+  /// Uniform integer in [0, bound) using Lemire's unbiased method.
+  /// Requires bound > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Bernoulli draw: true with probability p (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  /// Standard normal via Box-Muller (caches the second deviate).
+  double NextGaussian();
+
+ private:
+  uint64_t s_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace ldpjs
+
+#endif  // LDPJS_COMMON_RANDOM_H_

@@ -1,0 +1,67 @@
+// Result<T>: value-or-Status, the StatusOr idiom. Use for fallible factory
+// functions so callers cannot ignore failures.
+#ifndef LDPJS_COMMON_RESULT_H_
+#define LDPJS_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace ldpjs {
+
+/// Holds either a T or a non-OK Status describing why no T was produced.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error Status. The status must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    LDPJS_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status; OK when a value is held.
+  const Status& status() const { return status_; }
+
+  /// The held value. Requires ok().
+  const T& value() const& {
+    LDPJS_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    LDPJS_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    LDPJS_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace ldpjs
+
+/// Assigns the value of a Result expression to `lhs`, or propagates the error.
+#define LDPJS_ASSIGN_OR_RETURN(lhs, expr)            \
+  auto _ldpjs_result = (expr);                       \
+  if (!_ldpjs_result.ok()) return _ldpjs_result.status(); \
+  lhs = std::move(_ldpjs_result).value();
+
+#endif  // LDPJS_COMMON_RESULT_H_

@@ -1,0 +1,89 @@
+#include "common/serialize.h"
+
+namespace ldpjs {
+
+void BinaryWriter::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) buffer_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void BinaryWriter::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) buffer_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void BinaryWriter::PutDouble(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void BinaryWriter::PutBytes(std::span<const uint8_t> bytes) {
+  PutU64(bytes.size());
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+void BinaryWriter::PutDoubleVector(std::span<const double> values) {
+  PutU64(values.size());
+  for (double v : values) PutDouble(v);
+}
+
+Status BinaryReader::Need(size_t n) {
+  if (remaining() < n) {
+    return Status::Corruption("truncated buffer: need " + std::to_string(n) +
+                              " bytes, have " + std::to_string(remaining()));
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> BinaryReader::GetU8() {
+  LDPJS_RETURN_IF_ERROR(Need(1));
+  return data_[pos_++];
+}
+
+Result<uint32_t> BinaryReader::GetU32() {
+  LDPJS_RETURN_IF_ERROR(Need(4));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data_[pos_ + static_cast<size_t>(i)]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> BinaryReader::GetU64() {
+  LDPJS_RETURN_IF_ERROR(Need(8));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data_[pos_ + static_cast<size_t>(i)]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+Result<int64_t> BinaryReader::GetI64() {
+  auto v = GetU64();
+  if (!v.ok()) return v.status();
+  return static_cast<int64_t>(*v);
+}
+
+Result<double> BinaryReader::GetDouble() {
+  auto bits = GetU64();
+  if (!bits.ok()) return bits.status();
+  double v;
+  uint64_t b = *bits;
+  std::memcpy(&v, &b, sizeof(v));
+  return v;
+}
+
+Result<std::vector<double>> BinaryReader::GetDoubleVector() {
+  auto count = GetU64();
+  if (!count.ok()) return count.status();
+  if (*count > remaining() / 8) {
+    return Status::Corruption("vector length exceeds buffer");
+  }
+  std::vector<double> out;
+  out.reserve(*count);
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto v = GetDouble();
+    if (!v.ok()) return v.status();
+    out.push_back(*v);
+  }
+  return out;
+}
+
+}  // namespace ldpjs

@@ -1,0 +1,65 @@
+// Minimal binary serialization for sketches and client messages.
+//
+// Little-endian, length-prefixed; BinaryReader validates bounds and reports
+// truncation via Status rather than crashing, so sketches can be exchanged
+// between an untrusted client and the aggregator.
+#ifndef LDPJS_COMMON_SERIALIZE_H_
+#define LDPJS_COMMON_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ldpjs {
+
+/// Appends fixed-width little-endian values to a growable byte buffer.
+class BinaryWriter {
+ public:
+  void PutU8(uint8_t v) { buffer_.push_back(v); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutDouble(double v);
+  /// Length-prefixed (u64) raw bytes.
+  void PutBytes(std::span<const uint8_t> bytes);
+  /// Length-prefixed vector of doubles.
+  void PutDoubleVector(std::span<const double> values);
+
+  const std::vector<uint8_t>& buffer() const { return buffer_; }
+  std::vector<uint8_t> TakeBuffer() { return std::move(buffer_); }
+  size_t size() const { return buffer_.size(); }
+
+ private:
+  std::vector<uint8_t> buffer_;
+};
+
+/// Reads values written by BinaryWriter; every getter checks bounds.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::span<const uint8_t> data) : data_(data) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<int64_t> GetI64();
+  Result<double> GetDouble();
+  Result<std::vector<double>> GetDoubleVector();
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  Status Need(size_t n);
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace ldpjs
+
+#endif  // LDPJS_COMMON_SERIALIZE_H_

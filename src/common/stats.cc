@@ -1,0 +1,92 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace ldpjs {
+
+double Median(std::span<const double> values) {
+  LDPJS_CHECK(!values.empty());
+  std::vector<double> copy(values.begin(), values.end());
+  const size_t mid = copy.size() / 2;
+  std::nth_element(copy.begin(), copy.begin() + static_cast<std::ptrdiff_t>(mid),
+                   copy.end());
+  double upper = copy[mid];
+  if (copy.size() % 2 == 1) return upper;
+  // Even count: the lower middle is the max of the left partition.
+  double lower =
+      *std::max_element(copy.begin(), copy.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lower + upper);
+}
+
+double Mean(std::span<const double> values) {
+  LDPJS_CHECK(!values.empty());
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double SampleVariance(std::span<const double> values) {
+  LDPJS_CHECK(values.size() >= 2);
+  const double mu = Mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - mu) * (v - mu);
+  return acc / static_cast<double>(values.size() - 1);
+}
+
+double Quantile(std::span<const double> values, double q) {
+  LDPJS_CHECK(!values.empty());
+  LDPJS_CHECK(q >= 0.0 && q <= 1.0);
+  std::vector<double> copy(values.begin(), values.end());
+  std::sort(copy.begin(), copy.end());
+  const double pos = q * static_cast<double>(copy.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, copy.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return copy[lo] * (1.0 - frac) + copy[hi] * frac;
+}
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double AbsoluteError(double truth, double estimate) {
+  return std::abs(truth - estimate);
+}
+
+double RelativeError(double truth, double estimate) {
+  LDPJS_CHECK(truth != 0.0);
+  return std::abs(truth - estimate) / std::abs(truth);
+}
+
+double MeanSquaredError(std::span<const double> truth,
+                        std::span<const double> estimate) {
+  LDPJS_CHECK(truth.size() == estimate.size());
+  LDPJS_CHECK(!truth.empty());
+  double acc = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    const double d = truth[i] - estimate[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(truth.size());
+}
+
+}  // namespace ldpjs

@@ -1,0 +1,56 @@
+// Small statistics helpers shared by estimators, tests and benches.
+#ifndef LDPJS_COMMON_STATS_H_
+#define LDPJS_COMMON_STATS_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ldpjs {
+
+/// Median of the values (copies and partially sorts). Even-sized inputs
+/// return the mean of the two middle elements. Requires non-empty input.
+double Median(std::span<const double> values);
+
+/// Arithmetic mean. Requires non-empty input.
+double Mean(std::span<const double> values);
+
+/// Unbiased sample variance (n-1 denominator). Requires >= 2 values.
+double SampleVariance(std::span<const double> values);
+
+/// q-th quantile (0 <= q <= 1) by linear interpolation on the sorted copy.
+double Quantile(std::span<const double> values, double q);
+
+/// Streaming mean/variance accumulator (Welford). Numerically stable.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Error metrics used throughout the paper's evaluation (§VII-A).
+/// AE = |true - est| averaged by the caller over trials; RE = AE / |true|.
+double AbsoluteError(double truth, double estimate);
+double RelativeError(double truth, double estimate);
+
+/// Mean squared error between two equal-length vectors (frequency MSE).
+double MeanSquaredError(std::span<const double> truth,
+                        std::span<const double> estimate);
+
+}  // namespace ldpjs
+
+#endif  // LDPJS_COMMON_STATS_H_

@@ -1,0 +1,56 @@
+// Fixed-size thread pool used to simulate millions of LDP clients in
+// parallel. ParallelFor shards an index range deterministically, so callers
+// that derive per-index RNG streams get bit-identical results regardless of
+// the number of worker threads.
+#ifndef LDPJS_COMMON_THREAD_POOL_H_
+#define LDPJS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ldpjs {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (defaults to hardware concurrency, >= 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task; returns immediately.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Runs fn(shard, begin, end) over [0, total) split into one contiguous
+  /// shard per worker; blocks until all shards complete. Shard boundaries
+  /// depend only on (total, num_threads), not on scheduling.
+  void ParallelFor(size_t total,
+                   const std::function<void(size_t shard, size_t begin,
+                                            size_t end)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace ldpjs
+
+#endif  // LDPJS_COMMON_THREAD_POOL_H_

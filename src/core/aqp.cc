@@ -1,0 +1,64 @@
+#include "core/aqp.h"
+
+#include <cmath>
+
+namespace ldpjs {
+
+namespace {
+void ValidateRange(const LdpJoinSketchServer& sketch,
+                   const ValueRange& range) {
+  LDPJS_CHECK(sketch.finalized());
+  LDPJS_CHECK(range.lo <= range.hi);
+}
+}  // namespace
+
+double RangeCountEstimate(const LdpJoinSketchServer& sketch,
+                          const ValueRange& range) {
+  ValidateRange(sketch, range);
+  double total = 0.0;
+  for (uint64_t d = range.lo; d <= range.hi; ++d) {
+    total += sketch.FrequencyEstimate(d);
+  }
+  return total;
+}
+
+double RangeWeightedSumEstimate(
+    const LdpJoinSketchServer& sketch, const ValueRange& range,
+    const std::function<double(uint64_t)>& weight) {
+  ValidateRange(sketch, range);
+  double total = 0.0;
+  for (uint64_t d = range.lo; d <= range.hi; ++d) {
+    total += weight(d) * sketch.FrequencyEstimate(d);
+  }
+  return total;
+}
+
+double PredicateJoinEstimate(const LdpJoinSketchServer& sketch_a,
+                             const LdpJoinSketchServer& sketch_b,
+                             const ValueRange& range) {
+  ValidateRange(sketch_a, range);
+  ValidateRange(sketch_b, range);
+  LDPJS_CHECK(sketch_a.params().seed == sketch_b.params().seed);
+  double total = 0.0;
+  for (uint64_t d = range.lo; d <= range.hi; ++d) {
+    total += sketch_a.FrequencyEstimate(d) * sketch_b.FrequencyEstimate(d);
+  }
+  return total;
+}
+
+uint64_t SupportSizeEstimate(const LdpJoinSketchServer& sketch,
+                             const ValueRange& range, double floor) {
+  ValidateRange(sketch, range);
+  uint64_t support = 0;
+  for (uint64_t d = range.lo; d <= range.hi; ++d) {
+    if (sketch.FrequencyEstimate(d) > floor) ++support;
+  }
+  return support;
+}
+
+double NoiseFloorSuggestion(const LdpJoinSketchServer& sketch) {
+  return 3.0 * sketch.c_eps() *
+         std::sqrt(static_cast<double>(sketch.total_reports()));
+}
+
+}  // namespace ldpjs

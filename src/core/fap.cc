@@ -1,0 +1,38 @@
+#include "core/fap.h"
+
+#include "common/hadamard.h"
+
+namespace ldpjs {
+
+FapClient::FapClient(const SketchParams& params, double epsilon, FapMode mode,
+                     std::unordered_set<uint64_t> frequent_items)
+    : inner_(params, epsilon),
+      mode_(mode),
+      frequent_items_(std::move(frequent_items)) {}
+
+bool FapClient::IsTarget(uint64_t value) const {
+  const bool frequent = frequent_items_.contains(value);
+  return mode_ == FapMode::kHigh ? frequent : !frequent;
+}
+
+LdpReport FapClient::Perturb(uint64_t value, Xoshiro256& rng) const {
+  if (IsTarget(value)) {
+    // Algorithm 4 line 10: targets go through the LDPJoinSketch client.
+    return inner_.Perturb(value, rng);
+  }
+  // Non-target: encode v[r] = 1 at a uniform r, independent of `value`
+  // (Algorithm 4 lines 2-8). After the Hadamard transform, w[l] = H_m[r, l].
+  const SketchParams& params = inner_.params();
+  LdpReport report;
+  report.j =
+      static_cast<uint16_t>(rng.NextBounded(static_cast<uint64_t>(params.k)));
+  report.l =
+      static_cast<uint32_t>(rng.NextBounded(static_cast<uint64_t>(params.m)));
+  const uint64_t r = rng.NextBounded(static_cast<uint64_t>(params.m));
+  int w = HadamardEntry(r, report.l);
+  if (rng.NextBernoulli(inner_.flip_probability())) w = -w;
+  report.y = static_cast<int8_t>(w);
+  return report;
+}
+
+}  // namespace ldpjs

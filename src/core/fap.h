@@ -1,0 +1,55 @@
+// Frequency-Aware Perturbation (FAP, paper §V-B, Algorithm 4).
+//
+// Given the public frequent-item set FI from phase 1, each phase-2 client
+// encodes *target* values exactly like LDPJoinSketch and *non-target* values
+// as a uniformly random one-hot v[r] = 1, r ~ U[m], independent of the true
+// value. Both paths end in the same Hadamard-sample-and-flip step, so the
+// server cannot tell target from non-target reports (Theorem 6: FAP is
+// ε-LDP), yet the expected contribution of every non-target report spreads
+// uniformly — 1/m per counter (Theorem 8) — and can be subtracted out.
+//
+// Which values are targets depends on the sketch being built:
+//   mode = kHigh: targets are d ∈ FI  (sketch of high-frequency items)
+//   mode = kLow : targets are d ∉ FI  (sketch of low-frequency items)
+#ifndef LDPJS_CORE_FAP_H_
+#define LDPJS_CORE_FAP_H_
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "core/ldp_join_sketch.h"
+
+namespace ldpjs {
+
+enum class FapMode {
+  kHigh,  ///< the sketch summarizes high-frequency (FI) items
+  kLow,   ///< the sketch summarizes low-frequency (non-FI) items
+};
+
+class FapClient {
+ public:
+  /// `frequent_items` is the public FI set broadcast by the server.
+  FapClient(const SketchParams& params, double epsilon, FapMode mode,
+            std::unordered_set<uint64_t> frequent_items);
+
+  /// Algorithm 4. O(1) per call.
+  LdpReport Perturb(uint64_t value, Xoshiro256& rng) const;
+
+  /// True iff `value` is a target value for this sketch's mode.
+  bool IsTarget(uint64_t value) const;
+
+  FapMode mode() const { return mode_; }
+  const std::unordered_set<uint64_t>& frequent_items() const {
+    return frequent_items_;
+  }
+  const LdpJoinSketchClient& inner_client() const { return inner_; }
+
+ private:
+  LdpJoinSketchClient inner_;
+  FapMode mode_;
+  std::unordered_set<uint64_t> frequent_items_;
+};
+
+}  // namespace ldpjs
+
+#endif  // LDPJS_CORE_FAP_H_

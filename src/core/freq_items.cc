@@ -1,0 +1,39 @@
+#include "core/freq_items.h"
+
+#include <algorithm>
+
+namespace ldpjs {
+
+std::unordered_set<uint64_t> FindFrequentItems(
+    const LdpJoinSketchServer& sketch, uint64_t domain, double threshold) {
+  std::unordered_set<uint64_t> items;
+  for (uint64_t d = 0; d < domain; ++d) {
+    if (sketch.FrequencyEstimate(d) > threshold) items.insert(d);
+  }
+  return items;
+}
+
+std::unordered_set<uint64_t> FindFrequentItemsUnion(
+    const LdpJoinSketchServer& sketch_a, const LdpJoinSketchServer& sketch_b,
+    uint64_t domain, double threshold_a, double threshold_b) {
+  std::unordered_set<uint64_t> items;
+  for (uint64_t d = 0; d < domain; ++d) {
+    if (sketch_a.FrequencyEstimate(d) > threshold_a ||
+        sketch_b.FrequencyEstimate(d) > threshold_b) {
+      items.insert(d);
+    }
+  }
+  return items;
+}
+
+double EstimateFrequentMass(const LdpJoinSketchServer& sketch,
+                            const std::unordered_set<uint64_t>& items,
+                            double scale) {
+  double mass = 0.0;
+  for (uint64_t d : items) {
+    mass += std::max(0.0, sketch.FrequencyEstimate(d));
+  }
+  return mass * scale;
+}
+
+}  // namespace ldpjs

@@ -1,0 +1,37 @@
+// Phase 1 of LDPJoinSketch+ (paper §V-C): find the frequent join values from
+// the LDPJoinSketches built over sampled users, using the unbiased frequency
+// estimator of Theorem 7.
+#ifndef LDPJS_CORE_FREQ_ITEMS_H_
+#define LDPJS_CORE_FREQ_ITEMS_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "core/ldp_join_sketch.h"
+
+namespace ldpjs {
+
+/// Values d in [0, domain) with estimated sketch frequency > threshold.
+/// `threshold` is in *sample counts*: for full-table threshold θ·|A| and a
+/// sample of |S_A| users, pass θ·|S_A| (the two are equivalent because the
+/// sketch estimates sample frequencies).
+std::unordered_set<uint64_t> FindFrequentItems(
+    const LdpJoinSketchServer& sketch, uint64_t domain, double threshold);
+
+/// FI = FI_A ∪ FI_B with per-attribute thresholds (paper: θ·|S_A|, θ·|S_B|).
+std::unordered_set<uint64_t> FindFrequentItemsUnion(
+    const LdpJoinSketchServer& sketch_a, const LdpJoinSketchServer& sketch_b,
+    uint64_t domain, double threshold_a, double threshold_b);
+
+/// Σ_{d ∈ FI} max(0, f̂(d)) scaled by `scale` — the estimated total
+/// frequency mass of the FI items on the full table (Algorithm 5 lines 1-4,
+/// scale = |A|/|S_A|). Clamped below at 0 per item because sketch estimates
+/// of infrequent items can be negative.
+double EstimateFrequentMass(const LdpJoinSketchServer& sketch,
+                            const std::unordered_set<uint64_t>& items,
+                            double scale);
+
+}  // namespace ldpjs
+
+#endif  // LDPJS_CORE_FREQ_ITEMS_H_

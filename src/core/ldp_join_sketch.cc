@@ -1,0 +1,212 @@
+#include "core/ldp_join_sketch.h"
+
+#include <cmath>
+#include <span>
+
+#include "common/hadamard.h"
+#include "common/stats.h"
+
+namespace ldpjs {
+
+double DebiasFactor(double epsilon) {
+  LDPJS_CHECK(epsilon > 0.0);
+  const double e = std::exp(epsilon);
+  return (e + 1.0) / (e - 1.0);
+}
+
+void EncodeReport(const LdpReport& report, BinaryWriter& writer) {
+  writer.PutU8(report.y >= 0 ? 1 : 0);
+  writer.PutU32(report.j);
+  writer.PutU32(report.l);
+}
+
+Result<LdpReport> DecodeReport(BinaryReader& reader) {
+  auto y = reader.GetU8();
+  if (!y.ok()) return y.status();
+  auto j = reader.GetU32();
+  if (!j.ok()) return j.status();
+  auto l = reader.GetU32();
+  if (!l.ok()) return l.status();
+  if (*j > 0xffff) return Status::Corruption("row index out of range");
+  LdpReport report;
+  report.y = (*y != 0) ? int8_t{1} : int8_t{-1};
+  report.j = static_cast<uint16_t>(*j);
+  report.l = *l;
+  return report;
+}
+
+LdpJoinSketchClient::LdpJoinSketchClient(const SketchParams& params,
+                                         double epsilon)
+    : params_(params), epsilon_(epsilon) {
+  params_.Validate();
+  LDPJS_CHECK(epsilon > 0.0);
+  flip_prob_ = 1.0 / (std::exp(epsilon) + 1.0);
+  rows_ = MakeRowHashes(params.seed, params.k, static_cast<uint64_t>(params.m));
+}
+
+LdpReport LdpJoinSketchClient::Perturb(uint64_t value, Xoshiro256& rng) const {
+  LdpReport report;
+  report.j =
+      static_cast<uint16_t>(rng.NextBounded(static_cast<uint64_t>(params_.k)));
+  report.l =
+      static_cast<uint32_t>(rng.NextBounded(static_cast<uint64_t>(params_.m)));
+  const RowHashes& row = rows_[report.j];
+  // w[l] = ξ_j(d) · H_m[h_j(d), l]; the one-hot structure makes this O(1).
+  int w = row.sign(value) * HadamardEntry(row.bucket(value), report.l);
+  if (rng.NextBernoulli(flip_prob_)) w = -w;
+  report.y = static_cast<int8_t>(w);
+  return report;
+}
+
+LdpReport LdpJoinSketchClient::PerturbReference(uint64_t value,
+                                                Xoshiro256& rng) const {
+  LdpReport report;
+  report.j =
+      static_cast<uint16_t>(rng.NextBounded(static_cast<uint64_t>(params_.k)));
+  report.l =
+      static_cast<uint32_t>(rng.NextBounded(static_cast<uint64_t>(params_.m)));
+  const RowHashes& row = rows_[report.j];
+  // Algorithm 1 literally: v ← 0; v[h_j(d)] ← ξ_j(d); w ← v·H_m; y ← b·w[l].
+  std::vector<double> v(static_cast<size_t>(params_.m), 0.0);
+  v[row.bucket(value)] = row.sign(value);
+  FastWalshHadamardTransform(std::span<double>(v));
+  int w = v[report.l] > 0 ? 1 : -1;
+  if (rng.NextBernoulli(flip_prob_)) w = -w;
+  report.y = static_cast<int8_t>(w);
+  return report;
+}
+
+LdpJoinSketchServer::LdpJoinSketchServer(const SketchParams& params,
+                                         double epsilon)
+    : params_(params), epsilon_(epsilon), c_eps_(DebiasFactor(epsilon)) {
+  params_.Validate();
+  rows_ = MakeRowHashes(params.seed, params.k, static_cast<uint64_t>(params.m));
+  cells_.assign(static_cast<size_t>(params.k) * static_cast<size_t>(params.m),
+                0.0);
+}
+
+void LdpJoinSketchServer::Absorb(const LdpReport& report) {
+  LDPJS_CHECK(!finalized_);
+  LDPJS_CHECK(report.j < params_.k);
+  LDPJS_CHECK(report.l < static_cast<uint32_t>(params_.m));
+  cells_[static_cast<size_t>(report.j) * static_cast<size_t>(params_.m) +
+         report.l] += static_cast<double>(params_.k) * c_eps_ * report.y;
+  ++total_;
+}
+
+void LdpJoinSketchServer::Merge(const LdpJoinSketchServer& other) {
+  LDPJS_CHECK(!finalized_ && !other.finalized_);
+  LDPJS_CHECK(params_.k == other.params_.k && params_.m == other.params_.m);
+  LDPJS_CHECK(params_.seed == other.params_.seed);
+  for (size_t i = 0; i < cells_.size(); ++i) cells_[i] += other.cells_[i];
+  total_ += other.total_;
+}
+
+void LdpJoinSketchServer::Finalize() {
+  LDPJS_CHECK(!finalized_);
+  for (int j = 0; j < params_.k; ++j) {
+    FastWalshHadamardTransform(std::span<double>(
+        cells_.data() + static_cast<size_t>(j) * static_cast<size_t>(params_.m),
+        static_cast<size_t>(params_.m)));
+  }
+  finalized_ = true;
+}
+
+double LdpJoinSketchServer::JoinEstimate(
+    const LdpJoinSketchServer& other) const {
+  LDPJS_CHECK(finalized_ && other.finalized_);
+  LDPJS_CHECK(params_.k == other.params_.k && params_.m == other.params_.m);
+  LDPJS_CHECK(params_.seed == other.params_.seed);
+  std::vector<double> estimators(static_cast<size_t>(params_.k));
+  for (int j = 0; j < params_.k; ++j) {
+    double acc = 0.0;
+    for (int x = 0; x < params_.m; ++x) {
+      acc += cell(j, x) * other.cell(j, x);
+    }
+    estimators[static_cast<size_t>(j)] = acc;
+  }
+  return Median(estimators);
+}
+
+double LdpJoinSketchServer::TheoreticalErrorBound(
+    const LdpJoinSketchServer& other) const {
+  LDPJS_CHECK(params_.k == other.params_.k && params_.m == other.params_.m);
+  const double k = static_cast<double>(params_.k);
+  const double slack = (k * c_eps_ * c_eps_ - 1.0) / 2.0;
+  return 4.0 / std::sqrt(static_cast<double>(params_.m)) *
+         (static_cast<double>(total_) + slack) *
+         (static_cast<double>(other.total_) + slack);
+}
+
+double LdpJoinSketchServer::FrequencyEstimate(uint64_t d) const {
+  LDPJS_CHECK(finalized_);
+  double acc = 0.0;
+  for (int j = 0; j < params_.k; ++j) {
+    const RowHashes& row = rows_[static_cast<size_t>(j)];
+    acc += cell(j, static_cast<int>(row.bucket(d))) * row.sign(d);
+  }
+  return acc / static_cast<double>(params_.k);
+}
+
+std::vector<double> LdpJoinSketchServer::EstimateAllFrequencies(
+    uint64_t domain) const {
+  std::vector<double> out(domain);
+  for (uint64_t d = 0; d < domain; ++d) out[d] = FrequencyEstimate(d);
+  return out;
+}
+
+void LdpJoinSketchServer::SubtractUniformMass(double total_mass) {
+  LDPJS_CHECK(finalized_);
+  const double per_cell = total_mass / static_cast<double>(params_.m);
+  for (double& cell_value : cells_) cell_value -= per_cell;
+}
+
+std::vector<uint8_t> LdpJoinSketchServer::Serialize() const {
+  BinaryWriter writer;
+  writer.PutU32(static_cast<uint32_t>(params_.k));
+  writer.PutU32(static_cast<uint32_t>(params_.m));
+  writer.PutU64(params_.seed);
+  writer.PutDouble(epsilon_);
+  writer.PutU64(total_);
+  writer.PutU8(finalized_ ? 1 : 0);
+  writer.PutDoubleVector(cells_);
+  return writer.TakeBuffer();
+}
+
+Result<LdpJoinSketchServer> LdpJoinSketchServer::Deserialize(
+    std::span<const uint8_t> bytes) {
+  BinaryReader reader(bytes);
+  auto k = reader.GetU32();
+  if (!k.ok()) return k.status();
+  auto m = reader.GetU32();
+  if (!m.ok()) return m.status();
+  auto seed = reader.GetU64();
+  if (!seed.ok()) return seed.status();
+  auto epsilon = reader.GetDouble();
+  if (!epsilon.ok()) return epsilon.status();
+  auto total = reader.GetU64();
+  if (!total.ok()) return total.status();
+  auto finalized = reader.GetU8();
+  if (!finalized.ok()) return finalized.status();
+  auto cells = reader.GetDoubleVector();
+  if (!cells.ok()) return cells.status();
+
+  if (*k < 1 || *m < 2 || !IsPowerOfTwo(*m)) {
+    return Status::Corruption("invalid sketch shape");
+  }
+  if (*epsilon <= 0.0) return Status::Corruption("invalid epsilon");
+  if (cells->size() != static_cast<size_t>(*k) * static_cast<size_t>(*m)) {
+    return Status::Corruption("cell count does not match shape");
+  }
+  SketchParams params;
+  params.k = static_cast<int>(*k);
+  params.m = static_cast<int>(*m);
+  params.seed = *seed;
+  LdpJoinSketchServer server(params, *epsilon);
+  server.total_ = *total;
+  server.finalized_ = (*finalized != 0);
+  server.cells_ = std::move(*cells);
+  return server;
+}
+
+}  // namespace ldpjs

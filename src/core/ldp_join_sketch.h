@@ -1,0 +1,134 @@
+// LDPJoinSketch (paper §IV): a locally differentially private Fast-AGMS
+// sketch for join size estimation.
+//
+// Client (Algorithm 1): sample a row j ~ U[k] and a Hadamard coordinate
+// l ~ U[m]; encode the private value d as v[h_j(d)] = ξ_j(d); transform
+// w = v·H_m; release y = b·w[l] with b = −1 w.p. 1/(e^ε+1). Because v is
+// one-hot, w[l] = ξ_j(d)·H_m[h_j(d), l] and the client runs in O(1)
+// (`Perturb`); the literal O(m log m) pipeline is kept as
+// `PerturbReference` and produces identical output for identical RNG state.
+//
+// Server (Algorithm 2, "PriSk"): accumulate k·c_ε·y at [j, l]; when all
+// reports are in, rotate every row back with H_m (Finalize). The finalized
+// sketch behaves like a Fast-AGMS sketch in expectation (Theorem 2), so the
+// join size is the median row inner product (Eq. 5) and frequencies follow
+// Theorem 7.
+#ifndef LDPJS_CORE_LDP_JOIN_SKETCH_H_
+#define LDPJS_CORE_LDP_JOIN_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/serialize.h"
+#include "core/params.h"
+
+namespace ldpjs {
+
+/// One perturbed user report: a ±1 plus the sketch coordinates it targets.
+/// This is all a user ever releases: 1 + log2(k) + log2(m) bits.
+struct LdpReport {
+  int8_t y;    ///< ±1
+  uint16_t j;  ///< sampled row in [0, k)
+  uint32_t l;  ///< sampled Hadamard coordinate in [0, m)
+};
+
+/// Serializes a report into `writer` (wire format for client → server).
+void EncodeReport(const LdpReport& report, BinaryWriter& writer);
+
+/// Parses one report; fails with Corruption on truncated input.
+Result<LdpReport> DecodeReport(BinaryReader& reader);
+
+class LdpJoinSketchClient {
+ public:
+  /// `params.seed` must match the server's; epsilon > 0 is the LDP budget.
+  LdpJoinSketchClient(const SketchParams& params, double epsilon);
+
+  /// Algorithm 1 in O(1) via the closed-form Hadamard entry.
+  LdpReport Perturb(uint64_t value, Xoshiro256& rng) const;
+
+  /// Algorithm 1 exactly as written (materializes v, transforms, samples).
+  /// Identical output to Perturb for identical RNG state; used by tests.
+  LdpReport PerturbReference(uint64_t value, Xoshiro256& rng) const;
+
+  const SketchParams& params() const { return params_; }
+  double epsilon() const { return epsilon_; }
+  /// Pr[b = −1] = 1/(e^ε + 1).
+  double flip_probability() const { return flip_prob_; }
+  const std::vector<RowHashes>& row_hashes() const { return rows_; }
+
+ private:
+  SketchParams params_;
+  double epsilon_;
+  double flip_prob_;
+  std::vector<RowHashes> rows_;
+};
+
+class LdpJoinSketchServer {
+ public:
+  /// Must be constructed with the clients' params and epsilon.
+  LdpJoinSketchServer(const SketchParams& params, double epsilon);
+
+  /// Adds one client report: M[j, l] += k·c_ε·y. Invalid after Finalize.
+  void Absorb(const LdpReport& report);
+
+  /// Adds another server's raw sketch (distributed aggregation). Both must
+  /// share params/epsilon and be un-finalized.
+  void Merge(const LdpJoinSketchServer& other);
+
+  /// Algorithm 2 line 6: every row is rotated back by H_m. Idempotent
+  /// queries only after this.
+  void Finalize();
+
+  /// Eq. 5: median over rows of the row inner products. Both sketches must
+  /// be finalized and share params.
+  double JoinEstimate(const LdpJoinSketchServer& other) const;
+
+  /// Theorem 5: with probability >= 1 - exp(-k/4), the join estimate is
+  /// within  (4/sqrt(m)) · (F1(A) + (k·c_ε²-1)/2) · (F1(B) + (k·c_ε²-1)/2)
+  /// of the truth, where F1 is each sketch's report count. Useful for
+  /// confidence intervals on query answers.
+  double TheoreticalErrorBound(const LdpJoinSketchServer& other) const;
+
+  /// Theorem 7: f̂(d) = mean_j M[j, h_j(d)]·ξ_j(d). Unbiased.
+  double FrequencyEstimate(uint64_t d) const;
+
+  /// Frequencies for every value in [0, domain). O(domain·k).
+  std::vector<double> EstimateAllFrequencies(uint64_t domain) const;
+
+  /// Subtracts `total_mass / m` from every cell — removes the expected
+  /// contribution of `total_mass` non-target FAP reports (Theorem 8).
+  void SubtractUniformMass(double total_mass);
+
+  const SketchParams& params() const { return params_; }
+  double epsilon() const { return epsilon_; }
+  double c_eps() const { return c_eps_; }
+  uint64_t total_reports() const { return total_; }
+  bool finalized() const { return finalized_; }
+  double cell(int row, int col) const {
+    return cells_[static_cast<size_t>(row) * static_cast<size_t>(params_.m) +
+                  static_cast<size_t>(col)];
+  }
+  const std::vector<RowHashes>& row_hashes() const { return rows_; }
+  size_t ByteSize() const { return cells_.size() * sizeof(double); }
+
+  /// Binary round trip (aggregator persistence / cross-process shipping).
+  std::vector<uint8_t> Serialize() const;
+  static Result<LdpJoinSketchServer> Deserialize(
+      std::span<const uint8_t> bytes);
+
+ private:
+  SketchParams params_;
+  double epsilon_;
+  double c_eps_;
+  uint64_t total_ = 0;
+  bool finalized_ = false;
+  std::vector<RowHashes> rows_;
+  std::vector<double> cells_;  // row-major k x m
+};
+
+}  // namespace ldpjs
+
+#endif  // LDPJS_CORE_LDP_JOIN_SKETCH_H_

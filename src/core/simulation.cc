@@ -1,0 +1,63 @@
+#include "core/simulation.h"
+
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace ldpjs {
+
+namespace {
+
+/// Shards `column` across a thread pool; `perturb(value, rng)` produces one
+/// report per user, absorbed into a shard-local server; shard servers are
+/// merged in shard order and finalized.
+template <typename PerturbFn>
+LdpJoinSketchServer RunProtocol(const Column& column,
+                                const SketchParams& params, double epsilon,
+                                const SimulationOptions& options,
+                                const PerturbFn& perturb) {
+  ThreadPool pool(options.num_threads);
+  const size_t shards = pool.num_threads();
+  std::vector<LdpJoinSketchServer> partials(
+      shards, LdpJoinSketchServer(params, epsilon));
+
+  pool.ParallelFor(column.size(), [&](size_t shard, size_t begin, size_t end) {
+    LdpJoinSketchServer& server = partials[shard];
+    for (size_t i = begin; i < end; ++i) {
+      Xoshiro256 rng(DeriveStreamSeed(options.run_seed,
+                                      static_cast<uint64_t>(i)));
+      server.Absorb(perturb(column[i], rng));
+    }
+  });
+
+  LdpJoinSketchServer server(params, epsilon);
+  for (const LdpJoinSketchServer& partial : partials) server.Merge(partial);
+  server.Finalize();
+  return server;
+}
+
+}  // namespace
+
+LdpJoinSketchServer BuildLdpJoinSketch(const Column& column,
+                                       const SketchParams& params,
+                                       double epsilon,
+                                       const SimulationOptions& options) {
+  LdpJoinSketchClient client(params, epsilon);
+  return RunProtocol(column, params, epsilon, options,
+                     [&client](uint64_t value, Xoshiro256& rng) {
+                       return client.Perturb(value, rng);
+                     });
+}
+
+LdpJoinSketchServer BuildFapSketch(
+    const Column& column, const SketchParams& params, double epsilon,
+    FapMode mode, const std::unordered_set<uint64_t>& frequent_items,
+    const SimulationOptions& options) {
+  FapClient client(params, epsilon, mode, frequent_items);
+  return RunProtocol(column, params, epsilon, options,
+                     [&client](uint64_t value, Xoshiro256& rng) {
+                       return client.Perturb(value, rng);
+                     });
+}
+
+}  // namespace ldpjs

@@ -1,0 +1,40 @@
+// Parallel client/server simulation drivers.
+//
+// Each user's RNG stream is derived from Mix64(run_seed ^ global_index), so
+// a run is reproducible and independent of sharding; shard-local sketches
+// are merged in shard order, so results are bit-identical for a fixed
+// thread count.
+#ifndef LDPJS_CORE_SIMULATION_H_
+#define LDPJS_CORE_SIMULATION_H_
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "core/fap.h"
+#include "core/ldp_join_sketch.h"
+#include "data/column.h"
+
+namespace ldpjs {
+
+struct SimulationOptions {
+  uint64_t run_seed = 42;   ///< perturbation randomness (distinct from hash seed)
+  size_t num_threads = 0;   ///< 0 = hardware concurrency
+};
+
+/// Runs the full LDPJoinSketch protocol over `column`: every value is
+/// perturbed by an O(1) client and absorbed server-side. Returns the
+/// finalized sketch.
+LdpJoinSketchServer BuildLdpJoinSketch(const Column& column,
+                                       const SketchParams& params,
+                                       double epsilon,
+                                       const SimulationOptions& options);
+
+/// Same, but clients perturb with FAP (phase 2 of LDPJoinSketch+).
+LdpJoinSketchServer BuildFapSketch(
+    const Column& column, const SketchParams& params, double epsilon,
+    FapMode mode, const std::unordered_set<uint64_t>& frequent_items,
+    const SimulationOptions& options);
+
+}  // namespace ldpjs
+
+#endif  // LDPJS_CORE_SIMULATION_H_

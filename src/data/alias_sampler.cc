@@ -1,0 +1,64 @@
+#include "data/alias_sampler.h"
+
+#include <limits>
+
+#include "common/status.h"
+
+namespace ldpjs {
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  LDPJS_CHECK(n >= 1);
+  LDPJS_CHECK(n <= std::numeric_limits<uint32_t>::max());
+  double total = 0.0;
+  for (double w : weights) {
+    LDPJS_CHECK(w >= 0.0);
+    total += w;
+  }
+  LDPJS_CHECK(total > 0.0);
+
+  normalized_.resize(n);
+  for (size_t i = 0; i < n; ++i) normalized_[i] = weights[i] / total;
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Scaled probabilities; classify into under/over-full worklists.
+  std::vector<double> scaled(n);
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = normalized_[i] * static_cast<double>(n);
+    if (scaled[i] < 1.0) {
+      small.push_back(static_cast<uint32_t>(i));
+    } else {
+      large.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      small.push_back(l);
+    } else {
+      large.push_back(l);
+    }
+  }
+  // Leftovers are 1.0 up to floating-point residue.
+  for (uint32_t i : large) prob_[i] = 1.0;
+  for (uint32_t i : small) prob_[i] = 1.0;
+}
+
+uint64_t AliasSampler::Sample(Xoshiro256& rng) const {
+  const uint64_t bucket = rng.NextBounded(prob_.size());
+  if (rng.NextDouble() < prob_[bucket]) return bucket;
+  return alias_[bucket];
+}
+
+}  // namespace ldpjs

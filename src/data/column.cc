@@ -1,0 +1,54 @@
+#include "data/column.h"
+
+#include <algorithm>
+
+namespace ldpjs {
+
+Column::Column(std::vector<uint64_t> values, uint64_t domain)
+    : values_(std::move(values)), domain_(domain) {
+  LDPJS_CHECK(domain_ >= 1);
+  for (uint64_t v : values_) LDPJS_CHECK(v < domain_);
+}
+
+std::vector<uint64_t> Column::Frequencies() const {
+  std::vector<uint64_t> freq(domain_, 0);
+  for (uint64_t v : values_) ++freq[v];
+  return freq;
+}
+
+uint64_t Column::CountDistinct() const {
+  std::vector<uint64_t> freq = Frequencies();
+  uint64_t distinct = 0;
+  for (uint64_t f : freq) distinct += (f > 0) ? 1 : 0;
+  return distinct;
+}
+
+Column Column::Prefix(size_t n) const {
+  n = std::min(n, values_.size());
+  return Column(std::vector<uint64_t>(values_.begin(),
+                                      values_.begin() + static_cast<std::ptrdiff_t>(n)),
+                domain_);
+}
+
+std::vector<Column> Column::Split(size_t parts) const {
+  LDPJS_CHECK(parts >= 1);
+  std::vector<Column> out;
+  out.reserve(parts);
+  const size_t chunk = (values_.size() + parts - 1) / std::max<size_t>(parts, 1);
+  for (size_t p = 0; p < parts; ++p) {
+    const size_t begin = std::min(values_.size(), p * chunk);
+    const size_t end = std::min(values_.size(), begin + chunk);
+    out.emplace_back(
+        std::vector<uint64_t>(values_.begin() + static_cast<std::ptrdiff_t>(begin),
+                              values_.begin() + static_cast<std::ptrdiff_t>(end)),
+        domain_);
+  }
+  return out;
+}
+
+void Column::Append(uint64_t value) {
+  LDPJS_CHECK(value < domain_);
+  values_.push_back(value);
+}
+
+}  // namespace ldpjs

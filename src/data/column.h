@@ -1,0 +1,51 @@
+// Column: the unit of data every protocol in this library consumes — a flat
+// sequence of join-attribute values drawn from a finite domain [0, domain).
+// One Column models the private join column of one table; each entry is one
+// user's sensitive value.
+#ifndef LDPJS_DATA_COLUMN_H_
+#define LDPJS_DATA_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ldpjs {
+
+class Column {
+ public:
+  Column() = default;
+
+  /// Takes ownership of `values`; every value must be < domain.
+  Column(std::vector<uint64_t> values, uint64_t domain);
+
+  const std::vector<uint64_t>& values() const { return values_; }
+  uint64_t domain() const { return domain_; }
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  uint64_t operator[](size_t i) const { return values_[i]; }
+
+  /// Dense frequency vector f[d] for d in [0, domain).
+  std::vector<uint64_t> Frequencies() const;
+
+  /// Number of distinct values actually present.
+  uint64_t CountDistinct() const;
+
+  /// First `n` rows as a new Column (sampling prefix; generators shuffle).
+  Column Prefix(size_t n) const;
+
+  /// Splits into `parts` contiguous, near-equal slices (user group split for
+  /// LDPJoinSketch+ phase 2). Returns `parts` columns covering all rows.
+  std::vector<Column> Split(size_t parts) const;
+
+  void Append(uint64_t value);
+
+ private:
+  std::vector<uint64_t> values_;
+  uint64_t domain_ = 0;
+};
+
+}  // namespace ldpjs
+
+#endif  // LDPJS_DATA_COLUMN_H_

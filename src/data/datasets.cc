@@ -1,0 +1,93 @@
+#include "data/datasets.h"
+
+#include "common/random.h"
+#include "common/status.h"
+#include "data/gaussian.h"
+#include "data/zipf.h"
+
+namespace ldpjs {
+
+namespace {
+
+// Skews chosen so the simulated frequency tails qualitatively match the
+// public descriptions of each dataset (see DESIGN.md).
+constexpr double kMovieLensAlpha = 1.05;
+constexpr double kTpcdsAlpha = 0.6;
+constexpr double kTwitterAlpha = 0.8;
+constexpr double kFacebookAlpha = 0.65;
+
+Column GenerateFor(const DatasetSpec& spec, uint64_t rows, uint64_t seed) {
+  switch (spec.id) {
+    case DatasetId::kGaussian: {
+      GaussianParams params;
+      params.domain = spec.domain;
+      params.rows = rows;
+      params.seed = seed;
+      // mu/sigma scaled to the domain so the bell sits inside [0, domain).
+      params.mu = static_cast<double>(spec.domain) / 2.0;
+      params.sigma = static_cast<double>(spec.domain) / 8.4;
+      return GenerateGaussian(params);
+    }
+    case DatasetId::kZipf:
+    case DatasetId::kMovieLens:
+    case DatasetId::kTpcds:
+    case DatasetId::kTwitter:
+    case DatasetId::kFacebook: {
+      ZipfParams params;
+      params.alpha = spec.zipf_alpha;
+      params.domain = spec.domain;
+      params.rows = rows;
+      params.seed = seed;
+      return GenerateZipf(params);
+    }
+  }
+  LDPJS_CHECK(false);
+  return Column();
+}
+
+}  // namespace
+
+std::vector<DatasetSpec> AllDatasetSpecs() {
+  return {
+      {DatasetId::kZipf, "Zipf", 3'000'000, 40'000'000, 1.1},
+      {DatasetId::kGaussian, "Gaussian", 80'000, 40'000'000, 0.0},
+      {DatasetId::kMovieLens, "MovieLens", 83'239, 67'664'324, kMovieLensAlpha},
+      {DatasetId::kTpcds, "TPC-DS", 18'000, 5'760'808, kTpcdsAlpha},
+      {DatasetId::kTwitter, "Twitter", 77'072, 4'841'532, kTwitterAlpha},
+      {DatasetId::kFacebook, "Facebook", 4'039, 352'936, kFacebookAlpha},
+  };
+}
+
+DatasetSpec GetDatasetSpec(DatasetId id) {
+  for (const DatasetSpec& spec : AllDatasetSpecs()) {
+    if (spec.id == id) return spec;
+  }
+  LDPJS_CHECK(false);
+  return DatasetSpec{};
+}
+
+JoinWorkload MakeWorkload(DatasetId id, uint64_t rows, uint64_t seed) {
+  const DatasetSpec spec = GetDatasetSpec(id);
+  JoinWorkload workload;
+  workload.name = spec.name;
+  workload.table_a = GenerateFor(spec, rows, Mix64(seed ^ 0xAAAAAAAAAAAAAAAAULL));
+  workload.table_b = GenerateFor(spec, rows, Mix64(seed ^ 0xBBBBBBBBBBBBBBBBULL));
+  return workload;
+}
+
+JoinWorkload MakeZipfWorkload(double alpha, uint64_t domain, uint64_t rows,
+                              uint64_t seed) {
+  JoinWorkload workload;
+  workload.name = "Zipf(alpha=" + std::to_string(alpha) + ")";
+  ZipfParams params;
+  params.alpha = alpha;
+  params.domain = domain;
+  params.rows = rows;
+  params.seed = Mix64(seed ^ 0xAAAAAAAAAAAAAAAAULL);
+  workload.table_a = GenerateZipf(params);
+  params.seed = Mix64(seed ^ 0xBBBBBBBBBBBBBBBBULL);
+  workload.table_b = GenerateZipf(params);
+  return workload;
+}
+
+}  // namespace ldpjs

@@ -1,0 +1,65 @@
+// The six evaluation workloads of paper Table II.
+//
+// The four real datasets (MovieLens, TPC-DS store_sales, Twitter ego,
+// Facebook ego) are not redistributable in this offline environment, so each
+// is simulated by a generator matched to its Table-II domain size, row count
+// and skew (see DESIGN.md "Dataset substitutions"). Every method under test
+// observes only the frequency vector of the join column, so matching those
+// three properties exercises the identical code paths.
+//
+// A JoinWorkload is the two private join columns of the paper's query
+//   SELECT COUNT(*) FROM T1 JOIN T2 ON T1.A = T2.B
+// drawn as two independent samples of the same population.
+#ifndef LDPJS_DATA_DATASETS_H_
+#define LDPJS_DATA_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/column.h"
+
+namespace ldpjs {
+
+enum class DatasetId {
+  kZipf,       ///< synthetic Zipf(alpha), alpha configurable
+  kGaussian,   ///< discretized Gaussian
+  kMovieLens,  ///< simulated: Zipf-like over 83,239 movie ids
+  kTpcds,      ///< simulated: mild-skew over 18,000 item_sk
+  kTwitter,    ///< simulated: heavy-tail over 77,072 node ids
+  kFacebook,   ///< simulated: 4,039 node ids, small data
+};
+
+/// Static description of a workload (the realized row of Table II).
+struct DatasetSpec {
+  DatasetId id;
+  std::string name;
+  uint64_t domain;      ///< generator domain (possible ids)
+  uint64_t paper_rows;  ///< row count reported in Table II
+  double zipf_alpha;    ///< skew of the simulating Zipf (0 = not Zipf-based)
+};
+
+/// Specs for all six paper datasets. Zipf entries use alpha = 1.1 by default.
+std::vector<DatasetSpec> AllDatasetSpecs();
+
+/// Spec for one dataset.
+DatasetSpec GetDatasetSpec(DatasetId id);
+
+struct JoinWorkload {
+  std::string name;
+  Column table_a;
+  Column table_b;
+};
+
+/// Builds the two join columns for `id` with `rows` values per table
+/// (pass spec.paper_rows for paper scale). Deterministic in `seed`;
+/// table B uses an independent derived stream.
+JoinWorkload MakeWorkload(DatasetId id, uint64_t rows, uint64_t seed);
+
+/// Zipf workload with explicit skew (Fig. 12 sweep).
+JoinWorkload MakeZipfWorkload(double alpha, uint64_t domain, uint64_t rows,
+                              uint64_t seed);
+
+}  // namespace ldpjs
+
+#endif  // LDPJS_DATA_DATASETS_H_

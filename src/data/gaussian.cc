@@ -1,0 +1,37 @@
+#include "data/gaussian.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace ldpjs {
+
+Column GenerateGaussian(const GaussianParams& params) {
+  LDPJS_CHECK(params.domain >= 1);
+  LDPJS_CHECK(params.sigma > 0.0);
+  Xoshiro256 rng(params.seed);
+  std::vector<uint64_t> values;
+  values.reserve(params.rows);
+  const double max_id = static_cast<double>(params.domain - 1);
+  for (uint64_t i = 0; i < params.rows; ++i) {
+    const double x = params.mu + params.sigma * rng.NextGaussian();
+    const double clamped = std::clamp(std::round(x), 0.0, max_id);
+    values.push_back(static_cast<uint64_t>(clamped));
+  }
+  return Column(std::move(values), params.domain);
+}
+
+Column GenerateUniform(uint64_t domain, uint64_t rows, uint64_t seed) {
+  LDPJS_CHECK(domain >= 1);
+  Xoshiro256 rng(seed);
+  std::vector<uint64_t> values;
+  values.reserve(rows);
+  for (uint64_t i = 0; i < rows; ++i) {
+    values.push_back(rng.NextBounded(domain));
+  }
+  return Column(std::move(values), domain);
+}
+
+}  // namespace ldpjs

@@ -1,0 +1,28 @@
+// Discretized Gaussian column generator (paper §VII-A dataset (2)):
+// round(N(mu, sigma)) clamped to [0, domain).
+#ifndef LDPJS_DATA_GAUSSIAN_H_
+#define LDPJS_DATA_GAUSSIAN_H_
+
+#include <cstdint>
+
+#include "data/column.h"
+
+namespace ldpjs {
+
+struct GaussianParams {
+  double mu = 40'000.0;
+  double sigma = 9'500.0;
+  uint64_t domain = 80'000;
+  uint64_t rows = 1'000'000;
+  uint64_t seed = 1;
+};
+
+/// Draws `rows` iid rounded-and-clamped Gaussian values over [0, domain).
+Column GenerateGaussian(const GaussianParams& params);
+
+/// Uniform values over [0, domain) — the no-skew control workload.
+Column GenerateUniform(uint64_t domain, uint64_t rows, uint64_t seed);
+
+}  // namespace ldpjs
+
+#endif  // LDPJS_DATA_GAUSSIAN_H_

@@ -1,0 +1,100 @@
+#include "data/join.h"
+
+#include "common/status.h"
+
+namespace ldpjs {
+
+double ExactJoinSize(const Column& a, const Column& b) {
+  LDPJS_CHECK(a.domain() == b.domain());
+  return ExactJoinSize(a.Frequencies(), b.Frequencies());
+}
+
+double ExactJoinSize(const std::vector<uint64_t>& freq_a,
+                     const std::vector<uint64_t>& freq_b) {
+  LDPJS_CHECK(freq_a.size() == freq_b.size());
+  double acc = 0.0;
+  for (size_t d = 0; d < freq_a.size(); ++d) {
+    acc += static_cast<double>(freq_a[d]) * static_cast<double>(freq_b[d]);
+  }
+  return acc;
+}
+
+double ExactChainJoinSize(const Column& end_left,
+                          const std::vector<PairColumn>& middles,
+                          const Column& end_right) {
+  // reach[v] = number of join paths from T1 rows to key value v of the
+  // current attribute.
+  std::vector<double> reach(end_left.domain(), 0.0);
+  for (uint64_t v : end_left.values()) reach[v] += 1.0;
+
+  for (const PairColumn& mid : middles) {
+    LDPJS_CHECK(mid.left_domain == reach.size());
+    LDPJS_CHECK(mid.left.size() == mid.right.size());
+    std::vector<double> next(mid.right_domain, 0.0);
+    for (size_t i = 0; i < mid.size(); ++i) {
+      next[mid.right[i]] += reach[mid.left[i]];
+    }
+    reach = std::move(next);
+  }
+
+  LDPJS_CHECK(end_right.domain() == reach.size());
+  double total = 0.0;
+  for (uint64_t v : end_right.values()) total += reach[v];
+  return total;
+}
+
+double ExactCyclicJoinSize(const std::vector<PairColumn>& tables) {
+  LDPJS_CHECK(tables.size() >= 2);
+  for (size_t i = 0; i < tables.size(); ++i) {
+    const PairColumn& current = tables[i];
+    const PairColumn& next = tables[(i + 1) % tables.size()];
+    LDPJS_CHECK(current.left.size() == current.right.size());
+    LDPJS_CHECK(current.right_domain == next.left_domain);
+    LDPJS_CHECK(current.left_domain <= 4096 && current.right_domain <= 4096);
+  }
+  // acc = F1 * F2 * ... * Fp accumulated as dense row-major matrices.
+  auto to_dense = [](const PairColumn& t) {
+    std::vector<double> dense(t.left_domain * t.right_domain, 0.0);
+    for (size_t i = 0; i < t.size(); ++i) {
+      dense[t.left[i] * t.right_domain + t.right[i]] += 1.0;
+    }
+    return dense;
+  };
+  std::vector<double> acc = to_dense(tables[0]);
+  uint64_t acc_rows = tables[0].left_domain;
+  uint64_t acc_cols = tables[0].right_domain;
+  for (size_t t = 1; t < tables.size(); ++t) {
+    const std::vector<double> next = to_dense(tables[t]);
+    const uint64_t next_cols = tables[t].right_domain;
+    std::vector<double> product(acc_rows * next_cols, 0.0);
+    for (uint64_t i = 0; i < acc_rows; ++i) {
+      for (uint64_t j = 0; j < acc_cols; ++j) {
+        const double v = acc[i * acc_cols + j];
+        if (v == 0.0) continue;
+        for (uint64_t x = 0; x < next_cols; ++x) {
+          product[i * next_cols + x] += v * next[j * next_cols + x];
+        }
+      }
+    }
+    acc = std::move(product);
+    acc_cols = next_cols;
+  }
+  LDPJS_CHECK(acc_rows == acc_cols);
+  double trace = 0.0;
+  for (uint64_t i = 0; i < acc_rows; ++i) trace += acc[i * acc_cols + i];
+  return trace;
+}
+
+double FrequencyMomentF1(const Column& column) {
+  return static_cast<double>(column.size());
+}
+
+double FrequencyMomentF2(const Column& column) {
+  double acc = 0.0;
+  for (uint64_t f : column.Frequencies()) {
+    acc += static_cast<double>(f) * static_cast<double>(f);
+  }
+  return acc;
+}
+
+}  // namespace ldpjs

@@ -1,0 +1,58 @@
+// Exact join-size ground truth and frequency moments.
+//
+// For the paper's query  SELECT COUNT(*) FROM T1 JOIN T2 ON T1.A = T2.B,
+// |A ⋈ B| = Σ_d f_A(d) · f_B(d): the inner product of the two frequency
+// vectors. Also provides F1/F2 moments used by the error-bound theorems.
+#ifndef LDPJS_DATA_JOIN_H_
+#define LDPJS_DATA_JOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/column.h"
+
+namespace ldpjs {
+
+/// Exact |A ⋈ B|. Requires equal domains.
+double ExactJoinSize(const Column& a, const Column& b);
+
+/// Exact inner product of two dense frequency vectors (equal length).
+double ExactJoinSize(const std::vector<uint64_t>& freq_a,
+                     const std::vector<uint64_t>& freq_b);
+
+/// Exact chain-join size across >= 2 columns sharing pairwise join keys:
+/// |T1(A) ⋈ T2(A,B) ⋈ ... |. `middles[i]` holds the (left,right) key pairs
+/// of the i-th middle table. See multiway.h for the sketch counterpart.
+struct PairColumn {
+  std::vector<uint64_t> left;   ///< values of the left join attribute
+  std::vector<uint64_t> right;  ///< values of the right join attribute
+  uint64_t left_domain = 0;
+  uint64_t right_domain = 0;
+
+  size_t size() const { return left.size(); }
+};
+
+/// Exact size of the chain join  end_left(A) ⋈ middles... ⋈ end_right(Z)
+/// computed by dynamic programming over frequency vectors. `middles` may be
+/// empty, giving the 2-way join of the two end columns (requires equal
+/// domains in that case).
+double ExactChainJoinSize(const Column& end_left,
+                          const std::vector<PairColumn>& middles,
+                          const Column& end_right);
+
+/// Exact size of the cyclic join T1(A1,A2) ⋈ T2(A2,A3) ⋈ ... ⋈ Tp(Ap,A1)
+/// (paper §VI discussion): the trace of the product of the tables'
+/// frequency matrices. Adjacent domains must match around the ring.
+/// Materializes dense matrices — intended for validation workloads; every
+/// domain must be <= 4096.
+double ExactCyclicJoinSize(const std::vector<PairColumn>& tables);
+
+/// F1(X) = Σ f(d) (i.e. row count) — Definition 3.
+double FrequencyMomentF1(const Column& column);
+
+/// F2(X) = Σ f(d)^2 — Definition 3 (self-join size).
+double FrequencyMomentF2(const Column& column);
+
+}  // namespace ldpjs
+
+#endif  // LDPJS_DATA_JOIN_H_

@@ -1,0 +1,26 @@
+// Zipf-distributed column generator (paper §VII-A dataset (1)):
+// Pr[value has rank x] = (1/x^alpha) / sum_{n=1..D} (1/n^alpha).
+// Ranks are mapped to domain ids by a seeded permutation-free identity
+// (rank r -> id r-1); hash-based methods are invariant to the labeling.
+#ifndef LDPJS_DATA_ZIPF_H_
+#define LDPJS_DATA_ZIPF_H_
+
+#include <cstdint>
+
+#include "data/column.h"
+
+namespace ldpjs {
+
+struct ZipfParams {
+  double alpha = 1.1;     ///< skewness; larger = more skewed
+  uint64_t domain = 3'000'000;  ///< number of ranks D
+  uint64_t rows = 1'000'000;    ///< values to draw
+  uint64_t seed = 1;
+};
+
+/// Draws `rows` iid Zipf(alpha) values over [0, domain).
+Column GenerateZipf(const ZipfParams& params);
+
+}  // namespace ldpjs
+
+#endif  // LDPJS_DATA_ZIPF_H_

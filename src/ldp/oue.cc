@@ -1,0 +1,64 @@
+#include "ldp/oue.h"
+
+#include <cmath>
+
+#include "common/status.h"
+
+namespace ldpjs {
+
+OueClient::OueClient(uint64_t domain, double epsilon) : domain_(domain) {
+  LDPJS_CHECK(domain >= 2);
+  LDPJS_CHECK(epsilon > 0.0);
+  flip_prob_ = 1.0 / (std::exp(epsilon) + 1.0);
+}
+
+std::vector<uint8_t> OueClient::Perturb(uint64_t value,
+                                        Xoshiro256& rng) const {
+  LDPJS_CHECK(value < domain_);
+  std::vector<uint8_t> bits(domain_, 0);
+  for (uint64_t d = 0; d < domain_; ++d) {
+    const bool is_one = (d == value);
+    const double keep_as_one = is_one ? 0.5 : flip_prob_;
+    bits[d] = rng.NextBernoulli(keep_as_one) ? 1 : 0;
+  }
+  return bits;
+}
+
+OueServer::OueServer(uint64_t domain, double epsilon)
+    : domain_(domain), bit_counts_(domain, 0) {
+  LDPJS_CHECK(domain >= 2);
+  LDPJS_CHECK(epsilon > 0.0);
+  flip_prob_ = 1.0 / (std::exp(epsilon) + 1.0);
+}
+
+void OueServer::Absorb(const std::vector<uint8_t>& report) {
+  LDPJS_CHECK(report.size() == domain_);
+  for (uint64_t d = 0; d < domain_; ++d) bit_counts_[d] += report[d];
+  ++total_;
+}
+
+double OueServer::EstimateFrequency(uint64_t d) const {
+  LDPJS_CHECK(d < domain_);
+  const double n = static_cast<double>(total_);
+  return (static_cast<double>(bit_counts_[d]) - n * flip_prob_) /
+         (0.5 - flip_prob_);
+}
+
+std::vector<double> OueServer::EstimateAllFrequencies() const {
+  std::vector<double> out(domain_);
+  for (uint64_t d = 0; d < domain_; ++d) out[d] = EstimateFrequency(d);
+  return out;
+}
+
+std::vector<double> OueEstimateFrequencies(const Column& column,
+                                           double epsilon, uint64_t seed) {
+  OueClient client(column.domain(), epsilon);
+  OueServer server(column.domain(), epsilon);
+  for (size_t i = 0; i < column.size(); ++i) {
+    Xoshiro256 rng(DeriveStreamSeed(seed, static_cast<uint64_t>(i)));
+    server.Absorb(client.Perturb(column[i], rng));
+  }
+  return server.EstimateAllFrequencies();
+}
+
+}  // namespace ldpjs

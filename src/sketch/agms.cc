@@ -1,0 +1,40 @@
+#include "sketch/agms.h"
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/status.h"
+
+namespace ldpjs {
+
+AgmsSketch::AgmsSketch(uint64_t seed, int k, int m) : k_(k), m_(m) {
+  LDPJS_CHECK(k >= 1 && m >= 1);
+  const size_t total = static_cast<size_t>(k) * static_cast<size_t>(m);
+  signs_.reserve(total);
+  for (size_t i = 0; i < total; ++i) {
+    signs_.emplace_back(Mix64(seed ^ (0x9e3779b97f4a7c15ULL * (i + 1))));
+  }
+  counters_.assign(total, 0.0);
+}
+
+void AgmsSketch::Update(uint64_t d, double weight) {
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += weight * signs_[i](d);
+  }
+}
+
+double AgmsSketch::JoinEstimate(const AgmsSketch& other) const {
+  LDPJS_CHECK(k_ == other.k_ && m_ == other.m_);
+  std::vector<double> group_means(static_cast<size_t>(k_));
+  for (int g = 0; g < k_; ++g) {
+    double acc = 0.0;
+    for (int i = 0; i < m_; ++i) {
+      acc += counter(g, i) * other.counter(g, i);
+    }
+    group_means[static_cast<size_t>(g)] = acc / static_cast<double>(m_);
+  }
+  return Median(group_means);
+}
+
+double AgmsSketch::SecondMomentEstimate() const { return JoinEstimate(*this); }
+
+}  // namespace ldpjs

@@ -1,0 +1,47 @@
+// AGMS ("tug-of-war") sketch of Alon, Gibbons, Matias & Szegedy (paper
+// §III-A): k*m atomic counters, each a full ±1-signed sum over the stream.
+// Included as the historical baseline that Fast-AGMS improves on; every
+// update touches all k*m counters, which is what makes it slow.
+#ifndef LDPJS_SKETCH_AGMS_H_
+#define LDPJS_SKETCH_AGMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace ldpjs {
+
+class AgmsSketch {
+ public:
+  /// k groups ("lines") of m atomic estimators each. Sketches built with the
+  /// same seed are comparable.
+  AgmsSketch(uint64_t seed, int k, int m);
+
+  /// Adds `weight` occurrences of value d.
+  void Update(uint64_t d, double weight = 1.0);
+
+  /// Join-size estimate against `other`: mean of the m counter products
+  /// inside each group, median across the k groups.
+  double JoinEstimate(const AgmsSketch& other) const;
+
+  /// Self-join (F2) estimate.
+  double SecondMomentEstimate() const;
+
+  int k() const { return k_; }
+  int m() const { return m_; }
+  double counter(int group, int index) const {
+    return counters_[static_cast<size_t>(group) * static_cast<size_t>(m_) +
+                     static_cast<size_t>(index)];
+  }
+
+ private:
+  int k_;
+  int m_;
+  std::vector<SignHash> signs_;     // one ξ per counter, k*m total
+  std::vector<double> counters_;    // row-major k x m
+};
+
+}  // namespace ldpjs
+
+#endif  // LDPJS_SKETCH_AGMS_H_

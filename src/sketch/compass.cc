@@ -1,0 +1,122 @@
+#include "sketch/compass.h"
+
+#include "common/stats.h"
+#include "common/status.h"
+
+namespace ldpjs {
+
+FastAgmsMatrixSketch::FastAgmsMatrixSketch(uint64_t left_seed,
+                                           uint64_t right_seed, int k,
+                                           int m_left, int m_right)
+    : k_(k), m_left_(m_left), m_right_(m_right) {
+  LDPJS_CHECK(k >= 1 && m_left >= 1 && m_right >= 1);
+  left_rows_ = MakeRowHashes(left_seed, k, static_cast<uint64_t>(m_left));
+  right_rows_ = MakeRowHashes(right_seed, k, static_cast<uint64_t>(m_right));
+  cells_.assign(static_cast<size_t>(k) * static_cast<size_t>(m_left) *
+                    static_cast<size_t>(m_right),
+                0.0);
+}
+
+void FastAgmsMatrixSketch::Update(uint64_t a, uint64_t b, double weight) {
+  for (int j = 0; j < k_; ++j) {
+    const auto& left = left_rows_[static_cast<size_t>(j)];
+    const auto& right = right_rows_[static_cast<size_t>(j)];
+    const size_t row = left.bucket(a);
+    const size_t col = right.bucket(b);
+    const size_t idx =
+        (static_cast<size_t>(j) * static_cast<size_t>(m_left_) + row) *
+            static_cast<size_t>(m_right_) +
+        col;
+    cells_[idx] += weight * left.sign(a) * right.sign(b);
+  }
+}
+
+void FastAgmsMatrixSketch::UpdatePairColumn(const PairColumn& pairs) {
+  LDPJS_CHECK(pairs.left.size() == pairs.right.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    Update(pairs.left[i], pairs.right[i]);
+  }
+}
+
+double CompassCyclicJoinEstimate(
+    const std::vector<const FastAgmsMatrixSketch*>& cycle) {
+  LDPJS_CHECK(cycle.size() >= 2);
+  const int k = cycle[0]->k();
+  for (size_t i = 0; i < cycle.size(); ++i) {
+    const auto* current = cycle[i];
+    const auto* next = cycle[(i + 1) % cycle.size()];
+    LDPJS_CHECK(current->k() == k);
+    LDPJS_CHECK(current->m_right() == next->m_left());
+  }
+  std::vector<double> estimators(static_cast<size_t>(k));
+  for (int j = 0; j < k; ++j) {
+    const size_t rows = static_cast<size_t>(cycle[0]->m_left());
+    size_t cols = static_cast<size_t>(cycle[0]->m_right());
+    std::vector<double> acc(cycle[0]->replica_data(j),
+                            cycle[0]->replica_data(j) + rows * cols);
+    for (size_t t = 1; t < cycle.size(); ++t) {
+      const size_t next_cols = static_cast<size_t>(cycle[t]->m_right());
+      std::vector<double> product(rows * next_cols, 0.0);
+      const double* b = cycle[t]->replica_data(j);
+      for (size_t r = 0; r < rows; ++r) {
+        for (size_t c = 0; c < cols; ++c) {
+          const double v = acc[r * cols + c];
+          if (v == 0.0) continue;
+          for (size_t x = 0; x < next_cols; ++x) {
+            product[r * next_cols + x] += v * b[c * next_cols + x];
+          }
+        }
+      }
+      acc = std::move(product);
+      cols = next_cols;
+    }
+    LDPJS_CHECK(rows == cols);
+    double trace = 0.0;
+    for (size_t i = 0; i < rows; ++i) trace += acc[i * cols + i];
+    estimators[static_cast<size_t>(j)] = trace;
+  }
+  return Median(estimators);
+}
+
+double CompassChainJoinEstimate(
+    const FastAgmsSketch& end_left,
+    const std::vector<const FastAgmsMatrixSketch*>& middles,
+    const FastAgmsSketch& end_right) {
+  const int k = end_left.k();
+  LDPJS_CHECK(end_right.k() == k);
+  for (const auto* mid : middles) LDPJS_CHECK(mid->k() == k);
+
+  std::vector<double> estimators(static_cast<size_t>(k));
+  for (int j = 0; j < k; ++j) {
+    // Start with the left end-table row as a vector, push through each
+    // middle matrix with a vector-matrix product.
+    std::vector<double> vec(static_cast<size_t>(end_left.m()));
+    for (int x = 0; x < end_left.m(); ++x) {
+      vec[static_cast<size_t>(x)] = end_left.cell(j, x);
+    }
+    for (const auto* mid : middles) {
+      LDPJS_CHECK(static_cast<size_t>(mid->m_left()) == vec.size());
+      std::vector<double> next(static_cast<size_t>(mid->m_right()), 0.0);
+      const double* data = mid->replica_data(j);
+      for (int r = 0; r < mid->m_left(); ++r) {
+        const double vr = vec[static_cast<size_t>(r)];
+        if (vr == 0.0) continue;
+        const double* matrix_row = data + static_cast<size_t>(r) *
+                                              static_cast<size_t>(mid->m_right());
+        for (int c = 0; c < mid->m_right(); ++c) {
+          next[static_cast<size_t>(c)] += vr * matrix_row[c];
+        }
+      }
+      vec = std::move(next);
+    }
+    LDPJS_CHECK(static_cast<size_t>(end_right.m()) == vec.size());
+    double acc = 0.0;
+    for (int x = 0; x < end_right.m(); ++x) {
+      acc += vec[static_cast<size_t>(x)] * end_right.cell(j, x);
+    }
+    estimators[static_cast<size_t>(j)] = acc;
+  }
+  return Median(estimators);
+}
+
+}  // namespace ldpjs

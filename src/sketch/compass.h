@@ -1,0 +1,81 @@
+// COMPASS-style multiway Fast-AGMS sketches (paper §VI, after Izenov et al.):
+// a chain join T1(A) ⋈ T2(A,B) ⋈ ... ⋈ Tn(Z) is estimated with a vector
+// sketch per end table and a matrix sketch per middle table, multiplied
+// through as vector * matrix * ... * vector, median over k replicas.
+//
+// Hash coordination: every sketch touching attribute X must be built with
+// the same attribute seed for X. The non-private COMPASS here is both the
+// Fig. 15 baseline and the structural template for the private multiway
+// extension in core/multiway.h.
+#ifndef LDPJS_SKETCH_COMPASS_H_
+#define LDPJS_SKETCH_COMPASS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "data/join.h"
+#include "sketch/fast_agms.h"
+
+namespace ldpjs {
+
+/// k replicas of an (m_left x m_right) matrix sketch for a two-join-attribute
+/// table. Replica j uses (h_j, ξ_j) pairs derived from the two attribute
+/// seeds, matching the vector sketches for those attributes.
+class FastAgmsMatrixSketch {
+ public:
+  FastAgmsMatrixSketch(uint64_t left_seed, uint64_t right_seed, int k,
+                       int m_left, int m_right);
+
+  /// Adds one tuple with join keys (a, b): every replica j gets
+  /// ξ^L_j(a)·ξ^R_j(b) at [h^L_j(a), h^R_j(b)].
+  void Update(uint64_t a, uint64_t b, double weight = 1.0);
+
+  void UpdatePairColumn(const PairColumn& pairs);
+
+  int k() const { return k_; }
+  int m_left() const { return m_left_; }
+  int m_right() const { return m_right_; }
+  double cell(int replica, int row, int col) const {
+    return cells_[(static_cast<size_t>(replica) * static_cast<size_t>(m_left_) +
+                   static_cast<size_t>(row)) *
+                      static_cast<size_t>(m_right_) +
+                  static_cast<size_t>(col)];
+  }
+
+  /// Replica j as a dense matrix row-major view (m_left x m_right).
+  const double* replica_data(int replica) const {
+    return cells_.data() + static_cast<size_t>(replica) *
+                               static_cast<size_t>(m_left_) *
+                               static_cast<size_t>(m_right_);
+  }
+
+ private:
+  friend class LdpMultiwaySketch;  // private multiway reuses the hash layout
+
+  int k_;
+  int m_left_;
+  int m_right_;
+  std::vector<RowHashes> left_rows_;
+  std::vector<RowHashes> right_rows_;
+  std::vector<double> cells_;  // [k][m_left][m_right]
+};
+
+/// Chain-join estimate: end_left (vector sketch on the first attribute),
+/// one matrix sketch per middle table, end_right (vector sketch on the last
+/// attribute). All must share k; adjacent dimensions must match. Median over
+/// the k replicas of  v_L^T · M_1 · ... · M_p · v_R.
+double CompassChainJoinEstimate(
+    const FastAgmsSketch& end_left,
+    const std::vector<const FastAgmsMatrixSketch*>& middles,
+    const FastAgmsSketch& end_right);
+
+/// Cyclic join estimate, e.g. T1(A,B) ⋈ T2(B,C) ⋈ T3(C,A): per replica the
+/// trace of the product of the cycle's matrices, median over replicas.
+/// Attribute seeds must form a ring; adjacent dimensions must match.
+double CompassCyclicJoinEstimate(
+    const std::vector<const FastAgmsMatrixSketch*>& cycle);
+
+}  // namespace ldpjs
+
+#endif  // LDPJS_SKETCH_COMPASS_H_

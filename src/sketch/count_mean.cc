@@ -1,0 +1,42 @@
+#include "sketch/count_mean.h"
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace ldpjs {
+
+CountMeanSketch::CountMeanSketch(uint64_t seed, int k, int m) : k_(k), m_(m) {
+  LDPJS_CHECK(k >= 1 && m >= 2);
+  buckets_.reserve(static_cast<size_t>(k));
+  for (int j = 0; j < k; ++j) {
+    buckets_.emplace_back(
+        Mix64(seed ^ (0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(j) + 1))),
+        static_cast<uint64_t>(m));
+  }
+  cells_.assign(static_cast<size_t>(k) * static_cast<size_t>(m), 0.0);
+}
+
+void CountMeanSketch::Update(uint64_t d) {
+  for (int j = 0; j < k_; ++j) {
+    const uint64_t col = buckets_[static_cast<size_t>(j)](d);
+    cells_[static_cast<size_t>(j) * static_cast<size_t>(m_) + col] += 1.0;
+  }
+  ++total_count_;
+}
+
+void CountMeanSketch::UpdateColumn(const Column& column) {
+  for (uint64_t v : column.values()) Update(v);
+}
+
+double CountMeanSketch::FrequencyEstimate(uint64_t d) const {
+  const double n = static_cast<double>(total_count_);
+  const double m = static_cast<double>(m_);
+  double acc = 0.0;
+  for (int j = 0; j < k_; ++j) {
+    const uint64_t col = buckets_[static_cast<size_t>(j)](d);
+    acc += (cell(j, static_cast<int>(col)) - n / m) * m / (m - 1.0);
+  }
+  return acc / static_cast<double>(k_);
+}
+
+}  // namespace ldpjs

@@ -1,0 +1,50 @@
+// Count-Mean sketch: the server-side aggregation structure of Apple's CMS /
+// HCMS (paper §II). Like Count-Min but rows are debiased by subtracting the
+// expected collision mass n/m and rescaling by m/(m-1), then averaged
+// (mean, not min) — which is what makes the private variant unbiased.
+// This non-private version is a substrate for tests and for the HCMS
+// baseline's reference behaviour.
+#ifndef LDPJS_SKETCH_COUNT_MEAN_H_
+#define LDPJS_SKETCH_COUNT_MEAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "data/column.h"
+
+namespace ldpjs {
+
+class CountMeanSketch {
+ public:
+  /// k rows, m columns; sketches sharing `seed` use the same bucket hashes.
+  CountMeanSketch(uint64_t seed, int k, int m);
+
+  /// Adds one occurrence of d to every row.
+  void Update(uint64_t d);
+
+  void UpdateColumn(const Column& column);
+
+  /// Debiased frequency estimate:
+  ///   f(d) ≈ mean_j ( M[j, h_j(d)] - n/m ) * m/(m-1).
+  double FrequencyEstimate(uint64_t d) const;
+
+  int k() const { return k_; }
+  int m() const { return m_; }
+  uint64_t total_count() const { return total_count_; }
+  double cell(int row, int col) const {
+    return cells_[static_cast<size_t>(row) * static_cast<size_t>(m_) +
+                  static_cast<size_t>(col)];
+  }
+
+ private:
+  int k_;
+  int m_;
+  uint64_t total_count_ = 0;
+  std::vector<BucketHash> buckets_;
+  std::vector<double> cells_;  // row-major k x m
+};
+
+}  // namespace ldpjs
+
+#endif  // LDPJS_SKETCH_COUNT_MEAN_H_

@@ -1,0 +1,65 @@
+#include "sketch/count_min.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace ldpjs {
+
+CountMinSketch::CountMinSketch(uint64_t seed, int k, int m) : k_(k), m_(m) {
+  LDPJS_CHECK(k >= 1 && m >= 1);
+  buckets_.reserve(static_cast<size_t>(k));
+  for (int j = 0; j < k; ++j) {
+    buckets_.emplace_back(
+        Mix64(seed ^ (0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(j) + 1))),
+        static_cast<uint64_t>(m));
+  }
+  cells_.assign(static_cast<size_t>(k) * static_cast<size_t>(m), 0.0);
+}
+
+void CountMinSketch::Update(uint64_t d, double weight) {
+  LDPJS_CHECK(weight >= 0.0);
+  for (int j = 0; j < k_; ++j) {
+    const uint64_t col = buckets_[static_cast<size_t>(j)](d);
+    cells_[static_cast<size_t>(j) * static_cast<size_t>(m_) + col] += weight;
+  }
+  total_weight_ += weight;
+}
+
+void CountMinSketch::UpdateColumn(const Column& column) {
+  for (uint64_t v : column.values()) Update(v);
+}
+
+double CountMinSketch::FrequencyUpperBound(uint64_t d) const {
+  double best = cells_[buckets_[0](d)];
+  for (int j = 1; j < k_; ++j) {
+    const uint64_t col = buckets_[static_cast<size_t>(j)](d);
+    best = std::min(best,
+                    cells_[static_cast<size_t>(j) * static_cast<size_t>(m_) + col]);
+  }
+  return best;
+}
+
+double CountMinSketch::FrequencyEstimate(uint64_t d) const {
+  const double collision_mass = total_weight_ / static_cast<double>(m_);
+  double best = cells_[buckets_[0](d)] - collision_mass;
+  for (int j = 1; j < k_; ++j) {
+    const uint64_t col = buckets_[static_cast<size_t>(j)](d);
+    best = std::min(
+        best, cells_[static_cast<size_t>(j) * static_cast<size_t>(m_) + col] -
+                  collision_mass);
+  }
+  return std::max(0.0, best);
+}
+
+std::vector<uint64_t> CountMinSketch::HeavyHitters(
+    const std::vector<uint64_t>& candidates, double threshold) const {
+  std::vector<uint64_t> heavy;
+  for (uint64_t d : candidates) {
+    if (FrequencyUpperBound(d) > threshold) heavy.push_back(d);
+  }
+  return heavy;
+}
+
+}  // namespace ldpjs

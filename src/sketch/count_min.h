@@ -1,0 +1,53 @@
+// Count-Min sketch (Cormode & Muthukrishnan): k rows of m counters, query
+// answered by the minimum across rows — a one-sided (over-)estimate.
+// Substrate for the non-private JoinSketch-style estimator in
+// join_sketch.h, whose heavy-hitter skimming needs a cheap conservative
+// frequency oracle.
+#ifndef LDPJS_SKETCH_COUNT_MIN_H_
+#define LDPJS_SKETCH_COUNT_MIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "data/column.h"
+
+namespace ldpjs {
+
+class CountMinSketch {
+ public:
+  /// k rows, m columns; sketches sharing `seed` use the same bucket hashes.
+  CountMinSketch(uint64_t seed, int k, int m);
+
+  /// Adds `weight` occurrences of d (weight >= 0).
+  void Update(uint64_t d, double weight = 1.0);
+
+  void UpdateColumn(const Column& column);
+
+  /// min over rows of M[j, h_j(d)]; never underestimates the frequency.
+  double FrequencyUpperBound(uint64_t d) const;
+
+  /// Count-Min with conservative deletion of the expected collision mass
+  /// n/m per row, then min (a tighter point estimate; can underestimate).
+  double FrequencyEstimate(uint64_t d) const;
+
+  /// Items from `candidates` whose upper bound exceeds `threshold`.
+  /// Guaranteed to contain every item with true frequency > threshold.
+  std::vector<uint64_t> HeavyHitters(const std::vector<uint64_t>& candidates,
+                                     double threshold) const;
+
+  int k() const { return k_; }
+  int m() const { return m_; }
+  double total_weight() const { return total_weight_; }
+
+ private:
+  int k_;
+  int m_;
+  double total_weight_ = 0.0;
+  std::vector<BucketHash> buckets_;
+  std::vector<double> cells_;  // row-major k x m
+};
+
+}  // namespace ldpjs
+
+#endif  // LDPJS_SKETCH_COUNT_MIN_H_

@@ -1,0 +1,66 @@
+#include "sketch/fast_agms.h"
+
+#include "common/stats.h"
+#include "common/status.h"
+
+namespace ldpjs {
+
+FastAgmsSketch::FastAgmsSketch(uint64_t seed, int k, int m)
+    : seed_(seed), k_(k), m_(m) {
+  LDPJS_CHECK(k >= 1 && m >= 1);
+  rows_ = MakeRowHashes(seed, k, static_cast<uint64_t>(m));
+  cells_.assign(static_cast<size_t>(k) * static_cast<size_t>(m), 0.0);
+}
+
+void FastAgmsSketch::Update(uint64_t d, double weight) {
+  for (int j = 0; j < k_; ++j) {
+    const auto& row = rows_[static_cast<size_t>(j)];
+    const uint64_t col = row.bucket(d);
+    cells_[static_cast<size_t>(j) * static_cast<size_t>(m_) + col] +=
+        weight * row.sign(d);
+  }
+}
+
+void FastAgmsSketch::UpdateColumn(const Column& column) {
+  for (uint64_t v : column.values()) Update(v);
+}
+
+double FastAgmsSketch::JoinEstimate(const FastAgmsSketch& other) const {
+  LDPJS_CHECK(k_ == other.k_ && m_ == other.m_);
+  LDPJS_CHECK(seed_ == other.seed_);
+  std::vector<double> estimators(static_cast<size_t>(k_));
+  for (int j = 0; j < k_; ++j) {
+    double acc = 0.0;
+    for (int x = 0; x < m_; ++x) {
+      acc += cell(j, x) * other.cell(j, x);
+    }
+    estimators[static_cast<size_t>(j)] = acc;
+  }
+  return Median(estimators);
+}
+
+double FastAgmsSketch::FrequencyEstimate(uint64_t d) const {
+  std::vector<double> estimators(static_cast<size_t>(k_));
+  for (int j = 0; j < k_; ++j) {
+    const auto& row = rows_[static_cast<size_t>(j)];
+    estimators[static_cast<size_t>(j)] =
+        cell(j, static_cast<int>(row.bucket(d))) * row.sign(d);
+  }
+  return Median(estimators);
+}
+
+double FastAgmsSketch::SecondMomentEstimate() const {
+  return JoinEstimate(*this);
+}
+
+void FastAgmsSketch::Merge(const FastAgmsSketch& other) {
+  LDPJS_CHECK(k_ == other.k_ && m_ == other.m_);
+  LDPJS_CHECK(seed_ == other.seed_);
+  for (size_t i = 0; i < cells_.size(); ++i) cells_[i] += other.cells_[i];
+}
+
+size_t FastAgmsSketch::ByteSize() const {
+  return cells_.size() * sizeof(double);
+}
+
+}  // namespace ldpjs

@@ -1,0 +1,66 @@
+// Fast-AGMS sketch of Cormode & Garofalakis (paper §III-A): a k x m counter
+// array where row j uses a bucket hash h_j and a 4-wise independent sign
+// hash ξ_j; an update touches one counter per row. This is the non-private
+// reference ("FAGMS" in the paper's figures) and the structure that
+// LDPJoinSketch privatizes.
+#ifndef LDPJS_SKETCH_FAST_AGMS_H_
+#define LDPJS_SKETCH_FAST_AGMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/result.h"
+#include "data/column.h"
+
+namespace ldpjs {
+
+class FastAgmsSketch {
+ public:
+  /// Sketch with k rows and m columns. Sketches intended to be joined or
+  /// merged must share `seed` (same hash families).
+  FastAgmsSketch(uint64_t seed, int k, int m);
+
+  /// Adds `weight` occurrences of value d: row j gets weight*ξ_j(d) at
+  /// column h_j(d).
+  void Update(uint64_t d, double weight = 1.0);
+
+  /// Summarizes a whole column.
+  void UpdateColumn(const Column& column);
+
+  /// Join-size estimate (Eq. 1): median over rows of the row inner products.
+  double JoinEstimate(const FastAgmsSketch& other) const;
+
+  /// Frequency estimate of d: median over rows of M[j, h_j(d)]*ξ_j(d).
+  double FrequencyEstimate(uint64_t d) const;
+
+  /// Self-join (F2) estimate.
+  double SecondMomentEstimate() const;
+
+  /// Adds other's counters into this sketch (distributed merge). Requires
+  /// identical shape and seed.
+  void Merge(const FastAgmsSketch& other);
+
+  int k() const { return k_; }
+  int m() const { return m_; }
+  uint64_t seed() const { return seed_; }
+  double cell(int row, int col) const {
+    return cells_[static_cast<size_t>(row) * static_cast<size_t>(m_) +
+                  static_cast<size_t>(col)];
+  }
+  const std::vector<RowHashes>& row_hashes() const { return rows_; }
+
+  /// Serialized byte size (used by the space-cost bench, Fig. 6).
+  size_t ByteSize() const;
+
+ private:
+  uint64_t seed_;
+  int k_;
+  int m_;
+  std::vector<RowHashes> rows_;
+  std::vector<double> cells_;  // row-major k x m
+};
+
+}  // namespace ldpjs
+
+#endif  // LDPJS_SKETCH_FAST_AGMS_H_

@@ -1,0 +1,69 @@
+#include "sketch/join_sketch.h"
+
+#include <unordered_set>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace ldpjs {
+
+SeparatedJoinSketch::SeparatedJoinSketch(const SeparatedSketchParams& params,
+                                         const Column& column)
+    : params_(params),
+      light_(params.seed, params.agms_k, params.agms_m) {
+  LDPJS_CHECK(params.heavy_fraction > 0.0 && params.heavy_fraction < 1.0);
+  // Pass 1: Count-Min over the stream; threshold on the upper bound keeps
+  // every true heavy hitter (one-sided error only admits false positives,
+  // which merely waste exact counters).
+  CountMinSketch cm(Mix64(params.seed ^ 0xC0FFEEULL), params.cm_k,
+                    params.cm_m);
+  cm.UpdateColumn(column);
+  const double threshold =
+      params.heavy_fraction * static_cast<double>(column.size());
+  std::unordered_set<uint64_t> heavy_set;
+  for (uint64_t v : column.values()) {
+    if (heavy_set.contains(v)) continue;
+    if (cm.FrequencyUpperBound(v) > threshold) heavy_set.insert(v);
+  }
+  // Pass 2: route.
+  for (uint64_t v : column.values()) {
+    if (heavy_set.contains(v)) {
+      ++heavy_[v];
+    } else {
+      light_.Update(v);
+    }
+  }
+}
+
+double SeparatedJoinSketch::JoinEstimate(
+    const SeparatedJoinSketch& other) const {
+  // heavy ⋈ heavy: exact-exact.
+  double total = 0.0;
+  for (const auto& [value, count] : heavy_) {
+    auto it = other.heavy_.find(value);
+    if (it != other.heavy_.end()) total += count * it->second;
+  }
+  // heavy ⋈ light (both directions): exact counter times the other side's
+  // light-sketch frequency estimate. A heavy item of A that is heavy in B
+  // too was already counted above and is absent from B's light sketch, so
+  // the estimate below only picks up its light-side residual (zero).
+  for (const auto& [value, count] : heavy_) {
+    if (other.heavy_.contains(value)) continue;
+    total += count * other.light_.FrequencyEstimate(value);
+  }
+  for (const auto& [value, count] : other.heavy_) {
+    if (heavy_.contains(value)) continue;
+    total += count * light_.FrequencyEstimate(value);
+  }
+  // light ⋈ light: sketch product.
+  total += light_.JoinEstimate(other.light_);
+  return total;
+}
+
+double SeparatedJoinSketch::FrequencyEstimate(uint64_t d) const {
+  auto it = heavy_.find(d);
+  if (it != heavy_.end()) return it->second;
+  return light_.FrequencyEstimate(d);
+}
+
+}  // namespace ldpjs

@@ -1,0 +1,66 @@
+// Non-private heavy/light separated inner-product estimation in the spirit
+// of Skimmed sketch / JoinSketch (paper §II, refs [24][26]) — the
+// non-private analogue of LDPJoinSketch+'s frequency-aware separation:
+//
+//   1. identify heavy hitters with a Count-Min pass;
+//   2. keep exact counters for heavy items;
+//   3. summarize the skimmed (light) residual stream in a Fast-AGMS sketch.
+//
+// |A ⋈ B| = Σ_{heavy∩heavy} f·f  +  cross terms via exact counters against
+// the other side's light sketch frequency estimates + light⋈light via the
+// sketch product. Collisions involving heavy items are eliminated exactly,
+// which is where most of the fast-AGMS error comes from on skewed data.
+//
+// Included both as a reference point for LDPJoinSketch+ and as a useful
+// non-private estimator in its own right.
+#ifndef LDPJS_SKETCH_JOIN_SKETCH_H_
+#define LDPJS_SKETCH_JOIN_SKETCH_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "data/column.h"
+#include "sketch/count_min.h"
+#include "sketch/fast_agms.h"
+
+namespace ldpjs {
+
+struct SeparatedSketchParams {
+  uint64_t seed = 1;       ///< hash seed; must match across joined sketches
+  int agms_k = 9;          ///< light-part Fast-AGMS rows
+  int agms_m = 1024;       ///< light-part Fast-AGMS columns
+  int cm_k = 5;            ///< heavy-hitter Count-Min rows
+  int cm_m = 2048;         ///< heavy-hitter Count-Min columns
+  double heavy_fraction = 0.001;  ///< heavy threshold as a fraction of rows
+};
+
+/// Two-pass construction over a column: pass 1 fills the Count-Min and
+/// finds heavy items; pass 2 routes heavy items to exact counters and the
+/// rest into the Fast-AGMS sketch.
+class SeparatedJoinSketch {
+ public:
+  SeparatedJoinSketch(const SeparatedSketchParams& params,
+                      const Column& column);
+
+  /// Inner product against another separated sketch built with the same
+  /// params/seed.
+  double JoinEstimate(const SeparatedJoinSketch& other) const;
+
+  /// Exact for heavy items, sketch estimate otherwise.
+  double FrequencyEstimate(uint64_t d) const;
+
+  size_t heavy_item_count() const { return heavy_.size(); }
+  const std::unordered_map<uint64_t, double>& heavy_items() const {
+    return heavy_;
+  }
+  const FastAgmsSketch& light_sketch() const { return light_; }
+
+ private:
+  SeparatedSketchParams params_;
+  std::unordered_map<uint64_t, double> heavy_;  // exact heavy counters
+  FastAgmsSketch light_;                        // skimmed residual
+};
+
+}  // namespace ldpjs
+
+#endif  // LDPJS_SKETCH_JOIN_SKETCH_H_

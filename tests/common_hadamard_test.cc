@@ -1,0 +1,121 @@
+#include "common/hadamard.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace ldpjs {
+namespace {
+
+TEST(IsPowerOfTwoTest, Cases) {
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_TRUE(IsPowerOfTwo(4));
+  EXPECT_FALSE(IsPowerOfTwo(6));
+  EXPECT_TRUE(IsPowerOfTwo(1ULL << 40));
+  EXPECT_FALSE(IsPowerOfTwo((1ULL << 40) + 1));
+}
+
+TEST(HadamardEntryTest, OrderTwoMatrix) {
+  // H_2 = [[1, 1], [1, -1]].
+  EXPECT_EQ(HadamardEntry(0, 0), 1);
+  EXPECT_EQ(HadamardEntry(0, 1), 1);
+  EXPECT_EQ(HadamardEntry(1, 0), 1);
+  EXPECT_EQ(HadamardEntry(1, 1), -1);
+}
+
+TEST(HadamardEntryTest, MatchesRecursiveConstruction) {
+  // Verify the popcount closed form against the Sylvester recursion
+  // H_2m = [[H_m, H_m], [H_m, -H_m]] for m up to 64.
+  for (uint64_t m = 2; m <= 64; m *= 2) {
+    for (uint64_t i = 0; i < m; ++i) {
+      for (uint64_t j = 0; j < m; ++j) {
+        const int parent = HadamardEntry(i, j);
+        EXPECT_EQ(HadamardEntry(i, j + m), parent);
+        EXPECT_EQ(HadamardEntry(i + m, j), parent);
+        EXPECT_EQ(HadamardEntry(i + m, j + m), -parent);
+      }
+    }
+  }
+}
+
+TEST(HadamardEntryTest, MatrixIsSymmetric) {
+  const uint64_t m = 64;
+  for (uint64_t i = 0; i < m; ++i) {
+    for (uint64_t j = 0; j < m; ++j) {
+      EXPECT_EQ(HadamardEntry(i, j), HadamardEntry(j, i));
+    }
+  }
+}
+
+TEST(MakeHadamardMatrixTest, RowsAreOrthogonal) {
+  const uint64_t m = 32;
+  const auto h = MakeHadamardMatrix(m);
+  for (uint64_t i = 0; i < m; ++i) {
+    for (uint64_t j = 0; j < m; ++j) {
+      int dot = 0;
+      for (uint64_t x = 0; x < m; ++x) dot += h[i][x] * h[j][x];
+      EXPECT_EQ(dot, i == j ? static_cast<int>(m) : 0);
+    }
+  }
+}
+
+TEST(FwhtTest, MatchesNaiveTransform) {
+  Xoshiro256 rng(123);
+  for (size_t m : {1u, 2u, 4u, 8u, 32u, 128u, 256u}) {
+    std::vector<double> data(m);
+    for (double& v : data) v = rng.NextDouble() * 10 - 5;
+    std::vector<double> expected = NaiveHadamardTransform(data);
+    FastWalshHadamardTransform(std::span<double>(data));
+    for (size_t i = 0; i < m; ++i) {
+      EXPECT_NEAR(data[i], expected[i], 1e-9) << "m=" << m << " i=" << i;
+    }
+  }
+}
+
+TEST(FwhtTest, InvolutionUpToScale) {
+  // H_m * H_m = m * I, so transforming twice scales by m.
+  Xoshiro256 rng(321);
+  const size_t m = 64;
+  std::vector<double> data(m), original;
+  for (double& v : data) v = rng.NextDouble();
+  original = data;
+  FastWalshHadamardTransform(std::span<double>(data));
+  FastWalshHadamardTransform(std::span<double>(data));
+  for (size_t i = 0; i < m; ++i) {
+    EXPECT_NEAR(data[i], original[i] * static_cast<double>(m), 1e-9);
+  }
+}
+
+TEST(FwhtTest, OneHotProducesHadamardRow) {
+  // The transform of e_r is row r of H_m — the identity the O(1) client
+  // fast path depends on.
+  const size_t m = 128;
+  for (size_t r : {0u, 1u, 63u, 127u}) {
+    std::vector<double> data(m, 0.0);
+    data[r] = 1.0;
+    FastWalshHadamardTransform(std::span<double>(data));
+    for (size_t l = 0; l < m; ++l) {
+      EXPECT_EQ(data[l], HadamardEntry(r, l));
+    }
+  }
+}
+
+TEST(FwhtDeathTest, RejectsNonPowerOfTwo) {
+  std::vector<double> data(3, 0.0);
+  EXPECT_DEATH(FastWalshHadamardTransform(std::span<double>(data)),
+               "LDPJS_CHECK failed");
+}
+
+TEST(FwhtTest, SizeOneIsIdentity) {
+  std::vector<double> data{3.5};
+  FastWalshHadamardTransform(std::span<double>(data));
+  EXPECT_EQ(data[0], 3.5);
+}
+
+}  // namespace
+}  // namespace ldpjs

@@ -1,0 +1,103 @@
+#include "common/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ldpjs {
+namespace {
+
+TEST(MedianTest, OddCount) {
+  std::vector<double> v{5, 1, 3};
+  EXPECT_EQ(Median(v), 3);
+}
+
+TEST(MedianTest, EvenCountAveragesMiddle) {
+  std::vector<double> v{4, 1, 3, 2};
+  EXPECT_EQ(Median(v), 2.5);
+}
+
+TEST(MedianTest, SingleElement) {
+  std::vector<double> v{7};
+  EXPECT_EQ(Median(v), 7);
+}
+
+TEST(MedianTest, RobustToOutlier) {
+  std::vector<double> v{1, 2, 3, 4, 1e12};
+  EXPECT_EQ(Median(v), 3);
+}
+
+TEST(MedianDeathTest, EmptyAborts) {
+  std::vector<double> v;
+  EXPECT_DEATH(Median(v), "LDPJS_CHECK failed");
+}
+
+TEST(MeanTest, Basic) {
+  std::vector<double> v{1, 2, 3, 4};
+  EXPECT_EQ(Mean(v), 2.5);
+}
+
+TEST(SampleVarianceTest, MatchesClosedForm) {
+  std::vector<double> v{2, 4, 4, 4, 5, 5, 7, 9};
+  // mean 5, squared devs sum = 32, n-1 = 7.
+  EXPECT_NEAR(SampleVariance(v), 32.0 / 7.0, 1e-12);
+}
+
+TEST(QuantileTest, EndpointsAndMiddle) {
+  std::vector<double> v{10, 20, 30, 40, 50};
+  EXPECT_EQ(Quantile(v, 0.0), 10);
+  EXPECT_EQ(Quantile(v, 1.0), 50);
+  EXPECT_EQ(Quantile(v, 0.5), 30);
+  EXPECT_EQ(Quantile(v, 0.25), 20);
+}
+
+TEST(QuantileTest, Interpolates) {
+  std::vector<double> v{0, 10};
+  EXPECT_NEAR(Quantile(v, 0.3), 3.0, 1e-12);
+}
+
+TEST(RunningStatsTest, MatchesBatchComputation) {
+  std::vector<double> v{1.5, -2.0, 3.25, 0.0, 7.5, -1.25};
+  RunningStats rs;
+  for (double x : v) rs.Add(x);
+  EXPECT_EQ(rs.count(), v.size());
+  EXPECT_NEAR(rs.mean(), Mean(v), 1e-12);
+  EXPECT_NEAR(rs.variance(), SampleVariance(v), 1e-12);
+  EXPECT_EQ(rs.min(), -2.0);
+  EXPECT_EQ(rs.max(), 7.5);
+}
+
+TEST(RunningStatsTest, SingleValueHasZeroVariance) {
+  RunningStats rs;
+  rs.Add(5.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_EQ(rs.stddev(), 0.0);
+  EXPECT_EQ(rs.min(), 5.0);
+  EXPECT_EQ(rs.max(), 5.0);
+}
+
+TEST(ErrorMetricsTest, AbsoluteAndRelative) {
+  EXPECT_EQ(AbsoluteError(100, 90), 10);
+  EXPECT_EQ(AbsoluteError(90, 100), 10);
+  EXPECT_NEAR(RelativeError(200, 150), 0.25, 1e-12);
+}
+
+TEST(ErrorMetricsDeathTest, RelativeErrorZeroTruthAborts) {
+  EXPECT_DEATH(RelativeError(0, 5), "LDPJS_CHECK failed");
+}
+
+TEST(MseTest, MatchesHandComputation) {
+  std::vector<double> truth{1, 2, 3};
+  std::vector<double> est{2, 2, 5};
+  EXPECT_NEAR(MeanSquaredError(truth, est), (1.0 + 0.0 + 4.0) / 3.0, 1e-12);
+}
+
+TEST(MseDeathTest, MismatchedLengthsAbort) {
+  std::vector<double> a{1, 2};
+  std::vector<double> b{1};
+  EXPECT_DEATH(MeanSquaredError(a, b), "LDPJS_CHECK failed");
+}
+
+}  // namespace
+}  // namespace ldpjs

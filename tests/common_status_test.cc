@@ -1,0 +1,98 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace ldpjs {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::InvalidArgument("bad").message(), "bad");
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  EXPECT_EQ(Status::Corruption("truncated").ToString(),
+            "Corruption: truncated");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Corruption("a"));
+}
+
+TEST(StatusTest, StatusCodeNameCoversAllCodes) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeName(StatusCode::kCorruption), "Corruption");
+  EXPECT_EQ(StatusCodeName(StatusCode::kUnimplemented), "Unimplemented");
+}
+
+Status FailsWhen(bool fail) {
+  if (fail) return Status::Internal("boom");
+  return Status::OK();
+}
+
+Status Propagates(bool fail) {
+  LDPJS_RETURN_IF_ERROR(FailsWhen(fail));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagatesFailure) {
+  EXPECT_TRUE(Propagates(false).ok());
+  EXPECT_EQ(Propagates(true).code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, ValueOrFallsBackOnError) {
+  Result<int> err(Status::NotFound("missing"));
+  EXPECT_EQ(err.value_or(42), 42);
+  Result<int> ok(5);
+  EXPECT_EQ(ok.value_or(42), 5);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("abc"));
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "abc");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abcd"));
+  EXPECT_EQ(r->size(), 4u);
+}
+
+TEST(CheckDeathTest, CheckAbortsOnViolation) {
+  EXPECT_DEATH(LDPJS_CHECK(1 == 2), "LDPJS_CHECK failed");
+}
+
+}  // namespace
+}  // namespace ldpjs

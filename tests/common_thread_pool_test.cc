@@ -1,0 +1,106 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ldpjs {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, DefaultsToAtLeastOneThread) {
+  ThreadPool pool;
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  const size_t total = 10007;  // prime, exercises uneven shards
+  std::vector<std::atomic<int>> touched(total);
+  pool.ParallelFor(total, [&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) touched[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < total; ++i) {
+    EXPECT_EQ(touched[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForShardsAreContiguousAndOrdered) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<std::pair<size_t, std::pair<size_t, size_t>>> shards;
+  pool.ParallelFor(1000, [&](size_t shard, size_t begin, size_t end) {
+    std::lock_guard<std::mutex> lock(mu);
+    shards.push_back({shard, {begin, end}});
+  });
+  ASSERT_LE(shards.size(), 4u);
+  std::sort(shards.begin(), shards.end());
+  size_t expected_begin = 0;
+  for (const auto& [shard, range] : shards) {
+    EXPECT_EQ(range.first, expected_begin);
+    expected_begin = range.second;
+  }
+  EXPECT_EQ(expected_begin, 1000u);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, [&](size_t, size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ParallelForFewerItemsThanThreads) {
+  ThreadPool pool(8);
+  std::atomic<int> count{0};
+  pool.ParallelFor(3, [&](size_t, size_t begin, size_t end) {
+    count.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPoolTest, ParallelSumMatchesSerial) {
+  ThreadPool pool(4);
+  const size_t n = 100000;
+  std::vector<uint64_t> data(n);
+  std::iota(data.begin(), data.end(), 0);
+  std::vector<uint64_t> partial(pool.num_threads(), 0);
+  pool.ParallelFor(n, [&](size_t shard, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) partial[shard] += data[i];
+  });
+  uint64_t total = 0;
+  for (uint64_t p : partial) total += p;
+  EXPECT_EQ(total, n * (n - 1) / 2);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+}  // namespace
+}  // namespace ldpjs

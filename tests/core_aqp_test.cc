@@ -1,0 +1,148 @@
+#include "core/aqp.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/simulation.h"
+#include "data/datasets.h"
+#include "data/join.h"
+
+namespace ldpjs {
+namespace {
+
+struct AqpFixture {
+  AqpFixture() : workload(MakeZipfWorkload(1.5, 2000, 200000, 3)) {
+    SketchParams params;
+    params.k = 18;
+    params.m = 1024;
+    params.seed = 17;
+    SimulationOptions sim;
+    sim.run_seed = 5;
+    sketch_a = std::make_unique<LdpJoinSketchServer>(
+        BuildLdpJoinSketch(workload.table_a, params, 4.0, sim));
+    sim.run_seed = 6;
+    sketch_b = std::make_unique<LdpJoinSketchServer>(
+        BuildLdpJoinSketch(workload.table_b, params, 4.0, sim));
+  }
+
+  JoinWorkload workload;
+  std::unique_ptr<LdpJoinSketchServer> sketch_a;
+  std::unique_ptr<LdpJoinSketchServer> sketch_b;
+};
+
+TEST(AqpTest, RangeCountTracksSelectiveRange) {
+  AqpFixture fx;
+  // The head of the zipf distribution: a selective, heavy range.
+  const ValueRange range{0, 19};
+  const auto freq = fx.workload.table_a.Frequencies();
+  double truth = 0;
+  for (uint64_t d = range.lo; d <= range.hi; ++d) {
+    truth += static_cast<double>(freq[d]);
+  }
+  const double est = RangeCountEstimate(*fx.sketch_a, range);
+  EXPECT_NEAR(est / truth, 1.0, 0.1);
+}
+
+TEST(AqpTest, FullDomainRangeCountSumsToTableSize) {
+  AqpFixture fx;
+  const ValueRange range{0, fx.workload.table_a.domain() - 1};
+  const double est = RangeCountEstimate(*fx.sketch_a, range);
+  EXPECT_NEAR(est / static_cast<double>(fx.workload.table_a.size()), 1.0,
+              0.15);
+}
+
+TEST(AqpTest, WeightedSumMatchesManualAccumulation) {
+  AqpFixture fx;
+  const ValueRange range{0, 9};
+  auto weight = [](uint64_t d) { return static_cast<double>(d) + 1.0; };
+  double manual = 0;
+  for (uint64_t d = range.lo; d <= range.hi; ++d) {
+    manual += weight(d) * fx.sketch_a->FrequencyEstimate(d);
+  }
+  EXPECT_NEAR(RangeWeightedSumEstimate(*fx.sketch_a, range, weight), manual,
+              1e-9);
+}
+
+TEST(AqpTest, PredicateJoinTracksRestrictedTruth) {
+  AqpFixture fx;
+  const ValueRange range{0, 19};
+  const auto fa = fx.workload.table_a.Frequencies();
+  const auto fb = fx.workload.table_b.Frequencies();
+  double truth = 0;
+  for (uint64_t d = range.lo; d <= range.hi; ++d) {
+    truth += static_cast<double>(fa[d]) * static_cast<double>(fb[d]);
+  }
+  const double est = PredicateJoinEstimate(*fx.sketch_a, *fx.sketch_b, range);
+  EXPECT_NEAR(est / truth, 1.0, 0.15);
+}
+
+TEST(AqpTest, PredicateJoinOverFullDomainApproximatesJoinEstimate) {
+  AqpFixture fx;
+  const ValueRange range{0, fx.workload.table_a.domain() - 1};
+  const double truth = ExactJoinSize(fx.workload.table_a, fx.workload.table_b);
+  const double accumulated =
+      PredicateJoinEstimate(*fx.sketch_a, *fx.sketch_b, range);
+  // Accumulation over the whole domain is noisier than the sketch product
+  // but must be in the same ballpark on skewed data.
+  EXPECT_NEAR(accumulated / truth, 1.0, 0.5);
+}
+
+TEST(AqpTest, SupportSizeWithNoiseFloorOnPlantedSupport) {
+  // 50 planted values well above the noise floor, the rest absent. (On
+  // heavily skewed data, collisions with the top item inject spikes of
+  // ~f_max/k into arbitrary values, so support estimation is only reliable
+  // when the queried frequencies clear both the noise floor and the
+  // heavy-collision scale — exactly the planted setting here.)
+  const uint64_t domain = 2000;
+  const size_t per_value = 4000;
+  std::vector<uint64_t> values;
+  values.reserve(50 * per_value);
+  for (uint64_t v = 0; v < 50; ++v) {
+    for (size_t i = 0; i < per_value; ++i) values.push_back(v * 7 + 3);
+  }
+  Column column(std::move(values), domain);
+  SketchParams params;
+  params.k = 18;
+  params.m = 1024;
+  params.seed = 23;
+  SimulationOptions sim;
+  sim.run_seed = 29;
+  const LdpJoinSketchServer sketch =
+      BuildLdpJoinSketch(column, params, 4.0, sim);
+  const double floor = NoiseFloorSuggestion(sketch);
+  ASSERT_LT(floor, static_cast<double>(per_value));
+  const uint64_t est =
+      SupportSizeEstimate(sketch, ValueRange{0, domain - 1}, floor);
+  EXPECT_NEAR(static_cast<double>(est), 50.0, 10.0);
+}
+
+TEST(AqpTest, NoiseFloorGrowsWithReports) {
+  SketchParams params;
+  params.k = 4;
+  params.m = 64;
+  LdpJoinSketchServer small(params, 2.0), big(params, 2.0);
+  LdpJoinSketchClient client(params, 2.0);
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 100; ++i) small.Absorb(client.Perturb(1, rng));
+  for (int i = 0; i < 10000; ++i) big.Absorb(client.Perturb(1, rng));
+  EXPECT_GT(NoiseFloorSuggestion(big), NoiseFloorSuggestion(small));
+}
+
+TEST(AqpDeathTest, InvalidRangeAborts) {
+  AqpFixture fx;
+  EXPECT_DEATH(RangeCountEstimate(*fx.sketch_a, ValueRange{5, 4}),
+               "LDPJS_CHECK failed");
+}
+
+TEST(AqpDeathTest, UnfinalizedSketchAborts) {
+  SketchParams params;
+  params.k = 2;
+  params.m = 64;
+  LdpJoinSketchServer server(params, 1.0);
+  EXPECT_DEATH(RangeCountEstimate(server, ValueRange{0, 1}),
+               "LDPJS_CHECK failed");
+}
+
+}  // namespace
+}  // namespace ldpjs

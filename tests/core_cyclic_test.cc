@@ -1,0 +1,144 @@
+// Cyclic join support (paper §VI discussion): exact ground truth, the
+// non-private COMPASS estimator and the LDP estimator on small rings.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/multiway.h"
+#include "data/join.h"
+#include "sketch/compass.h"
+
+namespace ldpjs {
+namespace {
+
+PairColumn MakeSkewedPairs(uint64_t domain, size_t rows, uint64_t seed) {
+  PairColumn out;
+  out.left_domain = domain;
+  out.right_domain = domain;
+  Xoshiro256 rng(seed);
+  for (size_t i = 0; i < rows; ++i) {
+    out.left.push_back(std::min(rng.NextBounded(domain),
+                                rng.NextBounded(domain)));
+    out.right.push_back(std::min(rng.NextBounded(domain),
+                                 rng.NextBounded(domain)));
+  }
+  return out;
+}
+
+TEST(ExactCyclicTest, TwoCycleHandComputed) {
+  // T1(A,B) ⋈ T2(B,A): pairs (a,b) in T1 joined with (b,a) in T2.
+  // T1 = {(0,1), (0,1), (1,0)}; T2 = {(1,0), (0,1)}.
+  // trace(F1·F2): F1[0][1]=2, F1[1][0]=1; F2[1][0]=1, F2[0][1]=1.
+  // (F1·F2)[0][0] = F1[0][1]*F2[1][0] = 2; (F1·F2)[1][1] = 1*1 = 1 → 3.
+  PairColumn t1, t2;
+  t1.left = {0, 0, 1};
+  t1.right = {1, 1, 0};
+  t1.left_domain = t1.right_domain = 2;
+  t2.left = {1, 0};
+  t2.right = {0, 1};
+  t2.left_domain = t2.right_domain = 2;
+  EXPECT_EQ(ExactCyclicJoinSize({t1, t2}), 3.0);
+}
+
+TEST(ExactCyclicTest, ThreeCycleMatchesBruteForce) {
+  const uint64_t domain = 6;
+  Xoshiro256 rng(3);
+  std::vector<PairColumn> tables(3);
+  for (auto& t : tables) {
+    t.left_domain = t.right_domain = domain;
+    for (int i = 0; i < 30; ++i) {
+      t.left.push_back(rng.NextBounded(domain));
+      t.right.push_back(rng.NextBounded(domain));
+    }
+  }
+  double brute = 0;
+  for (size_t i = 0; i < tables[0].size(); ++i) {
+    for (size_t j = 0; j < tables[1].size(); ++j) {
+      if (tables[1].left[j] != tables[0].right[i]) continue;
+      for (size_t l = 0; l < tables[2].size(); ++l) {
+        if (tables[2].left[l] == tables[1].right[j] &&
+            tables[2].right[l] == tables[0].left[i]) {
+          brute += 1;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(ExactCyclicJoinSize({tables[0], tables[1], tables[2]}), brute);
+}
+
+TEST(ExactCyclicDeathTest, RingDomainMismatchAborts) {
+  PairColumn t1, t2;
+  t1.left_domain = 2;
+  t1.right_domain = 3;
+  t2.left_domain = 3;
+  t2.right_domain = 4;  // != t1.left_domain, breaks the ring
+  EXPECT_DEATH(ExactCyclicJoinSize({t1, t2}), "LDPJS_CHECK failed");
+}
+
+TEST(CompassCyclicTest, ThreeCycleTracksExact) {
+  const uint64_t domain = 24;
+  const size_t rows = 40000;
+  const int k = 11, m = 128;
+  const uint64_t seed_a = 1, seed_b = 2, seed_c = 3;
+  const PairColumn t1 = MakeSkewedPairs(domain, rows, 11);
+  const PairColumn t2 = MakeSkewedPairs(domain, rows, 12);
+  const PairColumn t3 = MakeSkewedPairs(domain, rows, 13);
+  const double truth = ExactCyclicJoinSize({t1, t2, t3});
+  ASSERT_GT(truth, 0.0);
+
+  FastAgmsMatrixSketch s1(seed_a, seed_b, k, m, m);
+  FastAgmsMatrixSketch s2(seed_b, seed_c, k, m, m);
+  FastAgmsMatrixSketch s3(seed_c, seed_a, k, m, m);
+  s1.UpdatePairColumn(t1);
+  s2.UpdatePairColumn(t2);
+  s3.UpdatePairColumn(t3);
+  const double est = CompassCyclicJoinEstimate({&s1, &s2, &s3});
+  EXPECT_NEAR(est / truth, 1.0, 0.4);
+}
+
+TEST(LdpCyclicTest, ThreeCycleTracksExactAtLargeEpsilon) {
+  const uint64_t domain = 16;
+  const size_t rows = 200000;
+  const int k = 18, m = 32;
+  const double eps = 10.0;
+  const uint64_t seed_a = 5, seed_b = 6, seed_c = 7;
+  const PairColumn t1 = MakeSkewedPairs(domain, rows, 21);
+  const PairColumn t2 = MakeSkewedPairs(domain, rows, 22);
+  const PairColumn t3 = MakeSkewedPairs(domain, rows, 23);
+  const double truth = ExactCyclicJoinSize({t1, t2, t3});
+  ASSERT_GT(truth, 0.0);
+
+  auto make = [&](const PairColumn& t, uint64_t ls, uint64_t rs,
+                  uint64_t run_seed) {
+    MultiwayParams params;
+    params.k = k;
+    params.m_left = m;
+    params.m_right = m;
+    params.left_seed = ls;
+    params.right_seed = rs;
+    return BuildLdpMultiwaySketch(t, params, eps, run_seed);
+  };
+  const LdpMultiwayServer s1 = make(t1, seed_a, seed_b, 31);
+  const LdpMultiwayServer s2 = make(t2, seed_b, seed_c, 32);
+  const LdpMultiwayServer s3 = make(t3, seed_c, seed_a, 33);
+  const double est = LdpCyclicJoinEstimate({&s1, &s2, &s3});
+  EXPECT_NEAR(est / truth, 1.0, 0.8);
+}
+
+TEST(LdpCyclicDeathTest, DimensionMismatchAborts) {
+  MultiwayParams p1;
+  p1.k = 2;
+  p1.m_left = 32;
+  p1.m_right = 64;
+  MultiwayParams p2 = p1;
+  p2.m_left = 32;  // != p1.m_right
+  p2.m_right = 32;
+  LdpMultiwayServer s1(p1, 1.0), s2(p2, 1.0);
+  s1.Finalize();
+  s2.Finalize();
+  EXPECT_DEATH(LdpCyclicJoinEstimate({&s1, &s2}), "LDPJS_CHECK failed");
+}
+
+}  // namespace
+}  // namespace ldpjs

@@ -1,0 +1,86 @@
+#include "data/column.h"
+
+#include <gtest/gtest.h>
+
+namespace ldpjs {
+namespace {
+
+TEST(ColumnTest, BasicAccessors) {
+  Column c({1, 2, 2, 3}, 10);
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_EQ(c.domain(), 10u);
+  EXPECT_FALSE(c.empty());
+  EXPECT_EQ(c[1], 2u);
+}
+
+TEST(ColumnTest, DefaultIsEmpty) {
+  Column c;
+  EXPECT_TRUE(c.empty());
+  EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(ColumnDeathTest, ValueOutsideDomainAborts) {
+  EXPECT_DEATH(Column({5}, 5), "LDPJS_CHECK failed");
+}
+
+TEST(ColumnTest, FrequenciesCountOccurrences) {
+  Column c({0, 1, 1, 3, 3, 3}, 5);
+  const auto freq = c.Frequencies();
+  ASSERT_EQ(freq.size(), 5u);
+  EXPECT_EQ(freq[0], 1u);
+  EXPECT_EQ(freq[1], 2u);
+  EXPECT_EQ(freq[2], 0u);
+  EXPECT_EQ(freq[3], 3u);
+  EXPECT_EQ(freq[4], 0u);
+}
+
+TEST(ColumnTest, CountDistinct) {
+  Column c({0, 1, 1, 3, 3, 3}, 5);
+  EXPECT_EQ(c.CountDistinct(), 3u);
+}
+
+TEST(ColumnTest, PrefixTakesFirstN) {
+  Column c({9, 8, 7, 6}, 10);
+  const Column p = c.Prefix(2);
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[0], 9u);
+  EXPECT_EQ(p[1], 8u);
+  EXPECT_EQ(p.domain(), 10u);
+}
+
+TEST(ColumnTest, PrefixClampedToSize) {
+  Column c({1, 2}, 10);
+  EXPECT_EQ(c.Prefix(100).size(), 2u);
+}
+
+TEST(ColumnTest, SplitCoversAllRows) {
+  Column c({0, 1, 2, 3, 4, 5, 6}, 10);
+  const auto parts = c.Split(3);
+  ASSERT_EQ(parts.size(), 3u);
+  size_t total = 0;
+  for (const Column& p : parts) {
+    total += p.size();
+    EXPECT_EQ(p.domain(), 10u);
+  }
+  EXPECT_EQ(total, c.size());
+  // Order preserved: first part starts with the first values.
+  EXPECT_EQ(parts[0][0], 0u);
+}
+
+TEST(ColumnTest, SplitIntoOnePartIsCopy) {
+  Column c({3, 1, 4}, 5);
+  const auto parts = c.Split(1);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].values(), c.values());
+}
+
+TEST(ColumnTest, AppendGrowsAndValidates) {
+  Column c({1}, 4);
+  c.Append(3);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c[1], 3u);
+  EXPECT_DEATH(c.Append(4), "LDPJS_CHECK failed");
+}
+
+}  // namespace
+}  // namespace ldpjs

@@ -1,0 +1,109 @@
+#include "data/join.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/datasets.h"
+
+namespace ldpjs {
+namespace {
+
+TEST(ExactJoinTest, HandComputedExample) {
+  // f_A = {0:2, 1:1}, f_B = {0:3, 2:1}; join = 2*3 = 6.
+  Column a({0, 0, 1}, 3);
+  Column b({0, 0, 0, 2}, 3);
+  EXPECT_EQ(ExactJoinSize(a, b), 6.0);
+}
+
+TEST(ExactJoinTest, DisjointColumnsGiveZero) {
+  Column a({0, 1}, 4);
+  Column b({2, 3}, 4);
+  EXPECT_EQ(ExactJoinSize(a, b), 0.0);
+}
+
+TEST(ExactJoinTest, SelfJoinEqualsSecondMoment) {
+  Column a({0, 0, 1, 2, 2, 2}, 5);
+  EXPECT_EQ(ExactJoinSize(a, a), FrequencyMomentF2(a));
+  EXPECT_EQ(FrequencyMomentF2(a), 4.0 + 1.0 + 9.0);
+}
+
+TEST(ExactJoinTest, FrequencyVectorOverload) {
+  std::vector<uint64_t> fa{2, 0, 5};
+  std::vector<uint64_t> fb{1, 7, 2};
+  EXPECT_EQ(ExactJoinSize(fa, fb), 2.0 + 0.0 + 10.0);
+}
+
+TEST(ExactJoinDeathTest, MismatchedDomainsAbort) {
+  Column a({0}, 2);
+  Column b({0}, 3);
+  EXPECT_DEATH(ExactJoinSize(a, b), "LDPJS_CHECK failed");
+}
+
+TEST(MomentsTest, F1IsRowCount) {
+  Column a({1, 1, 2}, 4);
+  EXPECT_EQ(FrequencyMomentF1(a), 3.0);
+}
+
+TEST(ChainJoinTest, TwoWayWithEmptyMiddlesMatchesPairwiseJoin) {
+  Column a({0, 0, 1}, 3);
+  Column b({0, 1, 1}, 3);
+  EXPECT_EQ(ExactChainJoinSize(a, {}, b), ExactJoinSize(a, b));
+}
+
+TEST(ChainJoinTest, ThreeWayHandComputed) {
+  // T1(A) = {0, 0}; T2(A,B) = {(0,1), (0,2), (1,1)}; T3(B) = {1, 1, 2}.
+  // Paths: T1 has two rows with A=0. T2 rows with A=0: (0,1), (0,2).
+  // (0,1) joins two T3 rows with B=1 -> 2*2=4; (0,2) joins one row -> 2*1=2.
+  Column t1({0, 0}, 2);
+  PairColumn t2;
+  t2.left = {0, 0, 1};
+  t2.right = {1, 2, 1};
+  t2.left_domain = 2;
+  t2.right_domain = 3;
+  Column t3({1, 1, 2}, 3);
+  EXPECT_EQ(ExactChainJoinSize(t1, {t2}, t3), 6.0);
+}
+
+TEST(ChainJoinTest, FourWayMatchesBruteForce) {
+  // Small random instance, brute force over all row combinations.
+  const JoinWorkload w = MakeZipfWorkload(1.2, 8, 60, 17);
+  Column t1 = w.table_a.Prefix(20);
+  Column t4 = w.table_b.Prefix(20);
+  PairColumn t2, t3;
+  t2.left_domain = t2.right_domain = 8;
+  t3.left_domain = t3.right_domain = 8;
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 25; ++i) {
+    t2.left.push_back(rng.NextBounded(8));
+    t2.right.push_back(rng.NextBounded(8));
+    t3.left.push_back(rng.NextBounded(8));
+    t3.right.push_back(rng.NextBounded(8));
+  }
+  double brute = 0;
+  for (uint64_t v1 : t1.values()) {
+    for (size_t i = 0; i < t2.size(); ++i) {
+      if (t2.left[i] != v1) continue;
+      for (size_t j = 0; j < t3.size(); ++j) {
+        if (t3.left[j] != t2.right[i]) continue;
+        for (uint64_t v4 : t4.values()) {
+          if (v4 == t3.right[j]) brute += 1;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(ExactChainJoinSize(t1, {t2, t3}, t4), brute);
+}
+
+TEST(ChainJoinDeathTest, DomainMismatchAborts) {
+  Column t1({0}, 2);
+  PairColumn mid;
+  mid.left = {0};
+  mid.right = {0};
+  mid.left_domain = 3;  // != t1.domain()
+  mid.right_domain = 2;
+  Column t3({0}, 2);
+  EXPECT_DEATH(ExactChainJoinSize(t1, {mid}, t3), "LDPJS_CHECK failed");
+}
+
+}  // namespace
+}  // namespace ldpjs

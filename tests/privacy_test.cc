@@ -1,0 +1,162 @@
+// Unified empirical ε-LDP audit across every client mechanism in the
+// library. For each mechanism we histogram the full output distribution for
+// two adversarially chosen inputs and assert
+//   max_y Pr[y | x] / Pr[y | x'] <= e^ε (with sampling slack),
+// parameterized over ε (TEST_P). This complements the closed-form proofs in
+// the per-mechanism tests: it would catch implementation bugs like reusing
+// the RNG across the index draw and the flip draw.
+#include <cmath>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/fap.h"
+#include "core/ldp_join_sketch.h"
+#include "core/multiway.h"
+#include "ldp/hcms.h"
+#include "ldp/krr.h"
+#include "ldp/olh.h"
+
+namespace ldpjs {
+namespace {
+
+// Empirical output histogram of `sample(value, rng)` serialized to a key.
+using Sampler = std::function<std::string(uint64_t, Xoshiro256&)>;
+
+std::map<std::string, double> Histogram(const Sampler& sample, uint64_t value,
+                                        int n, uint64_t seed) {
+  std::map<std::string, double> hist;
+  Xoshiro256 rng(seed);
+  for (int i = 0; i < n; ++i) {
+    hist[sample(value, rng)] += 1.0 / n;
+  }
+  return hist;
+}
+
+// Max ratio over outputs with mass above `min_mass` in both histograms.
+double MaxRatio(const std::map<std::string, double>& h1,
+                const std::map<std::string, double>& h2, double min_mass) {
+  double max_ratio = 0.0;
+  for (const auto& [key, p1] : h1) {
+    auto it = h2.find(key);
+    if (it == h2.end()) continue;
+    if (p1 < min_mass || it->second < min_mass) continue;
+    max_ratio = std::max(max_ratio, p1 / it->second);
+    max_ratio = std::max(max_ratio, it->second / p1);
+  }
+  return max_ratio;
+}
+
+class PrivacyAuditTest : public ::testing::TestWithParam<double> {
+ protected:
+  // Slack: empirical ratios of binomial estimates fluctuate; 25% headroom
+  // at these sample sizes keeps the test deterministic-in-practice while
+  // still catching any real leak (which shows up as ratios >> e^ε).
+  void Audit(const Sampler& sampler, uint64_t x1, uint64_t x2) {
+    const double eps = GetParam();
+    const int n = 600000;
+    const auto h1 = Histogram(sampler, x1, n, 17);
+    const auto h2 = Histogram(sampler, x2, n, 18);
+    const double ratio = MaxRatio(h1, h2, 2e-4);
+    EXPECT_GT(ratio, 0.0) << "histograms never overlapped";
+    EXPECT_LE(ratio, std::exp(eps) * 1.25) << "eps=" << eps;
+  }
+};
+
+TEST_P(PrivacyAuditTest, LdpJoinSketchClient) {
+  SketchParams params;
+  params.k = 2;
+  params.m = 8;
+  params.seed = 3;
+  LdpJoinSketchClient client(params, GetParam());
+  Audit(
+      [&](uint64_t v, Xoshiro256& rng) {
+        const LdpReport r = client.Perturb(v, rng);
+        return std::to_string(r.y) + "/" + std::to_string(r.j) + "/" +
+               std::to_string(r.l);
+      },
+      1, 7);
+}
+
+TEST_P(PrivacyAuditTest, FapTargetVsNonTarget) {
+  SketchParams params;
+  params.k = 2;
+  params.m = 8;
+  params.seed = 3;
+  // FI = {1}: value 1 is a target under kHigh, value 7 is a non-target.
+  FapClient client(params, GetParam(), FapMode::kHigh, {1});
+  Audit(
+      [&](uint64_t v, Xoshiro256& rng) {
+        const LdpReport r = client.Perturb(v, rng);
+        return std::to_string(r.y) + "/" + std::to_string(r.j) + "/" +
+               std::to_string(r.l);
+      },
+      1, 7);
+}
+
+TEST_P(PrivacyAuditTest, MultiwayClient) {
+  MultiwayParams params;
+  params.k = 2;
+  params.m_left = 4;
+  params.m_right = 4;
+  params.left_seed = 3;
+  params.right_seed = 4;
+  LdpMultiwayClient client(params, GetParam());
+  // Tuples (a, b) encoded as a*16+b for the audit inputs.
+  Audit(
+      [&](uint64_t packed, Xoshiro256& rng) {
+        const MultiwayReport r =
+            client.Perturb(packed / 16, packed % 16, rng);
+        return std::to_string(r.y) + "/" + std::to_string(r.replica) + "/" +
+               std::to_string(r.l1) + "/" + std::to_string(r.l2);
+      },
+      1 * 16 + 2, 3 * 16 + 5);
+}
+
+TEST_P(PrivacyAuditTest, Krr) {
+  KrrClient client(6, GetParam());
+  Audit(
+      [&](uint64_t v, Xoshiro256& rng) {
+        return std::to_string(client.Perturb(v, rng));
+      },
+      0, 5);
+}
+
+TEST_P(PrivacyAuditTest, Flh) {
+  FlhParams params;
+  params.epsilon = GetParam();
+  params.pool_size = 4;
+  params.seed = 5;
+  FlhClient client(params);
+  Audit(
+      [&](uint64_t v, Xoshiro256& rng) {
+        const FlhReport r = client.Perturb(v, rng);
+        return std::to_string(r.hash_index) + "/" + std::to_string(r.value);
+      },
+      2, 9);
+}
+
+TEST_P(PrivacyAuditTest, Hcms) {
+  HcmsParams params;
+  params.epsilon = GetParam();
+  params.k = 2;
+  params.m = 8;
+  params.seed = 7;
+  HcmsClient client(params);
+  Audit(
+      [&](uint64_t v, Xoshiro256& rng) {
+        const HcmsReport r = client.Perturb(v, rng);
+        return std::to_string(r.y) + "/" + std::to_string(r.j) + "/" +
+               std::to_string(r.l);
+      },
+      3, 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, PrivacyAuditTest,
+                         ::testing::Values(0.5, 1.0, 2.0));
+
+}  // namespace
+}  // namespace ldpjs

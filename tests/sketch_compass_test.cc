@@ -1,0 +1,131 @@
+#include "sketch/compass.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/datasets.h"
+#include "data/join.h"
+
+namespace ldpjs {
+namespace {
+
+// Builds a random middle table with keys correlated to a zipf distribution
+// so chain joins are non-trivial.
+PairColumn MakePairColumn(uint64_t domain_left, uint64_t domain_right,
+                          size_t rows, uint64_t seed) {
+  PairColumn out;
+  out.left_domain = domain_left;
+  out.right_domain = domain_right;
+  Xoshiro256 rng(seed);
+  for (size_t i = 0; i < rows; ++i) {
+    // Skew towards small ids on both sides.
+    out.left.push_back(
+        std::min<uint64_t>(rng.NextBounded(domain_left),
+                           rng.NextBounded(domain_left)));
+    out.right.push_back(
+        std::min<uint64_t>(rng.NextBounded(domain_right),
+                           rng.NextBounded(domain_right)));
+  }
+  return out;
+}
+
+TEST(MatrixSketchTest, SingleTupleCellStructure) {
+  FastAgmsMatrixSketch sketch(1, 2, 3, 32, 64);
+  sketch.Update(5, 9);
+  // Each replica has exactly one non-zero cell of magnitude 1.
+  for (int r = 0; r < 3; ++r) {
+    int nonzero = 0;
+    for (int row = 0; row < 32; ++row) {
+      for (int col = 0; col < 64; ++col) {
+        const double c = sketch.cell(r, row, col);
+        if (c != 0.0) {
+          ++nonzero;
+          EXPECT_EQ(std::abs(c), 1.0);
+        }
+      }
+    }
+    EXPECT_EQ(nonzero, 1);
+  }
+}
+
+TEST(MatrixSketchTest, WeightedUpdateScales) {
+  FastAgmsMatrixSketch sketch(1, 2, 1, 16, 16);
+  sketch.Update(3, 4, 2.5);
+  double max_abs = 0;
+  for (int row = 0; row < 16; ++row) {
+    for (int col = 0; col < 16; ++col) {
+      max_abs = std::max(max_abs, std::abs(sketch.cell(0, row, col)));
+    }
+  }
+  EXPECT_EQ(max_abs, 2.5);
+}
+
+TEST(CompassTest, ThreeWayChainTracksExact) {
+  const uint64_t domain = 64;
+  const JoinWorkload ends = MakeZipfWorkload(1.2, domain, 20000, 3);
+  const PairColumn middle = MakePairColumn(domain, domain, 20000, 17);
+  const double truth = ExactChainJoinSize(ends.table_a, {middle}, ends.table_b);
+  ASSERT_GT(truth, 0.0);
+
+  const uint64_t seed_a = 100, seed_b = 200;
+  const int k = 9, m = 512;
+  FastAgmsSketch left(seed_a, k, m), right(seed_b, k, m);
+  left.UpdateColumn(ends.table_a);
+  right.UpdateColumn(ends.table_b);
+  FastAgmsMatrixSketch mid(seed_a, seed_b, k, m, m);
+  mid.UpdatePairColumn(middle);
+
+  const double est = CompassChainJoinEstimate(left, {&mid}, right);
+  EXPECT_NEAR(est / truth, 1.0, 0.25);
+}
+
+TEST(CompassTest, FourWayChainTracksExact) {
+  const uint64_t domain = 32;
+  const JoinWorkload ends = MakeZipfWorkload(1.3, domain, 10000, 5);
+  const PairColumn mid1 = MakePairColumn(domain, domain, 10000, 19);
+  const PairColumn mid2 = MakePairColumn(domain, domain, 10000, 23);
+  const double truth =
+      ExactChainJoinSize(ends.table_a, {mid1, mid2}, ends.table_b);
+  ASSERT_GT(truth, 0.0);
+
+  const uint64_t seed_a = 1, seed_b = 2, seed_c = 3;
+  const int k = 11, m = 256;
+  FastAgmsSketch left(seed_a, k, m), right(seed_c, k, m);
+  left.UpdateColumn(ends.table_a);
+  right.UpdateColumn(ends.table_b);
+  FastAgmsMatrixSketch sketch1(seed_a, seed_b, k, m, m);
+  sketch1.UpdatePairColumn(mid1);
+  FastAgmsMatrixSketch sketch2(seed_b, seed_c, k, m, m);
+  sketch2.UpdatePairColumn(mid2);
+
+  const double est = CompassChainJoinEstimate(left, {&sketch1, &sketch2}, right);
+  EXPECT_NEAR(est / truth, 1.0, 0.35);
+}
+
+TEST(CompassTest, TwoWayDegenerateMatchesFastAgms) {
+  // With no middle tables the chain estimate must equal the plain
+  // Fast-AGMS join estimate.
+  const JoinWorkload w = MakeZipfWorkload(1.4, 500, 10000, 29);
+  FastAgmsSketch sa(7, 5, 256), sb(7, 5, 256);
+  sa.UpdateColumn(w.table_a);
+  sb.UpdateColumn(w.table_b);
+  EXPECT_EQ(CompassChainJoinEstimate(sa, {}, sb), sa.JoinEstimate(sb));
+}
+
+TEST(CompassDeathTest, MismatchedKAborts) {
+  FastAgmsSketch left(1, 3, 64), right(2, 5, 64);
+  EXPECT_DEATH(CompassChainJoinEstimate(left, {}, right),
+               "LDPJS_CHECK failed");
+}
+
+TEST(CompassDeathTest, DimensionMismatchAborts) {
+  FastAgmsSketch left(1, 3, 64), right(2, 3, 64);
+  FastAgmsMatrixSketch mid(1, 2, 3, 128, 64);  // left dim != 64
+  EXPECT_DEATH(CompassChainJoinEstimate(left, {&mid}, right),
+               "LDPJS_CHECK failed");
+}
+
+}  // namespace
+}  // namespace ldpjs

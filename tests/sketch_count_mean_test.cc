@@ -1,0 +1,59 @@
+#include "sketch/count_mean.h"
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "data/gaussian.h"
+
+namespace ldpjs {
+namespace {
+
+TEST(CountMeanTest, SingleValueExact) {
+  CountMeanSketch s(1, 5, 64);
+  for (int i = 0; i < 50; ++i) s.Update(9);
+  // Only one distinct value: no collision mass to misattribute, but the
+  // debias subtracts n/m from every row, so estimate ≈ (50 - 50/64)*64/63.
+  EXPECT_NEAR(s.FrequencyEstimate(9), 50.0, 1e-9);
+}
+
+TEST(CountMeanTest, TotalCountTracksUpdates) {
+  CountMeanSketch s(1, 3, 16);
+  Column c({0, 1, 2, 3}, 8);
+  s.UpdateColumn(c);
+  EXPECT_EQ(s.total_count(), 4u);
+}
+
+TEST(CountMeanTest, AbsentValueNearZero) {
+  CountMeanSketch s(3, 7, 512);
+  const JoinWorkload w = MakeZipfWorkload(1.3, 1000, 20000, 7);
+  s.UpdateColumn(w.table_a);
+  // Value beyond the populated range: expectation 0, tolerance a few
+  // collision widths n/m.
+  EXPECT_NEAR(s.FrequencyEstimate(999), 0.0, 400.0);
+}
+
+TEST(CountMeanTest, HeavyItemTracked) {
+  CountMeanSketch s(5, 7, 1024);
+  const JoinWorkload w = MakeZipfWorkload(1.5, 2000, 50000, 9);
+  s.UpdateColumn(w.table_a);
+  const auto freq = w.table_a.Frequencies();
+  EXPECT_NEAR(s.FrequencyEstimate(0) / static_cast<double>(freq[0]), 1.0, 0.1);
+}
+
+TEST(CountMeanTest, EstimatesSumApproximatelyToTotal) {
+  // Uniform data: heavy-item collision variance is absent, so the debiased
+  // estimates must sum back to n closely.
+  CountMeanSketch s(11, 5, 256);
+  const Column c = GenerateUniform(300, 30000, 11);
+  s.UpdateColumn(c);
+  double sum = 0;
+  for (uint64_t d = 0; d < 300; ++d) sum += s.FrequencyEstimate(d);
+  EXPECT_NEAR(sum / 30000.0, 1.0, 0.05);
+}
+
+TEST(CountMeanDeathTest, RequiresAtLeastTwoColumns) {
+  EXPECT_DEATH(CountMeanSketch(1, 3, 1), "LDPJS_CHECK failed");
+}
+
+}  // namespace
+}  // namespace ldpjs

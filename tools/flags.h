@@ -1,0 +1,85 @@
+// Minimal --key=value / --key value flag parser for the CLI tools. Not a
+// general-purpose library: unknown flags are an error, every flag has a
+// default, and --help prints the registered set.
+#ifndef LDPJS_TOOLS_FLAGS_H_
+#define LDPJS_TOOLS_FLAGS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ldpjs::tools {
+
+class Flags {
+ public:
+  void Define(const std::string& name, const std::string& default_value,
+              const std::string& help) {
+    values_[name] = default_value;
+    help_[name] = help;
+  }
+
+  /// Parses argv; exits with usage on --help or unknown flags.
+  void Parse(int argc, char** argv) {
+    std::vector<std::string> args(argv + 1, argv + argc);
+    for (size_t i = 0; i < args.size(); ++i) {
+      std::string arg = args[i];
+      if (arg == "--help" || arg == "-h") {
+        PrintUsage(argv[0]);
+        std::exit(0);
+      }
+      if (arg.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+        PrintUsage(argv[0]);
+        std::exit(2);
+      }
+      arg = arg.substr(2);
+      std::string value;
+      const size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        value = arg.substr(eq + 1);
+        arg = arg.substr(0, eq);
+      } else if (i + 1 < args.size()) {
+        value = args[++i];
+      } else {
+        std::fprintf(stderr, "flag --%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      if (!values_.count(arg)) {
+        std::fprintf(stderr, "unknown flag: --%s\n", arg.c_str());
+        PrintUsage(argv[0]);
+        std::exit(2);
+      }
+      values_[arg] = value;
+    }
+  }
+
+  std::string GetString(const std::string& name) const {
+    return values_.at(name);
+  }
+  int64_t GetInt(const std::string& name) const {
+    return std::strtoll(values_.at(name).c_str(), nullptr, 10);
+  }
+  double GetDouble(const std::string& name) const {
+    return std::strtod(values_.at(name).c_str(), nullptr);
+  }
+
+  void PrintUsage(const char* program) const {
+    std::fprintf(stderr, "usage: %s [--flag value | --flag=value]...\n",
+                 program);
+    for (const auto& [name, help] : help_) {
+      std::fprintf(stderr, "  --%-14s %s (default: %s)\n", name.c_str(),
+                   help.c_str(), values_.at(name).c_str());
+    }
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::map<std::string, std::string> help_;
+};
+
+}  // namespace ldpjs::tools
+
+#endif  // LDPJS_TOOLS_FLAGS_H_
