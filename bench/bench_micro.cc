@@ -1,14 +1,34 @@
 // Micro-benchmarks (google-benchmark): hashing, Hadamard transforms, client
 // perturbation and server absorption — the building blocks whose O(1)/
 // O(m log m) costs the DESIGN.md claims rest on.
+//
+// After the registered benchmarks run, main() executes an ingestion-pipeline
+// comparison on LDPJS_MICRO_REPORTS synthetic reports (default 1M): the
+// pre-integer-lane scalar absorb path (double FMA per report, replicated
+// below), the current scalar path, and the batched integer-lane path, plus
+// end-to-end perturb+absorb with per-user vs. per-block RNG streams. The
+// results — reports/sec, finalize ms, and estimate agreement — are written
+// to BENCH_micro.json (override with LDPJS_BENCH_JSON) so CI can track the
+// perf trajectory across PRs.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <string_view>
+#include <utility>
+
+#include "bench_util.h"
 #include "common/hadamard.h"
 #include "common/hash.h"
 #include "common/random.h"
+#include "common/stats.h"
 #include "core/fap.h"
 #include "core/ldp_join_sketch.h"
+#include "core/simulation.h"
 #include "data/zipf.h"
+#include "seed_baseline.h"
 
 namespace ldpjs {
 namespace {
@@ -86,6 +106,25 @@ void BM_ClientPerturbReference(benchmark::State& state) {
 }
 BENCHMARK(BM_ClientPerturbReference)->Arg(1024)->Arg(16384);
 
+void BM_ClientPerturbBatch(benchmark::State& state) {
+  SketchParams params;
+  params.k = 18;
+  params.m = 1024;
+  LdpJoinSketchClient client(params, 4.0);
+  std::vector<uint64_t> values(kIngestBlockSize);
+  for (size_t i = 0; i < values.size(); ++i) values[i] = i * 31;
+  std::vector<LdpReport> reports(values.size());
+  uint64_t block = 0;
+  for (auto _ : state) {
+    Xoshiro256 rng = MakeStreamRng(7, block++);
+    client.PerturbBatch(values, reports, rng);
+    benchmark::DoNotOptimize(reports.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(values.size()));
+}
+BENCHMARK(BM_ClientPerturbBatch);
+
 void BM_FapPerturbNonTarget(benchmark::State& state) {
   SketchParams params;
   params.k = 18;
@@ -112,6 +151,26 @@ void BM_ServerAbsorb(benchmark::State& state) {
 }
 BENCHMARK(BM_ServerAbsorb);
 
+void BM_ServerAbsorbBatch(benchmark::State& state) {
+  SketchParams params;
+  params.k = 18;
+  params.m = 1024;
+  LdpJoinSketchServer server(params, 4.0);
+  LdpJoinSketchClient client(params, 4.0);
+  std::vector<uint64_t> values(kIngestBlockSize);
+  for (size_t i = 0; i < values.size(); ++i) values[i] = i * 17;
+  std::vector<LdpReport> reports(values.size());
+  Xoshiro256 rng(3);
+  client.PerturbBatch(values, reports, rng);
+  for (auto _ : state) {
+    server.AbsorbBatch(reports);
+  }
+  benchmark::DoNotOptimize(server.total_reports());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(reports.size()));
+}
+BENCHMARK(BM_ServerAbsorbBatch);
+
 void BM_ServerFinalize(benchmark::State& state) {
   SketchParams params;
   params.k = 18;
@@ -137,7 +196,220 @@ void BM_ZipfGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_ZipfGeneration)->Arg(100000);
 
+// ---------------------------------------------------------------------------
+// Ingestion-pipeline comparison (BENCH_micro.json).
+// ---------------------------------------------------------------------------
+
+using Clock = std::chrono::steady_clock;
+using bench::SeedClient;
+using bench::SeedServer;
+using bench::SeedXoshiro;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Runs `pass` (one full sweep over the report set) until enough wall time
+/// accumulates for a stable rate; returns reports/sec.
+template <typename PassFn>
+double MeasureReportsPerSec(size_t reports_per_pass, const PassFn& pass) {
+  int passes = 0;
+  const auto start = Clock::now();
+  double elapsed = 0.0;
+  do {
+    pass();
+    ++passes;
+    elapsed = SecondsSince(start);
+  } while (elapsed < 0.3 || passes < 3);
+  return static_cast<double>(reports_per_pass) * passes / elapsed;
+}
+
+/// Paired measurement: alternates one pass of A with one pass of B inside
+/// the same window, so both see the same machine conditions (CPU frequency,
+/// noisy neighbours) and their ratio is meaningful even on a busy host.
+/// Returns {reports/sec A, reports/sec B}.
+template <typename PassA, typename PassB>
+std::pair<double, double> MeasurePairedReportsPerSec(size_t reports_per_pass,
+                                                     const PassA& pass_a,
+                                                     const PassB& pass_b) {
+  pass_a();  // warm both paths before timing
+  pass_b();
+  double seconds_a = 0.0, seconds_b = 0.0;
+  int pairs = 0;
+  do {
+    const auto start_a = Clock::now();
+    pass_a();
+    seconds_a += SecondsSince(start_a);
+    const auto start_b = Clock::now();
+    pass_b();
+    seconds_b += SecondsSince(start_b);
+    ++pairs;
+  } while (seconds_a + seconds_b < 0.6 || pairs < 3);
+  return {static_cast<double>(reports_per_pass) * pairs / seconds_a,
+          static_cast<double>(reports_per_pass) * pairs / seconds_b};
+}
+
+void RunIngestionComparison() {
+  // LDPJS_MICRO_REPORTS=0 skips the comparison (it takes seconds and writes
+  // BENCH_micro.json — unwanted when only a registered benchmark or a
+  // listing was asked for).
+  const size_t n = bench::EnvU64("LDPJS_MICRO_REPORTS", 1'000'000);
+  if (n == 0) return;
+  const char* json_path_env = std::getenv("LDPJS_BENCH_JSON");
+  const std::string json_path =
+      (json_path_env != nullptr && *json_path_env != '\0') ? json_path_env
+                                                           : "BENCH_micro.json";
+  SketchParams params;
+  params.k = 18;
+  params.m = 1024;
+  params.seed = 5;
+  const double epsilon = 4.0;
+  LdpJoinSketchClient client(params, epsilon);
+
+  std::printf("\n== ingestion pipeline comparison (%zu reports) ==\n", n);
+
+  // Synthetic skewed values (so the join estimates carry signal) and their
+  // perturbed reports, generated once.
+  ZipfParams zipf;
+  zipf.alpha = 1.2;
+  zipf.domain = 10000;
+  zipf.rows = n;
+  zipf.seed = 1;
+  const std::vector<uint64_t> values_a = GenerateZipf(zipf).values();
+  zipf.seed = 2;
+  const std::vector<uint64_t> values_b = GenerateZipf(zipf).values();
+  std::vector<LdpReport> reports_a(n), reports_b(n);
+  Xoshiro256 rng_a(11), rng_b(12);
+  client.PerturbBatch(values_a, reports_a, rng_a);
+  client.PerturbBatch(values_b, reports_b, rng_b);
+
+  // --- absorb-only rates (seed vs batch paired; scalar informational). ----
+  SeedServer seed_server(params, epsilon);
+  LdpJoinSketchServer batch_server(params, epsilon);
+  const auto [seed_rps, batch_rps] = MeasurePairedReportsPerSec(
+      n,
+      [&] {
+        for (const LdpReport& r : reports_a) seed_server.Absorb(r);
+      },
+      [&] { batch_server.AbsorbBatch(reports_a); });
+
+  LdpJoinSketchServer scalar_server(params, epsilon);
+  const double scalar_rps = MeasureReportsPerSec(n, [&] {
+    for (const LdpReport& r : reports_a) scalar_server.Absorb(r);
+  });
+
+  // --- end-to-end perturb+absorb: the seed pipeline (per-user engine
+  // re-seed, three draws, out-of-line hashes, double-FMA absorb) vs. the
+  // batched integer-lane pipeline (block streams + PerturbBatch +
+  // AbsorbBatch). --------------------------------------------------------
+  const size_t ingest_n = std::min<size_t>(n, 200'000);
+  const std::span<const uint64_t> ingest_values(values_a.data(), ingest_n);
+  SeedClient seed_client(params, epsilon);
+  const auto [ingest_seed_rps, ingest_block_rps] = MeasurePairedReportsPerSec(
+      ingest_n,
+      [&] {
+        SeedServer server(params, epsilon);
+        for (size_t i = 0; i < ingest_n; ++i) {
+          SeedXoshiro rng(DeriveStreamSeed(42, i));
+          server.Absorb(seed_client.Perturb(ingest_values[i], rng));
+        }
+        benchmark::DoNotOptimize(server.total_reports());
+      },
+      [&] {
+        LdpJoinSketchServer server(params, epsilon);
+        std::vector<LdpReport> block(kIngestBlockSize);
+        for (size_t first = 0; first < ingest_n; first += kIngestBlockSize) {
+          const size_t count = std::min(kIngestBlockSize, ingest_n - first);
+          Xoshiro256 rng = MakeStreamRng(42, first / kIngestBlockSize);
+          std::span<LdpReport> out(block.data(), count);
+          client.PerturbBatch(ingest_values.subspan(first, count), out, rng);
+          server.AbsorbBatch(out);
+        }
+        benchmark::DoNotOptimize(server.total_reports());
+      });
+
+  // --- finalize + estimate agreement across the three paths. --------------
+  SeedServer seed_a(params, epsilon), seed_b(params, epsilon);
+  for (const LdpReport& r : reports_a) seed_a.Absorb(r);
+  for (const LdpReport& r : reports_b) seed_b.Absorb(r);
+  seed_a.Finalize();
+  seed_b.Finalize();
+  const double estimate_seed = seed_a.JoinEstimate(seed_b);
+
+  LdpJoinSketchServer scalar_a(params, epsilon), scalar_b(params, epsilon);
+  for (const LdpReport& r : reports_a) scalar_a.Absorb(r);
+  for (const LdpReport& r : reports_b) scalar_b.Absorb(r);
+  scalar_a.Finalize();
+  scalar_b.Finalize();
+  const double estimate_scalar = scalar_a.JoinEstimate(scalar_b);
+
+  LdpJoinSketchServer batch_a(params, epsilon), batch_b(params, epsilon);
+  batch_a.AbsorbBatch(reports_a);
+  batch_b.AbsorbBatch(reports_b);
+  const auto finalize_start = Clock::now();
+  batch_a.Finalize();
+  const double finalize_ms = SecondsSince(finalize_start) * 1e3;
+  batch_b.Finalize();
+  const double estimate_batch = batch_a.JoinEstimate(batch_b);
+
+  const double batch_vs_seed = batch_rps / seed_rps;
+  const double estimate_rel_gap =
+      std::abs(estimate_batch - estimate_seed) /
+      std::max(1.0, std::abs(estimate_seed));
+
+  std::printf("seed scalar absorb  : %.3e reports/sec\n", seed_rps);
+  std::printf("scalar absorb       : %.3e reports/sec\n", scalar_rps);
+  std::printf("batch absorb        : %.3e reports/sec (%.2fx vs seed)\n",
+              batch_rps, batch_vs_seed);
+  std::printf("seed ingest         : %.3e reports/sec\n", ingest_seed_rps);
+  std::printf("batched ingest      : %.3e reports/sec (%.2fx)\n",
+              ingest_block_rps, ingest_block_rps / ingest_seed_rps);
+  std::printf("finalize            : %.3f ms (k=%d, m=%d)\n", finalize_ms,
+              params.k, params.m);
+  std::printf("estimates           : seed=%.6e scalar=%.6e batch=%.6e\n",
+              estimate_seed, estimate_scalar, estimate_batch);
+  std::printf("batch == scalar     : %s; |batch-seed|/seed = %.2e\n",
+              estimate_batch == estimate_scalar ? "yes" : "NO",
+              estimate_rel_gap);
+
+  bench::WriteBenchJson(
+      json_path,
+      {
+          {"reports", static_cast<double>(n)},
+          {"seed_scalar_absorb_rps", seed_rps},
+          {"scalar_absorb_rps", scalar_rps},
+          {"batch_absorb_rps", batch_rps},
+          {"batch_vs_seed_speedup", batch_vs_seed},
+          {"batch_vs_scalar_speedup", batch_rps / scalar_rps},
+          {"ingest_seed_rps", ingest_seed_rps},
+          {"ingest_batched_rps", ingest_block_rps},
+          {"ingest_batched_vs_seed_speedup",
+           ingest_block_rps / ingest_seed_rps},
+          {"finalize_ms", finalize_ms},
+          {"estimate_seed", estimate_seed},
+          {"estimate_scalar", estimate_scalar},
+          {"estimate_batch", estimate_batch},
+          {"estimate_batch_equals_scalar",
+           estimate_batch == estimate_scalar ? 1.0 : 0.0},
+          {"estimate_batch_vs_seed_rel_gap", estimate_rel_gap},
+      });
+  std::printf("wrote %s\n", json_path.c_str());
+}
+
 }  // namespace
 }  // namespace ldpjs
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool listing_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).starts_with("--benchmark_list_tests")) {
+      listing_only = true;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!listing_only) ldpjs::RunIngestionComparison();
+  return 0;
+}

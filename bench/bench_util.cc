@@ -9,16 +9,14 @@
 namespace ldpjs::bench {
 
 namespace {
+constexpr int kCellWidth = 14;
+}  // namespace
 
 uint64_t EnvU64(const char* name, uint64_t fallback) {
   const char* value = std::getenv(name);
   if (value == nullptr || *value == '\0') return fallback;
   return std::strtoull(value, nullptr, 10);
 }
-
-constexpr int kCellWidth = 14;
-
-}  // namespace
 
 uint64_t ScaledRows(uint64_t paper_rows) {
   const uint64_t num = EnvU64("LDPJS_SCALE_NUM", 1);
@@ -89,6 +87,23 @@ std::string Fixed(double v, int decimals) {
   char buffer[32];
   std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, v);
   return buffer;
+}
+
+void WriteBenchJson(
+    const std::string& path,
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "WriteBenchJson: cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    std::fprintf(f, "  \"%s\": %.17g%s\n", metrics[i].first.c_str(),
+                 metrics[i].second, i + 1 < metrics.size() ? "," : "");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
 }
 
 }  // namespace ldpjs::bench

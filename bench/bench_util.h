@@ -17,6 +17,9 @@
 
 namespace ldpjs::bench {
 
+/// Environment variable `name` parsed as u64, or `fallback` if unset/empty.
+uint64_t EnvU64(const char* name, uint64_t fallback);
+
 /// Rows to simulate for a dataset whose paper-scale size is `paper_rows`.
 uint64_t ScaledRows(uint64_t paper_rows);
 
@@ -45,6 +48,12 @@ void PrintTableRow(const std::vector<std::string>& cells);
 std::string Sci(double v);
 /// Formats with fixed decimals.
 std::string Fixed(double v, int decimals = 3);
+
+/// Writes `metrics` as one flat JSON object ({"name": value, ...}) to
+/// `path`, overwriting. Machine-readable output for CI perf trajectories
+/// (BENCH_micro.json); values print with full double precision.
+void WriteBenchJson(const std::string& path,
+                    const std::vector<std::pair<std::string, double>>& metrics);
 
 }  // namespace ldpjs::bench
 

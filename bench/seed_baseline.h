@@ -1,0 +1,202 @@
+// Frozen replica of the pre-integer-lane (v1 "seed") ingestion hot path,
+// kept verbatim-in-spirit so bench_micro can report speedups against a
+// stable baseline the library no longer contains. Matches the seed's cost
+// profile: every RNG draw and hash evaluation is an out-of-line call, the
+// sign hash is the canonical Horner evaluation with per-step reductions,
+// every user re-seeds a fresh engine from its stream index, and the server
+// pays a double FMA (k·c_ε·y) per absorbed report.
+//
+// Bench-only code: nothing in src/ may depend on this header.
+#ifndef LDPJS_BENCH_SEED_BASELINE_H_
+#define LDPJS_BENCH_SEED_BASELINE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/hadamard.h"
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "core/ldp_join_sketch.h"
+
+namespace ldpjs::bench {
+
+/// v1 Xoshiro256++ with the draw methods out-of-line, as the seed compiled
+/// them (they lived in random.cc, so every draw was a cross-TU call).
+class SeedXoshiro {
+ public:
+  explicit SeedXoshiro(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : s_) word = SplitMix64Next(sm);
+  }
+  __attribute__((noinline)) uint64_t Next() {
+    const uint64_t result = ((s_[0] + s_[3]) << 23 | (s_[0] + s_[3]) >> 41) + s_[0];
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = (s_[3] << 45) | (s_[3] >> 19);
+    return result;
+  }
+  __attribute__((noinline)) uint64_t NextBounded(uint64_t bound) {
+    // v1 always ran the Lemire multiply, with no power-of-two fast path.
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+  __attribute__((noinline)) bool NextBernoulli(double p) {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53 < p;
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+/// v1 bucket hash: simple tabulation with 64-bit table entries (16 KiB per
+/// row) and 128-bit multiply-shift reduction, evaluated out-of-line.
+class SeedBucketHash {
+ public:
+  SeedBucketHash(uint64_t seed, uint64_t m) : m_(m) {
+    uint64_t sm = seed;
+    for (auto& table : tables_) {
+      for (auto& entry : table) entry = SplitMix64Next(sm);
+    }
+  }
+  __attribute__((noinline)) uint64_t Bucket(uint64_t x) const {
+    uint64_t h = 0;
+    for (size_t byte = 0; byte < 8; ++byte) {
+      h ^= tables_[byte][(x >> (8 * byte)) & 0xff];
+    }
+    return static_cast<uint64_t>((static_cast<__uint128_t>(h) * m_) >> 64);
+  }
+
+ private:
+  std::array<std::array<uint64_t, 256>, 8> tables_;
+  uint64_t m_;
+};
+
+/// v1 sign hash: canonical Horner over GF(2^61 - 1), one reduction per
+/// step, coefficients behind a vector, evaluated out-of-line.
+class SeedSignHash {
+ public:
+  explicit SeedSignHash(uint64_t seed) {
+    const PolynomialHash poly(seed, 4);
+    coeffs_ = poly.coeffs();
+  }
+  __attribute__((noinline)) int Sign(uint64_t x) const {
+    uint64_t xr = x % kMersenne61;
+    uint64_t acc = coeffs_[0];
+    for (size_t i = 1; i < coeffs_.size(); ++i) {
+      acc = internal::AddMod61(internal::MulMod61(acc, xr), coeffs_[i]);
+    }
+    return (acc >> 30) & 1 ? +1 : -1;
+  }
+
+ private:
+  std::vector<uint64_t> coeffs_;
+};
+
+/// v1 client: same math as LdpJoinSketchClient::Perturb, three sequential
+/// draws (row, coordinate, flip), out-of-line hash/RNG calls.
+class SeedClient {
+ public:
+  SeedClient(const SketchParams& params, double epsilon)
+      : params_(params), flip_prob_(1.0 / (std::exp(epsilon) + 1.0)) {
+    for (int j = 0; j < params.k; ++j) {
+      // Same per-row seed derivation as MakeRowHashes.
+      const uint64_t row_seed =
+          Mix64(params.seed ^
+                (0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(j) + 1)));
+      buckets_.emplace_back(Mix64(row_seed ^ 0xb7e151628aed2a6bULL),
+                            static_cast<uint64_t>(params.m));
+      signs_.emplace_back(Mix64(row_seed ^ 0x243f6a8885a308d3ULL));
+    }
+  }
+
+  LdpReport Perturb(uint64_t value, SeedXoshiro& rng) const {
+    LdpReport report;
+    report.j = static_cast<uint16_t>(
+        rng.NextBounded(static_cast<uint64_t>(params_.k)));
+    report.l = static_cast<uint32_t>(
+        rng.NextBounded(static_cast<uint64_t>(params_.m)));
+    int w = signs_[report.j].Sign(value) *
+            HadamardEntry(buckets_[report.j].Bucket(value), report.l);
+    if (rng.NextBernoulli(flip_prob_)) w = -w;
+    report.y = static_cast<int8_t>(w);
+    return report;
+  }
+
+ private:
+  SketchParams params_;
+  double flip_prob_;
+  std::vector<SeedBucketHash> buckets_;
+  std::vector<SeedSignHash> signs_;
+};
+
+/// v1 server: double cells with the debias scale applied per absorbed
+/// report (k·c_ε·y FMA), serial row transforms in Finalize.
+class SeedServer {
+ public:
+  SeedServer(const SketchParams& params, double epsilon)
+      : k_(params.k), m_(params.m), c_eps_(DebiasFactor(epsilon)) {
+    cells_.assign(static_cast<size_t>(k_) * static_cast<size_t>(m_), 0.0);
+  }
+
+  __attribute__((noinline)) void Absorb(const LdpReport& r) {
+    LDPJS_CHECK(!finalized_);
+    LDPJS_CHECK(r.j < k_);
+    LDPJS_CHECK(r.l < static_cast<uint32_t>(m_));
+    cells_[static_cast<size_t>(r.j) * static_cast<size_t>(m_) + r.l] +=
+        static_cast<double>(k_) * c_eps_ * r.y;
+    ++total_;
+  }
+
+  void Finalize() {
+    for (int j = 0; j < k_; ++j) {
+      FastWalshHadamardTransform(std::span<double>(
+          cells_.data() + static_cast<size_t>(j) * static_cast<size_t>(m_),
+          static_cast<size_t>(m_)));
+    }
+    finalized_ = true;
+  }
+
+  double JoinEstimate(const SeedServer& other) const {
+    std::vector<double> estimators(static_cast<size_t>(k_));
+    for (int j = 0; j < k_; ++j) {
+      double acc = 0.0;
+      for (int x = 0; x < m_; ++x) {
+        const size_t idx = static_cast<size_t>(j) * static_cast<size_t>(m_) +
+                           static_cast<size_t>(x);
+        acc += cells_[idx] * other.cells_[idx];
+      }
+      estimators[static_cast<size_t>(j)] = acc;
+    }
+    return Median(estimators);
+  }
+
+  uint64_t total_reports() const { return total_; }
+
+ private:
+  int k_;
+  int m_;
+  double c_eps_;
+  uint64_t total_ = 0;
+  bool finalized_ = false;
+  std::vector<double> cells_;
+};
+
+}  // namespace ldpjs::bench
+
+#endif  // LDPJS_BENCH_SEED_BASELINE_H_

@@ -1,5 +1,7 @@
 #include "common/hash.h"
 
+#include <algorithm>
+
 #include "common/random.h"
 
 namespace ldpjs {
@@ -20,37 +22,21 @@ PolynomialHash::PolynomialHash(uint64_t seed, int degree_plus_one) {
   }
 }
 
-uint64_t PolynomialHash::operator()(uint64_t x) const {
-  uint64_t xr = x % kMersenne61;
-  uint64_t acc = coeffs_[0];
-  for (size_t i = 1; i < coeffs_.size(); ++i) {
-    acc = internal::AddMod61(internal::MulMod61(acc, xr), coeffs_[i]);
-  }
-  return acc;
-}
-
 BucketHash::BucketHash(uint64_t seed, uint64_t m) : m_(m) {
   LDPJS_CHECK(m >= 1);
+  LDPJS_CHECK(m <= (uint64_t{1} << 32));
   uint64_t sm = seed;
   for (auto& table : tables_) {
-    for (auto& entry : table) entry = SplitMix64Next(sm);
+    // Keep the low 32 bits of each SplitMix64 draw (uniform on 32 bits).
+    for (auto& entry : table) {
+      entry = static_cast<uint32_t>(SplitMix64Next(sm));
+    }
   }
 }
 
-uint64_t BucketHash::operator()(uint64_t x) const {
-  uint64_t h = 0;
-  for (size_t byte = 0; byte < 8; ++byte) {
-    h ^= tables_[byte][(x >> (8 * byte)) & 0xff];
-  }
-  // Multiply-shift reduction onto [0, m): unbiased up to O(m / 2^64).
-  return static_cast<uint64_t>((static_cast<__uint128_t>(h) * m_) >> 64);
-}
-
-SignHash::SignHash(uint64_t seed) : poly_(seed, /*degree_plus_one=*/4) {}
-
-int SignHash::operator()(uint64_t x) const {
-  // Use a mid bit of the 4-wise independent value as the sign bit.
-  return (poly_(x) >> 30) & 1 ? +1 : -1;
+SignHash::SignHash(uint64_t seed) {
+  const PolynomialHash poly(seed, /*degree_plus_one=*/4);
+  std::copy(poly.coeffs().begin(), poly.coeffs().end(), c_.begin());
 }
 
 std::vector<RowHashes> MakeRowHashes(uint64_t seed, int k, uint64_t m) {
@@ -71,14 +57,6 @@ TabulationHash::TabulationHash(uint64_t seed) {
   for (auto& table : tables_) {
     for (auto& entry : table) entry = SplitMix64Next(sm);
   }
-}
-
-uint64_t TabulationHash::operator()(uint64_t x) const {
-  uint64_t h = 0;
-  for (size_t byte = 0; byte < 8; ++byte) {
-    h ^= tables_[byte][(x >> (8 * byte)) & 0xff];
-  }
-  return h;
 }
 
 }  // namespace ldpjs

@@ -41,10 +41,21 @@ inline uint64_t AddMod61(uint64_t a, uint64_t b) {
   return s;
 }
 
+/// Lazy Mersenne fold: for v < 2^124 returns a value ≡ v (mod 2^61 - 1)
+/// bounded by 2^61 + 5 — congruent but not canonical, so chains of folds
+/// avoid the compare-and-subtract per step. (Callers stay below the domain:
+/// the largest product formed is ~(2^62)·(2^61+6) < 2^124.)
+inline uint64_t FoldMod61(__uint128_t v) {
+  const uint64_t s = (static_cast<uint64_t>(v) & kMersenne61) +
+                     static_cast<uint64_t>(v >> 61);
+  return (s & kMersenne61) + (s >> 61);
+}
+
 }  // namespace internal
 
 /// Degree-(t-1) polynomial over GF(2^61 - 1): a t-wise independent family.
-/// Evaluation is Horner's rule, O(t) multiplications.
+/// Evaluation is Horner's rule, O(t) multiplications — defined inline
+/// because it sits on the per-report client hot path.
 class PolynomialHash {
  public:
   /// Draws `degree_plus_one` coefficients from the stream seeded by `seed`.
@@ -53,9 +64,40 @@ class PolynomialHash {
   PolynomialHash(uint64_t seed, int degree_plus_one);
 
   /// Evaluates the polynomial at x (reduced mod p first). Result in [0, p).
-  uint64_t operator()(uint64_t x) const;
+  /// Identical values to the canonical Horner evaluation; the degree-3
+  /// (4-wise) case — the sign-hash workhorse — uses an Estrin split with
+  /// lazy Mersenne folds, which halves the serial multiply chain.
+  uint64_t operator()(uint64_t x) const {
+    const uint64_t xr = (x & kMersenne61) + (x >> 61);  // ≡ x (mod p)
+    uint64_t acc;
+    if (coeffs_.size() == 4) {
+      // (c0·x + c1)·x² + (c2·x + c3): the three products are independent,
+      // so the chain is two multiplies deep instead of three.
+      const uint64_t a =
+          internal::FoldMod61(static_cast<__uint128_t>(coeffs_[0]) * xr) +
+          coeffs_[1];
+      const uint64_t b =
+          internal::FoldMod61(static_cast<__uint128_t>(coeffs_[2]) * xr) +
+          coeffs_[3];
+      const uint64_t x2 =
+          internal::FoldMod61(static_cast<__uint128_t>(xr) * xr);
+      acc = internal::FoldMod61(static_cast<__uint128_t>(a) * x2) + b;
+    } else {
+      acc = coeffs_[0];
+      for (size_t i = 1; i < coeffs_.size(); ++i) {
+        acc = internal::FoldMod61(static_cast<__uint128_t>(acc) * xr) +
+              coeffs_[i];
+      }
+    }
+    acc = (acc & kMersenne61) + (acc >> 61);
+    if (acc >= kMersenne61) acc -= kMersenne61;
+    return acc;
+  }
 
   int independence() const { return static_cast<int>(coeffs_.size()); }
+
+  /// Coefficients, leading first (for callers that inline the evaluation).
+  const std::vector<uint64_t>& coeffs() const { return coeffs_; }
 
  private:
   std::vector<uint64_t> coeffs_;  // coeffs_[0] is the leading coefficient.
@@ -64,25 +106,38 @@ class PolynomialHash {
 class TabulationHash;  // forward declaration, defined below
 
 /// Bucket hash h : U -> [0, m), 3-wise independent via simple tabulation
-/// plus multiply-shift reduction. m need not be a power of two.
+/// plus multiply-shift reduction. m need not be a power of two, but must be
+/// <= 2^32.
 ///
 /// Tabulation (rather than an affine polynomial over GF(p)) matters for real
 /// workloads: sequential keys under an affine hash form an arithmetic
 /// progression whose bucket collisions are lattice-structured — per-seed
 /// collision counts are heavy-tailed instead of binomial. Tabulation behaves
 /// like a random function on such inputs (Pătraşcu & Thorup).
+///
+/// Table entries are 32-bit: sketch widths are far below 2^32, so the
+/// multiply-shift bias O(m / 2^32) is negligible, and the 8 KiB table (vs
+/// 16 KiB with 64-bit entries) keeps the k per-row tables of a sketch
+/// L2-resident on the client hot path.
 class BucketHash {
  public:
-  /// `m` is the number of buckets; requires m >= 1.
+  /// `m` is the number of buckets; requires 1 <= m <= 2^32.
   BucketHash(uint64_t seed, uint64_t m);
 
-  /// Bucket index in [0, m).
-  uint64_t operator()(uint64_t x) const;
+  /// Bucket index in [0, m). Inline: per-report client hot path.
+  uint64_t operator()(uint64_t x) const {
+    uint32_t h = 0;
+    for (size_t byte = 0; byte < 8; ++byte) {
+      h ^= tables_[byte][(x >> (8 * byte)) & 0xff];
+    }
+    // Multiply-shift reduction onto [0, m): unbiased up to O(m / 2^32).
+    return (static_cast<uint64_t>(h) * m_) >> 32;
+  }
 
   uint64_t num_buckets() const { return m_; }
 
  private:
-  std::array<std::array<uint64_t, 256>, 8> tables_;
+  std::array<std::array<uint32_t, 256>, 8> tables_;
   uint64_t m_;
 };
 
@@ -92,11 +147,25 @@ class SignHash {
  public:
   explicit SignHash(uint64_t seed);
 
-  /// +1 or -1.
-  int operator()(uint64_t x) const;
+  /// +1 or -1. Inline: per-report client hot path. Same Estrin/lazy-fold
+  /// evaluation as PolynomialHash, on coefficients held in-object so the
+  /// hot loop dereferences no heap pointer.
+  int operator()(uint64_t x) const {
+    const uint64_t xr = (x & kMersenne61) + (x >> 61);  // ≡ x (mod p)
+    const uint64_t a =
+        internal::FoldMod61(static_cast<__uint128_t>(c_[0]) * xr) + c_[1];
+    const uint64_t b =
+        internal::FoldMod61(static_cast<__uint128_t>(c_[2]) * xr) + c_[3];
+    const uint64_t x2 = internal::FoldMod61(static_cast<__uint128_t>(xr) * xr);
+    uint64_t acc = internal::FoldMod61(static_cast<__uint128_t>(a) * x2) + b;
+    acc = (acc & kMersenne61) + (acc >> 61);
+    if (acc >= kMersenne61) acc -= kMersenne61;
+    // Use a mid bit of the 4-wise independent value as the sign bit.
+    return (acc >> 30) & 1 ? +1 : -1;
+  }
 
  private:
-  PolynomialHash poly_;
+  std::array<uint64_t, 4> c_;  // degree-3 polynomial, leading first
 };
 
 /// A (h_j, ξ_j) pair for one sketch row, as used by Fast-AGMS (paper §III-A).
@@ -117,7 +186,13 @@ class TabulationHash {
  public:
   explicit TabulationHash(uint64_t seed);
 
-  uint64_t operator()(uint64_t x) const;
+  uint64_t operator()(uint64_t x) const {
+    uint64_t h = 0;
+    for (size_t byte = 0; byte < 8; ++byte) {
+      h ^= tables_[byte][(x >> (8 * byte)) & 0xff];
+    }
+    return h;
+  }
 
  private:
   std::array<std::array<uint64_t, 256>, 8> tables_;

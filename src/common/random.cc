@@ -2,15 +2,7 @@
 
 #include <cmath>
 
-#include "common/status.h"
-
 namespace ldpjs {
-
-namespace {
-inline uint64_t Rotl(uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
-}
-}  // namespace
 
 uint64_t SplitMix64Next(uint64_t& x) {
   x += 0x9e3779b97f4a7c15ULL;
@@ -30,48 +22,19 @@ uint64_t DeriveStreamSeed(uint64_t run_seed, uint64_t index) {
   return Mix64(offset + index * 0x9e3779b97f4a7c15ULL);
 }
 
+Xoshiro256 MakeStreamRng(uint64_t run_seed, uint64_t index) {
+  return Xoshiro256(DeriveStreamSeed(run_seed, index));
+}
+
+uint64_t BernoulliThreshold(double p) {
+  if (p <= 0.0) return 0;                   // (x >> 11) < 0 never holds
+  if (p >= 1.0) return uint64_t{1} << 53;   // (x >> 11) < 2^53 always holds
+  return static_cast<uint64_t>(std::ceil(std::ldexp(p, 53)));
+}
+
 Xoshiro256::Xoshiro256(uint64_t seed) {
   uint64_t sm = seed;
   for (auto& word : s_) word = SplitMix64Next(sm);
-}
-
-Xoshiro256::result_type Xoshiro256::operator()() {
-  const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
-  const uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = Rotl(s_[3], 45);
-  return result;
-}
-
-double Xoshiro256::NextDouble() {
-  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
-}
-
-uint64_t Xoshiro256::NextBounded(uint64_t bound) {
-  LDPJS_CHECK(bound > 0);
-  // Lemire's multiply-shift rejection method: unbiased and branch-light.
-  uint64_t x = (*this)();
-  __uint128_t m = static_cast<__uint128_t>(x) * bound;
-  uint64_t low = static_cast<uint64_t>(m);
-  if (low < bound) {
-    uint64_t threshold = (0 - bound) % bound;
-    while (low < threshold) {
-      x = (*this)();
-      m = static_cast<__uint128_t>(x) * bound;
-      low = static_cast<uint64_t>(m);
-    }
-  }
-  return static_cast<uint64_t>(m >> 64);
-}
-
-bool Xoshiro256::NextBernoulli(double p) {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return NextDouble() < p;
 }
 
 double Xoshiro256::NextGaussian() {

@@ -7,8 +7,11 @@
 #ifndef LDPJS_COMMON_RANDOM_H_
 #define LDPJS_COMMON_RANDOM_H_
 
+#include <bit>
 #include <cstdint>
 #include <limits>
+
+#include "common/status.h"
 
 namespace ldpjs {
 
@@ -30,7 +33,24 @@ uint64_t Mix64(uint64_t x);
 /// SplitMix64 is designed for.
 uint64_t DeriveStreamSeed(uint64_t run_seed, uint64_t index);
 
+class Xoshiro256;
+
+/// Counter-based stream construction: the engine for substream `index` of
+/// run `run_seed`. Batched pipelines seed one stream per fixed-size block of
+/// users (not per user) and draw sequentially within the block, which
+/// amortizes the engine setup across the block while keeping runs
+/// reproducible and shard-independent.
+Xoshiro256 MakeStreamRng(uint64_t run_seed, uint64_t index);
+
+namespace internal {
+inline uint64_t Rotl64(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace internal
+
 /// Xoshiro256++ engine (Blackman & Vigna). Period 2^256 - 1.
+/// The per-draw methods are defined inline: every client perturbation makes
+/// several draws, so a cross-TU call per draw dominates the hot path.
 class Xoshiro256 {
  public:
   using result_type = uint64_t;
@@ -44,17 +64,58 @@ class Xoshiro256 {
   }
 
   /// Next 64 random bits.
-  result_type operator()();
+  result_type operator()() {
+    const uint64_t result = internal::Rotl64(s_[0] + s_[3], 23) + s_[0];
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = internal::Rotl64(s_[3], 45);
+    return result;
+  }
 
   /// Uniform double in [0, 1) with 53 bits of precision.
-  double NextDouble();
+  double NextDouble() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform integer in [0, bound) using Lemire's unbiased method.
-  /// Requires bound > 0.
-  uint64_t NextBounded(uint64_t bound);
+  /// Requires bound > 0. For a power-of-two bound the Lemire recipe reduces
+  /// algebraically to taking the top log2(bound) bits (the rejection branch
+  /// is unreachable), so that case short-circuits to a shift — same value,
+  /// same single draw.
+  uint64_t NextBounded(uint64_t bound) {
+    LDPJS_CHECK(bound > 0);
+    if ((bound & (bound - 1)) == 0) {
+      // bound == 2^b: the Lemire product (x·2^b) >> 64 is x >> (64 − b), and
+      // the rejection condition (x·2^b mod 2^64) < 2^b can only hold when
+      // its threshold (2^64 − 2^b) mod 2^b == 0 makes the loop a no-op.
+      const uint64_t x = (*this)();
+      const int b = std::countr_zero(bound);
+      return b == 0 ? 0 : (x >> (64 - b));
+    }
+    uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
 
   /// Bernoulli draw: true with probability p (clamped to [0,1]).
-  bool NextBernoulli(double p);
+  bool NextBernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return NextDouble() < p;
+  }
 
   /// Standard normal via Box-Muller (caches the second deviate).
   double NextGaussian();
@@ -64,6 +125,13 @@ class Xoshiro256 {
   double cached_gaussian_ = 0.0;
   bool has_cached_gaussian_ = false;
 };
+
+/// Precomputed integer threshold T such that, for a fresh draw x,
+/// (x >> 11) < T  ⟺  NextDouble() < p  — the same Bernoulli event without
+/// the int→double convert and multiply per draw. Exact: NextDouble() is
+/// (x >> 11)·2⁻⁵³ with no rounding, so the comparison against p is the
+/// integer comparison against ⌈p·2⁵³⌉ (p·2⁵³ computed exactly by ldexp).
+uint64_t BernoulliThreshold(double p);
 
 }  // namespace ldpjs
 

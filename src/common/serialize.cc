@@ -21,9 +21,42 @@ void BinaryWriter::PutBytes(std::span<const uint8_t> bytes) {
   buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
 }
 
+namespace {
+
+/// Shared length-prefixed codec for vectors of 8-byte elements, so the
+/// length guard and loop exist once for every element type.
+template <typename T, typename PutElem>
+void PutVector64(BinaryWriter& writer, std::span<const T> values,
+                 const PutElem& put) {
+  writer.PutU64(values.size());
+  for (const T& v : values) put(v);
+}
+
+template <typename T, typename GetElem>
+Result<std::vector<T>> GetVector64(BinaryReader& reader, const GetElem& get) {
+  auto count = reader.GetU64();
+  if (!count.ok()) return count.status();
+  if (*count > reader.remaining() / 8) {
+    return Status::Corruption("vector length exceeds buffer");
+  }
+  std::vector<T> out;
+  out.reserve(*count);
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto v = get();
+    if (!v.ok()) return v.status();
+    out.push_back(*v);
+  }
+  return out;
+}
+
+}  // namespace
+
 void BinaryWriter::PutDoubleVector(std::span<const double> values) {
-  PutU64(values.size());
-  for (double v : values) PutDouble(v);
+  PutVector64(*this, values, [this](double v) { PutDouble(v); });
+}
+
+void BinaryWriter::PutI64Vector(std::span<const int64_t> values) {
+  PutVector64(*this, values, [this](int64_t v) { PutI64(v); });
 }
 
 Status BinaryReader::Need(size_t n) {
@@ -71,19 +104,11 @@ Result<double> BinaryReader::GetDouble() {
 }
 
 Result<std::vector<double>> BinaryReader::GetDoubleVector() {
-  auto count = GetU64();
-  if (!count.ok()) return count.status();
-  if (*count > remaining() / 8) {
-    return Status::Corruption("vector length exceeds buffer");
-  }
-  std::vector<double> out;
-  out.reserve(*count);
-  for (uint64_t i = 0; i < *count; ++i) {
-    auto v = GetDouble();
-    if (!v.ok()) return v.status();
-    out.push_back(*v);
-  }
-  return out;
+  return GetVector64<double>(*this, [this] { return GetDouble(); });
+}
+
+Result<std::vector<int64_t>> BinaryReader::GetI64Vector() {
+  return GetVector64<int64_t>(*this, [this] { return GetI64(); });
 }
 
 }  // namespace ldpjs

@@ -29,6 +29,8 @@ class BinaryWriter {
   void PutBytes(std::span<const uint8_t> bytes);
   /// Length-prefixed vector of doubles.
   void PutDoubleVector(std::span<const double> values);
+  /// Length-prefixed vector of signed 64-bit integers (raw sketch lanes).
+  void PutI64Vector(std::span<const int64_t> values);
 
   const std::vector<uint8_t>& buffer() const { return buffer_; }
   std::vector<uint8_t> TakeBuffer() { return std::move(buffer_); }
@@ -49,6 +51,7 @@ class BinaryReader {
   Result<int64_t> GetI64();
   Result<double> GetDouble();
   Result<std::vector<double>> GetDoubleVector();
+  Result<std::vector<int64_t>> GetI64Vector();
 
   size_t remaining() const { return data_.size() - pos_; }
   bool AtEnd() const { return pos_ == data_.size(); }

@@ -42,14 +42,48 @@ void ThreadPool::ParallelFor(
     const std::function<void(size_t shard, size_t begin, size_t end)>& fn) {
   if (total == 0) return;
   const size_t shards = std::min(total, num_threads());
+  if (shards == 1) {
+    fn(0, 0, total);
+    return;
+  }
   const size_t chunk = (total + shards - 1) / shards;
-  for (size_t shard = 0; shard < shards; ++shard) {
+  // Per-call completion latch: this call only waits for its own shards, so
+  // concurrent ParallelFor calls on a shared pool don't block on each
+  // other's work.
+  std::mutex latch_mutex;
+  std::condition_variable latch_done;
+  const size_t submitted = (total + chunk - 1) / chunk;
+  size_t remaining = submitted;
+  for (size_t shard = 0; shard < submitted; ++shard) {
     const size_t begin = shard * chunk;
     const size_t end = std::min(total, begin + chunk);
-    if (begin >= end) break;
-    Submit([&fn, shard, begin, end] { fn(shard, begin, end); });
+    Submit([&, shard, begin, end] {
+      fn(shard, begin, end);
+      // Notify while holding the lock: the waiter owns the latch's stack
+      // frame and may destroy it the moment the mutex is free, so an
+      // unlocked notify could fire on a dead condition_variable.
+      std::lock_guard<std::mutex> lock(latch_mutex);
+      if (--remaining == 0) latch_done.notify_one();
+    });
   }
-  Wait();
+  std::unique_lock<std::mutex> lock(latch_mutex);
+  latch_done.wait(lock, [&] { return remaining == 0; });
+}
+
+ThreadPool& SharedThreadPool() {
+  static ThreadPool* pool = new ThreadPool();  // leaked: outlives all users
+  return *pool;
+}
+
+void SharedParallelFor(
+    size_t total, size_t work,
+    const std::function<void(size_t shard, size_t begin, size_t end)>& fn) {
+  if (total == 0) return;
+  if (work < kMinSharedParallelWork) {
+    fn(0, 0, total);
+    return;
+  }
+  SharedThreadPool().ParallelFor(total, fn);
 }
 
 void ThreadPool::WorkerLoop() {

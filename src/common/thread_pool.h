@@ -34,7 +34,11 @@ class ThreadPool {
 
   /// Runs fn(shard, begin, end) over [0, total) split into one contiguous
   /// shard per worker; blocks until all shards complete. Shard boundaries
-  /// depend only on (total, num_threads), not on scheduling.
+  /// depend only on (total, num_threads), not on scheduling. A single-shard
+  /// run executes inline on the calling thread (no queue round trip).
+  /// Completion is tracked per call, so concurrent ParallelFor calls on one
+  /// pool do not wait on each other's work. Not reentrant: calling it from
+  /// inside a task of the same pool deadlocks (the workers are occupied).
   void ParallelFor(size_t total,
                    const std::function<void(size_t shard, size_t begin,
                                             size_t end)>& fn);
@@ -50,6 +54,27 @@ class ThreadPool {
   size_t in_flight_ = 0;
   bool shutdown_ = false;
 };
+
+/// Lazily constructed process-wide pool (hardware-concurrency workers) used
+/// by server-side hot loops — finalize transforms, join inner products, and
+/// domain-sized frequency scans — where threading is an implementation
+/// detail rather than a simulation parameter. All users shard work item-
+/// independently, so results do not depend on the worker count. Like any
+/// ParallelFor, it must not be re-entered from one of its own tasks.
+ThreadPool& SharedThreadPool();
+
+/// Below this many estimated element-operations, sharding across the shared
+/// pool costs more than it saves.
+inline constexpr size_t kMinSharedParallelWork = size_t{1} << 14;
+
+/// Shards fn over [0, total) on SharedThreadPool() when `work` — the
+/// caller's estimate of total element operations — reaches
+/// kMinSharedParallelWork; otherwise runs fn(0, 0, total) inline. The two
+/// paths compute identical results for item-independent fn, so callers use
+/// this unconditionally and stay deterministic.
+void SharedParallelFor(size_t total, size_t work,
+                       const std::function<void(size_t shard, size_t begin,
+                                                size_t end)>& fn);
 
 }  // namespace ldpjs
 

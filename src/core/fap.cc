@@ -23,16 +23,19 @@ LdpReport FapClient::Perturb(uint64_t value, Xoshiro256& rng) const {
   // Non-target: encode v[r] = 1 at a uniform r, independent of `value`
   // (Algorithm 4 lines 2-8). After the Hadamard transform, w[l] = H_m[r, l].
   const SketchParams& params = inner_.params();
-  LdpReport report;
-  report.j =
-      static_cast<uint16_t>(rng.NextBounded(static_cast<uint64_t>(params.k)));
-  report.l =
-      static_cast<uint32_t>(rng.NextBounded(static_cast<uint64_t>(params.m)));
+  const LdpJoinSketchClient::ReportDraws d = inner_.SampleReportDraws(rng);
   const uint64_t r = rng.NextBounded(static_cast<uint64_t>(params.m));
-  int w = HadamardEntry(r, report.l);
-  if (rng.NextBernoulli(inner_.flip_probability())) w = -w;
-  report.y = static_cast<int8_t>(w);
-  return report;
+  int w = HadamardEntry(r, d.l);
+  if (d.flip) w = -w;
+  return LdpReport{static_cast<int8_t>(w), d.j, d.l};
+}
+
+void FapClient::PerturbBatch(std::span<const uint64_t> values,
+                             std::span<LdpReport> out, Xoshiro256& rng) const {
+  LDPJS_CHECK(values.size() == out.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    out[i] = Perturb(values[i], rng);
+  }
 }
 
 }  // namespace ldpjs

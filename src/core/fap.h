@@ -35,6 +35,12 @@ class FapClient {
   /// Algorithm 4. O(1) per call.
   LdpReport Perturb(uint64_t value, Xoshiro256& rng) const;
 
+  /// Perturbs `values[i]` into `out[i]` drawing from `rng` sequentially:
+  /// identical output to calling Perturb in a loop with the same engine
+  /// (mirrors LdpJoinSketchClient::PerturbBatch for the batched pipeline).
+  void PerturbBatch(std::span<const uint64_t> values, std::span<LdpReport> out,
+                    Xoshiro256& rng) const;
+
   /// True iff `value` is a target value for this sketch's mode.
   bool IsTarget(uint64_t value) const;
 

@@ -2,28 +2,61 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.h"
+
 namespace ldpjs {
+
+namespace {
+
+/// Evaluates `hot(d)` for every d in [0, domain) — sharded across the
+/// shared pool for large domains (each evaluation is an O(k) sketch scan) —
+/// and returns the flagged values in ascending order, matching the
+/// insertion order of a serial scan exactly.
+template <typename HotFn>
+std::unordered_set<uint64_t> CollectHotValues(uint64_t domain, size_t work,
+                                              const HotFn& hot) {
+  std::unordered_set<uint64_t> items;
+  if (work < kMinSharedParallelWork) {
+    for (uint64_t d = 0; d < domain; ++d) {
+      if (hot(d)) items.insert(d);
+    }
+    return items;
+  }
+  std::vector<uint8_t> flags(domain, 0);
+  SharedParallelFor(static_cast<size_t>(domain), work,
+                    [&](size_t, size_t begin, size_t end) {
+                      for (size_t d = begin; d < end; ++d) {
+                        flags[d] = hot(static_cast<uint64_t>(d)) ? 1 : 0;
+                      }
+                    });
+  for (uint64_t d = 0; d < domain; ++d) {
+    if (flags[d]) items.insert(d);
+  }
+  return items;
+}
+
+size_t ScanWork(const LdpJoinSketchServer& sketch, uint64_t domain) {
+  return static_cast<size_t>(domain) * static_cast<size_t>(sketch.params().k);
+}
+
+}  // namespace
 
 std::unordered_set<uint64_t> FindFrequentItems(
     const LdpJoinSketchServer& sketch, uint64_t domain, double threshold) {
-  std::unordered_set<uint64_t> items;
-  for (uint64_t d = 0; d < domain; ++d) {
-    if (sketch.FrequencyEstimate(d) > threshold) items.insert(d);
-  }
-  return items;
+  return CollectHotValues(domain, ScanWork(sketch, domain), [&](uint64_t d) {
+    return sketch.FrequencyEstimate(d) > threshold;
+  });
 }
 
 std::unordered_set<uint64_t> FindFrequentItemsUnion(
     const LdpJoinSketchServer& sketch_a, const LdpJoinSketchServer& sketch_b,
     uint64_t domain, double threshold_a, double threshold_b) {
-  std::unordered_set<uint64_t> items;
-  for (uint64_t d = 0; d < domain; ++d) {
-    if (sketch_a.FrequencyEstimate(d) > threshold_a ||
-        sketch_b.FrequencyEstimate(d) > threshold_b) {
-      items.insert(d);
-    }
-  }
-  return items;
+  return CollectHotValues(
+      domain, ScanWork(sketch_a, domain) + ScanWork(sketch_b, domain),
+      [&](uint64_t d) {
+        return sketch_a.FrequencyEstimate(d) > threshold_a ||
+               sketch_b.FrequencyEstimate(d) > threshold_b;
+      });
 }
 
 double EstimateFrequentMass(const LdpJoinSketchServer& sketch,

@@ -1,12 +1,25 @@
 #include "core/ldp_join_sketch.h"
 
+#include <bit>
 #include <cmath>
 #include <span>
 
 #include "common/hadamard.h"
 #include "common/stats.h"
+#include "common/thread_pool.h"
 
 namespace ldpjs {
+
+namespace {
+
+/// Serialization magic for format v2 ("LJS2" little-endian). The pre-v2
+/// format had no header and started with the u32 row count, which is always
+/// far below this value, so v2 buffers are unambiguous and v1 buffers fail
+/// the magic check instead of parsing as garbage.
+constexpr uint32_t kSketchMagic = 0x32534A4CU;  // "LJS2"
+constexpr uint8_t kSketchVersion = 2;
+
+}  // namespace
 
 double DebiasFactor(double epsilon) {
   LDPJS_CHECK(epsilon > 0.0);
@@ -15,7 +28,8 @@ double DebiasFactor(double epsilon) {
 }
 
 void EncodeReport(const LdpReport& report, BinaryWriter& writer) {
-  writer.PutU8(report.y >= 0 ? 1 : 0);
+  LDPJS_CHECK(report.y == 1 || report.y == -1);
+  writer.PutU8(report.y == 1 ? 1 : 0);
   writer.PutU32(report.j);
   writer.PutU32(report.l);
 }
@@ -27,9 +41,10 @@ Result<LdpReport> DecodeReport(BinaryReader& reader) {
   if (!j.ok()) return j.status();
   auto l = reader.GetU32();
   if (!l.ok()) return l.status();
+  if (*y > 1) return Status::Corruption("report sign byte is not 0 or 1");
   if (*j > 0xffff) return Status::Corruption("row index out of range");
   LdpReport report;
-  report.y = (*y != 0) ? int8_t{1} : int8_t{-1};
+  report.y = (*y == 1) ? int8_t{1} : int8_t{-1};
   report.j = static_cast<uint16_t>(*j);
   report.l = *l;
   return report;
@@ -41,39 +56,40 @@ LdpJoinSketchClient::LdpJoinSketchClient(const SketchParams& params,
   params_.Validate();
   LDPJS_CHECK(epsilon > 0.0);
   flip_prob_ = 1.0 / (std::exp(epsilon) + 1.0);
+  flip_threshold_ = BernoulliThreshold(flip_prob_);
+  m_log2_ = std::countr_zero(static_cast<uint64_t>(params.m));
   rows_ = MakeRowHashes(params.seed, params.k, static_cast<uint64_t>(params.m));
 }
 
 LdpReport LdpJoinSketchClient::Perturb(uint64_t value, Xoshiro256& rng) const {
-  LdpReport report;
-  report.j =
-      static_cast<uint16_t>(rng.NextBounded(static_cast<uint64_t>(params_.k)));
-  report.l =
-      static_cast<uint32_t>(rng.NextBounded(static_cast<uint64_t>(params_.m)));
-  const RowHashes& row = rows_[report.j];
+  const ReportDraws d = SampleReportDraws(rng);
+  const RowHashes& row = rows_[d.j];
   // w[l] = ξ_j(d) · H_m[h_j(d), l]; the one-hot structure makes this O(1).
-  int w = row.sign(value) * HadamardEntry(row.bucket(value), report.l);
-  if (rng.NextBernoulli(flip_prob_)) w = -w;
-  report.y = static_cast<int8_t>(w);
-  return report;
+  int w = row.sign(value) * HadamardEntry(row.bucket(value), d.l);
+  if (d.flip) w = -w;
+  return LdpReport{static_cast<int8_t>(w), d.j, d.l};
+}
+
+void LdpJoinSketchClient::PerturbBatch(std::span<const uint64_t> values,
+                                       std::span<LdpReport> out,
+                                       Xoshiro256& rng) const {
+  LDPJS_CHECK(values.size() == out.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    out[i] = Perturb(values[i], rng);
+  }
 }
 
 LdpReport LdpJoinSketchClient::PerturbReference(uint64_t value,
                                                 Xoshiro256& rng) const {
-  LdpReport report;
-  report.j =
-      static_cast<uint16_t>(rng.NextBounded(static_cast<uint64_t>(params_.k)));
-  report.l =
-      static_cast<uint32_t>(rng.NextBounded(static_cast<uint64_t>(params_.m)));
-  const RowHashes& row = rows_[report.j];
+  const ReportDraws d = SampleReportDraws(rng);
+  const RowHashes& row = rows_[d.j];
   // Algorithm 1 literally: v ← 0; v[h_j(d)] ← ξ_j(d); w ← v·H_m; y ← b·w[l].
   std::vector<double> v(static_cast<size_t>(params_.m), 0.0);
   v[row.bucket(value)] = row.sign(value);
   FastWalshHadamardTransform(std::span<double>(v));
-  int w = v[report.l] > 0 ? 1 : -1;
-  if (rng.NextBernoulli(flip_prob_)) w = -w;
-  report.y = static_cast<int8_t>(w);
-  return report;
+  int w = v[d.l] > 0 ? 1 : -1;
+  if (d.flip) w = -w;
+  return LdpReport{static_cast<int8_t>(w), d.j, d.l};
 }
 
 LdpJoinSketchServer::LdpJoinSketchServer(const SketchParams& params,
@@ -81,34 +97,65 @@ LdpJoinSketchServer::LdpJoinSketchServer(const SketchParams& params,
     : params_(params), epsilon_(epsilon), c_eps_(DebiasFactor(epsilon)) {
   params_.Validate();
   rows_ = MakeRowHashes(params.seed, params.k, static_cast<uint64_t>(params.m));
-  cells_.assign(static_cast<size_t>(params.k) * static_cast<size_t>(params.m),
-                0.0);
+  lanes_.assign(static_cast<size_t>(params.k) * static_cast<size_t>(params.m),
+                0);
 }
 
 void LdpJoinSketchServer::Absorb(const LdpReport& report) {
   LDPJS_CHECK(!finalized_);
   LDPJS_CHECK(report.j < params_.k);
   LDPJS_CHECK(report.l < static_cast<uint32_t>(params_.m));
-  cells_[static_cast<size_t>(report.j) * static_cast<size_t>(params_.m) +
-         report.l] += static_cast<double>(params_.k) * c_eps_ * report.y;
+  LDPJS_CHECK(report.y == 1 || report.y == -1);
+  lanes_[static_cast<size_t>(report.j) * static_cast<size_t>(params_.m) +
+         report.l] += report.y;
   ++total_;
+}
+
+void LdpJoinSketchServer::AbsorbBatch(std::span<const LdpReport> reports) {
+  LDPJS_CHECK(!finalized_);
+  const uint32_t k = static_cast<uint32_t>(params_.k);
+  const uint32_t m = static_cast<uint32_t>(params_.m);
+  int64_t* lanes = lanes_.data();
+  // m is validated to be a power of two, so the row offset is a shift.
+  const int m_log2 = std::countr_zero(static_cast<uint64_t>(params_.m));
+  // Single pass: the validity branches are perfectly predicted on well-formed
+  // input, so they cost nothing next to the lane read-modify-write, and a
+  // bad report aborts before it can touch a lane.
+  for (const LdpReport& r : reports) {
+    LDPJS_CHECK(r.j < k);
+    LDPJS_CHECK(r.l < m);
+    LDPJS_CHECK(r.y == 1 || r.y == -1);
+    lanes[(static_cast<size_t>(r.j) << m_log2) | r.l] += r.y;
+  }
+  total_ += reports.size();
 }
 
 void LdpJoinSketchServer::Merge(const LdpJoinSketchServer& other) {
   LDPJS_CHECK(!finalized_ && !other.finalized_);
   LDPJS_CHECK(params_.k == other.params_.k && params_.m == other.params_.m);
   LDPJS_CHECK(params_.seed == other.params_.seed);
-  for (size_t i = 0; i < cells_.size(); ++i) cells_[i] += other.cells_[i];
+  for (size_t i = 0; i < lanes_.size(); ++i) lanes_[i] += other.lanes_[i];
   total_ += other.total_;
 }
 
 void LdpJoinSketchServer::Finalize() {
   LDPJS_CHECK(!finalized_);
-  for (int j = 0; j < params_.k; ++j) {
-    FastWalshHadamardTransform(std::span<double>(
-        cells_.data() + static_cast<size_t>(j) * static_cast<size_t>(params_.m),
-        static_cast<size_t>(params_.m)));
-  }
+  const size_t m = static_cast<size_t>(params_.m);
+  const size_t rows = static_cast<size_t>(params_.k);
+  cells_.resize(lanes_.size());
+  const double scale = static_cast<double>(params_.k) * c_eps_;
+  SharedParallelFor(rows, lanes_.size(), [&](size_t, size_t begin, size_t end) {
+    for (size_t j = begin; j < end; ++j) {
+      double* cell_row = cells_.data() + j * m;
+      const int64_t* lane_row = lanes_.data() + j * m;
+      for (size_t x = 0; x < m; ++x) {
+        cell_row[x] = scale * static_cast<double>(lane_row[x]);
+      }
+      FastWalshHadamardTransform(std::span<double>(cell_row, m));
+    }
+  });
+  lanes_.clear();
+  lanes_.shrink_to_fit();
   finalized_ = true;
 }
 
@@ -117,14 +164,18 @@ double LdpJoinSketchServer::JoinEstimate(
   LDPJS_CHECK(finalized_ && other.finalized_);
   LDPJS_CHECK(params_.k == other.params_.k && params_.m == other.params_.m);
   LDPJS_CHECK(params_.seed == other.params_.seed);
-  std::vector<double> estimators(static_cast<size_t>(params_.k));
-  for (int j = 0; j < params_.k; ++j) {
-    double acc = 0.0;
-    for (int x = 0; x < params_.m; ++x) {
-      acc += cell(j, x) * other.cell(j, x);
+  const size_t m = static_cast<size_t>(params_.m);
+  const size_t rows = static_cast<size_t>(params_.k);
+  std::vector<double> estimators(rows);
+  SharedParallelFor(rows, cells_.size(), [&](size_t, size_t begin, size_t end) {
+    for (size_t j = begin; j < end; ++j) {
+      const double* a = cells_.data() + j * m;
+      const double* b = other.cells_.data() + j * m;
+      double acc = 0.0;
+      for (size_t x = 0; x < m; ++x) acc += a[x] * b[x];
+      estimators[j] = acc;
     }
-    estimators[static_cast<size_t>(j)] = acc;
-  }
+  });
   return Median(estimators);
 }
 
@@ -150,8 +201,16 @@ double LdpJoinSketchServer::FrequencyEstimate(uint64_t d) const {
 
 std::vector<double> LdpJoinSketchServer::EstimateAllFrequencies(
     uint64_t domain) const {
+  LDPJS_CHECK(finalized_);
   std::vector<double> out(domain);
-  for (uint64_t d = 0; d < domain; ++d) out[d] = FrequencyEstimate(d);
+  SharedParallelFor(static_cast<size_t>(domain),
+                    static_cast<size_t>(domain) *
+                        static_cast<size_t>(params_.k),
+                    [&](size_t, size_t begin, size_t end) {
+                      for (size_t d = begin; d < end; ++d) {
+                        out[d] = FrequencyEstimate(static_cast<uint64_t>(d));
+                      }
+                    });
   return out;
 }
 
@@ -163,19 +222,38 @@ void LdpJoinSketchServer::SubtractUniformMass(double total_mass) {
 
 std::vector<uint8_t> LdpJoinSketchServer::Serialize() const {
   BinaryWriter writer;
+  writer.PutU32(kSketchMagic);
+  writer.PutU8(kSketchVersion);
   writer.PutU32(static_cast<uint32_t>(params_.k));
   writer.PutU32(static_cast<uint32_t>(params_.m));
   writer.PutU64(params_.seed);
   writer.PutDouble(epsilon_);
   writer.PutU64(total_);
   writer.PutU8(finalized_ ? 1 : 0);
-  writer.PutDoubleVector(cells_);
+  if (finalized_) {
+    writer.PutDoubleVector(cells_);
+  } else {
+    writer.PutI64Vector(lanes_);
+  }
   return writer.TakeBuffer();
 }
 
 Result<LdpJoinSketchServer> LdpJoinSketchServer::Deserialize(
     std::span<const uint8_t> bytes) {
   BinaryReader reader(bytes);
+  auto magic = reader.GetU32();
+  if (!magic.ok()) return magic.status();
+  if (*magic != kSketchMagic) {
+    return Status::Corruption(
+        "missing LJS2 sketch magic: buffer is either corrupt or in the "
+        "pre-integer-lane (v1) format, which is no longer readable");
+  }
+  auto version = reader.GetU8();
+  if (!version.ok()) return version.status();
+  if (*version != kSketchVersion) {
+    return Status::Corruption("unsupported sketch format version " +
+                              std::to_string(*version));
+  }
   auto k = reader.GetU32();
   if (!k.ok()) return k.status();
   auto m = reader.GetU32();
@@ -188,24 +266,37 @@ Result<LdpJoinSketchServer> LdpJoinSketchServer::Deserialize(
   if (!total.ok()) return total.status();
   auto finalized = reader.GetU8();
   if (!finalized.ok()) return finalized.status();
-  auto cells = reader.GetDoubleVector();
-  if (!cells.ok()) return cells.status();
 
-  if (*k < 1 || *m < 2 || !IsPowerOfTwo(*m)) {
+  if (*k < 1 || *k > 0xffff || *m < 2 || !IsPowerOfTwo(*m)) {
     return Status::Corruption("invalid sketch shape");
   }
-  if (*epsilon <= 0.0) return Status::Corruption("invalid epsilon");
-  if (cells->size() != static_cast<size_t>(*k) * static_cast<size_t>(*m)) {
-    return Status::Corruption("cell count does not match shape");
-  }
+  if (!(*epsilon > 0.0)) return Status::Corruption("invalid epsilon");
+  const size_t expected_cells =
+      static_cast<size_t>(*k) * static_cast<size_t>(*m);
   SketchParams params;
   params.k = static_cast<int>(*k);
   params.m = static_cast<int>(*m);
   params.seed = *seed;
   LdpJoinSketchServer server(params, *epsilon);
   server.total_ = *total;
-  server.finalized_ = (*finalized != 0);
-  server.cells_ = std::move(*cells);
+  if (*finalized != 0) {
+    auto cells = reader.GetDoubleVector();
+    if (!cells.ok()) return cells.status();
+    if (cells->size() != expected_cells) {
+      return Status::Corruption("cell count does not match shape");
+    }
+    server.finalized_ = true;
+    server.cells_ = std::move(*cells);
+    server.lanes_.clear();
+    server.lanes_.shrink_to_fit();
+  } else {
+    auto lanes = reader.GetI64Vector();
+    if (!lanes.ok()) return lanes.status();
+    if (lanes->size() != expected_cells) {
+      return Status::Corruption("lane count does not match shape");
+    }
+    server.lanes_ = std::move(*lanes);
+  }
   return server;
 }
 

@@ -8,15 +8,24 @@
 // (`Perturb`); the literal O(m log m) pipeline is kept as
 // `PerturbReference` and produces identical output for identical RNG state.
 //
-// Server (Algorithm 2, "PriSk"): accumulate k·c_ε·y at [j, l]; when all
-// reports are in, rotate every row back with H_m (Finalize). The finalized
-// sketch behaves like a Fast-AGMS sketch in expectation (Theorem 2), so the
-// join size is the median row inner product (Eq. 5) and frequencies follow
-// Theorem 7.
+// Server (Algorithm 2, "PriSk"): accumulate reports, then rotate every row
+// back with H_m (Finalize). The finalized sketch behaves like a Fast-AGMS
+// sketch in expectation (Theorem 2), so the join size is the median row
+// inner product (Eq. 5) and frequencies follow Theorem 7.
+//
+// Deferred-debias invariant: Algorithm 2 writes k·c_ε·y into cell (j, l)
+// per report, but k·c_ε is a constant, so ingestion stores only the raw
+// ±1 vote balance per cell as an int64_t "lane". Absorb/AbsorbBatch/Merge
+// are pure integer adds (memory-bound, exact, order-independent), and the
+// k·c_ε scale is applied exactly once in Finalize, right before the row
+// transforms. Every pre-finalize representation — in memory, merged, or
+// serialized — is raw lanes; every post-finalize query sees the same
+// debias-scaled double cells the paper's pseudo-code produces.
 #ifndef LDPJS_CORE_LDP_JOIN_SKETCH_H_
 #define LDPJS_CORE_LDP_JOIN_SKETCH_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/hash.h"
@@ -36,9 +45,11 @@ struct LdpReport {
 };
 
 /// Serializes a report into `writer` (wire format for client → server).
+/// `report.y` must be a strict ±1 (contract check).
 void EncodeReport(const LdpReport& report, BinaryWriter& writer);
 
-/// Parses one report; fails with Corruption on truncated input.
+/// Parses one report; fails with Corruption on truncated input, an
+/// out-of-range row index, or a sign byte that is not a strict ±1 encoding.
 Result<LdpReport> DecodeReport(BinaryReader& reader);
 
 class LdpJoinSketchClient {
@@ -46,8 +57,47 @@ class LdpJoinSketchClient {
   /// `params.seed` must match the server's; epsilon > 0 is the LDP budget.
   LdpJoinSketchClient(const SketchParams& params, double epsilon);
 
+  /// The three randomized decisions of Algorithm 1: row j ~ U[k],
+  /// coordinate l ~ U[m], and the sign flip b (true w.p. 1/(e^ε+1)).
+  struct ReportDraws {
+    uint16_t j;
+    uint32_t l;
+    bool flip;
+  };
+
+  /// Draws (j, l, flip) from `rng`. j comes from one unbiased bounded draw.
+  /// When m ≤ 2^11, l (the top log2(m) bits) and the flip (the next 53 bits
+  /// against flip_threshold()) share one draw — disjoint bit ranges, so both
+  /// stay exactly uniform / exactly Bernoulli(1/(e^ε+1)) — two engine draws
+  /// per report instead of three. Larger m falls back to separate draws to
+  /// keep the flip's full 53-bit resolution. NOTE: this two-draw scheme
+  /// replaced three sequential NextBounded/NextBernoulli draws, so
+  /// fixed-seed outputs (golden values) differ from earlier versions.
+  ReportDraws SampleReportDraws(Xoshiro256& rng) const {
+    ReportDraws d;
+    d.j = static_cast<uint16_t>(
+        rng.NextBounded(static_cast<uint64_t>(params_.k)));
+    if (m_log2_ <= 11) {
+      const uint64_t w = rng();
+      d.l = static_cast<uint32_t>(w >> (64 - m_log2_));
+      d.flip = ((w << m_log2_) >> 11) < flip_threshold_;
+    } else {
+      d.l = static_cast<uint32_t>(
+          rng.NextBounded(static_cast<uint64_t>(params_.m)));
+      d.flip = (rng() >> 11) < flip_threshold_;
+    }
+    return d;
+  }
+
   /// Algorithm 1 in O(1) via the closed-form Hadamard entry.
   LdpReport Perturb(uint64_t value, Xoshiro256& rng) const;
+
+  /// Perturbs `values[i]` into `out[i]` drawing from `rng` sequentially:
+  /// identical output to calling Perturb in a loop with the same engine.
+  /// Batching exists so one engine (seeded once per block) can serve many
+  /// users — the per-user seeding is what dominates the scalar client path.
+  void PerturbBatch(std::span<const uint64_t> values, std::span<LdpReport> out,
+                    Xoshiro256& rng) const;
 
   /// Algorithm 1 exactly as written (materializes v, transforms, samples).
   /// Identical output to Perturb for identical RNG state; used by tests.
@@ -57,12 +107,18 @@ class LdpJoinSketchClient {
   double epsilon() const { return epsilon_; }
   /// Pr[b = −1] = 1/(e^ε + 1).
   double flip_probability() const { return flip_prob_; }
+  /// Integer form of flip_probability() for hot loops: a fresh draw x flips
+  /// iff (x >> 11) < flip_threshold(), the same event as
+  /// NextBernoulli(flip_probability()) on the same draw.
+  uint64_t flip_threshold() const { return flip_threshold_; }
   const std::vector<RowHashes>& row_hashes() const { return rows_; }
 
  private:
   SketchParams params_;
   double epsilon_;
   double flip_prob_;
+  uint64_t flip_threshold_;
+  int m_log2_;
   std::vector<RowHashes> rows_;
 };
 
@@ -71,19 +127,27 @@ class LdpJoinSketchServer {
   /// Must be constructed with the clients' params and epsilon.
   LdpJoinSketchServer(const SketchParams& params, double epsilon);
 
-  /// Adds one client report: M[j, l] += k·c_ε·y. Invalid after Finalize.
+  /// Adds one client report: lane[j, l] += y. Invalid after Finalize.
   void Absorb(const LdpReport& report);
 
-  /// Adds another server's raw sketch (distributed aggregation). Both must
-  /// share params/epsilon and be un-finalized.
+  /// Absorbs a batch in one validated pass over the integer lanes. Exactly
+  /// equivalent to calling Absorb per report; a report with out-of-range
+  /// coordinates or a non-±1 sign aborts (contract check) before it can
+  /// touch a lane.
+  void AbsorbBatch(std::span<const LdpReport> reports);
+
+  /// Adds another server's raw lanes (distributed aggregation). Both must
+  /// share params/epsilon and be un-finalized. Integer addition, so merge
+  /// order never changes the result.
   void Merge(const LdpJoinSketchServer& other);
 
-  /// Algorithm 2 line 6: every row is rotated back by H_m. Idempotent
+  /// Applies the deferred k·c_ε debias scale, then rotates every row back
+  /// by H_m (Algorithm 2 line 6). Rows transform in parallel. Idempotent
   /// queries only after this.
   void Finalize();
 
   /// Eq. 5: median over rows of the row inner products. Both sketches must
-  /// be finalized and share params.
+  /// be finalized and share params. Rows run in parallel.
   double JoinEstimate(const LdpJoinSketchServer& other) const;
 
   /// Theorem 5: with probability >= 1 - exp(-k/4), the join estimate is
@@ -95,7 +159,8 @@ class LdpJoinSketchServer {
   /// Theorem 7: f̂(d) = mean_j M[j, h_j(d)]·ξ_j(d). Unbiased.
   double FrequencyEstimate(uint64_t d) const;
 
-  /// Frequencies for every value in [0, domain). O(domain·k).
+  /// Frequencies for every value in [0, domain). O(domain·k), sharded
+  /// across the process thread pool for large domains.
   std::vector<double> EstimateAllFrequencies(uint64_t domain) const;
 
   /// Subtracts `total_mass / m` from every cell — removes the expected
@@ -107,14 +172,34 @@ class LdpJoinSketchServer {
   double c_eps() const { return c_eps_; }
   uint64_t total_reports() const { return total_; }
   bool finalized() const { return finalized_; }
+  /// Debias-scaled cell value. Before Finalize this is k·c_ε·lane(row, col)
+  /// (computed on the fly); after Finalize it reads the transformed cells.
   double cell(int row, int col) const {
-    return cells_[static_cast<size_t>(row) * static_cast<size_t>(params_.m) +
+    const size_t idx = static_cast<size_t>(row) *
+                           static_cast<size_t>(params_.m) +
+                       static_cast<size_t>(col);
+    if (finalized_) return cells_[idx];
+    return static_cast<double>(params_.k) * c_eps_ *
+           static_cast<double>(lanes_[idx]);
+  }
+  /// Raw ±1 vote balance of a cell; ingestion-side state, so only valid
+  /// before Finalize (the lanes are released by it).
+  int64_t lane(int row, int col) const {
+    LDPJS_CHECK(!finalized_);
+    return lanes_[static_cast<size_t>(row) * static_cast<size_t>(params_.m) +
                   static_cast<size_t>(col)];
   }
   const std::vector<RowHashes>& row_hashes() const { return rows_; }
-  size_t ByteSize() const { return cells_.size() * sizeof(double); }
+  size_t ByteSize() const {
+    return finalized_ ? cells_.size() * sizeof(double)
+                      : lanes_.size() * sizeof(int64_t);
+  }
 
   /// Binary round trip (aggregator persistence / cross-process shipping).
+  /// Format v2 ("LJS2"): un-finalized sketches carry raw integer lanes, so
+  /// serialize → deserialize → merge is bit-exact; finalized sketches carry
+  /// the transformed double cells. Pre-v2 buffers (no magic) are rejected
+  /// with a clear Corruption error.
   std::vector<uint8_t> Serialize() const;
   static Result<LdpJoinSketchServer> Deserialize(
       std::span<const uint8_t> bytes);
@@ -126,7 +211,8 @@ class LdpJoinSketchServer {
   uint64_t total_ = 0;
   bool finalized_ = false;
   std::vector<RowHashes> rows_;
-  std::vector<double> cells_;  // row-major k x m
+  std::vector<int64_t> lanes_;  // row-major k x m; raw votes until Finalize
+  std::vector<double> cells_;   // row-major k x m; populated by Finalize
 };
 
 }  // namespace ldpjs

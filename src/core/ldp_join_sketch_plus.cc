@@ -32,8 +32,8 @@ Partition PartitionUsers(const Column& column, double sample_rate,
   group1.reserve(column.size() / 2 + 1);
   group2.reserve(column.size() / 2 + 1);
   for (size_t i = 0; i < column.size(); ++i) {
-    Xoshiro256 rng(DeriveStreamSeed(seed ^ 0x5bf03635ULL,
-                                    static_cast<uint64_t>(i)));
+    Xoshiro256 rng =
+        MakeStreamRng(seed ^ 0x5bf03635ULL, static_cast<uint64_t>(i));
     if (rng.NextBernoulli(sample_rate)) {
       sample.push_back(column[i]);
     } else if (rng.NextBernoulli(0.5)) {

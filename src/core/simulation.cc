@@ -1,5 +1,6 @@
 #include "core/simulation.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -8,25 +9,34 @@ namespace ldpjs {
 
 namespace {
 
-/// Shards `column` across a thread pool; `perturb(value, rng)` produces one
-/// report per user, absorbed into a shard-local server; shard servers are
-/// merged in shard order and finalized.
-template <typename PerturbFn>
+/// Shards the column's blocks across a thread pool; each block perturbs its
+/// users through `client` with one counter-based RNG stream and lands in a
+/// shard-local server via AbsorbBatch. Shard servers are merged (integer
+/// lane adds, so the order cannot matter) and finalized.
+template <typename Client>
 LdpJoinSketchServer RunProtocol(const Column& column,
                                 const SketchParams& params, double epsilon,
                                 const SimulationOptions& options,
-                                const PerturbFn& perturb) {
+                                const Client& client) {
   ThreadPool pool(options.num_threads);
   const size_t shards = pool.num_threads();
   std::vector<LdpJoinSketchServer> partials(
       shards, LdpJoinSketchServer(params, epsilon));
 
-  pool.ParallelFor(column.size(), [&](size_t shard, size_t begin, size_t end) {
+  const uint64_t* values = column.values().data();
+  const size_t rows = column.size();
+  const size_t blocks = (rows + kIngestBlockSize - 1) / kIngestBlockSize;
+  pool.ParallelFor(blocks, [&](size_t shard, size_t begin, size_t end) {
     LdpJoinSketchServer& server = partials[shard];
-    for (size_t i = begin; i < end; ++i) {
-      Xoshiro256 rng(DeriveStreamSeed(options.run_seed,
-                                      static_cast<uint64_t>(i)));
-      server.Absorb(perturb(column[i], rng));
+    std::vector<LdpReport> reports(kIngestBlockSize);
+    for (size_t block = begin; block < end; ++block) {
+      const size_t first = block * kIngestBlockSize;
+      const size_t count = std::min(kIngestBlockSize, rows - first);
+      Xoshiro256 rng = MakeStreamRng(options.run_seed, block);
+      std::span<LdpReport> out(reports.data(), count);
+      client.PerturbBatch(std::span<const uint64_t>(values + first, count),
+                          out, rng);
+      server.AbsorbBatch(out);
     }
   });
 
@@ -43,10 +53,7 @@ LdpJoinSketchServer BuildLdpJoinSketch(const Column& column,
                                        double epsilon,
                                        const SimulationOptions& options) {
   LdpJoinSketchClient client(params, epsilon);
-  return RunProtocol(column, params, epsilon, options,
-                     [&client](uint64_t value, Xoshiro256& rng) {
-                       return client.Perturb(value, rng);
-                     });
+  return RunProtocol(column, params, epsilon, options, client);
 }
 
 LdpJoinSketchServer BuildFapSketch(
@@ -54,10 +61,7 @@ LdpJoinSketchServer BuildFapSketch(
     FapMode mode, const std::unordered_set<uint64_t>& frequent_items,
     const SimulationOptions& options) {
   FapClient client(params, epsilon, mode, frequent_items);
-  return RunProtocol(column, params, epsilon, options,
-                     [&client](uint64_t value, Xoshiro256& rng) {
-                       return client.Perturb(value, rng);
-                     });
+  return RunProtocol(column, params, epsilon, options, client);
 }
 
 }  // namespace ldpjs

@@ -1,9 +1,19 @@
 // Parallel client/server simulation drivers.
 //
-// Each user's RNG stream is derived from Mix64(run_seed ^ global_index), so
-// a run is reproducible and independent of sharding; shard-local sketches
-// are merged in shard order, so results are bit-identical for a fixed
-// thread count.
+// Ingestion is batched: users are processed in fixed blocks of
+// kIngestBlockSize, and each block draws its randomness from one
+// counter-based stream, Xoshiro256(DeriveStreamSeed(run_seed, block_index)).
+// Within a block the engine is drawn sequentially (PerturbBatch), so the
+// per-user engine seeding of the old per-user-stream scheme — which
+// dominated the client-side cost — is paid once per block instead.
+//
+// Determinism: the block → stream mapping depends only on run_seed, and
+// shard-local sketches accumulate integer lanes (exact, order-independent
+// under merge), so a run is bit-identical for a fixed run_seed regardless
+// of the thread count. NOTE: this per-block derivation replaces the
+// per-user Mix64-derived streams of earlier versions, so fixed-seed outputs
+// (golden values) differ from those versions while all distributional
+// guarantees are unchanged.
 #ifndef LDPJS_CORE_SIMULATION_H_
 #define LDPJS_CORE_SIMULATION_H_
 
@@ -15,6 +25,11 @@
 #include "data/column.h"
 
 namespace ldpjs {
+
+/// Users perturbed per RNG stream / absorb batch. Large enough to amortize
+/// engine seeding and batch-validation overhead, small enough that a
+/// block's reports stay L1/L2-resident between PerturbBatch and AbsorbBatch.
+inline constexpr size_t kIngestBlockSize = 4096;
 
 struct SimulationOptions {
   uint64_t run_seed = 42;   ///< perturbation randomness (distinct from hash seed)

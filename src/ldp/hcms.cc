@@ -5,6 +5,7 @@
 
 #include "common/hadamard.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 
 namespace ldpjs {
 
@@ -77,11 +78,13 @@ void HcmsServer::Merge(const HcmsServer& other) {
 
 void HcmsServer::Finalize() {
   LDPJS_CHECK(!finalized_);
-  for (int j = 0; j < params_.k; ++j) {
-    FastWalshHadamardTransform(std::span<double>(
-        cells_.data() + static_cast<size_t>(j) * static_cast<size_t>(params_.m),
-        static_cast<size_t>(params_.m)));
-  }
+  const size_t m = static_cast<size_t>(params_.m);
+  const size_t rows = static_cast<size_t>(params_.k);
+  SharedParallelFor(rows, cells_.size(), [&](size_t, size_t begin, size_t end) {
+    for (size_t j = begin; j < end; ++j) {
+      FastWalshHadamardTransform(std::span<double>(cells_.data() + j * m, m));
+    }
+  });
   finalized_ = true;
 }
 
@@ -100,7 +103,14 @@ double HcmsServer::EstimateFrequency(uint64_t d) const {
 
 std::vector<double> HcmsServer::EstimateAllFrequencies(uint64_t domain) const {
   std::vector<double> out(domain);
-  for (uint64_t d = 0; d < domain; ++d) out[d] = EstimateFrequency(d);
+  SharedParallelFor(static_cast<size_t>(domain),
+                    static_cast<size_t>(domain) *
+                        static_cast<size_t>(params_.k),
+                    [&](size_t, size_t begin, size_t end) {
+                      for (size_t d = begin; d < end; ++d) {
+                        out[d] = EstimateFrequency(static_cast<uint64_t>(d));
+                      }
+                    });
   return out;
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 
 namespace ldpjs {
 
@@ -78,7 +79,13 @@ double FlhServer::EstimateFrequency(uint64_t d) const {
 
 std::vector<double> FlhServer::EstimateAllFrequencies(uint64_t domain) const {
   std::vector<double> out(domain);
-  for (uint64_t d = 0; d < domain; ++d) out[d] = EstimateFrequency(d);
+  SharedParallelFor(static_cast<size_t>(domain),
+                    static_cast<size_t>(domain) * hasher_.pool_size(),
+                    [&](size_t, size_t begin, size_t end) {
+                      for (size_t d = begin; d < end; ++d) {
+                        out[d] = EstimateFrequency(static_cast<uint64_t>(d));
+                      }
+                    });
   return out;
 }
 

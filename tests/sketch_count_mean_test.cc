@@ -42,13 +42,20 @@ TEST(CountMeanTest, HeavyItemTracked) {
 
 TEST(CountMeanTest, EstimatesSumApproximatelyToTotal) {
   // Uniform data: heavy-item collision variance is absent, so the debiased
-  // estimates must sum back to n closely.
-  CountMeanSketch s(11, 5, 256);
+  // estimates must sum back to n closely. A single hash draw still moves
+  // the sum by a few percent (collision-count fluctuation), so average the
+  // ratio over several sketch seeds to keep the check seed-robust.
   const Column c = GenerateUniform(300, 30000, 11);
-  s.UpdateColumn(c);
-  double sum = 0;
-  for (uint64_t d = 0; d < 300; ++d) sum += s.FrequencyEstimate(d);
-  EXPECT_NEAR(sum / 30000.0, 1.0, 0.05);
+  double ratio = 0;
+  const int kSeeds = 3;
+  for (uint64_t seed = 11; seed < 11 + kSeeds; ++seed) {
+    CountMeanSketch s(seed, 5, 1024);
+    s.UpdateColumn(c);
+    double sum = 0;
+    for (uint64_t d = 0; d < 300; ++d) sum += s.FrequencyEstimate(d);
+    ratio += sum / 30000.0;
+  }
+  EXPECT_NEAR(ratio / kSeeds, 1.0, 0.05);
 }
 
 TEST(CountMeanDeathTest, RequiresAtLeastTwoColumns) {
