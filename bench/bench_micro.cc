@@ -23,12 +23,15 @@
 #include "common/hadamard.h"
 #include "common/hash.h"
 #include "common/random.h"
+#include "common/serialize.h"
 #include "common/stats.h"
+#include "common/thread_pool.h"
 #include "core/fap.h"
 #include "core/ldp_join_sketch.h"
 #include "core/simulation.h"
 #include "data/zipf.h"
 #include "seed_baseline.h"
+#include "service/sharded_aggregator.h"
 
 namespace ldpjs {
 namespace {
@@ -170,6 +173,30 @@ void BM_ServerAbsorbBatch(benchmark::State& state) {
                           static_cast<int64_t>(reports.size()));
 }
 BENCHMARK(BM_ServerAbsorbBatch);
+
+void BM_DecodeReportBatch(benchmark::State& state) {
+  SketchParams params;
+  params.k = 18;
+  params.m = 1024;
+  LdpJoinSketchClient client(params, 4.0);
+  std::vector<uint64_t> values(kMaxWireBatchReports);
+  for (size_t i = 0; i < values.size(); ++i) values[i] = i * 13;
+  std::vector<LdpReport> reports(values.size());
+  Xoshiro256 rng(9);
+  client.PerturbBatch(values, reports, rng);
+  BinaryWriter writer;
+  EncodeReportBatch(reports, writer);
+  std::vector<LdpReport> decoded(kMaxWireBatchReports);
+  for (auto _ : state) {
+    BinaryReader reader(writer.buffer());
+    auto count = DecodeReportBatch(reader, decoded);
+    if (!count.ok()) std::abort();
+    benchmark::DoNotOptimize(decoded.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(reports.size()));
+}
+BENCHMARK(BM_DecodeReportBatch);
 
 void BM_ServerFinalize(benchmark::State& state) {
   SketchParams params;
@@ -328,6 +355,67 @@ void RunIngestionComparison() {
         benchmark::DoNotOptimize(server.total_reports());
       });
 
+  // --- wire decode: per-report DecodeReport loop vs DecodeReportBatch. ----
+  // Same 9-byte records on both sides; the batch side adds one envelope
+  // (9 bytes) per 4096-report frame, so the byte streams are comparable.
+  BinaryWriter frames_a_writer, frames_b_writer, naked_writer;
+  for (size_t first = 0; first < n; first += kMaxWireBatchReports) {
+    const size_t count = std::min(kMaxWireBatchReports, n - first);
+    BinaryWriter frame;
+    EncodeReportBatch({reports_a.data() + first, count}, frame);
+    frames_a_writer.PutFrame(frame.buffer());
+    BinaryWriter frame_b;
+    EncodeReportBatch({reports_b.data() + first, count}, frame_b);
+    frames_b_writer.PutFrame(frame_b.buffer());
+    for (size_t i = first; i < first + count; ++i) {
+      EncodeReport(reports_a[i], naked_writer);
+    }
+  }
+  const std::vector<uint8_t> wire_frames_a = frames_a_writer.TakeBuffer();
+  const std::vector<uint8_t> wire_frames_b = frames_b_writer.TakeBuffer();
+  const std::vector<uint8_t> wire_naked = naked_writer.TakeBuffer();
+
+  std::vector<LdpReport> decode_buffer(kMaxWireBatchReports);
+  uint64_t decode_sink = 0;
+  const auto [decode_scalar_rps, decode_batch_rps] = MeasurePairedReportsPerSec(
+      n,
+      [&] {
+        BinaryReader reader(wire_naked);
+        while (!reader.AtEnd()) {
+          auto report = DecodeReport(reader);
+          if (!report.ok()) std::abort();
+          decode_sink += report->l;
+        }
+      },
+      [&] {
+        BinaryReader reader(wire_frames_a);
+        while (!reader.AtEnd()) {
+          auto frame = reader.GetFrame();
+          if (!frame.ok()) std::abort();
+          BinaryReader frame_reader(*frame);
+          auto count = DecodeReportBatch(frame_reader, decode_buffer);
+          if (!count.ok()) std::abort();
+          decode_sink += *count;
+        }
+      });
+  benchmark::DoNotOptimize(decode_sink);
+
+  // --- service ingest: one shard vs SharedThreadPool-wide sharding, both
+  // over the full wire path (frame scan + batch decode + lane absorb). -----
+  const size_t service_shards = SharedThreadPool().num_threads();
+  const auto [single_shard_rps, sharded_rps] = MeasurePairedReportsPerSec(
+      n,
+      [&] {
+        ShardedAggregator aggregator(params, epsilon, 1);
+        if (!aggregator.IngestStream(wire_frames_a).ok()) std::abort();
+        benchmark::DoNotOptimize(aggregator.reports_ingested());
+      },
+      [&] {
+        ShardedAggregator aggregator(params, epsilon, service_shards);
+        if (!aggregator.IngestStream(wire_frames_a).ok()) std::abort();
+        benchmark::DoNotOptimize(aggregator.reports_ingested());
+      });
+
   // --- finalize + estimate agreement across the three paths. --------------
   SeedServer seed_a(params, epsilon), seed_b(params, epsilon);
   for (const LdpReport& r : reports_a) seed_a.Absorb(r);
@@ -352,6 +440,16 @@ void RunIngestionComparison() {
   batch_b.Finalize();
   const double estimate_batch = batch_a.JoinEstimate(batch_b);
 
+  // Sharded service ingest of the same wire streams must reproduce the
+  // batch estimate exactly (raw-lane exactness invariant).
+  ShardedAggregator service_a(params, epsilon, service_shards);
+  ShardedAggregator service_b(params, epsilon, service_shards);
+  if (!service_a.IngestStream(wire_frames_a).ok()) std::abort();
+  if (!service_b.IngestStream(wire_frames_b).ok()) std::abort();
+  const LdpJoinSketchServer sharded_a = service_a.Finalize();
+  const LdpJoinSketchServer sharded_b = service_b.Finalize();
+  const double estimate_sharded = sharded_a.JoinEstimate(sharded_b);
+
   const double batch_vs_seed = batch_rps / seed_rps;
   const double estimate_rel_gap =
       std::abs(estimate_batch - estimate_seed) /
@@ -364,6 +462,12 @@ void RunIngestionComparison() {
   std::printf("seed ingest         : %.3e reports/sec\n", ingest_seed_rps);
   std::printf("batched ingest      : %.3e reports/sec (%.2fx)\n",
               ingest_block_rps, ingest_block_rps / ingest_seed_rps);
+  std::printf("wire decode scalar  : %.3e reports/sec\n", decode_scalar_rps);
+  std::printf("wire decode batch   : %.3e reports/sec (%.2fx)\n",
+              decode_batch_rps, decode_batch_rps / decode_scalar_rps);
+  std::printf("service 1 shard     : %.3e reports/sec\n", single_shard_rps);
+  std::printf("service %zu shards    : %.3e reports/sec (%.2fx)\n",
+              service_shards, sharded_rps, sharded_rps / single_shard_rps);
   std::printf("finalize            : %.3f ms (k=%d, m=%d)\n", finalize_ms,
               params.k, params.m);
   std::printf("estimates           : seed=%.6e scalar=%.6e batch=%.6e\n",
@@ -371,6 +475,9 @@ void RunIngestionComparison() {
   std::printf("batch == scalar     : %s; |batch-seed|/seed = %.2e\n",
               estimate_batch == estimate_scalar ? "yes" : "NO",
               estimate_rel_gap);
+  std::printf("sharded == batch    : %s (sharded=%.6e)\n",
+              estimate_sharded == estimate_batch ? "yes" : "NO",
+              estimate_sharded);
 
   bench::WriteBenchJson(
       json_path,
@@ -385,6 +492,17 @@ void RunIngestionComparison() {
           {"ingest_batched_rps", ingest_block_rps},
           {"ingest_batched_vs_seed_speedup",
            ingest_block_rps / ingest_seed_rps},
+          {"wire_decode_scalar_rps", decode_scalar_rps},
+          {"wire_decode_batch_rps", decode_batch_rps},
+          {"wire_decode_speedup", decode_batch_rps / decode_scalar_rps},
+          {"service_shards", static_cast<double>(service_shards)},
+          {"service_single_shard_rps", single_shard_rps},
+          {"service_sharded_rps", sharded_rps},
+          {"service_sharded_vs_single_speedup",
+           sharded_rps / single_shard_rps},
+          {"estimate_sharded", estimate_sharded},
+          {"estimate_sharded_equals_batch",
+           estimate_sharded == estimate_batch ? 1.0 : 0.0},
           {"finalize_ms", finalize_ms},
           {"estimate_seed", estimate_seed},
           {"estimate_scalar", estimate_scalar},

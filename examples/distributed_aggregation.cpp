@@ -7,7 +7,11 @@
 //
 // exercising EncodeReport/DecodeReport and sketch Serialize/Deserialize,
 // and showing that sharded aggregation is lossless: the merged estimate
-// equals a single-aggregator run bit for bit.
+// equals a single-aggregator run bit for bit. Table B takes the newer
+// route — batch-envelope wire frames into a ShardedAggregator — which is
+// the same exactness story with the per-report decode loop replaced by
+// DecodeReportBatch and the shard fan-out handled by the service tier.
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <vector>
@@ -15,6 +19,7 @@
 #include "core/ldp_join_sketch.h"
 #include "data/datasets.h"
 #include "data/join.h"
+#include "service/sharded_aggregator.h"
 
 int main() {
   using namespace ldpjs;
@@ -81,17 +86,33 @@ int main() {
   }
   central_a.Finalize();
 
-  // Table B aggregated centrally in one pass (for comparison).
+  // Table B runs through the streaming aggregation service instead: the
+  // same per-report wire bytes, re-framed as length-prefixed batch
+  // envelopes and ingested shard-parallel by a ShardedAggregator.
   LdpJoinSketchServer central_b(params, epsilon);
   {
+    std::vector<LdpReport> block(kMaxWireBatchReports);
     BinaryReader reader(wire_b);
+    BinaryWriter stream;
     while (!reader.AtEnd()) {
-      auto report = DecodeReport(reader);
-      if (!report.ok()) return 1;
-      central_b.Absorb(*report);
+      size_t count = 0;
+      while (count < kMaxWireBatchReports && !reader.AtEnd()) {
+        auto report = DecodeReport(reader);
+        if (!report.ok()) return 1;
+        block[count++] = *report;
+      }
+      BinaryWriter frame;
+      EncodeReportBatch(std::span<const LdpReport>(block.data(), count), frame);
+      stream.PutFrame(frame.buffer());
     }
+    ShardedAggregator service(params, epsilon, kRegions);
+    const Status status = service.IngestStream(stream.buffer());
+    if (!status.ok()) {
+      std::printf("service ingest error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    central_b = service.Finalize();
   }
-  central_b.Finalize();
 
   const double estimate = central_a.JoinEstimate(central_b);
   std::printf("true join size     : %.0f\n", truth);

@@ -21,6 +21,12 @@ void BinaryWriter::PutBytes(std::span<const uint8_t> bytes) {
   buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
 }
 
+void BinaryWriter::PutFrame(std::span<const uint8_t> payload) {
+  LDPJS_CHECK(payload.size() <= 0xffffffffULL);
+  PutU32(static_cast<uint32_t>(payload.size()));
+  buffer_.insert(buffer_.end(), payload.begin(), payload.end());
+}
+
 namespace {
 
 /// Shared length-prefixed codec for vectors of 8-byte elements, so the
@@ -109,6 +115,19 @@ Result<std::vector<double>> BinaryReader::GetDoubleVector() {
 
 Result<std::vector<int64_t>> BinaryReader::GetI64Vector() {
   return GetVector64<int64_t>(*this, [this] { return GetI64(); });
+}
+
+Result<std::span<const uint8_t>> BinaryReader::GetRaw(size_t n) {
+  LDPJS_RETURN_IF_ERROR(Need(n));
+  std::span<const uint8_t> view = data_.subspan(pos_, n);
+  pos_ += n;
+  return view;
+}
+
+Result<std::span<const uint8_t>> BinaryReader::GetFrame() {
+  auto length = GetU32();
+  if (!length.ok()) return length.status();
+  return GetRaw(*length);
 }
 
 }  // namespace ldpjs

@@ -27,6 +27,11 @@ class BinaryWriter {
   void PutDouble(double v);
   /// Length-prefixed (u64) raw bytes.
   void PutBytes(std::span<const uint8_t> bytes);
+  /// One wire frame: u32 length prefix + raw payload. The streaming
+  /// aggregation tier concatenates frames into a single stream, so a reader
+  /// can skip a frame without understanding its payload. Payloads above
+  /// 4 GiB are a contract violation (frames are decode-buffer sized).
+  void PutFrame(std::span<const uint8_t> payload);
   /// Length-prefixed vector of doubles.
   void PutDoubleVector(std::span<const double> values);
   /// Length-prefixed vector of signed 64-bit integers (raw sketch lanes).
@@ -52,6 +57,12 @@ class BinaryReader {
   Result<double> GetDouble();
   Result<std::vector<double>> GetDoubleVector();
   Result<std::vector<int64_t>> GetI64Vector();
+  /// Bounds-checks and consumes the next `n` bytes, returning a zero-copy
+  /// view into the underlying buffer (valid while the buffer lives). This is
+  /// the batch-decode primitive: one check up front instead of one per field.
+  Result<std::span<const uint8_t>> GetRaw(size_t n);
+  /// Reads one PutFrame record: u32 length + payload, returned zero-copy.
+  Result<std::span<const uint8_t>> GetFrame();
 
   size_t remaining() const { return data_.size() - pos_; }
   bool AtEnd() const { return pos_ == data_.size(); }

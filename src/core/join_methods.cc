@@ -129,6 +129,7 @@ JoinMethodResult RunLdpJoinSketch(const Column& a, const Column& b,
   JoinMethodResult result;
   SimulationOptions sim;
   sim.num_threads = config.num_threads;
+  sim.num_shards = config.num_shards;
 
   const auto offline_start = Clock::now();
   sim.run_seed = Mix64(config.run_seed ^ 0xA3ULL);
@@ -158,6 +159,7 @@ JoinMethodResult RunLdpJoinSketchPlus(const Column& a, const Column& b,
   params.join_est = config.plus_join_est;
   params.simulation.run_seed = config.run_seed;
   params.simulation.num_threads = config.num_threads;
+  params.simulation.num_shards = config.num_shards;
 
   const LdpJoinSketchPlusResult plus = EstimateJoinSizePlus(a, b, params);
   JoinMethodResult result;

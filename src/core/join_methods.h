@@ -37,6 +37,10 @@ struct JoinMethodConfig {
   JoinEstOptions plus_join_est;   ///< LDPJoinSketch+ subtraction variant
   uint64_t run_seed = 42;
   size_t num_threads = 0;
+  /// LDPJoinSketch(+) only: 0 = in-process ingest; N >= 1 routes ingestion
+  /// through the sharded streaming aggregation service (bit-identical
+  /// estimates — see SimulationOptions::num_shards).
+  size_t num_shards = 0;
   bool clamp_negative_frequencies = false;  ///< for the oracle baselines
 };
 

@@ -19,6 +19,11 @@ namespace {
 constexpr uint32_t kSketchMagic = 0x32534A4CU;  // "LJS2"
 constexpr uint8_t kSketchVersion = 2;
 
+/// Batch-envelope record magic ("LJSB" little-endian): the LJS2 framing
+/// family's record type for a block of packed reports on the wire.
+constexpr uint32_t kBatchMagic = 0x42534A4CU;  // "LJSB"
+constexpr uint8_t kBatchVersion = 1;
+
 }  // namespace
 
 double DebiasFactor(double epsilon) {
@@ -48,6 +53,59 @@ Result<LdpReport> DecodeReport(BinaryReader& reader) {
   report.j = static_cast<uint16_t>(*j);
   report.l = *l;
   return report;
+}
+
+void EncodeReportBatch(std::span<const LdpReport> reports,
+                       BinaryWriter& writer) {
+  LDPJS_CHECK(reports.size() <= kMaxWireBatchReports);
+  writer.PutU32(kBatchMagic);
+  writer.PutU8(kBatchVersion);
+  writer.PutU32(static_cast<uint32_t>(reports.size()));
+  for (const LdpReport& report : reports) EncodeReport(report, writer);
+}
+
+Result<size_t> DecodeReportBatch(BinaryReader& reader,
+                                 std::span<LdpReport> out) {
+  auto magic = reader.GetU32();
+  if (!magic.ok()) return magic.status();
+  if (*magic != kBatchMagic) {
+    return Status::Corruption("missing LJSB batch-envelope magic");
+  }
+  auto version = reader.GetU8();
+  if (!version.ok()) return version.status();
+  if (*version != kBatchVersion) {
+    return Status::Corruption("unsupported batch-envelope version " +
+                              std::to_string(*version));
+  }
+  auto count = reader.GetU32();
+  if (!count.ok()) return count.status();
+  if (*count > kMaxWireBatchReports) {
+    return Status::Corruption("batch count " + std::to_string(*count) +
+                              " exceeds the wire batch limit");
+  }
+  if (*count > out.size()) {
+    return Status::Corruption("batch count " + std::to_string(*count) +
+                              " exceeds the decode buffer");
+  }
+  const size_t n = *count;
+  auto raw = reader.GetRaw(n * kWireReportBytes);
+  if (!raw.ok()) return raw.status();
+  const uint8_t* bytes = raw->data();
+  const auto load_u32le = [](const uint8_t* p) {
+    return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+  };
+  for (size_t i = 0; i < n; ++i, bytes += kWireReportBytes) {
+    const uint8_t y = bytes[0];
+    const uint32_t j = load_u32le(bytes + 1);
+    const uint32_t l = load_u32le(bytes + 5);
+    if (y > 1) return Status::Corruption("report sign byte is not 0 or 1");
+    if (j > 0xffff) return Status::Corruption("row index out of range");
+    out[i] = LdpReport{y == 1 ? int8_t{1} : int8_t{-1},
+                       static_cast<uint16_t>(j), l};
+  }
+  return n;
 }
 
 LdpJoinSketchClient::LdpJoinSketchClient(const SketchParams& params,

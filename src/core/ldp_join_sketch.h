@@ -52,6 +52,31 @@ void EncodeReport(const LdpReport& report, BinaryWriter& writer);
 /// out-of-range row index, or a sign byte that is not a strict ±1 encoding.
 Result<LdpReport> DecodeReport(BinaryReader& reader);
 
+/// Bytes one encoded report occupies on the wire (sign u8 + j u32 + l u32).
+inline constexpr size_t kWireReportBytes = 9;
+
+/// Most reports a single batch-envelope record may carry. Matches the
+/// ingestion block size, so one client block encodes as one wire batch and
+/// an aggregator shard can decode any valid batch into one fixed buffer.
+inline constexpr size_t kMaxWireBatchReports = 4096;
+
+/// Writes a batch-envelope record — the LJS2 framing family's record for a
+/// block of reports: "LJSB" magic, version byte, u32 count, then `count`
+/// packed reports in EncodeReport's exact byte layout. At most
+/// kMaxWireBatchReports per record (contract check).
+void EncodeReportBatch(std::span<const LdpReport> reports,
+                       BinaryWriter& writer);
+
+/// Decodes one batch-envelope record into `out`, returning the report
+/// count. The wire hot path: one bounds check for the whole record, then a
+/// tight loop over the packed bytes — no per-field Result round trips.
+/// Decodes exactly the reports a per-report DecodeReport loop would, and
+/// fails with Corruption (never reading out of bounds) on a bad magic or
+/// version, a count above kMaxWireBatchReports or out.size(), truncation,
+/// or any report a DecodeReport call would reject.
+Result<size_t> DecodeReportBatch(BinaryReader& reader,
+                                 std::span<LdpReport> out);
+
 class LdpJoinSketchClient {
  public:
   /// `params.seed` must match the server's; epsilon > 0 is the LDP budget.

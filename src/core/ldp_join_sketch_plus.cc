@@ -111,8 +111,7 @@ LdpJoinSketchPlusResult EstimateJoinSizePlus(
 
   // ---- Phase 2: FAP sketches per group. ---------------------------------
   const auto phase2_start = std::chrono::steady_clock::now();
-  SimulationOptions sim;
-  sim.num_threads = params.simulation.num_threads;
+  SimulationOptions sim = params.simulation;  // thread/shard modes carry over
 
   sim.run_seed = Mix64(params.simulation.run_seed ^ 0x10A1ULL);
   const LdpJoinSketchServer mla = BuildFapSketch(

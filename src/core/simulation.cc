@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/serialize.h"
 #include "common/thread_pool.h"
+#include "service/sharded_aggregator.h"
 
 namespace ldpjs {
 
@@ -13,11 +15,58 @@ namespace {
 /// users through `client` with one counter-based RNG stream and lands in a
 /// shard-local server via AbsorbBatch. Shard servers are merged (integer
 /// lane adds, so the order cannot matter) and finalized.
+/// The distributed deployment path: blocks perturb in parallel as usual but
+/// each block is *encoded* as a wire frame (batch-envelope record behind a
+/// length prefix) instead of absorbed locally; the concatenated stream then
+/// flows through a ShardedAggregator with options.num_shards shards. Blocks
+/// draw from the same counter-based streams as the in-process path, and the
+/// aggregator's raw-lane merge is exact, so the returned sketch is
+/// bit-identical to RunProtocol's for the same run_seed.
+template <typename Client>
+LdpJoinSketchServer RunProtocolOverWire(const Column& column,
+                                        const SketchParams& params,
+                                        double epsilon,
+                                        const SimulationOptions& options,
+                                        const Client& client) {
+  ThreadPool pool(options.num_threads);
+  const uint64_t* values = column.values().data();
+  const size_t rows = column.size();
+  const size_t blocks = (rows + kIngestBlockSize - 1) / kIngestBlockSize;
+  std::vector<std::vector<uint8_t>> frames(blocks);
+  pool.ParallelFor(blocks, [&](size_t, size_t begin, size_t end) {
+    std::vector<LdpReport> reports(kIngestBlockSize);
+    for (size_t block = begin; block < end; ++block) {
+      const size_t first = block * kIngestBlockSize;
+      const size_t count = std::min(kIngestBlockSize, rows - first);
+      Xoshiro256 rng = MakeStreamRng(options.run_seed, block);
+      std::span<LdpReport> out(reports.data(), count);
+      client.PerturbBatch(std::span<const uint64_t>(values + first, count),
+                          out, rng);
+      BinaryWriter writer;
+      EncodeReportBatch(out, writer);
+      frames[block] = writer.TakeBuffer();
+    }
+  });
+
+  // Hand the per-block frame buffers to the service as spans — the same
+  // frame i → shard i mod N routing a concatenated IngestStream would use,
+  // without materializing a second copy of the whole wire stream.
+  std::vector<std::span<const uint8_t>> frame_spans(frames.begin(),
+                                                    frames.end());
+  ShardedAggregator aggregator(params, epsilon, options.num_shards);
+  const Status status = aggregator.IngestFrames(frame_spans);
+  LDPJS_CHECK(status.ok());  // self-generated frames: corruption impossible
+  return aggregator.Finalize();
+}
+
 template <typename Client>
 LdpJoinSketchServer RunProtocol(const Column& column,
                                 const SketchParams& params, double epsilon,
                                 const SimulationOptions& options,
                                 const Client& client) {
+  if (options.num_shards > 0) {
+    return RunProtocolOverWire(column, params, epsilon, options, client);
+  }
   ThreadPool pool(options.num_threads);
   const size_t shards = pool.num_threads();
   std::vector<LdpJoinSketchServer> partials(

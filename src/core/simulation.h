@@ -31,9 +31,22 @@ namespace ldpjs {
 /// block's reports stay L1/L2-resident between PerturbBatch and AbsorbBatch.
 inline constexpr size_t kIngestBlockSize = 4096;
 
+// The wire path encodes one ingest block per batch-envelope record, so a
+// block must fit the wire batch limit — keep retunes of either constant
+// honest at compile time.
+static_assert(kIngestBlockSize <= kMaxWireBatchReports,
+              "an ingest block must encode as one wire batch");
+
 struct SimulationOptions {
   uint64_t run_seed = 42;   ///< perturbation randomness (distinct from hash seed)
   size_t num_threads = 0;   ///< 0 = hardware concurrency
+  /// 0 = in-process ingestion (clients absorb straight into thread-local
+  /// sketches). N >= 1 = the distributed deployment path: every 4096-user
+  /// block is encoded as a length-prefixed wire frame and the stream is
+  /// ingested by a ShardedAggregator with N shards. Raw lanes make the two
+  /// paths bit-identical, so num_shards — like num_threads — can never
+  /// change a result; tests pin this.
+  size_t num_shards = 0;
 };
 
 /// Runs the full LDPJoinSketch protocol over `column`: every value is

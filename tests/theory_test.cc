@@ -172,6 +172,49 @@ TEST(StreamDerivationTest, AdjacentRunSeedsDoNotBiasTheEstimator) {
   EXPECT_LT(std::abs(errors.mean()), 0.05);
 }
 
+TEST(EstimatorRegressionTest, FixedSeedEstimatesStayWithinErrorEnvelope) {
+  // Accuracy regression guard: every input below is pinned (workload seed,
+  // hash seeds, run seeds), so the estimates are deterministic and any
+  // change that degrades estimator arithmetic — a debias slip, a lane
+  // overflow, a broken merge — trips this test instead of sliding by.
+  //
+  // Two envelopes per epsilon:
+  //   1. per-run: |est − truth| ≤ TheoreticalErrorBound (Theorem 5). The
+  //      bound holds w.p. ≥ 1 − e^{−k/4} per *random* run; these fixed seeds
+  //      were chosen inside it, with at most one excursion tolerated so a
+  //      future libm ulp drift cannot flake the test.
+  //   2. mean relative error ≤ a pinned cap ~3x the measured value — the
+  //      variance-derived tripwire that catches silent accuracy loss long
+  //      before the loose Theorem-5 bound would.
+  const JoinWorkload w = MakeZipfWorkload(1.4, 500, 50000, 7);
+  const double truth = ExactJoinSize(w.table_a, w.table_b);
+  const SketchParams params = Params(10, 512);
+  const struct {
+    double epsilon;
+    double mean_re_cap;
+  } cases[] = {{1.0, 0.15}, {4.0, 0.03}};  // measured: 0.049 / 0.0093
+  for (const auto& c : cases) {
+    int bound_violations = 0;
+    RunningStats rel_errors;
+    for (int run = 0; run < 5; ++run) {
+      SimulationOptions sim;
+      sim.run_seed = 4000 + static_cast<uint64_t>(run);
+      const LdpJoinSketchServer sa =
+          BuildLdpJoinSketch(w.table_a, params, c.epsilon, sim);
+      sim.run_seed = 5000 + static_cast<uint64_t>(run);
+      const LdpJoinSketchServer sb =
+          BuildLdpJoinSketch(w.table_b, params, c.epsilon, sim);
+      const double est = sa.JoinEstimate(sb);
+      if (std::abs(est - truth) > sa.TheoreticalErrorBound(sb)) {
+        ++bound_violations;
+      }
+      rel_errors.Add(std::abs(est - truth) / truth);
+    }
+    EXPECT_LE(bound_violations, 1) << "epsilon=" << c.epsilon;
+    EXPECT_LE(rel_errors.mean(), c.mean_re_cap) << "epsilon=" << c.epsilon;
+  }
+}
+
 TEST(LemmaOneTest, MatchingValuesContributeOne) {
   // E[MA(j,x)^{iA} · MB(j,x)^{iB}] = 1 when the two users hold the same
   // value: sketch both singleton columns many times, multiply the cells at

@@ -62,6 +62,9 @@ int main(int argc, char** argv) {
   flags.Define("trials", "3", "perturbation repetitions");
   flags.Define("seed", "1", "workload + run seed");
   flags.Define("threads", "0", "simulation threads (0 = hardware)");
+  flags.Define("shards", "0",
+               "aggregation-service shards (0 = in-process ingest; N routes "
+               "reports through the sharded wire path — same estimates)");
   flags.Parse(argc, argv);
 
   const JoinMethod method = ParseMethod(flags.GetString("method"));
@@ -85,6 +88,7 @@ int main(int argc, char** argv) {
   config.plus_threshold = flags.GetDouble("threshold");
   config.flh_pool_size = static_cast<uint32_t>(flags.GetInt("flh-pool"));
   config.num_threads = static_cast<size_t>(flags.GetInt("threads"));
+  config.num_shards = static_cast<size_t>(flags.GetInt("shards"));
 
   const int trials = static_cast<int>(flags.GetInt("trials"));
   RunningStats estimates, res, offline, online;
