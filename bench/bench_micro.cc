@@ -13,11 +13,13 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <string_view>
 #include <utility>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/hadamard.h"
@@ -30,6 +32,8 @@
 #include "core/ldp_join_sketch.h"
 #include "core/simulation.h"
 #include "data/zipf.h"
+#include "net/frame_sender.h"
+#include "net/frame_server.h"
 #include "seed_baseline.h"
 #include "service/sharded_aggregator.h"
 
@@ -416,6 +420,101 @@ void RunIngestionComparison() {
         benchmark::DoNotOptimize(aggregator.reports_ingested());
       });
 
+  // --- Lane-add loop-shape study, pinning that the shipped shapes are the
+  // not-slower ones. Absorb: the shipped fused branch-per-report RMW loop
+  // vs the split "SIMD" alternative (branchless vectorizable validate pass
+  // + bare scatter, chunked L1-resident) — the fused loop must win or tie,
+  // which is why AbsorbBatch keeps it. Merge: vector-indexed add (compiler
+  // must emit an aliasing check) vs the restrict-qualified AddLanes shape
+  // Merge now ships — AddLanes must not be slower. -------------------------
+  const size_t lane_count = size_t{1} << 20;  // a wide-sketch merge
+  const int m_log2 = std::countr_zero(static_cast<uint64_t>(params.m));
+  const uint32_t k_bound = static_cast<uint32_t>(params.k);
+  const uint32_t m_bound = static_cast<uint32_t>(params.m);
+  std::vector<int64_t> lanes_prev(lane_count, 0), lanes_simd(lane_count, 0);
+  const auto [absorb_fused_rps, absorb_split_rps] = MeasurePairedReportsPerSec(
+      n,
+      [&] {
+        int64_t* lanes = lanes_prev.data();
+        for (const LdpReport& r : reports_a) {
+          if (r.j >= k_bound) std::abort();
+          if (r.l >= m_bound) std::abort();
+          if (r.y != 1 && r.y != -1) std::abort();
+          lanes[(static_cast<size_t>(r.j) << m_log2) | r.l] += r.y;
+        }
+      },
+      [&] {
+        int64_t* __restrict lanes = lanes_simd.data();
+        constexpr size_t kChunk = 1024;
+        const std::span<const LdpReport> all(reports_a);
+        for (size_t first = 0; first < all.size(); first += kChunk) {
+          const std::span<const LdpReport> chunk =
+              all.subspan(first, std::min(kChunk, all.size() - first));
+          uint32_t bad = 0;
+          for (const LdpReport& r : chunk) {
+            bad |= static_cast<uint32_t>(r.j >= k_bound) |
+                   static_cast<uint32_t>(r.l >= m_bound) |
+                   (static_cast<uint32_t>(r.y != 1) &
+                    static_cast<uint32_t>(r.y != -1));
+          }
+          if (bad != 0) std::abort();
+          for (const LdpReport& r : chunk) {
+            lanes[(static_cast<size_t>(r.j) << m_log2) | r.l] += r.y;
+          }
+        }
+      });
+
+  std::vector<int64_t> merge_dst(lane_count, 1), merge_src(lane_count, 2);
+  const auto [merge_indexed_lps, merge_addlanes_lps] =
+      MeasurePairedReportsPerSec(
+      lane_count,
+      [&] {
+        for (size_t i = 0; i < lane_count; ++i) merge_dst[i] += merge_src[i];
+      },
+      [&] {
+        int64_t* __restrict dst = merge_dst.data();
+        const int64_t* __restrict src = merge_src.data();
+        for (size_t i = 0; i < lane_count; ++i) dst[i] += src[i];
+      });
+  benchmark::DoNotOptimize(merge_dst.data());
+  benchmark::DoNotOptimize(lanes_prev.data());
+  benchmark::DoNotOptimize(lanes_simd.data());
+
+  // --- TCP loopback ingest: the full network front end (LJSP session over
+  // 127.0.0.1, per-connection queue, pump into the sharded service). One
+  // pass streams every frame and Finish() is the ingest barrier. -----------
+  double net_rps = 0.0;
+  {
+    std::vector<std::span<const uint8_t>> net_frames;
+    BinaryReader reader(wire_frames_a);
+    while (!reader.AtEnd()) {
+      auto frame = reader.GetFrame();
+      if (!frame.ok()) std::abort();
+      net_frames.push_back(*frame);
+    }
+    const auto start = Clock::now();
+    int passes = 0;
+    double elapsed = 0.0;
+    do {
+      FrameServerOptions options;
+      options.num_shards = service_shards;
+      FrameServer server(params, epsilon, options);
+      if (!server.Start().ok()) std::abort();
+      auto sender =
+          FrameSender::Connect("127.0.0.1", server.port(), params, epsilon);
+      if (!sender.ok()) std::abort();
+      for (const auto& frame : net_frames) {
+        if (!sender->SendEncodedBatch(frame).ok()) std::abort();
+      }
+      if (!sender->Finish().ok()) std::abort();
+      server.Stop();
+      if (server.metrics().reports_ingested != n) std::abort();
+      ++passes;
+      elapsed = SecondsSince(start);
+    } while (elapsed < 0.5 || passes < 2);
+    net_rps = static_cast<double>(n) * passes / elapsed;
+  }
+
   // --- finalize + estimate agreement across the three paths. --------------
   SeedServer seed_a(params, epsilon), seed_b(params, epsilon);
   for (const LdpReport& r : reports_a) seed_a.Absorb(r);
@@ -468,6 +567,13 @@ void RunIngestionComparison() {
   std::printf("service 1 shard     : %.3e reports/sec\n", single_shard_rps);
   std::printf("service %zu shards    : %.3e reports/sec (%.2fx)\n",
               service_shards, sharded_rps, sharded_rps / single_shard_rps);
+  std::printf("absorb fused/split  : %.3e / %.3e reports/sec (fused %.2fx)\n",
+              absorb_fused_rps, absorb_split_rps,
+              absorb_fused_rps / absorb_split_rps);
+  std::printf("merge indexed/simd  : %.3e / %.3e lanes/sec (simd %.2fx)\n",
+              merge_indexed_lps, merge_addlanes_lps,
+              merge_addlanes_lps / merge_indexed_lps);
+  std::printf("net loopback ingest : %.3e reports/sec\n", net_rps);
   std::printf("finalize            : %.3f ms (k=%d, m=%d)\n", finalize_ms,
               params.k, params.m);
   std::printf("estimates           : seed=%.6e scalar=%.6e batch=%.6e\n",
@@ -503,6 +609,15 @@ void RunIngestionComparison() {
           {"estimate_sharded", estimate_sharded},
           {"estimate_sharded_equals_batch",
            estimate_sharded == estimate_batch ? 1.0 : 0.0},
+          {"absorb_fused_rps", absorb_fused_rps},
+          {"absorb_split_rps", absorb_split_rps},
+          {"absorb_fused_vs_split_speedup",
+           absorb_fused_rps / absorb_split_rps},
+          {"merge_vector_indexed_lanes_per_sec", merge_indexed_lps},
+          {"merge_addlanes_lanes_per_sec", merge_addlanes_lps},
+          {"merge_addlanes_vs_indexed_speedup",
+           merge_addlanes_lps / merge_indexed_lps},
+          {"net_ingest_reports_per_sec", net_rps},
           {"finalize_ms", finalize_ms},
           {"estimate_seed", estimate_seed},
           {"estimate_scalar", estimate_scalar},

@@ -1,0 +1,190 @@
+#include "common/socket.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace ldpjs {
+
+namespace {
+
+Status ErrnoStatus(const std::string& op) {
+  return Status::Internal(op + ": " + std::strerror(errno));
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+Socket::~Socket() { Close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Socket> Socket::ListenTcp(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  Socket socket(fd);
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return ErrnoStatus("bind");
+  }
+  if (::listen(fd, 128) != 0) return ErrnoStatus("listen");
+  return socket;
+}
+
+Result<Socket> Socket::ConnectTcp(const std::string& host, uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string port_str = std::to_string(port);
+  if (::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &res) != 0 ||
+      res == nullptr) {
+    return Status::Unavailable("cannot resolve host " + host);
+  }
+  const int fd = ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+  if (fd < 0) {
+    ::freeaddrinfo(res);
+    return ErrnoStatus("socket");
+  }
+  Socket socket(fd);
+  const int rc = ::connect(fd, res->ai_addr, res->ai_addrlen);
+  ::freeaddrinfo(res);
+  if (rc != 0) {
+    return Status::Unavailable("connect " + host + ":" + port_str + ": " +
+                               std::strerror(errno));
+  }
+  SetNoDelay(fd);
+  return socket;
+}
+
+Result<Socket> Socket::Accept() const {
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) {
+    return Status::Unavailable(std::string("accept: ") + std::strerror(errno));
+  }
+  SetNoDelay(fd);
+  return Socket(fd);
+}
+
+Status Socket::SendAll(std::span<const uint8_t> bytes) const {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Socket::SendAllV(std::span<const uint8_t> head,
+                        std::span<const uint8_t> body) const {
+  size_t sent = 0;
+  const size_t total = head.size() + body.size();
+  while (sent < total) {
+    iovec iov[2];
+    int iov_count = 0;
+    if (sent < head.size()) {
+      iov[iov_count].iov_base = const_cast<uint8_t*>(head.data() + sent);
+      iov[iov_count].iov_len = head.size() - sent;
+      ++iov_count;
+    }
+    const size_t body_sent = sent > head.size() ? sent - head.size() : 0;
+    if (body_sent < body.size()) {
+      iov[iov_count].iov_base = const_cast<uint8_t*>(body.data() + body_sent);
+      iov[iov_count].iov_len = body.size() - body_sent;
+      ++iov_count;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<size_t>(iov_count);
+    const ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("sendmsg: ") +
+                                 std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<size_t> Socket::RecvSome(std::span<uint8_t> out) const {
+  for (;;) {
+    const ssize_t n = ::recv(fd_, out.data(), out.size(), 0);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    return Status::Unavailable(std::string("recv: ") + std::strerror(errno));
+  }
+}
+
+Status Socket::RecvAll(std::span<uint8_t> out) const {
+  size_t received = 0;
+  while (received < out.size()) {
+    auto n = RecvSome(out.subspan(received));
+    if (!n.ok()) return n.status();
+    if (*n == 0) {
+      if (received == 0) return Status::NotFound("end of stream");
+      return Status::Corruption("connection closed mid-record");
+    }
+    received += *n;
+  }
+  return Status::OK();
+}
+
+void Socket::ShutdownBoth() const {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::SetSendTimeout(int seconds) const {
+  timeval tv{};
+  tv.tv_sec = seconds;
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+uint16_t Socket::local_port() const {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return 0;
+  }
+  return ntohs(addr.sin_port);
+}
+
+}  // namespace ldpjs

@@ -22,6 +22,7 @@ enum class StatusCode {
   kCorruption,
   kUnimplemented,
   kInternal,
+  kUnavailable,  ///< transient/retriable: busy peer, backpressure shed
 };
 
 /// Returns a short human-readable name for a StatusCode.
@@ -35,6 +36,7 @@ constexpr std::string_view StatusCodeName(StatusCode code) {
     case StatusCode::kCorruption: return "Corruption";
     case StatusCode::kUnimplemented: return "Unimplemented";
     case StatusCode::kInternal: return "Internal";
+    case StatusCode::kUnavailable: return "Unavailable";
   }
   return "Unknown";
 }
@@ -68,6 +70,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

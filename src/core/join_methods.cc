@@ -130,6 +130,7 @@ JoinMethodResult RunLdpJoinSketch(const Column& a, const Column& b,
   SimulationOptions sim;
   sim.num_threads = config.num_threads;
   sim.num_shards = config.num_shards;
+  sim.net_loopback = config.net_loopback;
 
   const auto offline_start = Clock::now();
   sim.run_seed = Mix64(config.run_seed ^ 0xA3ULL);
@@ -160,6 +161,7 @@ JoinMethodResult RunLdpJoinSketchPlus(const Column& a, const Column& b,
   params.simulation.run_seed = config.run_seed;
   params.simulation.num_threads = config.num_threads;
   params.simulation.num_shards = config.num_shards;
+  params.simulation.net_loopback = config.net_loopback;
 
   const LdpJoinSketchPlusResult plus = EstimateJoinSizePlus(a, b, params);
   JoinMethodResult result;

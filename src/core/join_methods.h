@@ -41,6 +41,10 @@ struct JoinMethodConfig {
   /// through the sharded streaming aggregation service (bit-identical
   /// estimates — see SimulationOptions::num_shards).
   size_t num_shards = 0;
+  /// LDPJoinSketch(+) only: additionally ship the wire frames through a
+  /// real TCP loopback session (FrameServer/FrameSender on 127.0.0.1).
+  /// Still bit-identical — see SimulationOptions::net_loopback.
+  bool net_loopback = false;
   bool clamp_negative_frequencies = false;  ///< for the oracle baselines
 };
 

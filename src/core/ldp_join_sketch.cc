@@ -24,6 +24,15 @@ constexpr uint8_t kSketchVersion = 2;
 constexpr uint32_t kBatchMagic = 0x42534A4CU;  // "LJSB"
 constexpr uint8_t kBatchVersion = 1;
 
+/// int64 lane accumulation, the inner loop of Merge (and of every shard
+/// merge in the aggregation service). The restrict qualification promises
+/// the compiler dst and src never alias, so the loop auto-vectorizes into
+/// packed 64-bit adds instead of scalar load/add/store chains.
+void AddLanes(int64_t* __restrict dst, const int64_t* __restrict src,
+              size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] += src[i];
+}
+
 }  // namespace
 
 double DebiasFactor(double epsilon) {
@@ -79,6 +88,18 @@ Result<size_t> DecodeReportBatch(BinaryReader& reader,
   }
   auto count = reader.GetU32();
   if (!count.ok()) return count.status();
+  // Checked multiply FIRST, on the raw declared count: the byte size handed
+  // to GetRaw must not be able to wrap size_t (on a 32-bit size_t,
+  // 0xffffffff · 9 wraps to a small number, which would pass the bounds
+  // check and send the decode loop far past the buffer). The caps below
+  // make this unreachable today; it stays as defense in depth against a
+  // retuned kMaxWireBatchReports or a reordered check.
+  static_assert(kMaxWireBatchReports <= SIZE_MAX / kWireReportBytes,
+                "max batch byte size must fit size_t");
+  if (*count > SIZE_MAX / kWireReportBytes) {
+    return Status::Corruption("batch count " + std::to_string(*count) +
+                              " overflows the wire byte size");
+  }
   if (*count > kMaxWireBatchReports) {
     return Status::Corruption("batch count " + std::to_string(*count) +
                               " exceeds the wire batch limit");
@@ -173,12 +194,20 @@ void LdpJoinSketchServer::AbsorbBatch(std::span<const LdpReport> reports) {
   LDPJS_CHECK(!finalized_);
   const uint32_t k = static_cast<uint32_t>(params_.k);
   const uint32_t m = static_cast<uint32_t>(params_.m);
-  int64_t* lanes = lanes_.data();
+  int64_t* __restrict lanes = lanes_.data();
   // m is validated to be a power of two, so the row offset is a shift.
   const int m_log2 = std::countr_zero(static_cast<uint64_t>(params_.m));
-  // Single pass: the validity branches are perfectly predicted on well-formed
-  // input, so they cost nothing next to the lane read-modify-write, and a
-  // bad report aborts before it can touch a lane.
+  // Single fused pass, deliberately. The lane scatter is a read-modify-
+  // write through a data-dependent index, which no auto-vectorizer can turn
+  // into SIMD (duplicate indices must serialize), and the validity branches
+  // are perfectly predicted on well-formed input — so they cost nothing
+  // next to the RMW, and a bad report aborts before it can touch a lane.
+  // The split alternative — a branchless, vectorizable validation pass
+  // followed by a bare scatter pass — was measured at 0.85-0.9x of this
+  // loop even chunked L1-resident (see absorb_fused_vs_split_speedup in
+  // BENCH_micro.json): the second sweep over the reports costs more than
+  // the predicted branches ever did. The SIMD win for lane accumulation is
+  // in Merge's contiguous AddLanes instead.
   for (const LdpReport& r : reports) {
     LDPJS_CHECK(r.j < k);
     LDPJS_CHECK(r.l < m);
@@ -192,7 +221,10 @@ void LdpJoinSketchServer::Merge(const LdpJoinSketchServer& other) {
   LDPJS_CHECK(!finalized_ && !other.finalized_);
   LDPJS_CHECK(params_.k == other.params_.k && params_.m == other.params_.m);
   LDPJS_CHECK(params_.seed == other.params_.seed);
-  for (size_t i = 0; i < lanes_.size(); ++i) lanes_[i] += other.lanes_[i];
+  // AddLanes' restrict contract forbids overlap, so a self-merge — well-
+  // defined under the old indexed loop — must be rejected, not miscompiled.
+  LDPJS_CHECK(this != &other);
+  AddLanes(lanes_.data(), other.lanes_.data(), lanes_.size());
   total_ += other.total_;
 }
 

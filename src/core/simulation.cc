@@ -5,6 +5,8 @@
 
 #include "common/serialize.h"
 #include "common/thread_pool.h"
+#include "net/frame_sender.h"
+#include "net/frame_server.h"
 #include "service/sharded_aggregator.h"
 
 namespace ldpjs {
@@ -48,6 +50,30 @@ LdpJoinSketchServer RunProtocolOverWire(const Column& column,
     }
   });
 
+  if (options.net_loopback) {
+    // Full deployment rehearsal: the identical frame bytes go over a real
+    // TCP socket into a FrameServer. Raw integer lanes make the estimate
+    // independent of frame→shard routing, so this is bit-identical to the
+    // in-process span hand-off below.
+    FrameServerOptions server_options;
+    server_options.port = 0;  // ephemeral
+    server_options.num_shards = std::max<size_t>(1, options.num_shards);
+    FrameServer server(params, epsilon, server_options);
+    LDPJS_CHECK(server.Start().ok());
+    auto sender =
+        FrameSender::Connect("127.0.0.1", server.port(), params, epsilon);
+    LDPJS_CHECK(sender.ok());
+    for (const std::vector<uint8_t>& frame : frames) {
+      LDPJS_CHECK(sender->SendEncodedBatch(frame).ok());
+    }
+    // FINALIZE_OK doubles as the ingest barrier (ordered after every DATA
+    // frame this connection sent), so no BYE follows it.
+    LDPJS_CHECK(sender->RequestFinalize().ok());
+    server.WaitForFinalizeRequest();
+    server.Stop();
+    return server.Finalize();
+  }
+
   // Hand the per-block frame buffers to the service as spans — the same
   // frame i → shard i mod N routing a concatenated IngestStream would use,
   // without materializing a second copy of the whole wire stream.
@@ -64,7 +90,7 @@ LdpJoinSketchServer RunProtocol(const Column& column,
                                 const SketchParams& params, double epsilon,
                                 const SimulationOptions& options,
                                 const Client& client) {
-  if (options.num_shards > 0) {
+  if (options.num_shards > 0 || options.net_loopback) {
     return RunProtocolOverWire(column, params, epsilon, options, client);
   }
   ThreadPool pool(options.num_threads);

@@ -47,6 +47,14 @@ struct SimulationOptions {
   /// paths bit-identical, so num_shards — like num_threads — can never
   /// change a result; tests pin this.
   size_t num_shards = 0;
+  /// With the wire path active (num_shards >= 1, or forced to 1 shard when
+  /// this is set): ship every frame over a real TCP connection — a
+  /// FrameServer on 127.0.0.1 with an ephemeral port, fed by a FrameSender
+  /// speaking the LJSP session protocol — instead of handing spans to the
+  /// in-process service. The bytes on the socket are the exact LJSB
+  /// envelopes the in-process path ingests, so results stay bit-identical;
+  /// tests pin this too.
+  bool net_loopback = false;
 };
 
 /// Runs the full LDPJoinSketch protocol over `column`: every value is

@@ -1,0 +1,133 @@
+#include "net/frame_sender.h"
+
+#include <chrono>
+#include <thread>
+
+namespace ldpjs {
+
+Result<FrameSender> FrameSender::Connect(const std::string& host,
+                                         uint16_t port,
+                                         const SketchParams& params,
+                                         double epsilon,
+                                         const Options& options) {
+  auto socket = Socket::ConnectTcp(host, port);
+  if (!socket.ok()) return socket.status();
+
+  SessionHello hello;
+  hello.k = static_cast<uint32_t>(params.k);
+  hello.m = static_cast<uint32_t>(params.m);
+  hello.seed = params.seed;
+  hello.epsilon = epsilon;
+  LDPJS_RETURN_IF_ERROR(
+      WriteNetFrame(*socket, NetFrameType::kHello, EncodeHello(hello)));
+
+  auto reply = ReadNetFrame(*socket, kMaxControlFramePayload);
+  if (!reply.ok()) return reply.status();
+  if (reply->type == NetFrameType::kError) {
+    return DecodeErrorPayload(reply->payload);
+  }
+  if (reply->type != NetFrameType::kHelloOk) {
+    return Status::Corruption("expected HELLO_OK from server");
+  }
+  auto session = DecodeHelloOk(reply->payload);
+  if (!session.ok()) return session.status();
+  if (session->version != kNetVersion) {
+    return Status::FailedPrecondition("server speaks LJSP version " +
+                                      std::to_string(session->version));
+  }
+  return FrameSender(std::move(*socket), *session, options);
+}
+
+Result<NetFrame> FrameSender::ReadReply() {
+  auto frame = ReadNetFrame(socket_, kMaxControlFramePayload);
+  if (!frame.ok()) {
+    if (frame.status().code() == StatusCode::kNotFound) {
+      return Status::Unavailable("server closed the connection");
+    }
+    return frame.status();
+  }
+  if (frame->type == NetFrameType::kError) {
+    return DecodeErrorPayload(frame->payload);
+  }
+  return frame;
+}
+
+Status FrameSender::SendEncodedBatch(std::span<const uint8_t> envelope) {
+  LDPJS_CHECK(!finished_);
+  for (int attempt = 0;; ++attempt) {
+    LDPJS_RETURN_IF_ERROR(
+        WriteNetFrame(socket_, NetFrameType::kData, envelope));
+    ++frames_sent_;
+    bytes_sent_ += 5 + envelope.size();
+    if (!session_.acked_data) return Status::OK();
+    auto reply = ReadReply();
+    if (!reply.ok()) return reply.status();
+    if (reply->type != NetFrameType::kDataAck || reply->payload.size() != 1) {
+      return Status::Corruption("expected DATA_ACK");
+    }
+    if (reply->payload[0] == static_cast<uint8_t>(DataAckCode::kAbsorbed)) {
+      return Status::OK();
+    }
+    // Busy: the server shed the frame under backpressure. Retry the same
+    // bytes after a short sleep; lanes are integer adds, so a retried frame
+    // lands exactly once (it was never ingested) and ordering cannot
+    // matter.
+    ++busy_retries_;
+    if (attempt >= options_.max_busy_retries) {
+      return Status::Unavailable("server still busy after " +
+                                 std::to_string(attempt) + " retries");
+    }
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.busy_retry_micros));
+  }
+}
+
+Status FrameSender::SendReports(std::span<const LdpReport> reports) {
+  BinaryWriter writer;
+  for (size_t first = 0; first < reports.size();
+       first += kMaxWireBatchReports) {
+    const size_t count =
+        std::min(kMaxWireBatchReports, reports.size() - first);
+    writer = BinaryWriter();
+    EncodeReportBatch(reports.subspan(first, count), writer);
+    LDPJS_RETURN_IF_ERROR(SendEncodedBatch(writer.buffer()));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> FrameSender::SnapshotRawSketch() {
+  LDPJS_CHECK(!finished_);
+  LDPJS_RETURN_IF_ERROR(WriteNetFrame(socket_, NetFrameType::kSnapshot, {}));
+  auto reply = ReadReply();
+  if (!reply.ok()) return reply.status();
+  if (reply->type != NetFrameType::kSnapshotData) {
+    return Status::Corruption("expected SNAPSHOT_DATA");
+  }
+  return std::move(reply->payload);
+}
+
+Status FrameSender::RequestFinalize() {
+  LDPJS_CHECK(!finished_);
+  finished_ = true;  // terminal exchange — the server may disconnect next
+  LDPJS_RETURN_IF_ERROR(WriteNetFrame(socket_, NetFrameType::kFinalize, {}));
+  auto reply = ReadReply();
+  if (!reply.ok()) return reply.status();
+  if (reply->type != NetFrameType::kFinalizeOk) {
+    return Status::Corruption("expected FINALIZE_OK");
+  }
+  return Status::OK();
+}
+
+Status FrameSender::Finish() {
+  LDPJS_CHECK(!finished_);
+  finished_ = true;
+  LDPJS_RETURN_IF_ERROR(WriteNetFrame(socket_, NetFrameType::kBye, {}));
+  auto reply = ReadReply();
+  if (!reply.ok()) return reply.status();
+  if (reply->type != NetFrameType::kByeOk) {
+    return Status::Corruption("expected BYE_OK");
+  }
+  return Status::OK();
+}
+
+}  // namespace ldpjs

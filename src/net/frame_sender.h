@@ -1,0 +1,101 @@
+// FrameSender: client side of the LJSP session protocol. Connects to a
+// FrameServer, performs the HELLO handshake (sketch params must match the
+// server's bit for bit), then streams PerturbBatch output as LJSB batch
+// envelopes inside DATA frames.
+//
+// Flow control: against a kShed server every DATA frame is acked; a busy
+// ack makes SendReports/SendEncodedBatch retry the same frame after a short
+// sleep (bounded by Options::max_busy_retries, then Unavailable). Against a
+// kBlock server there are no per-frame acks — TCP flow control is the
+// backpressure — and Finish()'s BYE/BYE_OK exchange is the proof that every
+// frame sent on this connection has been ingested.
+#ifndef LDPJS_NET_FRAME_SENDER_H_
+#define LDPJS_NET_FRAME_SENDER_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/socket.h"
+#include "common/status.h"
+#include "core/ldp_join_sketch.h"
+#include "net/protocol.h"
+
+namespace ldpjs {
+
+class FrameSender {
+ public:
+  struct Options {
+    int max_busy_retries = 100000;  ///< per frame, before Unavailable
+    int busy_retry_micros = 200;    ///< sleep between busy retries
+  };
+
+  /// Connects and completes the handshake. Fails with the server's ERROR
+  /// status (e.g. FailedPrecondition on a params mismatch) or Unavailable
+  /// if the host is unreachable.
+  static Result<FrameSender> Connect(const std::string& host, uint16_t port,
+                                     const SketchParams& params,
+                                     double epsilon, const Options& options);
+  static Result<FrameSender> Connect(const std::string& host, uint16_t port,
+                                     const SketchParams& params,
+                                     double epsilon) {
+    return Connect(host, port, params, epsilon, Options());
+  }
+
+  FrameSender(FrameSender&&) = default;
+  FrameSender& operator=(FrameSender&&) = default;
+
+  /// Encodes `reports` into LJSB envelopes of at most kMaxWireBatchReports
+  /// each and streams them as DATA frames.
+  Status SendReports(std::span<const LdpReport> reports);
+
+  /// Streams one already-encoded LJSB batch envelope. This is the zero-
+  /// re-encode path the loopback simulation uses: the exact bytes the
+  /// in-process service would ingest go on the wire.
+  Status SendEncodedBatch(std::span<const uint8_t> envelope);
+
+  /// Asks the server for a raw-lane snapshot of everything ingested so far
+  /// (ordered after every frame this connection has sent). Returns the
+  /// serialized un-finalized sketch (LdpJoinSketchServer::Deserialize).
+  Result<std::vector<uint8_t>> SnapshotRawSketch();
+
+  /// Asks the server to end collection (the CLI `serve` loop exits, drains,
+  /// and finalizes). FINALIZE is processed after every frame this
+  /// connection sent, so the FINALIZE_OK this waits for is — like BYE_OK —
+  /// proof that this connection's data is in the lanes. It is also the
+  /// session's last exchange: the server may tear the transport down
+  /// immediately after confirming, so do not call Finish() afterwards.
+  Status RequestFinalize();
+
+  /// BYE/BYE_OK: returns once the server has ingested every frame this
+  /// connection sent. The connection is done after this.
+  Status Finish();
+
+  uint32_t server_shards() const { return session_.num_shards; }
+  bool acked_data() const { return session_.acked_data; }
+  uint64_t frames_sent() const { return frames_sent_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t busy_retries() const { return busy_retries_; }
+
+ private:
+  FrameSender(Socket socket, const SessionHelloOk& session,
+              const Options& options)
+      : socket_(std::move(socket)), session_(session), options_(options) {}
+
+  /// Reads the next server frame, surfacing ERROR frames as their Status.
+  Result<NetFrame> ReadReply();
+
+  Socket socket_;
+  SessionHelloOk session_;
+  Options options_;
+  uint64_t frames_sent_ = 0;
+  uint64_t bytes_sent_ = 0;
+  uint64_t busy_retries_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace ldpjs
+
+#endif  // LDPJS_NET_FRAME_SENDER_H_

@@ -1,0 +1,410 @@
+#include "net/frame_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace ldpjs {
+
+namespace {
+
+/// Transport header bytes per frame (u32 length + u8 type).
+constexpr size_t kFrameHeaderBytes = 5;
+
+}  // namespace
+
+FrameServer::FrameServer(const SketchParams& params, double epsilon,
+                         const FrameServerOptions& options)
+    : params_(params),
+      epsilon_(epsilon),
+      options_(options),
+      aggregator_(params, epsilon,
+                  options.num_shards == 0 ? 1 : options.num_shards),
+      shard_frames_(aggregator_.num_shards()),
+      shard_reports_(aggregator_.num_shards()) {
+  LDPJS_CHECK(options_.queue_capacity >= 1);
+}
+
+FrameServer::~FrameServer() {
+  if (started_ && !stopped_) Stop();
+}
+
+Status FrameServer::Start() {
+  LDPJS_CHECK(!started_);
+  auto listener = Socket::ListenTcp(options_.port);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(*listener);
+  port_ = listener_.local_port();
+  started_ = true;
+  acceptor_ = std::thread(&FrameServer::AcceptLoop, this);
+  pump_ = std::thread(&FrameServer::PumpLoop, this);
+  return Status::OK();
+}
+
+void FrameServer::AcceptLoop() {
+  for (;;) {
+    auto socket = listener_.Accept();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+    }
+    if (!socket.ok()) {
+      // Persistent failures (EMFILE under connection pressure) must not
+      // busy-spin a core; back off briefly before retrying.
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      continue;
+    }
+    if (options_.send_timeout_seconds > 0) {
+      socket->SetSendTimeout(options_.send_timeout_seconds);
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->id = connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    conn->socket = std::move(*socket);
+    Connection* raw = conn.get();
+    // The thread handle must be fully assigned BEFORE the connection is
+    // visible to the pump: a reader that exits instantly (e.g. a HELLO
+    // mismatch) must never be reaped while raw->reader is still an empty
+    // handle — registration under mu_ is the pump's happens-before edge.
+    raw->reader = std::thread(&FrameServer::ReaderLoop, this, raw);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      connections_.push_back(std::move(conn));
+      // A Stop() racing this accept has already swept the registered
+      // sockets; cover the newcomer so its reader is unblocked too.
+      if (stopping_) raw->socket.ShutdownBoth();
+    }
+    // The reader may have finished before registration — wake the pump so
+    // the reap is prompt.
+    work_cv_.notify_all();
+  }
+}
+
+bool FrameServer::HelloMatches(const SessionHello& hello) const {
+  // Epsilon compares as bits: the debias scale must match exactly or the
+  // client's flip probability and the server's c_eps disagree.
+  uint64_t theirs = 0, ours = 0;
+  std::memcpy(&theirs, &hello.epsilon, sizeof(theirs));
+  std::memcpy(&ours, &epsilon_, sizeof(ours));
+  return hello.k == static_cast<uint32_t>(params_.k) &&
+         hello.m == static_cast<uint32_t>(params_.m) &&
+         hello.seed == params_.seed && theirs == ours;
+}
+
+void FrameServer::SendError(Connection& conn, const Status& status) {
+  // Best effort: the peer may already be gone.
+  std::lock_guard<std::mutex> g(conn.write_mu);
+  (void)WriteNetFrame(conn.socket, NetFrameType::kError,
+                      EncodeErrorPayload(status));
+}
+
+void FrameServer::ReaderLoop(Connection* conn) {
+  bool session_open = false;
+  // --- Handshake: exactly one HELLO with matching session params. --------
+  auto hello_frame = ReadNetFrame(conn->socket, kMaxIngestFramePayload);
+  if (hello_frame.ok() && hello_frame->type == NetFrameType::kHello) {
+    conn->bytes_received.fetch_add(
+        kFrameHeaderBytes + hello_frame->payload.size(),
+        std::memory_order_relaxed);
+    auto hello = DecodeHello(hello_frame->payload);
+    if (!hello.ok()) {
+      conn->corrupt_frames.fetch_add(1, std::memory_order_relaxed);
+      SendError(*conn, hello.status());
+    } else if (!HelloMatches(*hello)) {
+      handshakes_rejected_.fetch_add(1, std::memory_order_relaxed);
+      SendError(*conn, Status::FailedPrecondition(
+                           "session params mismatch: server sketch is k=" +
+                           std::to_string(params_.k) +
+                           " m=" + std::to_string(params_.m)));
+    } else {
+      SessionHelloOk ok;
+      ok.num_shards = static_cast<uint32_t>(aggregator_.num_shards());
+      ok.acked_data = options_.backpressure == BackpressurePolicy::kShed;
+      std::lock_guard<std::mutex> g(conn->write_mu);
+      session_open =
+          WriteNetFrame(conn->socket, NetFrameType::kHelloOk, EncodeHelloOk(ok))
+              .ok();
+    }
+  } else if (!hello_frame.ok() &&
+             hello_frame.status().code() == StatusCode::kNotFound) {
+    // Clean close before HELLO: a port probe, not an error.
+  } else {
+    conn->corrupt_frames.fetch_add(1, std::memory_order_relaxed);
+    SendError(*conn, Status::Corruption("expected HELLO"));
+  }
+
+  // --- Frame loop: parse, apply backpressure, enqueue for the pump. ------
+  while (session_open) {
+    auto frame = ReadNetFrame(conn->socket, kMaxIngestFramePayload);
+    if (!frame.ok()) {
+      if (frame.status().code() != StatusCode::kNotFound) {
+        conn->corrupt_frames.fetch_add(1, std::memory_order_relaxed);
+        SendError(*conn, frame.status());
+      }
+      break;
+    }
+    const bool is_data = frame->type == NetFrameType::kData;
+    const bool is_control = frame->type == NetFrameType::kSnapshot ||
+                            frame->type == NetFrameType::kFinalize ||
+                            frame->type == NetFrameType::kBye;
+    if (!is_data && !is_control) {
+      conn->corrupt_frames.fetch_add(1, std::memory_order_relaxed);
+      SendError(*conn, Status::Corruption("unexpected client frame type"));
+      break;
+    }
+    conn->frames_received.fetch_add(1, std::memory_order_relaxed);
+    conn->bytes_received.fetch_add(kFrameHeaderBytes + frame->payload.size(),
+                                   std::memory_order_relaxed);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (is_data && options_.backpressure == BackpressurePolicy::kShed &&
+          conn->queue.size() >= options_.queue_capacity) {
+        lock.unlock();
+        conn->frames_shed.fetch_add(1, std::memory_order_relaxed);
+        const uint8_t busy = static_cast<uint8_t>(DataAckCode::kBusy);
+        std::lock_guard<std::mutex> g(conn->write_mu);
+        if (!WriteNetFrame(conn->socket, NetFrameType::kDataAck, {&busy, 1})
+                 .ok()) {
+          session_open = false;
+        }
+        continue;
+      }
+      // Block policy (and control frames in either policy): park until the
+      // pump makes space. During a stopping drain the frame is admitted
+      // regardless so the reader can reach the client's close — memory
+      // stays bounded at capacity + 1 per connection.
+      space_cv_.wait(lock, [&] {
+        return conn->queue.size() < options_.queue_capacity || stopping_;
+      });
+      conn->queue.push_back(Item{frame->type, std::move(frame->payload)});
+      const uint64_t depth = conn->queue.size();
+      uint64_t seen = conn->queue_high_water.load(std::memory_order_relaxed);
+      while (depth > seen &&
+             !conn->queue_high_water.compare_exchange_weak(
+                 seen, depth, std::memory_order_relaxed)) {
+      }
+    }
+    work_cv_.notify_one();
+    if (is_data && options_.backpressure == BackpressurePolicy::kShed) {
+      const uint8_t ok = static_cast<uint8_t>(DataAckCode::kAbsorbed);
+      std::lock_guard<std::mutex> g(conn->write_mu);
+      if (!WriteNetFrame(conn->socket, NetFrameType::kDataAck, {&ok, 1})
+               .ok()) {
+        session_open = false;
+      }
+    }
+    if (frame->type == NetFrameType::kBye) break;  // client is done sending
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    conn->reader_done = true;
+  }
+  work_cv_.notify_all();
+}
+
+void FrameServer::ReapFinishedConnections() {
+  // Pump-thread only. A connection whose reader exited and whose queue is
+  // drained is finished for good: join the thread, keep its final counter
+  // snapshot, free everything else — so a long-lived server that has
+  // handled millions of short-lived clients holds live connections plus
+  // one metrics row per departed one, not their queues/threads/sockets.
+  std::vector<std::unique_ptr<Connection>> finished;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& conn : connections_) {
+      if (conn->reader_done && conn->queue.empty()) {
+        // Counters are final here: the reader mutates them only before
+        // setting reader_done, the pump only while the queue is non-empty.
+        // Snapshot into departed_ in the same critical section that removes
+        // the live entry, so a concurrent metrics() always sees the
+        // connection exactly once and aggregate totals stay monotonic.
+        ConnectionMetrics final_row = SnapshotConnection(*conn);
+        final_row.active = false;
+        departed_.push_back(final_row);
+        finished.push_back(std::move(conn));
+      }
+    }
+    std::erase_if(connections_,
+                  [](const std::unique_ptr<Connection>& c) { return !c; });
+  }
+  for (auto& conn : finished) conn->reader.join();
+}
+
+void FrameServer::PumpLoop() {
+  size_t rr = 0;
+  for (;;) {
+    ReapFinishedConnections();
+    Connection* conn = nullptr;
+    Item item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      // Pick the next queued item round-robin across connections.
+      const size_t n = connections_.size();
+      for (size_t i = 0; i < n && conn == nullptr; ++i) {
+        Connection* c = connections_[(rr + i) % n].get();
+        if (!c->queue.empty()) {
+          conn = c;
+          rr = (rr + i + 1) % n;
+        }
+      }
+      if (conn == nullptr) {
+        if (stopping_ && connections_.empty()) return;  // fully drained
+        // Sleep until there is an item to pump, a finished connection to
+        // reap, or nothing left at all during shutdown.
+        work_cv_.wait(lock, [&] {
+          for (const auto& c : connections_) {
+            if (!c->queue.empty() || c->reader_done) return true;
+          }
+          return stopping_ && connections_.empty();
+        });
+        continue;  // re-reap / re-scan with fresh state
+      }
+      item = std::move(conn->queue.front());
+      conn->queue.pop_front();
+    }
+    space_cv_.notify_all();
+    ProcessItem(*conn, item);
+  }
+}
+
+void FrameServer::ProcessItem(Connection& conn, const Item& item) {
+  switch (item.type) {
+    case NetFrameType::kData: {
+      const uint64_t before = aggregator_.reports_ingested();
+      const Status status = aggregator_.IngestFrame(item.payload);
+      if (!status.ok()) {
+        // A rejected frame left every lane untouched (shard contract);
+        // count it, tell the client, and cut the connection — a client
+        // producing corrupt envelopes cannot be trusted with the session.
+        conn.corrupt_frames.fetch_add(1, std::memory_order_relaxed);
+        SendError(conn, status);
+        conn.socket.ShutdownBoth();
+        break;
+      }
+      const uint64_t delta = aggregator_.reports_ingested() - before;
+      conn.reports_ingested.fetch_add(delta, std::memory_order_relaxed);
+      shard_frames_[pump_shard_].fetch_add(1, std::memory_order_relaxed);
+      shard_reports_[pump_shard_].fetch_add(delta, std::memory_order_relaxed);
+      pump_shard_ = (pump_shard_ + 1) % aggregator_.num_shards();
+      break;
+    }
+    case NetFrameType::kSnapshot: {
+      // Raw-lane snapshot of everything ingested so far (multi-epoch
+      // streaming: snapshots merge bit-exactly across epochs).
+      const std::vector<uint8_t> bytes = aggregator_.MergeShards().Serialize();
+      std::lock_guard<std::mutex> g(conn.write_mu);
+      if (!WriteNetFrame(conn.socket, NetFrameType::kSnapshotData, bytes)
+               .ok()) {
+        // The peer stopped reading (send timed out) or vanished; cut it so
+        // the pump can never be parked on this socket again.
+        conn.socket.ShutdownBoth();
+      }
+      break;
+    }
+    case NetFrameType::kFinalize: {
+      {
+        std::lock_guard<std::mutex> g(conn.write_mu);
+        if (!WriteNetFrame(conn.socket, NetFrameType::kFinalizeOk, {}).ok()) {
+          conn.socket.ShutdownBoth();
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        finalize_requested_ = true;
+      }
+      finalize_cv_.notify_all();
+      break;
+    }
+    case NetFrameType::kBye: {
+      // Processed strictly after every frame this client sent before it, so
+      // the ack below is the client's proof that its data is in the lanes.
+      std::lock_guard<std::mutex> g(conn.write_mu);
+      if (!WriteNetFrame(conn.socket, NetFrameType::kByeOk, {}).ok()) {
+        conn.socket.ShutdownBoth();
+      }
+      break;
+    }
+    default:
+      break;  // readers enqueue only the types above
+  }
+}
+
+void FrameServer::WaitForFinalizeRequest() {
+  std::unique_lock<std::mutex> lock(mu_);
+  finalize_cv_.wait(lock, [&] { return finalize_requested_; });
+}
+
+void FrameServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stopped_) return;
+    stopping_ = true;
+    // Disconnect whoever is still attached: readers blocked in recv see
+    // EOF and exit, so Stop cannot hang on an idle or silent client. A
+    // client that completed Finish() has already been fully ingested; any
+    // frames the stragglers queued are still drained by the pump below.
+    for (auto& conn : connections_) conn->socket.ShutdownBoth();
+  }
+  space_cv_.notify_all();
+  work_cv_.notify_all();
+  listener_.ShutdownBoth();
+  acceptor_.join();
+  // The pump drains every queue, then reaps (joins) every reader before it
+  // exits — after this join no connection state remains.
+  pump_.join();
+  listener_.Close();
+  stopped_ = true;
+}
+
+LdpJoinSketchServer FrameServer::Finalize() {
+  LDPJS_CHECK(stopped_);     // queues are drained exactly when stopped
+  LDPJS_CHECK(!finalized_);  // the global debias+transform happens once
+  finalized_ = true;
+  return aggregator_.Finalize();
+}
+
+ConnectionMetrics FrameServer::SnapshotConnection(
+    const Connection& conn) const {
+  ConnectionMetrics c;
+  c.id = conn.id;
+  c.active = !conn.reader_done;
+  c.frames_received = conn.frames_received.load(std::memory_order_relaxed);
+  c.bytes_received = conn.bytes_received.load(std::memory_order_relaxed);
+  c.reports_ingested = conn.reports_ingested.load(std::memory_order_relaxed);
+  c.corrupt_frames_rejected =
+      conn.corrupt_frames.load(std::memory_order_relaxed);
+  c.frames_shed = conn.frames_shed.load(std::memory_order_relaxed);
+  c.queue_high_water = conn.queue_high_water.load(std::memory_order_relaxed);
+  return c;
+}
+
+NetMetrics FrameServer::metrics() const {
+  NetMetrics m;
+  std::lock_guard<std::mutex> lock(mu_);
+  m.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  m.handshakes_rejected = handshakes_rejected_.load(std::memory_order_relaxed);
+  m.connections = departed_;  // final rows of reaped connections
+  for (const auto& conn : connections_) {
+    m.connections.push_back(SnapshotConnection(*conn));
+  }
+  for (const ConnectionMetrics& c : m.connections) {
+    m.connections_active += c.active ? 1 : 0;
+    m.frames_received += c.frames_received;
+    m.bytes_received += c.bytes_received;
+    m.reports_ingested += c.reports_ingested;
+    m.corrupt_frames_rejected += c.corrupt_frames_rejected;
+    m.frames_shed += c.frames_shed;
+    m.queue_high_water = std::max(m.queue_high_water, c.queue_high_water);
+  }
+  for (size_t s = 0; s < shard_frames_.size(); ++s) {
+    ShardMetrics shard;
+    shard.frames = shard_frames_[s].load(std::memory_order_relaxed);
+    shard.reports = shard_reports_[s].load(std::memory_order_relaxed);
+    m.shards.push_back(shard);
+  }
+  return m;
+}
+
+}  // namespace ldpjs

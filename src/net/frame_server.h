@@ -1,0 +1,166 @@
+// FrameServer: the TCP ingestion front end of the sharded aggregation
+// service. Accepts many concurrent client connections, speaks the LJSP
+// session protocol (see net/protocol.h), and feeds every decoded DATA frame
+// into a ShardedAggregator.
+//
+// Threading model:
+//   - one acceptor thread;
+//   - one reader thread per connection, which does the HELLO handshake,
+//     parses transport frames, and pushes them onto the connection's
+//     bounded ingest queue;
+//   - one ingest pump thread, the sole owner of the ShardedAggregator,
+//     which drains the queues round-robin. Frames stay ordered within a
+//     connection (so SNAPSHOT/FINALIZE/BYE observe every frame the client
+//     sent before them); ordering across connections is unspecified, which
+//     is fine — raw integer lanes make the merged sketch independent of
+//     frame routing and interleaving (the service exactness invariant).
+//
+// Backpressure (bounded memory): each connection's queue holds at most
+// `queue_capacity` frames. kBlock parks the reader until the pump makes
+// space — the kernel receive buffer fills and TCP flow control pushes back
+// on the client. kShed refuses the DATA frame with a retriable busy ack
+// instead (the client retries; see FrameSender). Control frames are never
+// shed. Either way the server's memory is one sketch per shard plus the
+// queues — never proportional to what clients send.
+//
+// Untrusted input: a malformed transport frame, an oversized length prefix,
+// a corrupt LJSB envelope, a mid-frame disconnect, or a HELLO with
+// mismatched sketch params can never crash the server or touch a lane —
+// each is counted in the metrics and the offending connection is closed.
+#ifndef LDPJS_NET_FRAME_SERVER_H_
+#define LDPJS_NET_FRAME_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/socket.h"
+#include "common/status.h"
+#include "core/ldp_join_sketch.h"
+#include "net/net_metrics.h"
+#include "net/protocol.h"
+#include "service/sharded_aggregator.h"
+
+namespace ldpjs {
+
+enum class BackpressurePolicy {
+  kBlock,  ///< park the reader; TCP flow control slows the client
+  kShed,   ///< refuse DATA with a busy ack; client retries
+};
+
+struct FrameServerOptions {
+  uint16_t port = 0;          ///< 0 = ephemeral; read back with port()
+  size_t num_shards = 1;      ///< aggregation shards (>= 1)
+  size_t queue_capacity = 64; ///< max queued frames per connection
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  /// SO_SNDTIMEO on accepted sockets: a client that requests a reply
+  /// (SNAPSHOT, acks) but stops reading can stall a server-side write for
+  /// at most this long before the write fails and the connection is cut —
+  /// the single-threaded ingest pump must never be parked forever on one
+  /// peer's socket. 0 disables the guard.
+  int send_timeout_seconds = 30;
+};
+
+class FrameServer {
+ public:
+  /// Params/epsilon every client HELLO must match bit for bit.
+  FrameServer(const SketchParams& params, double epsilon,
+              const FrameServerOptions& options);
+  ~FrameServer();
+
+  FrameServer(const FrameServer&) = delete;
+  FrameServer& operator=(const FrameServer&) = delete;
+
+  /// Binds, listens, and starts the acceptor and pump threads.
+  Status Start();
+
+  /// Bound port (valid after Start; resolves an ephemeral bind).
+  uint16_t port() const { return port_; }
+
+  /// Blocks until some client's FINALIZE frame has been processed.
+  void WaitForFinalizeRequest();
+
+  /// Shutdown: stops accepting, disconnects any client still attached
+  /// (its already-queued frames are still drained — but a client is only
+  /// guaranteed fully ingested if its Finish()/BYE_OK completed first),
+  /// drains all ingest queues, joins threads. Idempotent.
+  void Stop();
+
+  /// Merged + finalized sketch — callable exactly once, after Stop(), so
+  /// the global k·c_ε debias and row transforms happen exactly once over
+  /// fully drained queues. Bit-identical to a single node absorbing the
+  /// same reports.
+  LdpJoinSketchServer Finalize();
+
+  /// Consistent snapshot of the per-connection / per-shard counters.
+  NetMetrics metrics() const;
+
+ private:
+  struct Item {
+    NetFrameType type;
+    std::vector<uint8_t> payload;
+  };
+  struct Connection {
+    uint64_t id = 0;
+    Socket socket;
+    std::thread reader;
+    std::mutex write_mu;       ///< serializes socket writes (acks, replies)
+    std::deque<Item> queue;    ///< guarded by FrameServer::mu_
+    bool reader_done = false;  ///< guarded by FrameServer::mu_
+    std::atomic<uint64_t> frames_received{0};
+    std::atomic<uint64_t> bytes_received{0};
+    std::atomic<uint64_t> reports_ingested{0};
+    std::atomic<uint64_t> corrupt_frames{0};
+    std::atomic<uint64_t> frames_shed{0};
+    std::atomic<uint64_t> queue_high_water{0};
+  };
+
+  void AcceptLoop();
+  void ReaderLoop(Connection* conn);
+  void PumpLoop();
+  void ProcessItem(Connection& conn, const Item& item);
+  void ReapFinishedConnections();
+  ConnectionMetrics SnapshotConnection(const Connection& conn) const;
+  void SendError(Connection& conn, const Status& status);
+  bool HelloMatches(const SessionHello& hello) const;
+
+  SketchParams params_;
+  double epsilon_;
+  FrameServerOptions options_;
+  ShardedAggregator aggregator_;  ///< pump thread only once started
+  size_t pump_shard_ = 0;         ///< mirrors the aggregator's round-robin
+  std::vector<std::atomic<uint64_t>> shard_frames_;
+  std::vector<std::atomic<uint64_t>> shard_reports_;
+
+  Socket listener_;
+  uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::thread pump_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;      ///< pump waits for queued items
+  std::condition_variable space_cv_;     ///< readers wait for queue space
+  std::condition_variable finalize_cv_;
+  /// Live connections only: once a connection's reader has exited and its
+  /// queue is drained, the pump joins the thread, folds its counters into
+  /// departed_, and frees the slot — server memory does not grow with the
+  /// total number of clients ever served.
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::vector<ConnectionMetrics> departed_;  ///< final per-conn snapshots
+  bool started_ = false;
+  bool stopping_ = false;
+  bool stopped_ = false;
+  bool finalize_requested_ = false;
+  bool finalized_ = false;
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> handshakes_rejected_{0};
+};
+
+}  // namespace ldpjs
+
+#endif  // LDPJS_NET_FRAME_SERVER_H_

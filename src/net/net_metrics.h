@@ -1,0 +1,47 @@
+// Observability structs for the TCP front end. FrameServer::metrics()
+// returns a consistent snapshot; the CLI `serve` subcommand dumps it when
+// the session finishes.
+#ifndef LDPJS_NET_NET_METRICS_H_
+#define LDPJS_NET_NET_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ldpjs {
+
+/// Per-connection counters (one row per connection ever accepted).
+struct ConnectionMetrics {
+  uint64_t id = 0;
+  bool active = false;                   ///< reader thread still running
+  uint64_t frames_received = 0;          ///< well-formed transport frames
+  uint64_t bytes_received = 0;           ///< transport bytes (header+payload)
+  uint64_t reports_ingested = 0;         ///< reports absorbed into lanes
+  uint64_t corrupt_frames_rejected = 0;  ///< transport- or envelope-level
+  uint64_t frames_shed = 0;              ///< DATA refused with a busy ack
+  uint64_t queue_high_water = 0;         ///< max ingest-queue depth seen
+};
+
+/// Per-shard counters mirrored from the aggregation tier.
+struct ShardMetrics {
+  uint64_t frames = 0;
+  uint64_t reports = 0;
+};
+
+struct NetMetrics {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_active = 0;
+  uint64_t handshakes_rejected = 0;  ///< HELLO with mismatched params
+  // Totals over all connections (sum of the rows below).
+  uint64_t frames_received = 0;
+  uint64_t bytes_received = 0;
+  uint64_t reports_ingested = 0;
+  uint64_t corrupt_frames_rejected = 0;
+  uint64_t frames_shed = 0;
+  uint64_t queue_high_water = 0;  ///< max over connections
+  std::vector<ConnectionMetrics> connections;
+  std::vector<ShardMetrics> shards;
+};
+
+}  // namespace ldpjs
+
+#endif  // LDPJS_NET_NET_METRICS_H_

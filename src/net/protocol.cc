@@ -1,0 +1,152 @@
+#include "net/protocol.h"
+
+namespace ldpjs {
+
+namespace {
+
+bool IsKnownFrameType(uint8_t type) {
+  return type >= static_cast<uint8_t>(NetFrameType::kHello) &&
+         type <= static_cast<uint8_t>(NetFrameType::kError);
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeHello(const SessionHello& hello) {
+  BinaryWriter writer;
+  writer.PutU32(kNetMagic);
+  writer.PutU8(kNetVersion);
+  writer.PutU32(hello.k);
+  writer.PutU32(hello.m);
+  writer.PutU64(hello.seed);
+  writer.PutDouble(hello.epsilon);
+  return writer.TakeBuffer();
+}
+
+Result<SessionHello> DecodeHello(std::span<const uint8_t> payload) {
+  BinaryReader reader(payload);
+  auto magic = reader.GetU32();
+  if (!magic.ok()) return magic.status();
+  if (*magic != kNetMagic) {
+    return Status::Corruption("missing LJSP protocol magic");
+  }
+  auto version = reader.GetU8();
+  if (!version.ok()) return version.status();
+  if (*version != kNetVersion) {
+    return Status::Corruption("unsupported LJSP protocol version " +
+                              std::to_string(*version));
+  }
+  SessionHello hello;
+  auto k = reader.GetU32();
+  if (!k.ok()) return k.status();
+  auto m = reader.GetU32();
+  if (!m.ok()) return m.status();
+  auto seed = reader.GetU64();
+  if (!seed.ok()) return seed.status();
+  auto epsilon = reader.GetDouble();
+  if (!epsilon.ok()) return epsilon.status();
+  if (!reader.AtEnd()) return Status::Corruption("trailing bytes after HELLO");
+  hello.k = *k;
+  hello.m = *m;
+  hello.seed = *seed;
+  hello.epsilon = *epsilon;
+  return hello;
+}
+
+std::vector<uint8_t> EncodeHelloOk(const SessionHelloOk& ok) {
+  BinaryWriter writer;
+  writer.PutU8(ok.version);
+  writer.PutU32(ok.num_shards);
+  writer.PutU8(ok.acked_data ? 1 : 0);
+  return writer.TakeBuffer();
+}
+
+Result<SessionHelloOk> DecodeHelloOk(std::span<const uint8_t> payload) {
+  BinaryReader reader(payload);
+  auto version = reader.GetU8();
+  if (!version.ok()) return version.status();
+  auto shards = reader.GetU32();
+  if (!shards.ok()) return shards.status();
+  auto acked = reader.GetU8();
+  if (!acked.ok()) return acked.status();
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes after HELLO_OK");
+  }
+  SessionHelloOk ok;
+  ok.version = *version;
+  ok.num_shards = *shards;
+  ok.acked_data = *acked != 0;
+  return ok;
+}
+
+std::vector<uint8_t> EncodeErrorPayload(const Status& status) {
+  std::vector<uint8_t> payload;
+  payload.reserve(1 + status.message().size());
+  payload.push_back(static_cast<uint8_t>(status.code()));
+  for (char c : status.message()) {
+    payload.push_back(static_cast<uint8_t>(c));
+  }
+  return payload;
+}
+
+Status DecodeErrorPayload(std::span<const uint8_t> payload) {
+  if (payload.empty()) return Status::Internal("peer reported an error");
+  const uint8_t code = payload[0];
+  std::string message(reinterpret_cast<const char*>(payload.data()) + 1,
+                      payload.size() - 1);
+  if (code == 0 || code > static_cast<uint8_t>(StatusCode::kUnavailable)) {
+    return Status::Internal("peer reported an error: " + message);
+  }
+  return Status(static_cast<StatusCode>(code), std::move(message));
+}
+
+Status WriteNetFrame(const Socket& socket, NetFrameType type,
+                     std::span<const uint8_t> payload) {
+  LDPJS_CHECK(payload.size() <= kMaxControlFramePayload);
+  // Gathered write: header + payload leave as one segment/syscall even on
+  // an idle TCP_NODELAY connection, and stay allocation-free.
+  uint8_t header[5];
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  header[0] = static_cast<uint8_t>(len);
+  header[1] = static_cast<uint8_t>(len >> 8);
+  header[2] = static_cast<uint8_t>(len >> 16);
+  header[3] = static_cast<uint8_t>(len >> 24);
+  header[4] = static_cast<uint8_t>(type);
+  return socket.SendAllV(header, payload);
+}
+
+Result<NetFrame> ReadNetFrame(const Socket& socket, size_t max_payload) {
+  uint8_t header[5];
+  // RecvAll distinguishes a close on the frame boundary (NotFound — the
+  // peer is simply done) from a close inside the header (Corruption).
+  LDPJS_RETURN_IF_ERROR(socket.RecvAll(header));
+  const uint32_t len = static_cast<uint32_t>(header[0]) |
+                       (static_cast<uint32_t>(header[1]) << 8) |
+                       (static_cast<uint32_t>(header[2]) << 16) |
+                       (static_cast<uint32_t>(header[3]) << 24);
+  if (len > max_payload) {
+    return Status::Corruption("frame payload of " + std::to_string(len) +
+                              " bytes exceeds the limit of " +
+                              std::to_string(max_payload));
+  }
+  if (!IsKnownFrameType(header[4])) {
+    return Status::Corruption("unknown frame type " +
+                              std::to_string(header[4]));
+  }
+  NetFrame frame;
+  frame.type = static_cast<NetFrameType>(header[4]);
+  frame.payload.resize(len);
+  if (len > 0) {
+    const Status status = socket.RecvAll(frame.payload);
+    if (!status.ok()) {
+      // Truncation inside a declared payload is corruption even when the
+      // close itself was clean — the peer promised `len` more bytes.
+      if (status.code() == StatusCode::kNotFound) {
+        return Status::Corruption("connection closed mid-frame");
+      }
+      return status;
+    }
+  }
+  return frame;
+}
+
+}  // namespace ldpjs

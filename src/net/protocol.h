@@ -1,0 +1,129 @@
+// LJSP session protocol v1: the framing and handshake the TCP front end
+// speaks between FrameSender clients and the FrameServer.
+//
+// Transport framing (everything little-endian):
+//
+//   +----------------+--------+----------------------------+
+//   | u32 payload_len| u8 type| payload (payload_len bytes)|
+//   +----------------+--------+----------------------------+
+//
+// Session flow:
+//
+//   client                                server
+//     | -- HELLO {magic,ver,k,m,seed,eps} -> |   params must match exactly
+//     | <- HELLO_OK {ver,shards,ack_mode} -- |   (else ERROR + close)
+//     | -- DATA {LJSB batch envelope} -----> |   ingest into a shard
+//     | <- DATA_ACK {code} ---------------- |   (shed mode only; code busy
+//     |            ...                       |    means retry the frame)
+//     | -- SNAPSHOT ----------------------> |
+//     | <- SNAPSHOT_DATA {raw-lane sketch}- |   merged un-finalized lanes
+//     | -- BYE ---------------------------> |
+//     | <- BYE_OK ------------------------- |   all of this connection's
+//     |  close                              |   frames are ingested
+//
+// A client ending the whole collection sends FINALIZE instead of BYE as
+// its last message; FINALIZE_OK carries the same "everything you sent is
+// ingested" guarantee (control frames are ordered after the connection's
+// DATA), and the server may tear the session down right after confirming.
+//
+// DATA payloads are exactly the "LJSB" batch-envelope records the in-process
+// service ingests (EncodeReportBatch), so the network tier adds framing and
+// flow control but never re-encodes reports — which is what makes the TCP
+// path bit-identical to in-process ingestion.
+#ifndef LDPJS_NET_PROTOCOL_H_
+#define LDPJS_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "common/serialize.h"
+#include "common/socket.h"
+#include "common/status.h"
+
+namespace ldpjs {
+
+inline constexpr uint32_t kNetMagic = 0x50534A4CU;  // "LJSP" little-endian
+inline constexpr uint8_t kNetVersion = 1;
+
+/// Frame types. Client→server: kHello, kData, kSnapshot, kFinalize, kBye.
+/// Server→client: kHelloOk, kDataAck, kSnapshotData, kFinalizeOk, kByeOk,
+/// kError.
+enum class NetFrameType : uint8_t {
+  kHello = 1,
+  kHelloOk = 2,
+  kData = 3,
+  kDataAck = 4,
+  kSnapshot = 5,
+  kSnapshotData = 6,
+  kFinalize = 7,
+  kFinalizeOk = 8,
+  kBye = 9,
+  kByeOk = 10,
+  kError = 11,
+};
+
+/// Hard cap on client→server frame payloads. A batch envelope is at most
+/// 9 + 4096·9 bytes, so anything near this cap is garbage; bounding it
+/// keeps a malicious length prefix from making the server allocate.
+inline constexpr size_t kMaxIngestFramePayload = 64 * 1024;
+
+/// Cap on server→client payloads (snapshots carry k·m raw i64 lanes).
+inline constexpr size_t kMaxControlFramePayload = size_t{256} * 1024 * 1024;
+
+/// DATA_ACK payload (one byte).
+enum class DataAckCode : uint8_t {
+  kAbsorbed = 0,
+  kBusy = 1,  ///< shed by backpressure — retriable
+};
+
+/// HELLO payload: the sketch session parameters. The server accepts a
+/// connection only if every field matches its own configuration bit for bit
+/// (mismatched params would silently poison lanes, never mergeable).
+struct SessionHello {
+  uint32_t k = 0;
+  uint32_t m = 0;
+  uint64_t seed = 0;
+  double epsilon = 0.0;
+};
+
+std::vector<uint8_t> EncodeHello(const SessionHello& hello);
+Result<SessionHello> DecodeHello(std::span<const uint8_t> payload);
+
+/// HELLO_OK payload: protocol version echo plus the server's shard count
+/// and whether every DATA frame will be acked (shed-mode flow control).
+struct SessionHelloOk {
+  uint8_t version = kNetVersion;
+  uint32_t num_shards = 0;
+  bool acked_data = false;
+};
+
+std::vector<uint8_t> EncodeHelloOk(const SessionHelloOk& ok);
+Result<SessionHelloOk> DecodeHelloOk(std::span<const uint8_t> payload);
+
+/// ERROR payload: one status-code byte plus the message bytes. The decoded
+/// Status is what the failing server-side operation returned, so a client
+/// can distinguish a retriable condition from a protocol violation.
+std::vector<uint8_t> EncodeErrorPayload(const Status& status);
+Status DecodeErrorPayload(std::span<const uint8_t> payload);
+
+/// One parsed transport frame (payload bytes owned).
+struct NetFrame {
+  NetFrameType type = NetFrameType::kError;
+  std::vector<uint8_t> payload;
+};
+
+/// Writes one frame (u32 len + u8 type + payload) to the socket.
+Status WriteNetFrame(const Socket& socket, NetFrameType type,
+                     std::span<const uint8_t> payload);
+
+/// Reads one frame (empty payloads are valid — the control frames carry
+/// none). A clean close on a frame boundary returns NotFound (end of
+/// session); a close mid-frame, an unknown type, or a payload above
+/// `max_payload` returns Corruption without reading further.
+Result<NetFrame> ReadNetFrame(const Socket& socket, size_t max_payload);
+
+}  // namespace ldpjs
+
+#endif  // LDPJS_NET_PROTOCOL_H_

@@ -1,0 +1,299 @@
+// TCP front end end-to-end: the acceptance bar is that estimates produced
+// via a real loopback socket session are bit-identical to in-process
+// ShardedAggregator ingestion, for shard counts {1, 4} and both join
+// methods — and that no malformed frame, oversized length, corrupt
+// envelope, params mismatch, or mid-stream disconnect can crash the server
+// (these tests run under the CI ASan/UBSan job); each is counted in the
+// metrics instead.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/socket.h"
+#include "core/join_methods.h"
+#include "data/datasets.h"
+#include "net/frame_sender.h"
+#include "net/frame_server.h"
+#include "net/protocol.h"
+
+namespace ldpjs {
+namespace {
+
+SketchParams TestParams(int k = 6, int m = 256, uint64_t seed = 21) {
+  SketchParams params;
+  params.k = k;
+  params.m = m;
+  params.seed = seed;
+  return params;
+}
+
+std::vector<LdpReport> PerturbColumn(const LdpJoinSketchClient& client,
+                                     size_t n, uint64_t seed) {
+  std::vector<uint64_t> values(n);
+  for (size_t i = 0; i < n; ++i) values[i] = (i * 2654435761u) % 1000;
+  std::vector<LdpReport> reports(n);
+  Xoshiro256 rng(seed);
+  client.PerturbBatch(values, reports, rng);
+  return reports;
+}
+
+TEST(NetLoopbackTest, EstimatesBitIdenticalToInProcessForShardsAndMethods) {
+  const JoinWorkload workload = MakeZipfWorkload(1.3, 5000, 20000, /*seed=*/5);
+  for (const JoinMethod method :
+       {JoinMethod::kLdpJoinSketch, JoinMethod::kLdpJoinSketchPlus}) {
+    for (const size_t shards : {size_t{1}, size_t{4}}) {
+      JoinMethodConfig config;
+      config.epsilon = 2.0;
+      config.sketch = TestParams();
+      config.run_seed = 77;
+      config.num_shards = shards;
+
+      config.net_loopback = false;
+      const double in_process =
+          EstimateJoin(method, workload.table_a, workload.table_b, config)
+              .estimate;
+      config.net_loopback = true;
+      const double over_tcp =
+          EstimateJoin(method, workload.table_a, workload.table_b, config)
+              .estimate;
+      EXPECT_EQ(over_tcp, in_process)
+          << "method=" << JoinMethodName(method) << " shards=" << shards;
+    }
+  }
+}
+
+TEST(NetLoopbackTest, SendReportsMatchesDirectAbsorbBitForBit) {
+  const SketchParams params = TestParams();
+  const double epsilon = 3.0;
+  LdpJoinSketchClient client(params, epsilon);
+  const std::vector<LdpReport> reports = PerturbColumn(client, 10000, 3);
+
+  FrameServerOptions options;
+  options.num_shards = 3;
+  FrameServer server(params, epsilon, options);
+  ASSERT_TRUE(server.Start().ok());
+  auto sender = FrameSender::Connect("127.0.0.1", server.port(), params,
+                                     epsilon);
+  ASSERT_TRUE(sender.ok()) << sender.status().ToString();
+  EXPECT_EQ(sender->server_shards(), 3u);
+  ASSERT_TRUE(sender->SendReports(reports).ok());
+  ASSERT_TRUE(sender->Finish().ok());
+  server.Stop();
+
+  LdpJoinSketchServer direct(params, epsilon);
+  direct.AbsorbBatch(reports);
+  LdpJoinSketchServer over_tcp = server.Finalize();
+  direct.Finalize();
+  // Finalized sketches serialize their cells; byte equality is the
+  // strongest statement of bit-identity.
+  EXPECT_EQ(over_tcp.Serialize(), direct.Serialize());
+
+  const NetMetrics metrics = server.metrics();
+  EXPECT_EQ(metrics.reports_ingested, reports.size());
+  EXPECT_EQ(metrics.corrupt_frames_rejected, 0u);
+  uint64_t shard_reports = 0;
+  for (const ShardMetrics& shard : metrics.shards) {
+    shard_reports += shard.reports;
+  }
+  EXPECT_EQ(metrics.shards.size(), 3u);
+  EXPECT_EQ(shard_reports, reports.size());
+  EXPECT_GE(metrics.queue_high_water, 1u);
+}
+
+TEST(NetLoopbackTest, SnapshotMatchesDirectRawLanes) {
+  const SketchParams params = TestParams();
+  const double epsilon = 1.5;
+  LdpJoinSketchClient client(params, epsilon);
+  const std::vector<LdpReport> reports = PerturbColumn(client, 6000, 9);
+
+  FrameServerOptions options;
+  options.num_shards = 2;
+  FrameServer server(params, epsilon, options);
+  ASSERT_TRUE(server.Start().ok());
+  auto sender =
+      FrameSender::Connect("127.0.0.1", server.port(), params, epsilon);
+  ASSERT_TRUE(sender.ok());
+  ASSERT_TRUE(sender->SendReports(reports).ok());
+  auto snapshot = sender->SnapshotRawSketch();
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  ASSERT_TRUE(sender->Finish().ok());
+
+  // The snapshot is ordered after every frame this connection sent, so it
+  // holds exactly the raw lanes a direct absorb of the same reports gives.
+  LdpJoinSketchServer direct(params, epsilon);
+  direct.AbsorbBatch(reports);
+  EXPECT_EQ(*snapshot, direct.Serialize());
+  auto restored = LdpJoinSketchServer::Deserialize(*snapshot);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_FALSE(restored->finalized());
+  EXPECT_EQ(restored->total_reports(), reports.size());
+}
+
+TEST(NetLoopbackTest, HelloMismatchRejectedAndCounted) {
+  const SketchParams params = TestParams();
+  FrameServerOptions options;
+  FrameServer server(params, 2.0, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  SketchParams wrong_m = params;
+  wrong_m.m = 512;
+  auto mismatch =
+      FrameSender::Connect("127.0.0.1", server.port(), wrong_m, 2.0);
+  EXPECT_FALSE(mismatch.ok());
+  EXPECT_EQ(mismatch.status().code(), StatusCode::kFailedPrecondition);
+
+  auto wrong_epsilon =
+      FrameSender::Connect("127.0.0.1", server.port(), params, 2.5);
+  EXPECT_FALSE(wrong_epsilon.ok());
+
+  // A matching client still gets in afterwards.
+  auto good = FrameSender::Connect("127.0.0.1", server.port(), params, 2.0);
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  ASSERT_TRUE(good->Finish().ok());
+  server.Stop();
+  EXPECT_EQ(server.metrics().handshakes_rejected, 2u);
+}
+
+TEST(NetLoopbackTest, MalformedFramesAreCountedAndServerSurvives) {
+  const SketchParams params = TestParams();
+  const double epsilon = 2.0;
+  FrameServerOptions options;
+  options.num_shards = 2;
+  FrameServer server(params, epsilon, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::vector<uint8_t> hello = EncodeHello(
+      SessionHello{static_cast<uint32_t>(params.k),
+                   static_cast<uint32_t>(params.m), params.seed, epsilon});
+  auto open_session = [&]() -> Socket {
+    auto socket = Socket::ConnectTcp("127.0.0.1", server.port());
+    EXPECT_TRUE(socket.ok());
+    EXPECT_TRUE(WriteNetFrame(*socket, NetFrameType::kHello, hello).ok());
+    auto reply = ReadNetFrame(*socket, kMaxControlFramePayload);
+    EXPECT_TRUE(reply.ok() && reply->type == NetFrameType::kHelloOk);
+    return std::move(*socket);
+  };
+  auto expect_error_then_close = [](const Socket& socket) {
+    // The server answers with ERROR and stops reading from this peer.
+    auto reply = ReadNetFrame(socket, kMaxControlFramePayload);
+    if (reply.ok()) EXPECT_EQ(reply->type, NetFrameType::kError);
+  };
+
+  {  // Oversized declared length.
+    Socket socket = open_session();
+    const uint8_t header[5] = {0xFF, 0xFF, 0xFF, 0x7F,
+                               static_cast<uint8_t>(NetFrameType::kData)};
+    ASSERT_TRUE(socket.SendAll(header).ok());
+    expect_error_then_close(socket);
+  }
+  {  // Well-framed DATA whose LJSB envelope is garbage.
+    Socket socket = open_session();
+    const std::vector<uint8_t> garbage(64, 0xAB);
+    ASSERT_TRUE(WriteNetFrame(socket, NetFrameType::kData, garbage).ok());
+    expect_error_then_close(socket);
+  }
+  {  // Mid-stream disconnect: half a header, then gone.
+    Socket socket = open_session();
+    const uint8_t partial[2] = {32, 0};
+    ASSERT_TRUE(socket.SendAll(partial).ok());
+  }
+  {  // Port probe: connect and close without a word. Counts as nothing.
+    auto socket = Socket::ConnectTcp("127.0.0.1", server.port());
+    ASSERT_TRUE(socket.ok());
+  }
+
+  // The server still serves a well-behaved client with exact results.
+  LdpJoinSketchClient client(params, epsilon);
+  const std::vector<LdpReport> reports = PerturbColumn(client, 5000, 17);
+  auto sender =
+      FrameSender::Connect("127.0.0.1", server.port(), params, epsilon);
+  ASSERT_TRUE(sender.ok()) << sender.status().ToString();
+  ASSERT_TRUE(sender->SendReports(reports).ok());
+  ASSERT_TRUE(sender->Finish().ok());
+  server.Stop();
+
+  const NetMetrics metrics = server.metrics();
+  EXPECT_EQ(metrics.corrupt_frames_rejected, 3u);
+  EXPECT_EQ(metrics.reports_ingested, reports.size());
+  // Three corrupt sessions + the probe + the good sender.
+  EXPECT_EQ(metrics.connections_accepted, 5u);
+
+  LdpJoinSketchServer direct(params, epsilon);
+  direct.AbsorbBatch(reports);
+  direct.Finalize();
+  EXPECT_EQ(server.Finalize().Serialize(), direct.Serialize());
+}
+
+TEST(NetLoopbackTest, ShedBackpressureLosesNothing) {
+  const SketchParams params = TestParams();
+  const double epsilon = 2.0;
+  LdpJoinSketchClient client(params, epsilon);
+  const std::vector<LdpReport> reports = PerturbColumn(client, 40000, 23);
+
+  FrameServerOptions options;
+  options.num_shards = 2;
+  options.queue_capacity = 1;  // force backpressure on every burst
+  options.backpressure = BackpressurePolicy::kShed;
+  FrameServer server(params, epsilon, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  FrameSender::Options sender_options;
+  sender_options.busy_retry_micros = 50;
+  auto sender = FrameSender::Connect("127.0.0.1", server.port(), params,
+                                     epsilon, sender_options);
+  ASSERT_TRUE(sender.ok());
+  EXPECT_TRUE(sender->acked_data());
+  ASSERT_TRUE(sender->SendReports(reports).ok());
+  ASSERT_TRUE(sender->Finish().ok());
+  server.Stop();
+
+  const NetMetrics metrics = server.metrics();
+  // Shed frames were retried until accepted: nothing lost, nothing doubled.
+  EXPECT_EQ(metrics.reports_ingested, reports.size());
+  EXPECT_LE(metrics.queue_high_water, options.queue_capacity + 1);
+
+  LdpJoinSketchServer direct(params, epsilon);
+  direct.AbsorbBatch(reports);
+  direct.Finalize();
+  EXPECT_EQ(server.Finalize().Serialize(), direct.Serialize());
+}
+
+TEST(NetLoopbackTest, ManyConcurrentSendersMergeExactly) {
+  const SketchParams params = TestParams();
+  const double epsilon = 2.0;
+  LdpJoinSketchClient client(params, epsilon);
+  constexpr size_t kSenders = 4;
+  constexpr size_t kPerSender = 8000;
+  std::vector<std::vector<LdpReport>> partitions;
+  for (size_t s = 0; s < kSenders; ++s) {
+    partitions.push_back(PerturbColumn(client, kPerSender, 100 + s));
+  }
+
+  FrameServerOptions options;
+  options.num_shards = 4;
+  FrameServer server(params, epsilon, options);
+  ASSERT_TRUE(server.Start().ok());
+  std::vector<std::thread> threads;
+  for (size_t s = 0; s < kSenders; ++s) {
+    threads.emplace_back([&, s] {
+      auto sender =
+          FrameSender::Connect("127.0.0.1", server.port(), params, epsilon);
+      ASSERT_TRUE(sender.ok());
+      ASSERT_TRUE(sender->SendReports(partitions[s]).ok());
+      ASSERT_TRUE(sender->Finish().ok());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  server.Stop();
+
+  // Interleaving across connections is nondeterministic; the estimate is
+  // not — raw lanes are order-independent integer adds.
+  LdpJoinSketchServer direct(params, epsilon);
+  for (const auto& partition : partitions) direct.AbsorbBatch(partition);
+  direct.Finalize();
+  EXPECT_EQ(server.Finalize().Serialize(), direct.Serialize());
+  EXPECT_EQ(server.metrics().reports_ingested, kSenders * kPerSender);
+}
+
+}  // namespace
+}  // namespace ldpjs

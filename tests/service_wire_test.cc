@@ -124,6 +124,31 @@ TEST(DecodeReportBatchTest, RejectsBadMagicVersionCountAndSign) {
             StatusCode::kCorruption);
 }
 
+TEST(DecodeReportBatchTest, HugeDeclaredCountsCannotOverflowByteArithmetic) {
+  // Regression: the declared count feeds a count·9 byte-size multiply. A
+  // count like 0xffffffff must fail with a clean Corruption via the checked
+  // multiply / caps — on every size_t width — never wrap into a small
+  // GetRaw that lets the decode loop run past the buffer (ASan-covered).
+  std::vector<LdpReport> out(kMaxWireBatchReports);
+  for (const uint32_t declared :
+       {uint32_t{0xffffffff}, uint32_t{0xe38e38e4} /* SIZE_MAX32/9 + 1 */,
+        uint32_t{0x80000000}, uint32_t{kMaxWireBatchReports + 1}}) {
+    BinaryWriter writer;
+    EncodeReportBatch({}, writer);
+    std::vector<uint8_t> bytes = writer.TakeBuffer();
+    bytes[5] = static_cast<uint8_t>(declared);
+    bytes[6] = static_cast<uint8_t>(declared >> 8);
+    bytes[7] = static_cast<uint8_t>(declared >> 16);
+    bytes[8] = static_cast<uint8_t>(declared >> 24);
+    // Pad so a wrapped multiply would find "enough" bytes to start looping.
+    bytes.resize(bytes.size() + 64, 0);
+    BinaryReader reader(bytes);
+    auto result = DecodeReportBatch(reader, out);
+    ASSERT_FALSE(result.ok()) << "count=" << declared;
+    EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  }
+}
+
 TEST(DecodeReportBatchTest, RandomGarbageNeverCrashesOrOverreads) {
   // Fuzz-ish sweep: random buffers, random lengths. The decoder may only
   // succeed by constructing strictly valid reports; everything else must be

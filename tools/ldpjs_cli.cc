@@ -1,16 +1,35 @@
-// Command-line experiment driver: run any join-size method on any of the
-// simulated Table-II workloads with custom parameters. Prints a one-line
-// result plus the Theorem-5 confidence bound for the sketch methods.
+// Command-line driver. Two faces:
+//
+// Experiment mode (no subcommand, the original interface): run any join-
+// size method on any of the simulated Table-II workloads.
 //
 //   ldpjs_cli --method ldpjoinsketch+ --dataset movielens --rows 1000000 \
-//             --epsilon 2 --k 18 --m 1024 --trials 3
+//             --epsilon 2 --k 18 --m 1024 --trials 3 [--shards 4] [--net 1]
+//
+// Network mode (subcommands) — the distributed deployment, on real sockets:
+//
+//   ldpjs_cli serve --port 7542 --shards 4 --seed 1 --out sketch_a.bin
+//   ldpjs_cli send  --port 7542 --table a --rows 200000 --seed 1 --finalize 1
+//   ldpjs_cli estimate --sketch-a a.bin --sketch-b b.bin [--check 1 ...]
+//
+// `serve` aggregates one table's reports until a client sends FINALIZE,
+// then drains, finalizes once, writes the serialized finalized sketch to
+// --out, and dumps the per-connection/per-shard metrics. `send` replays the
+// exact per-block perturbation the in-process simulation would run (same
+// counter-based RNG streams, same seed derivations), so `estimate --check`
+// can assert the network path reproduced the in-process estimate bit for
+// bit.
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "common/stats.h"
 #include "core/join_methods.h"
+#include "core/simulation.h"
 #include "data/datasets.h"
 #include "data/join.h"
+#include "net/frame_sender.h"
+#include "net/frame_server.h"
 #include "tools/flags.h"
 
 namespace {
@@ -45,50 +64,331 @@ DatasetId ParseDataset(const std::string& name) {
   std::exit(2);
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  tools::Flags flags;
-  flags.Define("method", "ldpjoinsketch", "estimator to run");
+/// Workload + sketch-seed derivations shared by every mode, so the network
+/// subcommands regenerate exactly what the in-process experiment runs.
+void DefineWorkloadFlags(tools::Flags& flags) {
   flags.Define("dataset", "zipf", "workload (Table II)");
   flags.Define("alpha", "1.1", "zipf skew (zipf dataset only)");
   flags.Define("rows", "1000000", "rows per table");
   flags.Define("epsilon", "4.0", "LDP budget");
   flags.Define("k", "18", "sketch rows");
   flags.Define("m", "1024", "sketch columns (power of two)");
+  flags.Define("seed", "1", "workload + run seed");
+}
+
+JoinWorkload WorkloadFromFlags(const tools::Flags& flags) {
+  const DatasetId dataset = ParseDataset(flags.GetString("dataset"));
+  const uint64_t rows = static_cast<uint64_t>(flags.GetInt("rows"));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  return (dataset == DatasetId::kZipf)
+             ? MakeZipfWorkload(flags.GetDouble("alpha"),
+                                GetDatasetSpec(dataset).domain, rows, seed)
+             : MakeWorkload(dataset, rows, seed);
+}
+
+SketchParams SketchFromFlags(const tools::Flags& flags) {
+  SketchParams params;
+  params.k = static_cast<int>(flags.GetInt("k"));
+  params.m = static_cast<int>(flags.GetInt("m"));
+  params.seed =
+      Mix64(static_cast<uint64_t>(flags.GetInt("seed")) ^ 0x5EEDULL);
+  return params;
+}
+
+bool WriteFile(const std::string& path, std::span<const uint8_t> bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok = bytes.empty() ||
+                  std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  std::fclose(f);
+  return ok;
+}
+
+bool ReadFile(const std::string& path, std::vector<uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  bytes.resize(size < 0 ? 0 : static_cast<size_t>(size));
+  const bool ok =
+      bytes.empty() || std::fread(bytes.data(), 1, bytes.size(), f) ==
+                           bytes.size();
+  std::fclose(f);
+  return ok;
+}
+
+void DumpMetrics(const NetMetrics& metrics) {
+  std::printf("connections    : %llu accepted, %llu rejected handshakes\n",
+              static_cast<unsigned long long>(metrics.connections_accepted),
+              static_cast<unsigned long long>(metrics.handshakes_rejected));
+  std::printf("frames         : %llu ok, %llu corrupt rejected, %llu shed\n",
+              static_cast<unsigned long long>(metrics.frames_received),
+              static_cast<unsigned long long>(metrics.corrupt_frames_rejected),
+              static_cast<unsigned long long>(metrics.frames_shed));
+  std::printf("bytes          : %llu\n",
+              static_cast<unsigned long long>(metrics.bytes_received));
+  std::printf("reports        : %llu\n",
+              static_cast<unsigned long long>(metrics.reports_ingested));
+  std::printf("queue high-water: %llu frames\n",
+              static_cast<unsigned long long>(metrics.queue_high_water));
+  for (const ConnectionMetrics& c : metrics.connections) {
+    std::printf(
+        "  conn %llu: frames=%llu bytes=%llu reports=%llu corrupt=%llu "
+        "shed=%llu hwm=%llu\n",
+        static_cast<unsigned long long>(c.id),
+        static_cast<unsigned long long>(c.frames_received),
+        static_cast<unsigned long long>(c.bytes_received),
+        static_cast<unsigned long long>(c.reports_ingested),
+        static_cast<unsigned long long>(c.corrupt_frames_rejected),
+        static_cast<unsigned long long>(c.frames_shed),
+        static_cast<unsigned long long>(c.queue_high_water));
+  }
+  for (size_t s = 0; s < metrics.shards.size(); ++s) {
+    std::printf("  shard %zu: frames=%llu reports=%llu\n", s,
+                static_cast<unsigned long long>(metrics.shards[s].frames),
+                static_cast<unsigned long long>(metrics.shards[s].reports));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// serve: TCP aggregation front end for one table's reports.
+// ---------------------------------------------------------------------------
+int RunServe(int argc, char** argv) {
+  tools::Flags flags;
+  DefineWorkloadFlags(flags);
+  flags.Define("port", "7542", "TCP port to listen on");
+  flags.Define("shards", "1", "aggregation shards");
+  flags.Define("queue", "64", "per-connection ingest queue capacity");
+  flags.Define("backpressure", "block", "full-queue policy: block|shed");
+  flags.Define("out", "", "write the finalized sketch here when done");
+  flags.Parse(argc, argv);
+
+  FrameServerOptions options;
+  options.port = static_cast<uint16_t>(flags.GetInt("port"));
+  options.num_shards = static_cast<size_t>(flags.GetInt("shards"));
+  options.queue_capacity = static_cast<size_t>(flags.GetInt("queue"));
+  const std::string policy = flags.GetString("backpressure");
+  if (policy == "block") {
+    options.backpressure = BackpressurePolicy::kBlock;
+  } else if (policy == "shed") {
+    options.backpressure = BackpressurePolicy::kShed;
+  } else {
+    std::fprintf(stderr, "unknown backpressure policy '%s' (block|shed)\n",
+                 policy.c_str());
+    return 2;
+  }
+
+  const SketchParams params = SketchFromFlags(flags);
+  FrameServer server(params, flags.GetDouble("epsilon"), options);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "cannot start server: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  std::printf("serving LJSP on port %u (k=%d, m=%d, shards=%zu, queue=%zu, "
+              "%s)\n",
+              server.port(), params.k, params.m, options.num_shards,
+              options.queue_capacity, policy.c_str());
+  std::fflush(stdout);
+
+  server.WaitForFinalizeRequest();
+  server.Stop();
+  const NetMetrics metrics = server.metrics();
+  LdpJoinSketchServer sketch = server.Finalize();
+  DumpMetrics(metrics);
+  std::printf("finalized sketch: %llu reports\n",
+              static_cast<unsigned long long>(sketch.total_reports()));
+  const std::string out = flags.GetString("out");
+  if (!out.empty()) {
+    const std::vector<uint8_t> bytes = sketch.Serialize();
+    if (!WriteFile(out, bytes)) {
+      std::fprintf(stderr, "cannot write %s\n", out.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu bytes)\n", out.c_str(), bytes.size());
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// send: perturb one table exactly like the in-process simulation and stream
+// the frames to a serve instance.
+// ---------------------------------------------------------------------------
+int RunSend(int argc, char** argv) {
+  tools::Flags flags;
+  DefineWorkloadFlags(flags);
+  flags.Define("host", "127.0.0.1", "server host");
+  flags.Define("port", "7542", "server port");
+  flags.Define("table", "a", "which join column to stream: a|b");
+  flags.Define("trial", "0", "perturbation trial index (matches --trials)");
+  flags.Define("finalize", "0", "send FINALIZE when done (1 = yes)");
+  flags.Parse(argc, argv);
+
+  const std::string table = flags.GetString("table");
+  if (table != "a" && table != "b") {
+    std::fprintf(stderr, "--table must be a or b\n");
+    return 2;
+  }
+  const JoinWorkload workload = WorkloadFromFlags(flags);
+  const Column& column = table == "a" ? workload.table_a : workload.table_b;
+  const SketchParams params = SketchFromFlags(flags);
+  const double epsilon = flags.GetDouble("epsilon");
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  const uint64_t trial = static_cast<uint64_t>(flags.GetInt("trial"));
+  // The exact derivation chain of experiment mode: per-trial run seed, then
+  // the per-table tweak RunLdpJoinSketch applies.
+  const uint64_t trial_seed = Mix64(seed ^ (0xF1A6ULL + trial));
+  const uint64_t run_seed =
+      Mix64(trial_seed ^ (table == "a" ? 0xA3ULL : 0xB3ULL));
+
+  auto sender = FrameSender::Connect(flags.GetString("host"),
+                                     static_cast<uint16_t>(
+                                         flags.GetInt("port")),
+                                     params, epsilon);
+  if (!sender.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 sender.status().ToString().c_str());
+    return 1;
+  }
+
+  LdpJoinSketchClient client(params, epsilon);
+  const uint64_t* values = column.values().data();
+  const size_t rows = column.size();
+  std::vector<LdpReport> block(kIngestBlockSize);
+  BinaryWriter frame;
+  for (size_t first = 0; first < rows; first += kIngestBlockSize) {
+    const size_t count = std::min(kIngestBlockSize, rows - first);
+    const size_t block_index = first / kIngestBlockSize;
+    Xoshiro256 rng = MakeStreamRng(run_seed, block_index);
+    std::span<LdpReport> out(block.data(), count);
+    client.PerturbBatch(std::span<const uint64_t>(values + first, count),
+                        out, rng);
+    frame = BinaryWriter();
+    EncodeReportBatch(out, frame);
+    const Status sent = sender->SendEncodedBatch(frame.buffer());
+    if (!sent.ok()) {
+      std::fprintf(stderr, "send failed at block %zu: %s\n", block_index,
+                   sent.ToString().c_str());
+      return 1;
+    }
+  }
+  // Either exchange is the proof that every streamed frame is in the
+  // lanes; FINALIZE additionally ends the server's collection, and is the
+  // session's final message (no BYE after it).
+  const Status finished = flags.GetInt("finalize") != 0
+                              ? sender->RequestFinalize()
+                              : sender->Finish();
+  if (!finished.ok()) {
+    std::fprintf(stderr, "finish failed: %s\n", finished.ToString().c_str());
+    return 1;
+  }
+  std::printf("streamed table %s: %llu frames, %llu bytes, %llu reports "
+              "(%llu busy retries)\n",
+              table.c_str(),
+              static_cast<unsigned long long>(sender->frames_sent()),
+              static_cast<unsigned long long>(sender->bytes_sent()),
+              static_cast<unsigned long long>(rows),
+              static_cast<unsigned long long>(sender->busy_retries()));
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// estimate: join two finalized sketch files; optionally check against the
+// in-process run of the same experiment.
+// ---------------------------------------------------------------------------
+int RunEstimate(int argc, char** argv) {
+  tools::Flags flags;
+  DefineWorkloadFlags(flags);
+  flags.Define("sketch-a", "", "finalized sketch file for table a");
+  flags.Define("sketch-b", "", "finalized sketch file for table b");
+  flags.Define("check", "0",
+               "1 = recompute in-process (trial 0) and require a bit-"
+               "identical estimate");
+  flags.Parse(argc, argv);
+
+  auto load = [](const std::string& path) -> Result<LdpJoinSketchServer> {
+    std::vector<uint8_t> bytes;
+    if (!ReadFile(path, bytes)) {
+      return Status::NotFound("cannot read " + path);
+    }
+    return LdpJoinSketchServer::Deserialize(bytes);
+  };
+  auto sketch_a = load(flags.GetString("sketch-a"));
+  auto sketch_b = load(flags.GetString("sketch-b"));
+  if (!sketch_a.ok() || !sketch_b.ok()) {
+    std::fprintf(stderr, "cannot load sketches: %s / %s\n",
+                 sketch_a.ok() ? "ok" : sketch_a.status().ToString().c_str(),
+                 sketch_b.ok() ? "ok" : sketch_b.status().ToString().c_str());
+    return 1;
+  }
+  if (!sketch_a->finalized() || !sketch_b->finalized()) {
+    std::fprintf(stderr, "estimate needs finalized sketches\n");
+    return 1;
+  }
+  const double estimate = sketch_a->JoinEstimate(*sketch_b);
+  std::printf("network estimate   : %.17g\n", estimate);
+
+  if (flags.GetInt("check") != 0) {
+    JoinMethodConfig config;
+    config.epsilon = flags.GetDouble("epsilon");
+    config.sketch = SketchFromFlags(flags);
+    const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
+    config.run_seed = Mix64(seed ^ 0xF1A6ULL);  // trial 0
+    const JoinWorkload workload = WorkloadFromFlags(flags);
+    const JoinMethodResult in_process =
+        EstimateJoin(JoinMethod::kLdpJoinSketch, workload.table_a,
+                     workload.table_b, config);
+    std::printf("in-process estimate: %.17g\n", in_process.estimate);
+    if (in_process.estimate != estimate) {
+      std::printf("MISMATCH: network path diverged from in-process run\n");
+      return 1;
+    }
+    std::printf("bit-identical: yes\n");
+    const double truth = ExactJoinSize(workload.table_a, workload.table_b);
+    std::printf("true join size     : %.6e (RE %.4f)\n", truth,
+                RelativeError(truth, estimate));
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// experiment mode (original interface).
+// ---------------------------------------------------------------------------
+int RunExperiment(int argc, char** argv) {
+  tools::Flags flags;
+  flags.Define("method", "ldpjoinsketch", "estimator to run");
+  DefineWorkloadFlags(flags);
   flags.Define("sample-rate", "0.1", "LDPJoinSketch+ phase-1 rate r");
   flags.Define("threshold", "0.001", "LDPJoinSketch+ FI threshold theta");
   flags.Define("flh-pool", "256", "FLH hash pool size");
   flags.Define("trials", "3", "perturbation repetitions");
-  flags.Define("seed", "1", "workload + run seed");
   flags.Define("threads", "0", "simulation threads (0 = hardware)");
   flags.Define("shards", "0",
                "aggregation-service shards (0 = in-process ingest; N routes "
                "reports through the sharded wire path — same estimates)");
+  flags.Define("net", "0",
+               "1 = ship wire frames over a TCP loopback session "
+               "(FrameServer/FrameSender) — same estimates");
   flags.Parse(argc, argv);
 
   const JoinMethod method = ParseMethod(flags.GetString("method"));
-  const DatasetId dataset = ParseDataset(flags.GetString("dataset"));
   const uint64_t rows = static_cast<uint64_t>(flags.GetInt("rows"));
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
 
-  const JoinWorkload workload =
-      (dataset == DatasetId::kZipf)
-          ? MakeZipfWorkload(flags.GetDouble("alpha"),
-                             GetDatasetSpec(dataset).domain, rows, seed)
-          : MakeWorkload(dataset, rows, seed);
+  const JoinWorkload workload = WorkloadFromFlags(flags);
   const double truth = ExactJoinSize(workload.table_a, workload.table_b);
 
   JoinMethodConfig config;
   config.epsilon = flags.GetDouble("epsilon");
-  config.sketch.k = static_cast<int>(flags.GetInt("k"));
-  config.sketch.m = static_cast<int>(flags.GetInt("m"));
-  config.sketch.seed = Mix64(seed ^ 0x5EEDULL);
+  config.sketch = SketchFromFlags(flags);
   config.plus_sample_rate = flags.GetDouble("sample-rate");
   config.plus_threshold = flags.GetDouble("threshold");
   config.flh_pool_size = static_cast<uint32_t>(flags.GetInt("flh-pool"));
   config.num_threads = static_cast<size_t>(flags.GetInt("threads"));
   config.num_shards = static_cast<size_t>(flags.GetInt("shards"));
+  config.net_loopback = flags.GetInt("net") != 0;
 
   const int trials = static_cast<int>(flags.GetInt("trials"));
   RunningStats estimates, res, offline, online;
@@ -119,4 +419,21 @@ int main(int argc, char** argv) {
               online.mean());
   std::printf("uplink traffic : %.3e bits total\n", comm_bits);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && argv[1][0] != '-') {
+    const std::string subcommand = argv[1];
+    if (subcommand == "serve") return RunServe(argc - 1, argv + 1);
+    if (subcommand == "send") return RunSend(argc - 1, argv + 1);
+    if (subcommand == "estimate") return RunEstimate(argc - 1, argv + 1);
+    std::fprintf(stderr,
+                 "unknown subcommand '%s' (serve|send|estimate, or flags "
+                 "only for experiment mode)\n",
+                 subcommand.c_str());
+    return 2;
+  }
+  return RunExperiment(argc, argv);
 }
