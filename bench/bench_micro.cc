@@ -481,23 +481,26 @@ void RunIngestionComparison() {
   benchmark::DoNotOptimize(lanes_simd.data());
 
   // --- TCP loopback ingest: the full network front end (LJSP session over
-  // 127.0.0.1, per-connection queue, pump into the sharded service). One
-  // pass streams every frame and Finish() is the ingest barrier. -----------
-  double net_rps = 0.0;
+  // 127.0.0.1, per-shard queues, one ingest pump per shard). One pass
+  // streams every frame and Finish() is the ingest barrier. Measured at
+  // one shard (the old single-pump shape) and at pool width (multi-pump),
+  // so net_ingest_multipump_speedup tracks how ingest scales past a core.
+  std::vector<std::span<const uint8_t>> net_frames;
   {
-    std::vector<std::span<const uint8_t>> net_frames;
     BinaryReader reader(wire_frames_a);
     while (!reader.AtEnd()) {
       auto frame = reader.GetFrame();
       if (!frame.ok()) std::abort();
       net_frames.push_back(*frame);
     }
+  }
+  auto measure_net_ingest = [&](size_t shards) {
     const auto start = Clock::now();
     int passes = 0;
     double elapsed = 0.0;
     do {
       FrameServerOptions options;
-      options.num_shards = service_shards;
+      options.num_shards = shards;
       FrameServer server(params, epsilon, options);
       if (!server.Start().ok()) std::abort();
       auto sender =
@@ -512,7 +515,42 @@ void RunIngestionComparison() {
       ++passes;
       elapsed = SecondsSince(start);
     } while (elapsed < 0.5 || passes < 2);
-    net_rps = static_cast<double>(n) * passes / elapsed;
+    return static_cast<double>(n) * passes / elapsed;
+  };
+  const double net_single_pump_rps = measure_net_ingest(1);
+  const double net_rps = measure_net_ingest(service_shards);
+
+  // --- Federation snapshot shipping: raw-lane epoch snapshots (k·m int64
+  // lanes each) pushed over a loopback LJSP session into a central
+  // aggregator, with the (region, epoch) dedup and per-shard merge on the
+  // receiving side — the regional→central uplink hot path. ----------------
+  double snapshot_ship_bps = 0.0;
+  {
+    LdpJoinSketchServer epoch_sketch(params, epsilon);
+    epoch_sketch.AbsorbBatch(
+        std::span<const LdpReport>(reports_a.data(),
+                                   std::min<size_t>(n, 100'000)));
+    const std::vector<uint8_t> snapshot = epoch_sketch.Serialize();
+    FrameServerOptions options;
+    options.num_shards = service_shards;
+    FrameServer central(params, epsilon, options);
+    if (!central.Start().ok()) std::abort();
+    auto sender =
+        FrameSender::Connect("127.0.0.1", central.port(), params, epsilon);
+    if (!sender.ok()) std::abort();
+    uint64_t epoch = 0;
+    const auto start = Clock::now();
+    double elapsed = 0.0;
+    do {
+      auto applied = sender->PushEpochSnapshot(0, epoch++, snapshot);
+      if (!applied.ok() || !*applied) std::abort();
+      elapsed = SecondsSince(start);
+    } while (elapsed < 0.5 || epoch < 8);
+    snapshot_ship_bps =
+        static_cast<double>(epoch) * snapshot.size() / elapsed;
+    if (!sender->Finish().ok()) std::abort();
+    central.Stop();
+    if (central.metrics().epochs_applied != epoch) std::abort();
   }
 
   // --- finalize + estimate agreement across the three paths. --------------
@@ -573,7 +611,11 @@ void RunIngestionComparison() {
   std::printf("merge indexed/simd  : %.3e / %.3e lanes/sec (simd %.2fx)\n",
               merge_indexed_lps, merge_addlanes_lps,
               merge_addlanes_lps / merge_indexed_lps);
-  std::printf("net loopback ingest : %.3e reports/sec\n", net_rps);
+  std::printf("net ingest 1 pump   : %.3e reports/sec\n",
+              net_single_pump_rps);
+  std::printf("net ingest %zu pumps  : %.3e reports/sec (%.2fx)\n",
+              service_shards, net_rps, net_rps / net_single_pump_rps);
+  std::printf("snapshot shipping   : %.3e bytes/sec\n", snapshot_ship_bps);
   std::printf("finalize            : %.3f ms (k=%d, m=%d)\n", finalize_ms,
               params.k, params.m);
   std::printf("estimates           : seed=%.6e scalar=%.6e batch=%.6e\n",
@@ -585,9 +627,7 @@ void RunIngestionComparison() {
               estimate_sharded == estimate_batch ? "yes" : "NO",
               estimate_sharded);
 
-  bench::WriteBenchJson(
-      json_path,
-      {
+  const std::vector<std::pair<std::string, double>> metrics = {
           {"reports", static_cast<double>(n)},
           {"seed_scalar_absorb_rps", seed_rps},
           {"scalar_absorb_rps", scalar_rps},
@@ -618,6 +658,9 @@ void RunIngestionComparison() {
           {"merge_addlanes_vs_indexed_speedup",
            merge_addlanes_lps / merge_indexed_lps},
           {"net_ingest_reports_per_sec", net_rps},
+          {"net_ingest_single_pump_rps", net_single_pump_rps},
+          {"net_ingest_multipump_speedup", net_rps / net_single_pump_rps},
+          {"federation_snapshot_ship_bytes_per_sec", snapshot_ship_bps},
           {"finalize_ms", finalize_ms},
           {"estimate_seed", estimate_seed},
           {"estimate_scalar", estimate_scalar},
@@ -625,7 +668,38 @@ void RunIngestionComparison() {
           {"estimate_batch_equals_scalar",
            estimate_batch == estimate_scalar ? 1.0 : 0.0},
           {"estimate_batch_vs_seed_rel_gap", estimate_rel_gap},
-      });
+  };
+
+  // Bench hygiene: the keys earlier PRs established must stay present, so
+  // the perf trajectory in CI artifacts remains comparable across PRs. A
+  // rename or accidental drop fails the bench loudly instead of silently
+  // truncating history.
+  static constexpr const char* kRequiredKeys[] = {
+      "reports", "seed_scalar_absorb_rps", "scalar_absorb_rps",
+      "batch_absorb_rps", "batch_vs_seed_speedup", "batch_vs_scalar_speedup",
+      "ingest_seed_rps", "ingest_batched_rps",
+      "ingest_batched_vs_seed_speedup", "wire_decode_scalar_rps",
+      "wire_decode_batch_rps", "wire_decode_speedup", "service_shards",
+      "service_single_shard_rps", "service_sharded_rps",
+      "service_sharded_vs_single_speedup", "estimate_sharded",
+      "estimate_sharded_equals_batch", "absorb_fused_rps", "absorb_split_rps",
+      "absorb_fused_vs_split_speedup", "merge_vector_indexed_lanes_per_sec",
+      "merge_addlanes_lanes_per_sec", "merge_addlanes_vs_indexed_speedup",
+      "net_ingest_reports_per_sec", "net_ingest_multipump_speedup",
+      "federation_snapshot_ship_bytes_per_sec", "finalize_ms",
+      "estimate_seed", "estimate_scalar", "estimate_batch",
+      "estimate_batch_equals_scalar", "estimate_batch_vs_seed_rel_gap",
+  };
+  for (const char* key : kRequiredKeys) {
+    bool present = false;
+    for (const auto& [name, value] : metrics) present |= name == key;
+    if (!present) {
+      std::fprintf(stderr, "BENCH_micro.json lost required key %s\n", key);
+      std::abort();
+    }
+  }
+
+  bench::WriteBenchJson(json_path, metrics);
   std::printf("wrote %s\n", json_path.c_str());
 }
 

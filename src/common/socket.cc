@@ -3,6 +3,7 @@
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <sys/uio.h>
@@ -83,20 +84,48 @@ Result<Socket> Socket::ConnectTcp(const std::string& host, uint16_t port) {
   const int rc = ::connect(fd, res->ai_addr, res->ai_addrlen);
   ::freeaddrinfo(res);
   if (rc != 0) {
-    return Status::Unavailable("connect " + host + ":" + port_str + ": " +
-                               std::strerror(errno));
+    // A signal can interrupt connect after the SYN is in flight; the
+    // attempt keeps completing in the kernel and POSIX forbids re-issuing
+    // connect (it would return EALREADY). Wait for the outcome with poll
+    // and read it from SO_ERROR instead of surfacing a spurious failure.
+    if (errno == EINTR) {
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      int pr;
+      do {
+        pr = ::poll(&pfd, 1, -1);
+      } while (pr < 0 && errno == EINTR);
+      int err = pr > 0 ? 0 : errno;
+      if (pr > 0) {
+        socklen_t len = sizeof(err);
+        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+          err = errno;
+        }
+      }
+      if (err != 0) {
+        return Status::Unavailable("connect " + host + ":" + port_str + ": " +
+                                   std::strerror(err));
+      }
+    } else {
+      return Status::Unavailable("connect " + host + ":" + port_str + ": " +
+                                 std::strerror(errno));
+    }
   }
   SetNoDelay(fd);
   return socket;
 }
 
 Result<Socket> Socket::Accept() const {
-  const int fd = ::accept(fd_, nullptr, nullptr);
-  if (fd < 0) {
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      SetNoDelay(fd);
+      return Socket(fd);
+    }
+    if (errno == EINTR) continue;  // a signal is not a dead listener
     return Status::Unavailable(std::string("accept: ") + std::strerror(errno));
   }
-  SetNoDelay(fd);
-  return Socket(fd);
 }
 
 Status Socket::SendAll(std::span<const uint8_t> bytes) const {

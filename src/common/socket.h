@@ -4,7 +4,10 @@
 // send, and exact/partial receives, every failure surfaced as a Status
 // instead of errno spelunking at the call sites. SIGPIPE is suppressed per
 // send (MSG_NOSIGNAL) so a peer that disappears mid-write turns into a
-// Status, never a signal.
+// Status, never a signal. Every blocking call retries on EINTR (connect
+// waits for completion via poll + SO_ERROR), so a process that handles
+// signals — SIGUSR1 metrics dumps, profilers, debuggers — never sees a
+// spurious Corruption/Unavailable from an interrupted syscall.
 #ifndef LDPJS_COMMON_SOCKET_H_
 #define LDPJS_COMMON_SOCKET_H_
 

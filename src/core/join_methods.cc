@@ -131,6 +131,8 @@ JoinMethodResult RunLdpJoinSketch(const Column& a, const Column& b,
   sim.num_threads = config.num_threads;
   sim.num_shards = config.num_shards;
   sim.net_loopback = config.net_loopback;
+  sim.num_regions = config.num_regions;
+  sim.epoch_reports = config.epoch_reports;
 
   const auto offline_start = Clock::now();
   sim.run_seed = Mix64(config.run_seed ^ 0xA3ULL);
@@ -162,6 +164,8 @@ JoinMethodResult RunLdpJoinSketchPlus(const Column& a, const Column& b,
   params.simulation.num_threads = config.num_threads;
   params.simulation.num_shards = config.num_shards;
   params.simulation.net_loopback = config.net_loopback;
+  params.simulation.num_regions = config.num_regions;
+  params.simulation.epoch_reports = config.epoch_reports;
 
   const LdpJoinSketchPlusResult plus = EstimateJoinSizePlus(a, b, params);
   JoinMethodResult result;

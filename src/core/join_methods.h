@@ -45,6 +45,13 @@ struct JoinMethodConfig {
   /// real TCP loopback session (FrameServer/FrameSender on 127.0.0.1).
   /// Still bit-identical — see SimulationOptions::net_loopback.
   bool net_loopback = false;
+  /// LDPJoinSketch(+) only: N >= 1 runs the full federated topology — N
+  /// regional aggregators shipping epoch snapshots to one central — on
+  /// 127.0.0.1. Still bit-identical — see SimulationOptions::num_regions.
+  size_t num_regions = 0;
+  /// Federated mode: reports per region between epoch cuts (0 = one
+  /// epoch). See SimulationOptions::epoch_reports.
+  uint64_t epoch_reports = 0;
   bool clamp_negative_frequencies = false;  ///< for the oracle baselines
 };
 

@@ -1,5 +1,6 @@
 #include "core/ldp_join_sketch.h"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <span>
@@ -226,6 +227,12 @@ void LdpJoinSketchServer::Merge(const LdpJoinSketchServer& other) {
   LDPJS_CHECK(this != &other);
   AddLanes(lanes_.data(), other.lanes_.data(), lanes_.size());
   total_ += other.total_;
+}
+
+void LdpJoinSketchServer::ResetLanes() {
+  LDPJS_CHECK(!finalized_);
+  std::fill(lanes_.begin(), lanes_.end(), int64_t{0});
+  total_ = 0;
 }
 
 void LdpJoinSketchServer::Finalize() {

@@ -166,6 +166,12 @@ class LdpJoinSketchServer {
   /// order never changes the result.
   void Merge(const LdpJoinSketchServer& other);
 
+  /// Zeroes every raw lane and the report count, starting a fresh epoch in
+  /// place (the multi-epoch cut: serialize the lanes, ship them, reset).
+  /// Cheaper than reconstructing the sketch — the hash tables are reused.
+  /// Only valid before Finalize (finalization releases the lanes).
+  void ResetLanes();
+
   /// Applies the deferred k·c_ε debias scale, then rotates every row back
   /// by H_m (Algorithm 2 line 6). Rows transform in parallel. Idempotent
   /// queries only after this.

@@ -1,10 +1,13 @@
 #include "core/simulation.h"
 
 #include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "common/serialize.h"
 #include "common/thread_pool.h"
+#include "federation/central_node.h"
+#include "federation/regional_node.h"
 #include "net/frame_sender.h"
 #include "net/frame_server.h"
 #include "service/sharded_aggregator.h"
@@ -50,6 +53,60 @@ LdpJoinSketchServer RunProtocolOverWire(const Column& column,
     }
   });
 
+  if (options.num_regions > 0) {
+    // Federated deployment rehearsal: the identical frame bytes go over
+    // real TCP sockets into N regional FrameServers, whose raw-lane epoch
+    // snapshots ship upstream (EPOCH_PUSH) to a central aggregator. Raw
+    // integer lanes merge exactly across the whole topology, so this is
+    // bit-identical to the in-process span hand-off below — for any region
+    // count, epoch schedule, and shard count per tier.
+    const size_t n_shards = std::max<size_t>(1, options.num_shards);
+    CentralNodeOptions central_options;
+    central_options.server.num_shards = n_shards;
+    CentralNode central(params, epsilon, central_options);
+    LDPJS_CHECK(central.Start().ok());
+
+    std::vector<std::unique_ptr<RegionalNode>> regions;
+    std::vector<FrameSender> senders;
+    for (size_t r = 0; r < options.num_regions; ++r) {
+      RegionalNodeOptions region_options;
+      region_options.region_id = static_cast<uint32_t>(r);
+      region_options.central_port = central.port();
+      region_options.server.num_shards = n_shards;
+      regions.push_back(std::make_unique<RegionalNode>(params, epsilon,
+                                                       region_options));
+      LDPJS_CHECK(regions.back()->Start().ok());
+      auto sender = FrameSender::Connect("127.0.0.1", regions.back()->port(),
+                                         params, epsilon);
+      LDPJS_CHECK(sender.ok());
+      senders.push_back(std::move(*sender));
+    }
+
+    std::vector<uint64_t> reports_since_cut(options.num_regions, 0);
+    for (size_t block = 0; block < frames.size(); ++block) {
+      const size_t region = block % options.num_regions;
+      LDPJS_CHECK(senders[region].SendEncodedBatch(frames[block]).ok());
+      const size_t first = block * kIngestBlockSize;
+      reports_since_cut[region] += std::min(kIngestBlockSize, rows - first);
+      if (options.epoch_reports > 0 &&
+          reports_since_cut[region] >= options.epoch_reports) {
+        // The cut races the region's pumps mid-stream — whatever has been
+        // absorbed goes in this epoch, the rest in the next; any split is
+        // exact.
+        LDPJS_CHECK(regions[region]->CutAndShip().ok());
+        reports_since_cut[region] = 0;
+      }
+    }
+    for (size_t r = 0; r < options.num_regions; ++r) {
+      // BYE/BYE_OK: the region has ingested everything this sender sent,
+      // then the flush cuts the final epoch and ships it upstream.
+      LDPJS_CHECK(senders[r].Finish().ok());
+      LDPJS_CHECK(regions[r]->FlushAndStop().ok());
+    }
+    central.Stop();
+    return central.Finalize();
+  }
+
   if (options.net_loopback) {
     // Full deployment rehearsal: the identical frame bytes go over a real
     // TCP socket into a FrameServer. Raw integer lanes make the estimate
@@ -90,7 +147,8 @@ LdpJoinSketchServer RunProtocol(const Column& column,
                                 const SketchParams& params, double epsilon,
                                 const SimulationOptions& options,
                                 const Client& client) {
-  if (options.num_shards > 0 || options.net_loopback) {
+  if (options.num_shards > 0 || options.net_loopback ||
+      options.num_regions > 0) {
     return RunProtocolOverWire(column, params, epsilon, options, client);
   }
   ThreadPool pool(options.num_threads);

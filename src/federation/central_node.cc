@@ -1,0 +1,11 @@
+#include "federation/central_node.h"
+
+namespace ldpjs {
+
+CentralNode::CentralNode(const SketchParams& params, double epsilon,
+                         const CentralNodeOptions& options)
+    : server_(params, epsilon, options.server),
+      finalize_after_(options.finalize_after == 0 ? 1
+                                                  : options.finalize_after) {}
+
+}  // namespace ldpjs

@@ -1,0 +1,66 @@
+// CentralNode: the top of the federated aggregation topology. A FrameServer
+// whose traffic is EPOCH_PUSH snapshots from RegionalNodes (it accepts
+// direct DATA sessions too — the tiers speak one protocol), with the
+// central-specific conveniences on top: wait-for-N-regions finalize
+// coordination and estimate-at-epoch-boundary views.
+//
+// Exactness: every regional snapshot is raw int64 lanes and every merge is
+// integer addition, so after all regions flush, Finalize() yields the
+// sketch a single node absorbing every client's report directly would
+// produce, bit for bit — for any region count, epoch schedule, shard count
+// per tier, and any mid-epoch disconnect/retry (the (region, epoch) dedup
+// makes retried pushes exactly-once).
+#ifndef LDPJS_FEDERATION_CENTRAL_NODE_H_
+#define LDPJS_FEDERATION_CENTRAL_NODE_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "core/ldp_join_sketch.h"
+#include "net/frame_server.h"
+
+namespace ldpjs {
+
+struct CentralNodeOptions {
+  /// Listening port, shard count, queue depth, backpressure policy.
+  FrameServerOptions server;
+  /// How many FINALIZE requests end the collection — one per region when
+  /// regions forward their clients' FINALIZE upstream.
+  size_t finalize_after = 1;
+};
+
+class CentralNode {
+ public:
+  CentralNode(const SketchParams& params, double epsilon,
+              const CentralNodeOptions& options);
+
+  Status Start() { return server_.Start(); }
+  uint16_t port() const { return server_.port(); }
+
+  /// Blocks until `finalize_after` FINALIZE frames have arrived (each
+  /// region sends one as its flush completes).
+  void WaitForRegions() { server_.WaitForFinalizeRequests(finalize_after_); }
+
+  /// A finalized copy of everything merged so far, without disturbing
+  /// collection — estimates at an epoch boundary while regions keep
+  /// streaming. Each view applies the global debias to its own copy, so
+  /// views are themselves exact for the reports they contain.
+  LdpJoinSketchServer FinalizedView() const { return server_.FinalizedView(); }
+
+  void Stop() { server_.Stop(); }
+
+  /// Final merged + finalized sketch; once, after Stop().
+  LdpJoinSketchServer Finalize() { return server_.Finalize(); }
+
+  NetMetrics metrics() const { return server_.metrics(); }
+  const FrameServer& server() const { return server_; }
+  FrameServer& server_mutable() { return server_; }
+
+ private:
+  FrameServer server_;
+  size_t finalize_after_;
+};
+
+}  // namespace ldpjs
+
+#endif  // LDPJS_FEDERATION_CENTRAL_NODE_H_

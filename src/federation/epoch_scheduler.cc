@@ -1,0 +1,70 @@
+#include "federation/epoch_scheduler.h"
+
+#include <utility>
+
+#include "common/status.h"
+
+namespace ldpjs {
+
+EpochScheduler::EpochScheduler(std::chrono::milliseconds period,
+                               std::function<void(uint64_t)> tick)
+    : period_(period), tick_(std::move(tick)) {
+  LDPJS_CHECK(tick_ != nullptr);
+}
+
+EpochScheduler::~EpochScheduler() { Stop(); }
+
+void EpochScheduler::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  LDPJS_CHECK(!started_);
+  started_ = true;
+  thread_ = std::thread(&EpochScheduler::Loop, this);
+}
+
+void EpochScheduler::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (period_.count() > 0) {
+      cv_.wait_for(lock, period_,
+                   [&] { return stopping_ || trigger_pending_; });
+    } else {
+      cv_.wait(lock, [&] { return stopping_ || trigger_pending_; });
+    }
+    if (stopping_) return;
+    // Fire: a period expiry and a pending trigger coalesce into one tick.
+    trigger_pending_ = false;
+    const uint64_t epoch = next_epoch_++;
+    lock.unlock();
+    tick_(epoch);
+    lock.lock();
+    ++completed_;
+    cv_.notify_all();  // TriggerNow waiters
+  }
+}
+
+void EpochScheduler::TriggerNow() {
+  std::unique_lock<std::mutex> lock(mu_);
+  LDPJS_CHECK(started_);
+  if (stopping_) return;
+  trigger_pending_ = true;
+  const uint64_t want = next_epoch_ + 1;
+  cv_.notify_all();
+  cv_.wait(lock, [&] { return completed_ >= want || stopping_; });
+}
+
+void EpochScheduler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+uint64_t EpochScheduler::epochs_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_epoch_;
+}
+
+}  // namespace ldpjs

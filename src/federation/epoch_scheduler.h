@@ -1,0 +1,62 @@
+// EpochScheduler: drives the federated collection cadence. Fires a tick
+// callback — epoch cut → snapshot ship, see RegionalNode — either on a
+// fixed wall-clock period (the deployed mode) or only on explicit
+// TriggerNow() calls (the deterministic mode tests and report-count-driven
+// simulations use). Ticks run on the scheduler's own thread, strictly
+// serialized: a tick that runs long (e.g. a ship retrying against a dead
+// central) delays the next tick instead of overlapping it, so there is
+// never more than one cut in flight per region.
+#ifndef LDPJS_FEDERATION_EPOCH_SCHEDULER_H_
+#define LDPJS_FEDERATION_EPOCH_SCHEDULER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace ldpjs {
+
+class EpochScheduler {
+ public:
+  /// `tick` receives the 0-based epoch index it is cutting. `period` == 0
+  /// means manual mode: the thread only fires on TriggerNow().
+  EpochScheduler(std::chrono::milliseconds period,
+                 std::function<void(uint64_t epoch)> tick);
+  ~EpochScheduler();
+
+  EpochScheduler(const EpochScheduler&) = delete;
+  EpochScheduler& operator=(const EpochScheduler&) = delete;
+
+  void Start();
+
+  /// Requests one immediate tick (coalesced if one is already pending) and
+  /// returns once it has completed — the synchronous cut tests and final
+  /// flushes rely on.
+  void TriggerNow();
+
+  /// Stops the thread; no tick runs after this returns. Idempotent.
+  void Stop();
+
+  uint64_t epochs_fired() const;
+
+ private:
+  void Loop();
+
+  std::chrono::milliseconds period_;
+  std::function<void(uint64_t)> tick_;
+  std::thread thread_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool started_ = false;
+  bool stopping_ = false;
+  bool trigger_pending_ = false;
+  uint64_t next_epoch_ = 0;   ///< epochs fired so far
+  uint64_t completed_ = 0;    ///< ticks fully executed
+};
+
+}  // namespace ldpjs
+
+#endif  // LDPJS_FEDERATION_EPOCH_SCHEDULER_H_

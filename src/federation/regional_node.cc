@@ -1,0 +1,185 @@
+#include "federation/regional_node.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace ldpjs {
+
+RegionalNode::RegionalNode(const SketchParams& params, double epsilon,
+                           const RegionalNodeOptions& options)
+    : params_(params),
+      epsilon_(epsilon),
+      options_(options),
+      server_(params, epsilon, options.server) {
+  LDPJS_CHECK(options_.max_ship_attempts >= 1);
+  // Epoch numbers are an incarnation-scoped monotonic sequence seeded from
+  // the wall clock: a restarted region (same region_id, fresh process)
+  // must start ABOVE every epoch its previous incarnation shipped, or the
+  // central's (region, epoch) high-water dedup would silently discard the
+  // new incarnation's data as "already applied". Microsecond resolution
+  // makes a restart-within-the-same-tick (or a clock stepped backwards
+  // across a restart) the only collision window.
+  next_epoch_ = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+RegionalNode::~RegionalNode() {
+  // Best-effort teardown: never blocks on an unreachable central. Data not
+  // shipped yet is lost with the process — call FlushAndStop for the
+  // guaranteed flush.
+  if (scheduler_) scheduler_->Stop();
+  server_.Stop();
+}
+
+Status RegionalNode::Start() {
+  LDPJS_RETURN_IF_ERROR(server_.Start());
+  if (options_.epoch_millis > 0) {
+    scheduler_ = std::make_unique<EpochScheduler>(
+        std::chrono::milliseconds(options_.epoch_millis), [this](uint64_t) {
+          // A failed ship keeps its snapshots pending; the next tick (or
+          // the final flush) resumes them, so a tick never loses data.
+          (void)CutAndShip();
+        });
+    scheduler_->Start();
+  }
+  return Status::OK();
+}
+
+Status RegionalNode::CutAndShip() {
+  std::lock_guard<std::mutex> lock(ship_mu_);
+  if (flushed_) {
+    return Status::FailedPrecondition("region already flushed");
+  }
+  ShardedAggregator::EpochCut cut = server_.CutEpochSnapshot();
+  const uint64_t epoch = next_epoch_++;
+  if (cut.reports > 0) {
+    pending_.push_back(PendingSnapshot{epoch, std::move(cut.raw_sketch)});
+  }
+  return ShipPendingLocked();
+}
+
+Status RegionalNode::ShipPendingLocked() {
+  int attempts = 0;
+  auto backoff = [&](const Status& status) -> Status {
+    ++ship_retries_;
+    if (++attempts >= options_.max_ship_attempts) {
+      return Status::Unavailable(
+          "central unreachable after " + std::to_string(attempts) +
+          " ship attempts (" + std::to_string(pending_.size()) +
+          " snapshots pending, none lost): " + status.ToString());
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.ship_retry_millis));
+    return Status::OK();
+  };
+  while (!pending_.empty()) {
+    if (!upstream_) {
+      auto sender = FrameSender::Connect(
+          options_.central_host, options_.central_port, params_, epsilon_);
+      if (!sender.ok()) {
+        LDPJS_RETURN_IF_ERROR(backoff(sender.status()));
+        continue;
+      }
+      upstream_.emplace(std::move(*sender));
+    }
+    const PendingSnapshot& snap = pending_.front();
+    auto applied = upstream_->PushEpochSnapshot(options_.region_id, snap.epoch,
+                                                snap.raw_sketch);
+    if (!applied.ok()) {
+      // Outcome unknown (the connection may have died after the central
+      // merged but before we read the ack): reconnect and push the same
+      // (region, epoch) again — the central's dedup makes it exactly-once.
+      upstream_.reset();
+      LDPJS_RETURN_IF_ERROR(backoff(applied.status()));
+      continue;
+    }
+    ++epochs_shipped_;
+    if (!*applied) ++duplicate_acks_;  // a retry resolved to exactly-once
+    snapshot_bytes_shipped_ += snap.raw_sketch.size();
+    pending_.pop_front();
+  }
+  return Status::OK();
+}
+
+Status RegionalNode::FlushAndStop() {
+  // The scheduler's tick takes ship_mu_, so stop it before locking.
+  if (scheduler_) scheduler_->Stop();
+  // Stop drains every queued frame into the lanes, so the final cut below
+  // holds everything any client pushed to this region.
+  server_.Stop();
+  std::lock_guard<std::mutex> lock(ship_mu_);
+  if (flushed_) return Status::OK();
+  ShardedAggregator::EpochCut cut = server_.CutEpochSnapshot();
+  const uint64_t epoch = next_epoch_++;
+  if (cut.reports > 0) {
+    pending_.push_back(PendingSnapshot{epoch, std::move(cut.raw_sketch)});
+  }
+  // A failed ship leaves flushed_ false with the snapshots still pending —
+  // FlushAndStop can be called again once the central is reachable.
+  LDPJS_RETURN_IF_ERROR(ShipPendingLocked());
+  flushed_ = true;
+  if (options_.forward_finalize) {
+    // Retried at-least-once, counted exactly-once: the FINALIZE carries
+    // this region's id and the central counts each region a single time,
+    // so a retry after a lost FINALIZE_OK can never end a multi-region
+    // collection early. (The data barrier is the acked EPOCH_PUSHes
+    // above; this is the coordination barrier.)
+    int attempts = 0;
+    for (;;) {
+      if (!upstream_) {
+        auto sender = FrameSender::Connect(
+            options_.central_host, options_.central_port, params_, epsilon_);
+        if (!sender.ok()) {
+          if (++attempts >= options_.max_ship_attempts) {
+            return sender.status();
+          }
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(options_.ship_retry_millis));
+          continue;
+        }
+        upstream_.emplace(std::move(*sender));
+      }
+      const Status finalized =
+          upstream_->RequestFinalizeAsRegion(options_.region_id);
+      upstream_.reset();
+      if (finalized.ok()) break;
+      if (++attempts >= options_.max_ship_attempts) return finalized;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.ship_retry_millis));
+    }
+  } else if (upstream_) {
+    (void)upstream_->Finish();  // best-effort BYE; the pushes are acked
+    upstream_.reset();
+  }
+  return Status::OK();
+}
+
+uint64_t RegionalNode::epochs_shipped() const {
+  std::lock_guard<std::mutex> lock(ship_mu_);
+  return epochs_shipped_;
+}
+
+uint64_t RegionalNode::snapshot_bytes_shipped() const {
+  std::lock_guard<std::mutex> lock(ship_mu_);
+  return snapshot_bytes_shipped_;
+}
+
+uint64_t RegionalNode::ship_retries() const {
+  std::lock_guard<std::mutex> lock(ship_mu_);
+  return ship_retries_;
+}
+
+uint64_t RegionalNode::duplicate_acks() const {
+  std::lock_guard<std::mutex> lock(ship_mu_);
+  return duplicate_acks_;
+}
+
+size_t RegionalNode::pending_snapshots() const {
+  std::lock_guard<std::mutex> lock(ship_mu_);
+  return pending_.size();
+}
+
+}  // namespace ldpjs

@@ -1,0 +1,132 @@
+// RegionalNode: one regional tier of the federated aggregation topology.
+//
+//   clients ──LJSP/DATA──▶ RegionalNode(FrameServer, N shards)
+//                               │  EpochScheduler tick:
+//                               │    cut raw-lane snapshot → lanes reset
+//                               ▼
+//                          FrameSender ──LJSP/EPOCH_PUSH──▶ central
+//
+// Each epoch tick cuts the region's raw integer lanes (serialize + reset,
+// see FrameServer::CutEpochSnapshot) and ships the snapshot upstream over
+// the LJSP session protocol with retry/resume: a failed ship (central
+// restarting, connection cut mid-push) reconnects and re-pushes the same
+// (region, epoch); the central dedups on that key, so a push that was
+// merged but not acked cannot double-count. A snapshot that exhausts its
+// attempt budget stays in the pending queue and resumes on the next tick
+// or the final flush — an unreachable central delays data, it never loses
+// or duplicates it. That is what makes the federated estimate bit-identical
+// to single-node ingestion of the union of all client streams.
+//
+// Empty epochs (no reports since the last cut) are skipped: shipping k·m
+// zero lanes would spend snapshot-sized uplink to say nothing. The central
+// dedup key tolerates the epoch-number gaps this leaves.
+#ifndef LDPJS_FEDERATION_REGIONAL_NODE_H_
+#define LDPJS_FEDERATION_REGIONAL_NODE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "federation/epoch_scheduler.h"
+#include "net/frame_sender.h"
+#include "net/frame_server.h"
+
+namespace ldpjs {
+
+struct RegionalNodeOptions {
+  uint32_t region_id = 0;
+  std::string central_host = "127.0.0.1";
+  uint16_t central_port = 0;
+  /// Region-facing ingest server (port, shards, queue, backpressure).
+  FrameServerOptions server;
+  /// Wall-clock epoch period; 0 = cut only on explicit CutAndShip() calls
+  /// (deterministic mode for tests and report-count-driven drivers).
+  int epoch_millis = 0;
+  /// Ship retry budget per CutAndShip call, across reconnects. Exhaustion
+  /// returns Unavailable but keeps the snapshots pending for next time.
+  int max_ship_attempts = 8;
+  int ship_retry_millis = 20;  ///< linear backoff between attempts
+  /// Forward a client's FINALIZE upstream during FlushAndStop — the CLI
+  /// deployment's signal that this region's collection is complete.
+  bool forward_finalize = false;
+};
+
+class RegionalNode {
+ public:
+  RegionalNode(const SketchParams& params, double epsilon,
+               const RegionalNodeOptions& options);
+  ~RegionalNode();
+
+  RegionalNode(const RegionalNode&) = delete;
+  RegionalNode& operator=(const RegionalNode&) = delete;
+
+  /// Starts the ingest server and, if epoch_millis > 0, the scheduler.
+  Status Start();
+
+  /// Region-facing ingest port (valid after Start).
+  uint16_t port() const { return server_.port(); }
+
+  /// One epoch: cut the lanes, queue the snapshot, ship everything pending
+  /// in epoch order. Returns Unavailable if the central stayed unreachable
+  /// for the attempt budget — the data is retained and re-shipped on the
+  /// next call. Serialized with the scheduler's ticks.
+  Status CutAndShip();
+
+  /// Stops the scheduler and the ingest server (draining every queued
+  /// frame), cuts the final epoch, and ships everything still pending —
+  /// after this returns OK, every report any client pushed to this region
+  /// is merged into the central lanes exactly once. Idempotent.
+  Status FlushAndStop();
+
+  const FrameServer& server() const { return server_; }
+  FrameServer& server_mutable() { return server_; }
+
+  uint64_t epochs_shipped() const;
+  uint64_t snapshot_bytes_shipped() const;
+  uint64_t ship_retries() const;
+  /// Pushes the central resolved as already-applied (a retry whose
+  /// original did land — the exactly-once path taken).
+  uint64_t duplicate_acks() const;
+  size_t pending_snapshots() const;
+
+ private:
+  struct PendingSnapshot {
+    uint64_t epoch;
+    std::vector<uint8_t> raw_sketch;
+  };
+
+  /// Ships every pending snapshot in epoch order; stops at the first
+  /// snapshot whose attempt budget runs out. Requires ship_mu_.
+  Status ShipPendingLocked();
+
+  SketchParams params_;
+  double epsilon_;
+  RegionalNodeOptions options_;
+  FrameServer server_;
+  std::unique_ptr<EpochScheduler> scheduler_;
+
+  /// Serializes cut+ship: scheduler ticks, manual CutAndShip calls, and the
+  /// final flush never interleave, so epochs are numbered and shipped in
+  /// order (the central's dedup high-water relies on that).
+  mutable std::mutex ship_mu_;
+  std::optional<FrameSender> upstream_;
+  std::deque<PendingSnapshot> pending_;
+  /// Seeded from the wall clock at construction (see the constructor), so
+  /// a restarted incarnation never reuses epochs the central has already
+  /// applied for this region_id.
+  uint64_t next_epoch_ = 0;
+  uint64_t epochs_shipped_ = 0;
+  uint64_t snapshot_bytes_shipped_ = 0;
+  uint64_t ship_retries_ = 0;
+  uint64_t duplicate_acks_ = 0;
+  bool flushed_ = false;
+};
+
+}  // namespace ldpjs
+
+#endif  // LDPJS_FEDERATION_REGIONAL_NODE_H_

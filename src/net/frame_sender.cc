@@ -106,10 +106,46 @@ Result<std::vector<uint8_t>> FrameSender::SnapshotRawSketch() {
   return std::move(reply->payload);
 }
 
+Result<bool> FrameSender::PushEpochSnapshot(
+    uint32_t region_id, uint64_t epoch, std::span<const uint8_t> raw_sketch) {
+  LDPJS_CHECK(!finished_);
+  const std::vector<uint8_t> payload =
+      EncodeEpochPush(region_id, epoch, raw_sketch);
+  LDPJS_RETURN_IF_ERROR(
+      WriteNetFrame(socket_, NetFrameType::kEpochPush, payload));
+  ++frames_sent_;
+  bytes_sent_ += 5 + payload.size();
+  auto reply = ReadReply();
+  if (!reply.ok()) return reply.status();
+  if (reply->type != NetFrameType::kEpochPushOk ||
+      reply->payload.size() != 1) {
+    return Status::Corruption("expected EPOCH_PUSH_OK");
+  }
+  return reply->payload[0] ==
+         static_cast<uint8_t>(EpochPushAckCode::kApplied);
+}
+
 Status FrameSender::RequestFinalize() {
   LDPJS_CHECK(!finished_);
   finished_ = true;  // terminal exchange — the server may disconnect next
   LDPJS_RETURN_IF_ERROR(WriteNetFrame(socket_, NetFrameType::kFinalize, {}));
+  auto reply = ReadReply();
+  if (!reply.ok()) return reply.status();
+  if (reply->type != NetFrameType::kFinalizeOk) {
+    return Status::Corruption("expected FINALIZE_OK");
+  }
+  return Status::OK();
+}
+
+Status FrameSender::RequestFinalizeAsRegion(uint32_t region_id) {
+  LDPJS_CHECK(!finished_);
+  finished_ = true;
+  uint8_t payload[4];
+  for (int i = 0; i < 4; ++i) {
+    payload[i] = static_cast<uint8_t>(region_id >> (8 * i));
+  }
+  LDPJS_RETURN_IF_ERROR(
+      WriteNetFrame(socket_, NetFrameType::kFinalize, payload));
   auto reply = ReadReply();
   if (!reply.ok()) return reply.status();
   if (reply->type != NetFrameType::kFinalizeOk) {

@@ -61,6 +61,15 @@ class FrameSender {
   /// serialized un-finalized sketch (LdpJoinSketchServer::Deserialize).
   Result<std::vector<uint8_t>> SnapshotRawSketch();
 
+  /// Federation upstream path: ships one epoch's serialized raw-lane
+  /// snapshot to a central aggregator as EPOCH_PUSH and waits for the ack.
+  /// Returns true if the snapshot was merged, false if the central had
+  /// already applied this (region, epoch) — how a retry after an ambiguous
+  /// failure resolves to exactly-once. Any transport failure leaves the
+  /// outcome unknown; reconnect and push the same (region, epoch) again.
+  Result<bool> PushEpochSnapshot(uint32_t region_id, uint64_t epoch,
+                                 std::span<const uint8_t> raw_sketch);
+
   /// Asks the server to end collection (the CLI `serve` loop exits, drains,
   /// and finalizes). FINALIZE is processed after every frame this
   /// connection sent, so the FINALIZE_OK this waits for is — like BYE_OK —
@@ -68,6 +77,12 @@ class FrameSender {
   /// session's last exchange: the server may tear the transport down
   /// immediately after confirming, so do not call Finish() afterwards.
   Status RequestFinalize();
+
+  /// Federation variant: the FINALIZE carries `region_id`, and the server
+  /// counts at most one finalize per region — so a retry on a fresh
+  /// session after a lost ack is idempotent and can never end a
+  /// multi-region collection early.
+  Status RequestFinalizeAsRegion(uint32_t region_id);
 
   /// BYE/BYE_OK: returns once the server has ingested every frame this
   /// connection sent. The connection is done after this.

@@ -19,11 +19,15 @@ FrameServer::FrameServer(const SketchParams& params, double epsilon,
     : params_(params),
       epsilon_(epsilon),
       options_(options),
+      max_session_payload_(
+          std::max(kMaxIngestFramePayload, EpochPushPayloadBound(params) + 64)),
       aggregator_(params, epsilon,
-                  options.num_shards == 0 ? 1 : options.num_shards),
-      shard_frames_(aggregator_.num_shards()),
-      shard_reports_(aggregator_.num_shards()) {
+                  options.num_shards == 0 ? 1 : options.num_shards) {
   LDPJS_CHECK(options_.queue_capacity >= 1);
+  lanes_.reserve(aggregator_.num_shards());
+  for (size_t s = 0; s < aggregator_.num_shards(); ++s) {
+    lanes_.push_back(std::make_unique<ShardLane>());
+  }
 }
 
 FrameServer::~FrameServer() {
@@ -38,12 +42,18 @@ Status FrameServer::Start() {
   port_ = listener_.local_port();
   started_ = true;
   acceptor_ = std::thread(&FrameServer::AcceptLoop, this);
-  pump_ = std::thread(&FrameServer::PumpLoop, this);
+  for (size_t s = 0; s < lanes_.size(); ++s) {
+    lanes_[s]->pump = std::thread(&FrameServer::PumpLoop, this, s);
+  }
   return Status::OK();
 }
 
 void FrameServer::AcceptLoop() {
   for (;;) {
+    // Reap ahead of each accept, so a server that has handled millions of
+    // short-lived clients holds live connections plus one metrics row per
+    // departed one, not their queues/threads/sockets.
+    ReapFinishedConnections();
     auto socket = listener_.Accept();
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -63,9 +73,9 @@ void FrameServer::AcceptLoop() {
     conn->socket = std::move(*socket);
     Connection* raw = conn.get();
     // The thread handle must be fully assigned BEFORE the connection is
-    // visible to the pump: a reader that exits instantly (e.g. a HELLO
+    // visible to the reaper: a reader that exits instantly (e.g. a HELLO
     // mismatch) must never be reaped while raw->reader is still an empty
-    // handle — registration under mu_ is the pump's happens-before edge.
+    // handle — registration under mu_ is the happens-before edge.
     raw->reader = std::thread(&FrameServer::ReaderLoop, this, raw);
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -74,9 +84,6 @@ void FrameServer::AcceptLoop() {
       // sockets; cover the newcomer so its reader is unblocked too.
       if (stopping_) raw->socket.ShutdownBoth();
     }
-    // The reader may have finished before registration — wake the pump so
-    // the reap is prompt.
-    work_cv_.notify_all();
   }
 }
 
@@ -96,6 +103,11 @@ void FrameServer::SendError(Connection& conn, const Status& status) {
   std::lock_guard<std::mutex> g(conn.write_mu);
   (void)WriteNetFrame(conn.socket, NetFrameType::kError,
                       EncodeErrorPayload(status));
+}
+
+void FrameServer::WaitConnDrained(Connection* conn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [&] { return conn->data_inflight == 0; });
 }
 
 void FrameServer::ReaderLoop(Connection* conn) {
@@ -133,9 +145,9 @@ void FrameServer::ReaderLoop(Connection* conn) {
     SendError(*conn, Status::Corruption("expected HELLO"));
   }
 
-  // --- Frame loop: parse, apply backpressure, enqueue for the pump. ------
+  // --- Frame loop: route DATA to a shard queue, handle control inline. ---
   while (session_open) {
-    auto frame = ReadNetFrame(conn->socket, kMaxIngestFramePayload);
+    auto frame = ReadNetFrame(conn->socket, max_session_payload_);
     if (!frame.ok()) {
       if (frame.status().code() != StatusCode::kNotFound) {
         conn->corrupt_frames.fetch_add(1, std::memory_order_relaxed);
@@ -145,6 +157,7 @@ void FrameServer::ReaderLoop(Connection* conn) {
     }
     const bool is_data = frame->type == NetFrameType::kData;
     const bool is_control = frame->type == NetFrameType::kSnapshot ||
+                            frame->type == NetFrameType::kEpochPush ||
                             frame->type == NetFrameType::kFinalize ||
                             frame->type == NetFrameType::kBye;
     if (!is_data && !is_control) {
@@ -155,11 +168,34 @@ void FrameServer::ReaderLoop(Connection* conn) {
     conn->frames_received.fetch_add(1, std::memory_order_relaxed);
     conn->bytes_received.fetch_add(kFrameHeaderBytes + frame->payload.size(),
                                    std::memory_order_relaxed);
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      if (is_data && options_.backpressure == BackpressurePolicy::kShed &&
-          conn->queue.size() >= options_.queue_capacity) {
-        lock.unlock();
+
+    if (is_data) {
+      // Shard-affine routing: connection-local round-robin spreads a single
+      // heavy sender across every pump; any routing is bit-identical.
+      const size_t shard = conn->next_shard;
+      conn->next_shard = (conn->next_shard + 1) % lanes_.size();
+      ShardLane& lane = *lanes_[shard];
+      bool shed = false;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (options_.backpressure == BackpressurePolicy::kShed &&
+            lane.queue.size() >= options_.queue_capacity && !stopping_) {
+          shed = true;
+        } else {
+          // Block policy: park until the shard's pump makes space. During a
+          // stopping drain the frame is admitted regardless so the reader
+          // can reach the client's close — memory stays bounded at
+          // capacity + 1 per shard.
+          space_cv_.wait(lock, [&] {
+            return lane.queue.size() < options_.queue_capacity || stopping_;
+          });
+          ++conn->data_inflight;
+          lane.queue.push_back(PumpItem{conn, std::move(frame->payload)});
+          lane.queue_high_water =
+              std::max<uint64_t>(lane.queue_high_water, lane.queue.size());
+        }
+      }
+      if (shed) {
         conn->frames_shed.fetch_add(1, std::memory_order_relaxed);
         const uint8_t busy = static_cast<uint8_t>(DataAckCode::kBusy);
         std::lock_guard<std::mutex> g(conn->write_mu);
@@ -169,53 +205,185 @@ void FrameServer::ReaderLoop(Connection* conn) {
         }
         continue;
       }
-      // Block policy (and control frames in either policy): park until the
-      // pump makes space. During a stopping drain the frame is admitted
-      // regardless so the reader can reach the client's close — memory
-      // stays bounded at capacity + 1 per connection.
-      space_cv_.wait(lock, [&] {
-        return conn->queue.size() < options_.queue_capacity || stopping_;
-      });
-      conn->queue.push_back(Item{frame->type, std::move(frame->payload)});
-      const uint64_t depth = conn->queue.size();
-      uint64_t seen = conn->queue_high_water.load(std::memory_order_relaxed);
-      while (depth > seen &&
-             !conn->queue_high_water.compare_exchange_weak(
-                 seen, depth, std::memory_order_relaxed)) {
+      lane.work_cv.notify_one();
+      if (options_.backpressure == BackpressurePolicy::kShed) {
+        const uint8_t ok = static_cast<uint8_t>(DataAckCode::kAbsorbed);
+        std::lock_guard<std::mutex> g(conn->write_mu);
+        if (!WriteNetFrame(conn->socket, NetFrameType::kDataAck, {&ok, 1})
+                 .ok()) {
+          session_open = false;
+        }
       }
+      continue;
     }
-    work_cv_.notify_one();
-    if (is_data && options_.backpressure == BackpressurePolicy::kShed) {
-      const uint8_t ok = static_cast<uint8_t>(DataAckCode::kAbsorbed);
-      std::lock_guard<std::mutex> g(conn->write_mu);
-      if (!WriteNetFrame(conn->socket, NetFrameType::kDataAck, {&ok, 1})
-               .ok()) {
-        session_open = false;
+
+    // Control frames are ordered after every DATA frame this connection
+    // sent: wait for the pumps to absorb the connection's in-flight frames,
+    // then act — so SNAPSHOT_DATA / EPOCH_PUSH_OK / FINALIZE_OK / BYE_OK
+    // keep their "your data is in the lanes" meaning under multi-pump.
+    WaitConnDrained(conn);
+    switch (frame->type) {
+      case NetFrameType::kSnapshot:
+        HandleSnapshot(*conn);
+        break;
+      case NetFrameType::kEpochPush:
+        HandleEpochPush(*conn, frame->payload);
+        break;
+      case NetFrameType::kFinalize: {
+        if (frame->payload.size() != 0 && frame->payload.size() != 4) {
+          conn->corrupt_frames.fetch_add(1, std::memory_order_relaxed);
+          SendError(*conn, Status::Corruption("malformed FINALIZE payload"));
+          session_open = false;
+          break;
+        }
+        {
+          std::lock_guard<std::mutex> g(conn->write_mu);
+          if (!WriteNetFrame(conn->socket, NetFrameType::kFinalizeOk, {})
+                   .ok()) {
+            conn->socket.ShutdownBoth();
+          }
+        }
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          if (frame->payload.size() == 4) {
+            // Region-tagged: idempotent — a retried forward after a lost
+            // FINALIZE_OK counts the region once, never twice.
+            uint32_t region = 0;
+            for (int i = 0; i < 4; ++i) {
+              region |= static_cast<uint32_t>(frame->payload[i]) << (8 * i);
+            }
+            finalized_regions_.insert(region);
+          } else {
+            ++anonymous_finalizes_;
+          }
+        }
+        finalize_cv_.notify_all();
+        break;
       }
+      case NetFrameType::kBye: {
+        std::lock_guard<std::mutex> g(conn->write_mu);
+        (void)WriteNetFrame(conn->socket, NetFrameType::kByeOk, {});
+        session_open = false;  // client is done sending
+        break;
+      }
+      default:
+        break;
     }
-    if (frame->type == NetFrameType::kBye) break;  // client is done sending
   }
 
+  // Reap peers that finished before us (we cannot reap ourselves — the
+  // next exiting reader, the next accept, or Stop picks this one up), so
+  // an idle listener retains only the final straggler(s) instead of
+  // accumulating fds and unjoined threads until the next accept.
+  ReapFinishedConnections();
   {
     std::lock_guard<std::mutex> lock(mu_);
     conn->reader_done = true;
   }
-  work_cv_.notify_all();
+  drain_cv_.notify_all();
+}
+
+void FrameServer::HandleSnapshot(Connection& conn) {
+  // Raw-lane snapshot of everything ingested so far (multi-epoch
+  // streaming: snapshots merge bit-exactly across epochs).
+  const std::vector<uint8_t> bytes = MergeShardsLocked().Serialize();
+  std::lock_guard<std::mutex> g(conn.write_mu);
+  if (!WriteNetFrame(conn.socket, NetFrameType::kSnapshotData, bytes).ok()) {
+    // The peer stopped reading (send timed out) or vanished; cut it.
+    conn.socket.ShutdownBoth();
+  }
+}
+
+void FrameServer::HandleEpochPush(Connection& conn,
+                                  std::span<const uint8_t> payload) {
+  auto push = DecodeEpochPush(payload);
+  if (!push.ok()) {
+    conn.corrupt_frames.fetch_add(1, std::memory_order_relaxed);
+    SendError(conn, push.status());
+    conn.socket.ShutdownBoth();
+    return;
+  }
+  uint8_t ack = static_cast<uint8_t>(EpochPushAckCode::kApplied);
+  bool fresh = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    RegionState& region = regions_[push->region_id];
+    region.metrics.region_id = push->region_id;
+    if (push->epoch < region.next_epoch) {
+      // Already applied: the region retried after an ambiguous failure
+      // (e.g. the connection died between our merge and its ack read).
+      ++region.metrics.duplicates_ignored;
+      ack = static_cast<uint8_t>(EpochPushAckCode::kDuplicate);
+    } else {
+      // Reserve the epoch under mu_, merge outside it: a concurrent retry
+      // of the same (region, epoch) dedups against the in-flight merge,
+      // while the deserialize + k·m-lane merge holds only the target
+      // shard's lock — a large snapshot never stalls every reader and
+      // pump on the global mutex.
+      region.next_epoch = push->epoch + 1;
+      fresh = true;
+    }
+  }
+  if (fresh) {
+    const size_t shard =
+        push_shard_.fetch_add(1, std::memory_order_relaxed) % lanes_.size();
+    Status merged;
+    uint64_t delta = 0;
+    {
+      std::lock_guard<std::mutex> agg(lanes_[shard]->agg_mu);
+      const uint64_t before = aggregator_.shard(shard).reports_ingested();
+      merged = aggregator_.MergeSerializedSketch(shard, push->raw_sketch);
+      delta = aggregator_.shard(shard).reports_ingested() - before;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      RegionState& region = regions_[push->region_id];
+      if (!merged.ok()) {
+        // Nothing touched a lane; roll the reservation back (unless a
+        // later push already advanced past it) so a retry of this epoch
+        // is not mistaken for applied.
+        if (region.next_epoch == push->epoch + 1) {
+          region.next_epoch = push->epoch;
+        }
+      } else {
+        ++region.metrics.epochs_applied;
+        region.metrics.reports_merged += delta;
+        region.metrics.snapshot_bytes += push->raw_sketch.size();
+        region.metrics.next_epoch = region.next_epoch;
+      }
+    }
+    if (!merged.ok()) {
+      conn.corrupt_frames.fetch_add(1, std::memory_order_relaxed);
+      SendError(conn, merged);
+      conn.socket.ShutdownBoth();
+      return;
+    }
+  }
+  std::lock_guard<std::mutex> g(conn.write_mu);
+  if (!WriteNetFrame(conn.socket, NetFrameType::kEpochPushOk, {&ack, 1})
+           .ok()) {
+    conn.socket.ShutdownBoth();
+  }
+}
+
+bool FrameServer::AllReadersDone() const {
+  for (const auto& conn : connections_) {
+    if (!conn->reader_done) return false;
+  }
+  return true;
 }
 
 void FrameServer::ReapFinishedConnections() {
-  // Pump-thread only. A connection whose reader exited and whose queue is
-  // drained is finished for good: join the thread, keep its final counter
-  // snapshot, free everything else — so a long-lived server that has
-  // handled millions of short-lived clients holds live connections plus
-  // one metrics row per departed one, not their queues/threads/sockets.
+  // A connection whose reader exited and whose queued frames are all
+  // absorbed is finished for good: join the thread, keep its final counter
+  // snapshot, free everything else.
   std::vector<std::unique_ptr<Connection>> finished;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (auto& conn : connections_) {
-      if (conn->reader_done && conn->queue.empty()) {
+      if (conn->reader_done && conn->data_inflight == 0) {
         // Counters are final here: the reader mutates them only before
-        // setting reader_done, the pump only while the queue is non-empty.
+        // setting reader_done, the pumps only while inflight is non-zero.
         // Snapshot into departed_ in the same critical section that removes
         // the live entry, so a concurrent metrics() always sees the
         // connection exactly once and aggregate totals stay monotonic.
@@ -231,108 +399,87 @@ void FrameServer::ReapFinishedConnections() {
   for (auto& conn : finished) conn->reader.join();
 }
 
-void FrameServer::PumpLoop() {
-  size_t rr = 0;
+void FrameServer::PumpLoop(size_t shard) {
+  ShardLane& lane = *lanes_[shard];
   for (;;) {
-    ReapFinishedConnections();
-    Connection* conn = nullptr;
-    Item item;
+    PumpItem item;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      // Pick the next queued item round-robin across connections.
-      const size_t n = connections_.size();
-      for (size_t i = 0; i < n && conn == nullptr; ++i) {
-        Connection* c = connections_[(rr + i) % n].get();
-        if (!c->queue.empty()) {
-          conn = c;
-          rr = (rr + i + 1) % n;
-        }
-      }
-      if (conn == nullptr) {
-        if (stopping_ && connections_.empty()) return;  // fully drained
-        // Sleep until there is an item to pump, a finished connection to
-        // reap, or nothing left at all during shutdown.
-        work_cv_.wait(lock, [&] {
-          for (const auto& c : connections_) {
-            if (!c->queue.empty() || c->reader_done) return true;
-          }
-          return stopping_ && connections_.empty();
-        });
-        continue;  // re-reap / re-scan with fresh state
-      }
-      item = std::move(conn->queue.front());
-      conn->queue.pop_front();
+      // Sleep until there is an item to pump, or — during shutdown, once
+      // every reader has exited (no producer remains) — the queue is dry.
+      lane.work_cv.wait(lock, [&] {
+        return !lane.queue.empty() || (stopping_ && AllReadersDone());
+      });
+      if (lane.queue.empty()) return;  // fully drained
+      item = std::move(lane.queue.front());
+      lane.queue.pop_front();
     }
     space_cv_.notify_all();
-    ProcessItem(*conn, item);
+    ProcessData(shard, *item.conn, item.payload);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --item.conn->data_inflight;
+    }
+    drain_cv_.notify_all();
   }
 }
 
-void FrameServer::ProcessItem(Connection& conn, const Item& item) {
-  switch (item.type) {
-    case NetFrameType::kData: {
-      const uint64_t before = aggregator_.reports_ingested();
-      const Status status = aggregator_.IngestFrame(item.payload);
-      if (!status.ok()) {
-        // A rejected frame left every lane untouched (shard contract);
-        // count it, tell the client, and cut the connection — a client
-        // producing corrupt envelopes cannot be trusted with the session.
-        conn.corrupt_frames.fetch_add(1, std::memory_order_relaxed);
-        SendError(conn, status);
-        conn.socket.ShutdownBoth();
-        break;
-      }
-      const uint64_t delta = aggregator_.reports_ingested() - before;
-      conn.reports_ingested.fetch_add(delta, std::memory_order_relaxed);
-      shard_frames_[pump_shard_].fetch_add(1, std::memory_order_relaxed);
-      shard_reports_[pump_shard_].fetch_add(delta, std::memory_order_relaxed);
-      pump_shard_ = (pump_shard_ + 1) % aggregator_.num_shards();
-      break;
-    }
-    case NetFrameType::kSnapshot: {
-      // Raw-lane snapshot of everything ingested so far (multi-epoch
-      // streaming: snapshots merge bit-exactly across epochs).
-      const std::vector<uint8_t> bytes = aggregator_.MergeShards().Serialize();
-      std::lock_guard<std::mutex> g(conn.write_mu);
-      if (!WriteNetFrame(conn.socket, NetFrameType::kSnapshotData, bytes)
-               .ok()) {
-        // The peer stopped reading (send timed out) or vanished; cut it so
-        // the pump can never be parked on this socket again.
-        conn.socket.ShutdownBoth();
-      }
-      break;
-    }
-    case NetFrameType::kFinalize: {
-      {
-        std::lock_guard<std::mutex> g(conn.write_mu);
-        if (!WriteNetFrame(conn.socket, NetFrameType::kFinalizeOk, {}).ok()) {
-          conn.socket.ShutdownBoth();
-        }
-      }
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        finalize_requested_ = true;
-      }
-      finalize_cv_.notify_all();
-      break;
-    }
-    case NetFrameType::kBye: {
-      // Processed strictly after every frame this client sent before it, so
-      // the ack below is the client's proof that its data is in the lanes.
-      std::lock_guard<std::mutex> g(conn.write_mu);
-      if (!WriteNetFrame(conn.socket, NetFrameType::kByeOk, {}).ok()) {
-        conn.socket.ShutdownBoth();
-      }
-      break;
-    }
-    default:
-      break;  // readers enqueue only the types above
+void FrameServer::ProcessData(size_t shard, Connection& conn,
+                              std::span<const uint8_t> payload) {
+  ShardLane& lane = *lanes_[shard];
+  Status status;
+  uint64_t delta = 0;
+  {
+    std::lock_guard<std::mutex> agg(lane.agg_mu);
+    const uint64_t before = aggregator_.shard(shard).reports_ingested();
+    status = aggregator_.IngestFrameToShard(shard, payload);
+    delta = aggregator_.shard(shard).reports_ingested() - before;
   }
+  if (!status.ok()) {
+    // A rejected frame left every lane untouched (shard contract); count
+    // it, tell the client, and cut the connection — a client producing
+    // corrupt envelopes cannot be trusted with the session.
+    conn.corrupt_frames.fetch_add(1, std::memory_order_relaxed);
+    SendError(conn, status);
+    conn.socket.ShutdownBoth();
+    return;
+  }
+  conn.reports_ingested.fetch_add(delta, std::memory_order_relaxed);
+  lane.frames.fetch_add(1, std::memory_order_relaxed);
+  lane.reports.fetch_add(delta, std::memory_order_relaxed);
 }
 
-void FrameServer::WaitForFinalizeRequest() {
+void FrameServer::WaitForFinalizeRequests(size_t count) {
   std::unique_lock<std::mutex> lock(mu_);
-  finalize_cv_.wait(lock, [&] { return finalize_requested_; });
+  finalize_cv_.wait(lock, [&] {
+    return anonymous_finalizes_ + finalized_regions_.size() >= count;
+  });
+}
+
+LdpJoinSketchServer FrameServer::MergeShardsLocked() const {
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(lanes_.size());
+  for (const auto& lane : lanes_) locks.emplace_back(lane->agg_mu);
+  return aggregator_.MergeShards();
+}
+
+ShardedAggregator::EpochCut FrameServer::CutEpochSnapshot() {
+  LDPJS_CHECK(!finalized_);
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(lanes_.size());
+  for (const auto& lane : lanes_) locks.emplace_back(lane->agg_mu);
+  return aggregator_.CutEpoch();
+}
+
+LdpJoinSketchServer FrameServer::FinalizedView() const {
+  LdpJoinSketchServer merged = MergeShardsLocked();
+  merged.Finalize();
+  return merged;
+}
+
+void FrameServer::DisconnectClients() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& conn : connections_) conn->socket.ShutdownBoth();
 }
 
 void FrameServer::Stop() {
@@ -343,18 +490,28 @@ void FrameServer::Stop() {
     // Disconnect whoever is still attached: readers blocked in recv see
     // EOF and exit, so Stop cannot hang on an idle or silent client. A
     // client that completed Finish() has already been fully ingested; any
-    // frames the stragglers queued are still drained by the pump below.
+    // frames the stragglers queued are still drained by the pumps below.
     for (auto& conn : connections_) conn->socket.ShutdownBoth();
   }
   space_cv_.notify_all();
-  work_cv_.notify_all();
+  drain_cv_.notify_all();
   listener_.ShutdownBoth();
   acceptor_.join();
-  // The pump drains every queue, then reaps (joins) every reader before it
-  // exits — after this join no connection state remains.
-  pump_.join();
+  // Registration is complete once the acceptor is joined; wait for every
+  // reader to exit, so no producer can enqueue behind a pump's back.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    drain_cv_.wait(lock, [&] { return AllReadersDone(); });
+  }
+  // Pumps drain their queues dry, then exit.
+  for (auto& lane : lanes_) lane->work_cv.notify_all();
+  for (auto& lane : lanes_) lane->pump.join();
+  ReapFinishedConnections();
   listener_.Close();
-  stopped_ = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+  }
 }
 
 LdpJoinSketchServer FrameServer::Finalize() {
@@ -375,7 +532,6 @@ ConnectionMetrics FrameServer::SnapshotConnection(
   c.corrupt_frames_rejected =
       conn.corrupt_frames.load(std::memory_order_relaxed);
   c.frames_shed = conn.frames_shed.load(std::memory_order_relaxed);
-  c.queue_high_water = conn.queue_high_water.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -396,13 +552,19 @@ NetMetrics FrameServer::metrics() const {
     m.reports_ingested += c.reports_ingested;
     m.corrupt_frames_rejected += c.corrupt_frames_rejected;
     m.frames_shed += c.frames_shed;
-    m.queue_high_water = std::max(m.queue_high_water, c.queue_high_water);
   }
-  for (size_t s = 0; s < shard_frames_.size(); ++s) {
+  for (const auto& lane : lanes_) {
     ShardMetrics shard;
-    shard.frames = shard_frames_[s].load(std::memory_order_relaxed);
-    shard.reports = shard_reports_[s].load(std::memory_order_relaxed);
+    shard.frames = lane->frames.load(std::memory_order_relaxed);
+    shard.reports = lane->reports.load(std::memory_order_relaxed);
+    shard.queue_high_water = lane->queue_high_water;
+    m.queue_high_water = std::max(m.queue_high_water, shard.queue_high_water);
     m.shards.push_back(shard);
+  }
+  for (const auto& [id, region] : regions_) {
+    m.regions.push_back(region.metrics);
+    m.epochs_applied += region.metrics.epochs_applied;
+    m.epoch_duplicates_ignored += region.metrics.duplicates_ignored;
   }
   return m;
 }

@@ -1,32 +1,43 @@
 // FrameServer: the TCP ingestion front end of the sharded aggregation
-// service. Accepts many concurrent client connections, speaks the LJSP
-// session protocol (see net/protocol.h), and feeds every decoded DATA frame
-// into a ShardedAggregator.
+// service — and, in the federated deployment, both the regional ingest tier
+// (it can cut epoch snapshots of its raw lanes) and the central tier (it
+// merges EPOCH_PUSH snapshots shipped upstream by regions). Accepts many
+// concurrent client connections, speaks the LJSP session protocol (see
+// net/protocol.h), and feeds every decoded DATA frame into a
+// ShardedAggregator.
 //
-// Threading model:
+// Threading model (shard-affine multi-pump ingest):
 //   - one acceptor thread;
 //   - one reader thread per connection, which does the HELLO handshake,
-//     parses transport frames, and pushes them onto the connection's
-//     bounded ingest queue;
-//   - one ingest pump thread, the sole owner of the ShardedAggregator,
-//     which drains the queues round-robin. Frames stay ordered within a
-//     connection (so SNAPSHOT/FINALIZE/BYE observe every frame the client
-//     sent before them); ordering across connections is unspecified, which
-//     is fine — raw integer lanes make the merged sketch independent of
-//     frame routing and interleaving (the service exactness invariant).
+//     parses transport frames, routes DATA frames onto bounded *per-shard*
+//     ingest queues (connection-local round-robin), and handles the
+//     connection's control frames itself;
+//   - one ingest pump thread per shard, the sole writer of that shard's
+//     lanes, draining that shard's queue. N shards ingest on N cores.
 //
-// Backpressure (bounded memory): each connection's queue holds at most
+// Ordering: a control frame (SNAPSHOT / EPOCH_PUSH / FINALIZE / BYE) is
+// handled only after every DATA frame its connection sent before it has
+// been absorbed (the reader waits for its in-flight count to reach zero),
+// so SNAPSHOT_DATA / BYE_OK keep their "everything you sent is in the
+// lanes" guarantee. Ordering across connections is unspecified, which is
+// fine — raw integer lanes make the merged sketch independent of frame
+// routing and interleaving (the service exactness invariant), which is also
+// why multi-pump ingest is bit-identical to the old single-pump server.
+//
+// Backpressure (bounded memory): each shard's queue holds at most
 // `queue_capacity` frames. kBlock parks the reader until the pump makes
 // space — the kernel receive buffer fills and TCP flow control pushes back
 // on the client. kShed refuses the DATA frame with a retriable busy ack
 // instead (the client retries; see FrameSender). Control frames are never
-// shed. Either way the server's memory is one sketch per shard plus the
-// queues — never proportional to what clients send.
+// queued, so they are never shed. Either way the server's memory is one
+// sketch per shard plus the shard queues — never proportional to client
+// traffic.
 //
 // Untrusted input: a malformed transport frame, an oversized length prefix,
-// a corrupt LJSB envelope, a mid-frame disconnect, or a HELLO with
-// mismatched sketch params can never crash the server or touch a lane —
-// each is counted in the metrics and the offending connection is closed.
+// a corrupt LJSB envelope or pushed sketch, a mid-frame disconnect, or a
+// HELLO with mismatched sketch params can never crash the server or touch a
+// lane — each is counted in the metrics and the offending connection is
+// closed.
 #ifndef LDPJS_NET_FRAME_SERVER_H_
 #define LDPJS_NET_FRAME_SERVER_H_
 
@@ -34,8 +45,10 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -55,14 +68,13 @@ enum class BackpressurePolicy {
 
 struct FrameServerOptions {
   uint16_t port = 0;          ///< 0 = ephemeral; read back with port()
-  size_t num_shards = 1;      ///< aggregation shards (>= 1)
-  size_t queue_capacity = 64; ///< max queued frames per connection
+  size_t num_shards = 1;      ///< aggregation shards == ingest pumps (>= 1)
+  size_t queue_capacity = 64; ///< max queued frames per shard
   BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
   /// SO_SNDTIMEO on accepted sockets: a client that requests a reply
   /// (SNAPSHOT, acks) but stops reading can stall a server-side write for
-  /// at most this long before the write fails and the connection is cut —
-  /// the single-threaded ingest pump must never be parked forever on one
-  /// peer's socket. 0 disables the guard.
+  /// at most this long before the write fails and the connection is cut.
+  /// 0 disables the guard.
   int send_timeout_seconds = 30;
 };
 
@@ -76,19 +88,40 @@ class FrameServer {
   FrameServer(const FrameServer&) = delete;
   FrameServer& operator=(const FrameServer&) = delete;
 
-  /// Binds, listens, and starts the acceptor and pump threads.
+  /// Binds, listens, and starts the acceptor and per-shard pump threads.
   Status Start();
 
   /// Bound port (valid after Start; resolves an ephemeral bind).
   uint16_t port() const { return port_; }
 
-  /// Blocks until some client's FINALIZE frame has been processed.
-  void WaitForFinalizeRequest();
+  /// Blocks until at least `count` FINALIZE frames have been processed
+  /// (a central aggregator fed by N regions waits for N).
+  void WaitForFinalizeRequests(size_t count);
+  void WaitForFinalizeRequest() { WaitForFinalizeRequests(1); }
+
+  /// Epoch cut (regional tier): quiesces every shard, serializes the merged
+  /// raw lanes of everything ingested since the last cut, and resets the
+  /// lanes in place. Frames still queued simply land in the next epoch —
+  /// merging every cut is bit-identical to never cutting. Callable while
+  /// the server is live or after Stop() (the final flush), but not after
+  /// Finalize().
+  ShardedAggregator::EpochCut CutEpochSnapshot();
+
+  /// A finalized copy of everything currently in the lanes, without
+  /// disturbing collection — how a central aggregator answers estimates at
+  /// an epoch boundary while regions keep streaming.
+  LdpJoinSketchServer FinalizedView() const;
+
+  /// Disconnects every currently attached client (their queued frames are
+  /// still drained; the listener stays open, so clients may reconnect).
+  /// An ops action — kick all sessions — and the chaos hook the federation
+  /// tests use to force a mid-epoch regional disconnect/retry.
+  void DisconnectClients();
 
   /// Shutdown: stops accepting, disconnects any client still attached
   /// (its already-queued frames are still drained — but a client is only
   /// guaranteed fully ingested if its Finish()/BYE_OK completed first),
-  /// drains all ingest queues, joins threads. Idempotent.
+  /// drains all shard queues, joins threads. Idempotent.
   void Stop();
 
   /// Merged + finalized sketch — callable exactly once, after Stop(), so
@@ -97,65 +130,96 @@ class FrameServer {
   /// same reports.
   LdpJoinSketchServer Finalize();
 
-  /// Consistent snapshot of the per-connection / per-shard counters.
+  /// Consistent snapshot of the per-connection/per-shard/per-region
+  /// counters.
   NetMetrics metrics() const;
 
  private:
-  struct Item {
-    NetFrameType type;
-    std::vector<uint8_t> payload;
-  };
   struct Connection {
     uint64_t id = 0;
     Socket socket;
     std::thread reader;
     std::mutex write_mu;       ///< serializes socket writes (acks, replies)
-    std::deque<Item> queue;    ///< guarded by FrameServer::mu_
     bool reader_done = false;  ///< guarded by FrameServer::mu_
+    uint64_t data_inflight = 0;  ///< queued-but-unabsorbed DATA; mu_
+    size_t next_shard = 0;     ///< connection-local round-robin cursor
     std::atomic<uint64_t> frames_received{0};
     std::atomic<uint64_t> bytes_received{0};
     std::atomic<uint64_t> reports_ingested{0};
     std::atomic<uint64_t> corrupt_frames{0};
     std::atomic<uint64_t> frames_shed{0};
-    std::atomic<uint64_t> queue_high_water{0};
+  };
+  struct PumpItem {
+    Connection* conn;             ///< kept alive until inflight drains
+    std::vector<uint8_t> payload;
+  };
+  /// One shard's ingest lane: a bounded queue drained by a dedicated pump,
+  /// plus the mutex that makes the shard's aggregator state lockable by
+  /// snapshot/cut/merge paths without stopping the other pumps.
+  struct ShardLane {
+    std::deque<PumpItem> queue;        ///< guarded by FrameServer::mu_
+    std::condition_variable work_cv;   ///< pump waits for queue items
+    std::thread pump;
+    mutable std::mutex agg_mu;         ///< guards aggregator shard state
+    uint64_t queue_high_water = 0;     ///< guarded by FrameServer::mu_
+    std::atomic<uint64_t> frames{0};
+    std::atomic<uint64_t> reports{0};
+  };
+  struct RegionState {
+    uint64_t next_epoch = 0;  ///< pushes below this are duplicates
+    RegionMetrics metrics;
   };
 
   void AcceptLoop();
   void ReaderLoop(Connection* conn);
-  void PumpLoop();
-  void ProcessItem(Connection& conn, const Item& item);
+  void PumpLoop(size_t shard);
+  void ProcessData(size_t shard, Connection& conn,
+                   std::span<const uint8_t> payload);
+  /// Blocks until every DATA frame `conn` enqueued has been absorbed — the
+  /// ordering barrier control frames ride on.
+  void WaitConnDrained(Connection* conn);
+  void HandleSnapshot(Connection& conn);
+  void HandleEpochPush(Connection& conn, std::span<const uint8_t> payload);
+  bool AllReadersDone() const;  ///< requires mu_
   void ReapFinishedConnections();
   ConnectionMetrics SnapshotConnection(const Connection& conn) const;
   void SendError(Connection& conn, const Status& status);
   bool HelloMatches(const SessionHello& hello) const;
+  /// Merges every shard's lanes under all shard locks (consistent cut).
+  LdpJoinSketchServer MergeShardsLocked() const;
 
   SketchParams params_;
   double epsilon_;
   FrameServerOptions options_;
-  ShardedAggregator aggregator_;  ///< pump thread only once started
-  size_t pump_shard_ = 0;         ///< mirrors the aggregator's round-robin
-  std::vector<std::atomic<uint64_t>> shard_frames_;
-  std::vector<std::atomic<uint64_t>> shard_reports_;
+  size_t max_session_payload_;    ///< DATA cap or EPOCH_PUSH bound
+  ShardedAggregator aggregator_;  ///< shard s owned by pump s (agg_mu)
+  std::vector<std::unique_ptr<ShardLane>> lanes_;
+  std::atomic<size_t> push_shard_{0};  ///< EPOCH_PUSH merge round-robin
 
   Socket listener_;
   uint16_t port_ = 0;
   std::thread acceptor_;
-  std::thread pump_;
 
   mutable std::mutex mu_;
-  std::condition_variable work_cv_;      ///< pump waits for queued items
   std::condition_variable space_cv_;     ///< readers wait for queue space
+  std::condition_variable drain_cv_;     ///< waits for inflight==0 / readers
   std::condition_variable finalize_cv_;
   /// Live connections only: once a connection's reader has exited and its
-  /// queue is drained, the pump joins the thread, folds its counters into
-  /// departed_, and frees the slot — server memory does not grow with the
-  /// total number of clients ever served.
+  /// in-flight frames are absorbed, it is reaped (thread joined, counters
+  /// folded into departed_) — server memory does not grow with the total
+  /// number of clients ever served.
   std::vector<std::unique_ptr<Connection>> connections_;
   std::vector<ConnectionMetrics> departed_;  ///< final per-conn snapshots
+  std::map<uint32_t, RegionState> regions_;  ///< guarded by mu_
   bool started_ = false;
   bool stopping_ = false;
   bool stopped_ = false;
-  bool finalize_requested_ = false;
+  /// Finalize barrier state, guarded by mu_: anonymous FINALIZEs count
+  /// every time, region-tagged ones once per region — a region retrying a
+  /// FINALIZE whose ack was lost cannot end a multi-region collection
+  /// early. The effective count is anonymous + |regions|.
+  size_t anonymous_finalizes_ = 0;
+  std::set<uint32_t> finalized_regions_;
   bool finalized_ = false;
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> handshakes_rejected_{0};

@@ -1,0 +1,83 @@
+#include "net/net_metrics.h"
+
+namespace ldpjs {
+
+namespace {
+
+void AppendField(std::string& out, const char* name, uint64_t value,
+                 bool* first) {
+  if (!*first) out += ',';
+  *first = false;
+  out += '"';
+  out += name;
+  out += "\":";
+  out += std::to_string(value);
+}
+
+}  // namespace
+
+std::string NetMetricsToJson(const NetMetrics& m) {
+  std::string out;
+  out.reserve(512 + 128 * (m.connections.size() + m.shards.size() +
+                           m.regions.size()));
+  out += '{';
+  bool first = true;
+  AppendField(out, "connections_accepted", m.connections_accepted, &first);
+  AppendField(out, "connections_active", m.connections_active, &first);
+  AppendField(out, "handshakes_rejected", m.handshakes_rejected, &first);
+  AppendField(out, "frames_received", m.frames_received, &first);
+  AppendField(out, "bytes_received", m.bytes_received, &first);
+  AppendField(out, "reports_ingested", m.reports_ingested, &first);
+  AppendField(out, "corrupt_frames_rejected", m.corrupt_frames_rejected,
+              &first);
+  AppendField(out, "frames_shed", m.frames_shed, &first);
+  AppendField(out, "queue_high_water", m.queue_high_water, &first);
+  AppendField(out, "epochs_applied", m.epochs_applied, &first);
+  AppendField(out, "epoch_duplicates_ignored", m.epoch_duplicates_ignored,
+              &first);
+  out += ",\"connections\":[";
+  for (size_t i = 0; i < m.connections.size(); ++i) {
+    const ConnectionMetrics& c = m.connections[i];
+    if (i > 0) out += ',';
+    out += '{';
+    bool f = true;
+    AppendField(out, "id", c.id, &f);
+    AppendField(out, "active", c.active ? 1 : 0, &f);
+    AppendField(out, "frames_received", c.frames_received, &f);
+    AppendField(out, "bytes_received", c.bytes_received, &f);
+    AppendField(out, "reports_ingested", c.reports_ingested, &f);
+    AppendField(out, "corrupt_frames_rejected", c.corrupt_frames_rejected, &f);
+    AppendField(out, "frames_shed", c.frames_shed, &f);
+    out += '}';
+  }
+  out += "],\"shards\":[";
+  for (size_t i = 0; i < m.shards.size(); ++i) {
+    const ShardMetrics& s = m.shards[i];
+    if (i > 0) out += ',';
+    out += '{';
+    bool f = true;
+    AppendField(out, "shard", i, &f);
+    AppendField(out, "frames", s.frames, &f);
+    AppendField(out, "reports", s.reports, &f);
+    AppendField(out, "queue_high_water", s.queue_high_water, &f);
+    out += '}';
+  }
+  out += "],\"regions\":[";
+  for (size_t i = 0; i < m.regions.size(); ++i) {
+    const RegionMetrics& r = m.regions[i];
+    if (i > 0) out += ',';
+    out += '{';
+    bool f = true;
+    AppendField(out, "region_id", r.region_id, &f);
+    AppendField(out, "epochs_applied", r.epochs_applied, &f);
+    AppendField(out, "duplicates_ignored", r.duplicates_ignored, &f);
+    AppendField(out, "reports_merged", r.reports_merged, &f);
+    AppendField(out, "snapshot_bytes", r.snapshot_bytes, &f);
+    AppendField(out, "next_epoch", r.next_epoch, &f);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace ldpjs

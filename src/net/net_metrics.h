@@ -1,10 +1,12 @@
 // Observability structs for the TCP front end. FrameServer::metrics()
-// returns a consistent snapshot; the CLI `serve` subcommand dumps it when
-// the session finishes.
+// returns a consistent snapshot; the CLI `serve`/`federate-*` subcommands
+// dump it when the session finishes — and as JSON on SIGUSR1, via
+// NetMetricsToJson below.
 #ifndef LDPJS_NET_NET_METRICS_H_
 #define LDPJS_NET_NET_METRICS_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace ldpjs {
@@ -18,13 +20,25 @@ struct ConnectionMetrics {
   uint64_t reports_ingested = 0;         ///< reports absorbed into lanes
   uint64_t corrupt_frames_rejected = 0;  ///< transport- or envelope-level
   uint64_t frames_shed = 0;              ///< DATA refused with a busy ack
-  uint64_t queue_high_water = 0;         ///< max ingest-queue depth seen
 };
 
-/// Per-shard counters mirrored from the aggregation tier.
+/// Per-shard counters. With multi-pump ingest each shard owns a queue and a
+/// pump, so queue depth is a per-shard property now, not per-connection.
 struct ShardMetrics {
   uint64_t frames = 0;
   uint64_t reports = 0;
+  uint64_t queue_high_water = 0;  ///< max ingest-queue depth seen
+};
+
+/// Per-region counters on a central aggregator (one row per region_id that
+/// has ever pushed an epoch snapshot upstream).
+struct RegionMetrics {
+  uint32_t region_id = 0;
+  uint64_t epochs_applied = 0;     ///< snapshots merged into the lanes
+  uint64_t duplicates_ignored = 0; ///< retried pushes deduped on (r, epoch)
+  uint64_t reports_merged = 0;     ///< reports inside the applied snapshots
+  uint64_t snapshot_bytes = 0;     ///< serialized sketch bytes applied
+  uint64_t next_epoch = 0;         ///< first epoch not yet applied
 };
 
 struct NetMetrics {
@@ -37,10 +51,19 @@ struct NetMetrics {
   uint64_t reports_ingested = 0;
   uint64_t corrupt_frames_rejected = 0;
   uint64_t frames_shed = 0;
-  uint64_t queue_high_water = 0;  ///< max over connections
+  uint64_t queue_high_water = 0;  ///< max over shards
+  // Federation totals (sum of the region rows).
+  uint64_t epochs_applied = 0;
+  uint64_t epoch_duplicates_ignored = 0;
   std::vector<ConnectionMetrics> connections;
   std::vector<ShardMetrics> shards;
+  std::vector<RegionMetrics> regions;
 };
+
+/// Renders the full snapshot — totals plus the per-connection, per-shard,
+/// and per-region rows — as one JSON object (machine-readable ops output;
+/// the CLI dumps it on SIGUSR1 and at exit).
+std::string NetMetricsToJson(const NetMetrics& metrics);
 
 }  // namespace ldpjs
 

@@ -1,12 +1,14 @@
 #include "net/protocol.h"
 
+#include "core/ldp_join_sketch.h"
+
 namespace ldpjs {
 
 namespace {
 
 bool IsKnownFrameType(uint8_t type) {
   return type >= static_cast<uint8_t>(NetFrameType::kHello) &&
-         type <= static_cast<uint8_t>(NetFrameType::kError);
+         type <= static_cast<uint8_t>(NetFrameType::kEpochPushOk);
 }
 
 }  // namespace
@@ -76,6 +78,50 @@ Result<SessionHelloOk> DecodeHelloOk(std::span<const uint8_t> payload) {
   ok.num_shards = *shards;
   ok.acked_data = *acked != 0;
   return ok;
+}
+
+std::vector<uint8_t> EncodeEpochPush(uint32_t region_id, uint64_t epoch,
+                                     std::span<const uint8_t> raw_sketch) {
+  std::vector<uint8_t> payload;
+  payload.reserve(kEpochPushHeaderBytes + raw_sketch.size());
+  for (int shift = 0; shift < 32; shift += 8) {
+    payload.push_back(static_cast<uint8_t>(region_id >> shift));
+  }
+  for (int shift = 0; shift < 64; shift += 8) {
+    payload.push_back(static_cast<uint8_t>(epoch >> shift));
+  }
+  payload.insert(payload.end(), raw_sketch.begin(), raw_sketch.end());
+  return payload;
+}
+
+Result<EpochPush> DecodeEpochPush(std::span<const uint8_t> payload) {
+  BinaryReader reader(payload);
+  auto region = reader.GetU32();
+  if (!region.ok()) return region.status();
+  auto epoch = reader.GetU64();
+  if (!epoch.ok()) return epoch.status();
+  auto sketch = reader.GetRaw(reader.remaining());
+  if (!sketch.ok()) return sketch.status();
+  if (sketch->empty()) {
+    return Status::Corruption("EPOCH_PUSH carries no sketch bytes");
+  }
+  EpochPush push;
+  push.region_id = *region;
+  push.epoch = *epoch;
+  push.raw_sketch = *sketch;
+  return push;
+}
+
+size_t EpochPushPayloadBound(const SketchParams& params) {
+  // Measure the real serializer instead of hand-duplicating its layout —
+  // if Serialize() ever grows a field, the bound grows with it and a
+  // well-formed push can never be rejected as oversized. A raw sketch's
+  // size is fully determined by the shape (epsilon only changes values),
+  // and this runs once per server construction, so the transient k·m
+  // allocation is irrelevant.
+  const size_t sketch_bytes =
+      LdpJoinSketchServer(params, /*epsilon=*/1.0).Serialize().size();
+  return kEpochPushHeaderBytes + sketch_bytes;
 }
 
 std::vector<uint8_t> EncodeErrorPayload(const Status& status) {

@@ -41,15 +41,16 @@
 #include "common/serialize.h"
 #include "common/socket.h"
 #include "common/status.h"
+#include "core/params.h"
 
 namespace ldpjs {
 
 inline constexpr uint32_t kNetMagic = 0x50534A4CU;  // "LJSP" little-endian
 inline constexpr uint8_t kNetVersion = 1;
 
-/// Frame types. Client→server: kHello, kData, kSnapshot, kFinalize, kBye.
-/// Server→client: kHelloOk, kDataAck, kSnapshotData, kFinalizeOk, kByeOk,
-/// kError.
+/// Frame types. Client→server: kHello, kData, kSnapshot, kFinalize, kBye,
+/// kEpochPush. Server→client: kHelloOk, kDataAck, kSnapshotData,
+/// kFinalizeOk, kByeOk, kError, kEpochPushOk.
 enum class NetFrameType : uint8_t {
   kHello = 1,
   kHelloOk = 2,
@@ -57,11 +58,23 @@ enum class NetFrameType : uint8_t {
   kDataAck = 4,
   kSnapshot = 5,
   kSnapshotData = 6,
+  /// Payload: empty (anonymous — every request counts), or u32 region_id
+  /// (federation: a region's forwarded FINALIZE counts once per region no
+  /// matter how many times a retry resends it).
   kFinalize = 7,
   kFinalizeOk = 8,
   kBye = 9,
   kByeOk = 10,
   kError = 11,
+  /// Federation: a regional aggregator ships one epoch's raw-lane snapshot
+  /// upstream. Payload: u32 region_id, u64 epoch, then the serialized
+  /// un-finalized sketch. Ordered after the connection's DATA like the
+  /// other non-DATA frames; never shed.
+  kEpochPush = 12,
+  /// Ack for kEpochPush: one EpochPushAckCode byte. `kDuplicate` makes a
+  /// retried push after an ambiguous failure exactly-once — the central
+  /// tier dedups on (region_id, epoch) and never double-merges.
+  kEpochPushOk = 13,
 };
 
 /// Hard cap on client→server frame payloads. A batch envelope is at most
@@ -101,6 +114,36 @@ struct SessionHelloOk {
 
 std::vector<uint8_t> EncodeHelloOk(const SessionHelloOk& ok);
 Result<SessionHelloOk> DecodeHelloOk(std::span<const uint8_t> payload);
+
+/// EPOCH_PUSH_OK payload (one byte).
+enum class EpochPushAckCode : uint8_t {
+  kApplied = 0,    ///< snapshot merged into the central lanes
+  kDuplicate = 1,  ///< (region, epoch) already applied — retry resolved
+};
+
+/// EPOCH_PUSH payload header; the serialized raw-lane sketch follows it to
+/// the end of the frame (no inner length prefix — the transport frame
+/// already delimits it).
+struct EpochPush {
+  uint32_t region_id = 0;
+  uint64_t epoch = 0;
+  std::span<const uint8_t> raw_sketch;  ///< zero-copy view into the payload
+};
+
+/// Transport bytes an EPOCH_PUSH adds on top of the sketch itself.
+inline constexpr size_t kEpochPushHeaderBytes = 12;
+
+std::vector<uint8_t> EncodeEpochPush(uint32_t region_id, uint64_t epoch,
+                                     std::span<const uint8_t> raw_sketch);
+/// The decoded view borrows `payload` — keep it alive.
+Result<EpochPush> DecodeEpochPush(std::span<const uint8_t> payload);
+
+/// Upper bound on a well-formed EPOCH_PUSH payload for `params`-shaped
+/// sessions: push header + the measured size of a serialized raw-lane
+/// sketch of that shape. Anything larger is garbage, so servers read
+/// session frames with max(kMaxIngestFramePayload, this) and a malicious
+/// length prefix still cannot make them allocate unboundedly.
+size_t EpochPushPayloadBound(const SketchParams& params);
 
 /// ERROR payload: one status-code byte plus the message bytes. The decoded
 /// Status is what the failing server-side operation returned, so a client

@@ -37,4 +37,13 @@ Status AggregatorShard::IngestFrame(std::span<const uint8_t> frame) {
   return Status::OK();
 }
 
+void AggregatorShard::MergeRaw(const LdpJoinSketchServer& other) {
+  sketch_.Merge(other);
+}
+
+void AggregatorShard::Reset() {
+  shipped_reports_ += sketch_.total_reports();
+  sketch_.ResetLanes();
+}
+
 }  // namespace ldpjs

@@ -38,17 +38,31 @@ class AggregatorShard {
   /// the shard untouched and returns Corruption.
   Status IngestFrame(std::span<const uint8_t> frame);
 
+  /// Adds another un-finalized raw-lane sketch into this shard (the central
+  /// tier's merge of a regional epoch snapshot). Caller must have validated
+  /// params/epsilon compatibility; exact integer lane addition.
+  void MergeRaw(const LdpJoinSketchServer& other);
+
+  /// Epoch cut: zeroes the shard's lanes in place so a new collection
+  /// window starts fresh. Lifetime counters (frames/reports ingested) keep
+  /// accumulating across resets, so service metrics stay monotonic.
+  void Reset();
+
   /// Shard-local raw-lane sketch (un-finalized; merge it, don't query it).
   const LdpJoinSketchServer& sketch() const { return sketch_; }
 
   uint64_t frames_ingested() const { return frames_; }
-  uint64_t reports_ingested() const { return sketch_.total_reports(); }
+  /// Reports absorbed over the shard's lifetime, across every epoch reset.
+  uint64_t reports_ingested() const {
+    return shipped_reports_ + sketch_.total_reports();
+  }
 
  private:
   LdpJoinSketchServer sketch_;
   std::vector<LdpReport> ring_;  // kShardDecodeRingSize buffers, contiguous
   size_t next_buffer_ = 0;
   uint64_t frames_ = 0;
+  uint64_t shipped_reports_ = 0;  // reports cut away by past Reset() calls
 };
 
 }  // namespace ldpjs

@@ -1,5 +1,7 @@
 #include "service/sharded_aggregator.h"
 
+#include <cstring>
+
 #include "common/serialize.h"
 #include "common/thread_pool.h"
 
@@ -16,6 +18,47 @@ Status ShardedAggregator::IngestFrame(std::span<const uint8_t> frame) {
   LDPJS_RETURN_IF_ERROR(shards_[next_shard_].IngestFrame(frame));
   next_shard_ = (next_shard_ + 1) % shards_.size();
   return Status::OK();
+}
+
+Status ShardedAggregator::IngestFrameToShard(size_t shard,
+                                             std::span<const uint8_t> frame) {
+  LDPJS_CHECK(shard < shards_.size());
+  return shards_[shard].IngestFrame(frame);
+}
+
+Status ShardedAggregator::MergeSerializedSketch(
+    size_t shard, std::span<const uint8_t> bytes) {
+  LDPJS_CHECK(shard < shards_.size());
+  auto pushed = LdpJoinSketchServer::Deserialize(bytes);
+  if (!pushed.ok()) return pushed.status();
+  if (pushed->finalized()) {
+    return Status::FailedPrecondition(
+        "pushed sketch is finalized: only raw-lane snapshots merge");
+  }
+  const LdpJoinSketchServer& mine = shards_[shard].sketch();
+  const SketchParams& theirs = pushed->params();
+  // Epsilon compares as bits: mismatched debias scales must never merge.
+  const double e_theirs = pushed->epsilon();
+  const double e_mine = mine.epsilon();
+  uint64_t eps_theirs = 0, eps_mine = 0;
+  std::memcpy(&eps_theirs, &e_theirs, sizeof(eps_theirs));
+  std::memcpy(&eps_mine, &e_mine, sizeof(eps_mine));
+  if (theirs.k != mine.params().k || theirs.m != mine.params().m ||
+      theirs.seed != mine.params().seed || eps_theirs != eps_mine) {
+    return Status::FailedPrecondition(
+        "pushed sketch params mismatch: lanes are not mergeable");
+  }
+  shards_[shard].MergeRaw(*pushed);
+  return Status::OK();
+}
+
+ShardedAggregator::EpochCut ShardedAggregator::CutEpoch() {
+  EpochCut cut;
+  LdpJoinSketchServer merged = MergeShards();
+  cut.reports = merged.total_reports();
+  cut.raw_sketch = merged.Serialize();
+  for (AggregatorShard& shard : shards_) shard.Reset();
+  return cut;
 }
 
 Status ShardedAggregator::IngestStream(std::span<const uint8_t> stream) {

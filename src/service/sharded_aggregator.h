@@ -39,6 +39,30 @@ class ShardedAggregator {
   /// rings); a rejected frame leaves every shard untouched.
   Status IngestFrame(std::span<const uint8_t> frame);
 
+  /// Shard-affine streaming path: ingests one frame into shard `shard`
+  /// directly (the multi-pump server's per-shard queues own their routing).
+  /// Raw lanes make any frame→shard routing bit-identical, so affinity is
+  /// purely a throughput decision. Not synchronized — callers targeting the
+  /// same shard concurrently must serialize themselves.
+  Status IngestFrameToShard(size_t shard, std::span<const uint8_t> frame);
+
+  /// Federated path: deserializes an un-finalized raw-lane sketch (a
+  /// regional epoch snapshot) and merges it into shard `shard`. Rejects
+  /// corrupt bytes, finalized sketches, and any params/epsilon mismatch
+  /// with a Status *before* touching a lane.
+  Status MergeSerializedSketch(size_t shard, std::span<const uint8_t> bytes);
+
+  /// One epoch cut: the serialized merged raw lanes of everything ingested
+  /// since the last cut, plus the report count inside the cut. Every shard
+  /// is reset in the same call, so consecutive cuts partition the stream —
+  /// merging every cut is bit-identical to never cutting. Callers must
+  /// quiesce concurrent ingestion for the duration of the cut.
+  struct EpochCut {
+    std::vector<uint8_t> raw_sketch;
+    uint64_t reports = 0;
+  };
+  EpochCut CutEpoch();
+
   /// Bulk path: ingests already-delimited frame payloads shard-parallel on
   /// SharedThreadPool() (frame i → shard i mod N; frames keep their order
   /// within a shard). Zero-copy — spans must outlive the call. Fails with

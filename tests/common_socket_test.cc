@@ -1,0 +1,157 @@
+// Socket EINTR regression: a process that handles signals (the CLI's
+// SIGUSR1 metrics dump, profilers, debuggers) delivers them to threads
+// blocked in accept/recv/send. An interrupted syscall must be retried, not
+// surfaced as a spurious Corruption/Unavailable — a regional aggregator
+// must never drop a session because an operator asked for metrics. These
+// tests install a handler WITHOUT SA_RESTART (so syscalls really do return
+// EINTR) and storm the blocked thread with signals.
+#include <pthread.h>
+#include <signal.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/socket.h"
+
+namespace ldpjs {
+namespace {
+
+void NoopHandler(int) {}
+
+/// Installs a no-SA_RESTART handler for SIGUSR2 for the test's lifetime.
+class InterruptingSignal {
+ public:
+  InterruptingSignal() {
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_handler = NoopHandler;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0;  // deliberately no SA_RESTART
+    sigaction(SIGUSR2, &action, &previous_);
+  }
+  ~InterruptingSignal() { sigaction(SIGUSR2, &previous_, nullptr); }
+
+ private:
+  struct sigaction previous_;
+};
+
+TEST(SocketEintrTest, RecvAllSurvivesInterruptingSignals) {
+  InterruptingSignal guard;
+  auto listener = Socket::ListenTcp(0);
+  ASSERT_TRUE(listener.ok());
+
+  constexpr size_t kBytes = 1 << 20;
+  Status recv_status = Status::Internal("never ran");
+  std::atomic<bool> receiving{false};
+  std::thread reader([&] {
+    auto conn = listener->Accept();
+    ASSERT_TRUE(conn.ok());
+    std::vector<uint8_t> buffer(kBytes);
+    receiving.store(true);
+    recv_status = conn->RecvAll(buffer);
+    // The payload must arrive intact, not just without error.
+    for (size_t i = 0; i < kBytes; i += 4096) {
+      ASSERT_EQ(buffer[i], static_cast<uint8_t>(i >> 12));
+    }
+  });
+
+  auto client = Socket::ConnectTcp("127.0.0.1", listener->local_port());
+  ASSERT_TRUE(client.ok());
+  while (!receiving.load()) std::this_thread::sleep_for(
+      std::chrono::milliseconds(1));
+
+  // Drip the payload while storming the blocked reader with signals, so
+  // recv sits interrupted between chunks over and over.
+  std::vector<uint8_t> payload(kBytes);
+  for (size_t i = 0; i < kBytes; ++i) {
+    payload[i] = static_cast<uint8_t>(i >> 12);
+  }
+  const pthread_t reader_handle = reader.native_handle();
+  constexpr size_t kChunk = kBytes / 16;
+  for (size_t first = 0; first < kBytes; first += kChunk) {
+    for (int s = 0; s < 5; ++s) {
+      pthread_kill(reader_handle, SIGUSR2);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    ASSERT_TRUE(client
+                    ->SendAll({payload.data() + first,
+                               std::min(kChunk, kBytes - first)})
+                    .ok());
+  }
+  reader.join();
+  EXPECT_TRUE(recv_status.ok()) << recv_status.ToString();
+}
+
+TEST(SocketEintrTest, AcceptSurvivesInterruptingSignals) {
+  InterruptingSignal guard;
+  auto listener = Socket::ListenTcp(0);
+  ASSERT_TRUE(listener.ok());
+
+  Status accept_status = Status::Internal("never ran");
+  std::atomic<bool> accepting{false};
+  std::thread acceptor([&] {
+    accepting.store(true);
+    auto conn = listener->Accept();
+    accept_status = conn.ok() ? Status::OK() : conn.status();
+  });
+  while (!accepting.load()) std::this_thread::sleep_for(
+      std::chrono::milliseconds(1));
+
+  const pthread_t acceptor_handle = acceptor.native_handle();
+  for (int s = 0; s < 50; ++s) {
+    pthread_kill(acceptor_handle, SIGUSR2);
+    std::this_thread::sleep_for(std::chrono::microseconds(300));
+  }
+  auto client = Socket::ConnectTcp("127.0.0.1", listener->local_port());
+  ASSERT_TRUE(client.ok());
+  acceptor.join();
+  EXPECT_TRUE(accept_status.ok()) << accept_status.ToString();
+}
+
+TEST(SocketEintrTest, SendAllSurvivesInterruptingSignals) {
+  InterruptingSignal guard;
+  auto listener = Socket::ListenTcp(0);
+  ASSERT_TRUE(listener.ok());
+
+  // A sender blocked on a full TCP window (the peer reads slowly) is the
+  // send-side analogue of the blocked reader above.
+  constexpr size_t kBytes = 4 << 20;
+  Status send_status = Status::Internal("never ran");
+  std::atomic<bool> sending{false};
+  auto client = Socket::ConnectTcp("127.0.0.1", listener->local_port());
+  ASSERT_TRUE(client.ok());
+  auto server_end = listener->Accept();
+  ASSERT_TRUE(server_end.ok());
+
+  std::atomic<bool> send_done{false};
+  std::thread sender([&] {
+    std::vector<uint8_t> payload(kBytes, 0xA5);
+    sending.store(true);
+    send_status = client->SendAll(payload);
+    send_done.store(true);
+  });
+  while (!sending.load()) std::this_thread::sleep_for(
+      std::chrono::milliseconds(1));
+
+  const pthread_t sender_handle = sender.native_handle();
+  std::vector<uint8_t> sink(64 * 1024);
+  size_t received = 0;
+  while (received < kBytes) {
+    if (!send_done.load()) pthread_kill(sender_handle, SIGUSR2);
+    auto n = server_end->RecvSome(sink);
+    ASSERT_TRUE(n.ok());
+    ASSERT_GT(*n, 0u);
+    received += *n;
+  }
+  sender.join();
+  EXPECT_TRUE(send_status.ok()) << send_status.ToString();
+}
+
+}  // namespace
+}  // namespace ldpjs

@@ -1,0 +1,430 @@
+// Federated aggregation tier end-to-end: the acceptance bar is that a
+// 2-tier federated estimate — N regional FrameServers shipping raw-lane
+// epoch snapshots (EPOCH_PUSH) to a central aggregator — is bit-identical
+// to single-node ingestion of the union of all client streams, for any
+// region count, epoch schedule, shard count per tier, and mid-epoch
+// regional disconnect/retry. Linear sketches make aggregation topology a
+// pure throughput decision; these tests pin that it can never change an
+// answer.
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/socket.h"
+#include "core/join_methods.h"
+#include "core/simulation.h"
+#include "data/datasets.h"
+#include "federation/central_node.h"
+#include "federation/epoch_scheduler.h"
+#include "federation/regional_node.h"
+#include "net/frame_sender.h"
+
+namespace ldpjs {
+namespace {
+
+SketchParams TestParams(int k = 6, int m = 256, uint64_t seed = 21) {
+  SketchParams params;
+  params.k = k;
+  params.m = m;
+  params.seed = seed;
+  return params;
+}
+
+std::vector<LdpReport> PerturbColumn(const LdpJoinSketchClient& client,
+                                     size_t n, uint64_t seed) {
+  std::vector<uint64_t> values(n);
+  for (size_t i = 0; i < n; ++i) values[i] = (i * 2654435761u) % 1000;
+  std::vector<LdpReport> reports(n);
+  Xoshiro256 rng(seed);
+  client.PerturbBatch(values, reports, rng);
+  return reports;
+}
+
+// The acceptance sweep: 2 regions × shards {1, 4} × both join methods,
+// with an epoch schedule that cuts ≥ 3 epochs per region mid-stream. The
+// federated estimate must equal the in-process estimate bit for bit.
+TEST(FederationTest, FederatedEstimateBitIdenticalForShardsAndMethods) {
+  const JoinWorkload workload = MakeZipfWorkload(1.3, 5000, 30000, /*seed=*/5);
+  for (const JoinMethod method :
+       {JoinMethod::kLdpJoinSketch, JoinMethod::kLdpJoinSketchPlus}) {
+    for (const size_t shards : {size_t{1}, size_t{4}}) {
+      JoinMethodConfig config;
+      config.epsilon = 2.0;
+      config.sketch = TestParams();
+      config.run_seed = 77;
+      config.num_shards = shards;
+
+      config.num_regions = 0;
+      const double in_process =
+          EstimateJoin(method, workload.table_a, workload.table_b, config)
+              .estimate;
+
+      config.num_regions = 2;
+      // 30000 rows = 8 ingest blocks, 4 per region; cutting after every
+      // block gives each region ≥ 4 epochs (incl. the final flush).
+      config.epoch_reports = kIngestBlockSize;
+      const double federated =
+          EstimateJoin(method, workload.table_a, workload.table_b, config)
+              .estimate;
+      EXPECT_EQ(federated, in_process)
+          << "method=" << JoinMethodName(method) << " shards=" << shards;
+    }
+  }
+}
+
+// A mid-epoch disconnect: the central cuts the region's upstream session
+// between two epochs; the next ship fails on the dead socket, reconnects,
+// and re-pushes — and the final central sketch still equals a direct
+// absorb of every report, bit for bit, with nothing lost or doubled.
+TEST(FederationTest, MidEpochDisconnectRetriesToExactlyOnce) {
+  const SketchParams params = TestParams();
+  const double epsilon = 2.0;
+  LdpJoinSketchClient client(params, epsilon);
+  std::vector<std::vector<LdpReport>> partitions;
+  for (size_t p = 0; p < 3; ++p) {
+    partitions.push_back(PerturbColumn(client, 6000, 40 + p));
+  }
+
+  CentralNodeOptions central_options;
+  central_options.server.num_shards = 2;
+  CentralNode central(params, epsilon, central_options);
+  ASSERT_TRUE(central.Start().ok());
+
+  RegionalNodeOptions region_options;
+  region_options.region_id = 7;
+  region_options.central_port = central.port();
+  region_options.server.num_shards = 2;
+  region_options.ship_retry_millis = 1;
+  RegionalNode region(params, epsilon, region_options);
+  ASSERT_TRUE(region.Start().ok());
+
+  auto sender =
+      FrameSender::Connect("127.0.0.1", region.port(), params, epsilon);
+  ASSERT_TRUE(sender.ok()) << sender.status().ToString();
+
+  // Epoch 0 ships cleanly and leaves a persistent upstream session.
+  ASSERT_TRUE(sender->SendReports(partitions[0]).ok());
+  ASSERT_TRUE(sender->SnapshotRawSketch().ok());  // ingest barrier
+  ASSERT_TRUE(region.CutAndShip().ok());
+  EXPECT_EQ(region.epochs_shipped(), 1u);
+
+  // The central can answer estimates at the epoch boundary without
+  // stopping collection.
+  EXPECT_EQ(central.FinalizedView().total_reports(), partitions[0].size());
+
+  // Chaos: the central kicks every client, killing the region's upstream
+  // session mid-collection.
+  central.server_mutable().DisconnectClients();
+
+  // Epoch 1: the first push attempt rides the dead socket and fails; the
+  // shipper reconnects and re-pushes the same epoch.
+  ASSERT_TRUE(sender->SendReports(partitions[1]).ok());
+  ASSERT_TRUE(sender->SnapshotRawSketch().ok());
+  ASSERT_TRUE(region.CutAndShip().ok());
+  EXPECT_EQ(region.epochs_shipped(), 2u);
+  EXPECT_GE(region.ship_retries(), 1u);
+
+  // Epoch 2 rides the final flush.
+  ASSERT_TRUE(sender->SendReports(partitions[2]).ok());
+  ASSERT_TRUE(sender->Finish().ok());
+  ASSERT_TRUE(region.FlushAndStop().ok());
+  EXPECT_EQ(region.pending_snapshots(), 0u);
+
+  central.Stop();
+  const NetMetrics metrics = central.metrics();
+  LdpJoinSketchServer federated = central.Finalize();
+
+  LdpJoinSketchServer direct(params, epsilon);
+  size_t total = 0;
+  for (const auto& partition : partitions) {
+    direct.AbsorbBatch(partition);
+    total += partition.size();
+  }
+  direct.Finalize();
+  EXPECT_EQ(federated.Serialize(), direct.Serialize());
+  EXPECT_EQ(federated.total_reports(), total);
+
+  ASSERT_EQ(metrics.regions.size(), 1u);
+  EXPECT_EQ(metrics.regions[0].region_id, 7u);
+  EXPECT_EQ(metrics.regions[0].epochs_applied, 3u);
+  EXPECT_EQ(metrics.regions[0].reports_merged, total);
+}
+
+// A retried push whose original WAS applied (the ack got lost, not the
+// push) must resolve as a duplicate: the central dedups on (region, epoch)
+// and never double-merges.
+TEST(FederationTest, DuplicateEpochPushIsDedupedExactlyOnce) {
+  const SketchParams params = TestParams();
+  const double epsilon = 1.5;
+  LdpJoinSketchClient client(params, epsilon);
+  const std::vector<LdpReport> reports = PerturbColumn(client, 5000, 9);
+  LdpJoinSketchServer epoch_sketch(params, epsilon);
+  epoch_sketch.AbsorbBatch(reports);
+  const std::vector<uint8_t> snapshot = epoch_sketch.Serialize();
+
+  CentralNodeOptions options;
+  options.server.num_shards = 3;
+  CentralNode central(params, epsilon, options);
+  ASSERT_TRUE(central.Start().ok());
+  auto sender =
+      FrameSender::Connect("127.0.0.1", central.port(), params, epsilon);
+  ASSERT_TRUE(sender.ok());
+
+  auto first = sender->PushEpochSnapshot(3, 0, snapshot);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(*first);  // applied
+  auto replay = sender->PushEpochSnapshot(3, 0, snapshot);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_FALSE(*replay);  // duplicate — ignored
+  auto second = sender->PushEpochSnapshot(3, 1, snapshot);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(*second);
+  ASSERT_TRUE(sender->Finish().ok());
+
+  central.Stop();
+  const NetMetrics metrics = central.metrics();
+  LdpJoinSketchServer merged = central.Finalize();
+
+  // Exactly two applications of the snapshot — not three.
+  LdpJoinSketchServer direct(params, epsilon);
+  direct.AbsorbBatch(reports);
+  direct.AbsorbBatch(reports);
+  direct.Finalize();
+  EXPECT_EQ(merged.Serialize(), direct.Serialize());
+  ASSERT_EQ(metrics.regions.size(), 1u);
+  EXPECT_EQ(metrics.regions[0].epochs_applied, 2u);
+  EXPECT_EQ(metrics.regions[0].duplicates_ignored, 1u);
+  EXPECT_EQ(metrics.epoch_duplicates_ignored, 1u);
+}
+
+// A pushed sketch with mismatched params (or garbage bytes) must be
+// rejected before touching a lane, and the central must survive.
+TEST(FederationTest, CorruptOrMismatchedPushesRejected) {
+  const SketchParams params = TestParams();
+  const double epsilon = 2.0;
+  CentralNodeOptions options;
+  CentralNode central(params, epsilon, options);
+  ASSERT_TRUE(central.Start().ok());
+
+  {  // Garbage sketch bytes.
+    auto sender =
+        FrameSender::Connect("127.0.0.1", central.port(), params, epsilon);
+    ASSERT_TRUE(sender.ok());
+    const std::vector<uint8_t> garbage(64, 0xCD);
+    auto pushed = sender->PushEpochSnapshot(1, 0, garbage);
+    EXPECT_FALSE(pushed.ok());
+  }
+  {  // Valid sketch, wrong shape: the session params match, the pushed
+     // sketch's do not.
+    SketchParams other = TestParams(/*k=*/4, /*m=*/128);
+    LdpJoinSketchServer wrong(other, epsilon);
+    auto sender =
+        FrameSender::Connect("127.0.0.1", central.port(), params, epsilon);
+    ASSERT_TRUE(sender.ok());
+    auto pushed = sender->PushEpochSnapshot(1, 0, wrong.Serialize());
+    EXPECT_FALSE(pushed.ok());
+    EXPECT_EQ(pushed.status().code(), StatusCode::kFailedPrecondition);
+  }
+
+  // The central still takes a well-formed push afterwards.
+  LdpJoinSketchClient client(params, epsilon);
+  const std::vector<LdpReport> reports = PerturbColumn(client, 3000, 2);
+  LdpJoinSketchServer epoch_sketch(params, epsilon);
+  epoch_sketch.AbsorbBatch(reports);
+  auto sender =
+      FrameSender::Connect("127.0.0.1", central.port(), params, epsilon);
+  ASSERT_TRUE(sender.ok());
+  auto pushed = sender->PushEpochSnapshot(2, 0, epoch_sketch.Serialize());
+  ASSERT_TRUE(pushed.ok()) << pushed.status().ToString();
+  ASSERT_TRUE(sender->Finish().ok());
+  central.Stop();
+  const NetMetrics metrics = central.metrics();
+  EXPECT_EQ(metrics.epochs_applied, 1u);
+  EXPECT_GE(metrics.corrupt_frames_rejected, 1u);
+  LdpJoinSketchServer merged = central.Finalize();
+  LdpJoinSketchServer direct(params, epsilon);
+  direct.AbsorbBatch(reports);
+  direct.Finalize();
+  EXPECT_EQ(merged.Serialize(), direct.Serialize());
+}
+
+// A restarted region (same region_id, fresh process/incarnation) must not
+// have its data discarded by the central's high-water dedup: epoch numbers
+// are seeded from the wall clock, so a new incarnation always starts above
+// everything its predecessor shipped.
+TEST(FederationTest, RestartedRegionIncarnationIsNotDeduped) {
+  const SketchParams params = TestParams();
+  const double epsilon = 2.0;
+  LdpJoinSketchClient client(params, epsilon);
+  const std::vector<LdpReport> first = PerturbColumn(client, 5000, 60);
+  const std::vector<LdpReport> second = PerturbColumn(client, 7000, 61);
+
+  CentralNodeOptions central_options;
+  CentralNode central(params, epsilon, central_options);
+  ASSERT_TRUE(central.Start().ok());
+
+  RegionalNodeOptions options;
+  options.region_id = 5;
+  options.central_port = central.port();
+  {  // First incarnation ships and dies.
+    RegionalNode incarnation1(params, epsilon, options);
+    ASSERT_TRUE(incarnation1.Start().ok());
+    auto sender = FrameSender::Connect("127.0.0.1", incarnation1.port(),
+                                       params, epsilon);
+    ASSERT_TRUE(sender.ok());
+    ASSERT_TRUE(sender->SendReports(first).ok());
+    ASSERT_TRUE(sender->Finish().ok());
+    ASSERT_TRUE(incarnation1.FlushAndStop().ok());
+  }
+  {  // The "restarted" region: same id, fresh epoch sequence.
+    RegionalNode incarnation2(params, epsilon, options);
+    ASSERT_TRUE(incarnation2.Start().ok());
+    auto sender = FrameSender::Connect("127.0.0.1", incarnation2.port(),
+                                       params, epsilon);
+    ASSERT_TRUE(sender.ok());
+    ASSERT_TRUE(sender->SendReports(second).ok());
+    ASSERT_TRUE(sender->Finish().ok());
+    ASSERT_TRUE(incarnation2.FlushAndStop().ok());
+    EXPECT_EQ(incarnation2.duplicate_acks(), 0u);  // nothing deduped away
+  }
+
+  central.Stop();
+  LdpJoinSketchServer merged = central.Finalize();
+  LdpJoinSketchServer direct(params, epsilon);
+  direct.AbsorbBatch(first);
+  direct.AbsorbBatch(second);
+  direct.Finalize();
+  EXPECT_EQ(merged.Serialize(), direct.Serialize());
+}
+
+// A region's forwarded FINALIZE counts once per region no matter how many
+// times a lost-ack retry resends it, so a flaky region cannot end a
+// multi-region collection early.
+TEST(FederationTest, RegionTaggedFinalizeCountsOncePerRegion) {
+  const SketchParams params = TestParams();
+  const double epsilon = 2.0;
+  FrameServerOptions options;
+  FrameServer server(params, epsilon, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::atomic<bool> two_regions_done{false};
+  std::thread waiter([&] {
+    server.WaitForFinalizeRequests(2);
+    two_regions_done.store(true);
+  });
+
+  auto finalize_as = [&](uint32_t region) {
+    auto sender =
+        FrameSender::Connect("127.0.0.1", server.port(), params, epsilon);
+    ASSERT_TRUE(sender.ok());
+    ASSERT_TRUE(sender->RequestFinalizeAsRegion(region).ok());
+  };
+  finalize_as(0);
+  finalize_as(0);  // the retry after a lost FINALIZE_OK
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(two_regions_done.load());  // one region ≠ two regions
+  finalize_as(1);
+  waiter.join();
+  EXPECT_TRUE(two_regions_done.load());
+  server.Stop();
+}
+
+// The advertised payload bound must really cover a well-formed push, and
+// must be derived from the live serializer (not a hand-copied layout).
+TEST(FederationTest, EpochPushPayloadBoundCoversRealPushes) {
+  SketchParams params = TestParams(/*k=*/18, /*m=*/4096);
+  const double epsilon = 2.0;
+  LdpJoinSketchServer sketch(params, epsilon);
+  const std::vector<uint8_t> payload =
+      EncodeEpochPush(9, 1234, sketch.Serialize());
+  EXPECT_LE(payload.size(), EpochPushPayloadBound(params));
+}
+
+// The scheduler fires periodically on its own thread, coalesces manual
+// triggers, and never ticks after Stop.
+TEST(FederationTest, EpochSchedulerPeriodicAndManual) {
+  std::atomic<uint64_t> ticks{0};
+  {
+    EpochScheduler periodic(std::chrono::milliseconds(5),
+                            [&](uint64_t) { ++ticks; });
+    periodic.Start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    periodic.Stop();
+  }
+  EXPECT_GE(ticks.load(), 3u);
+
+  std::vector<uint64_t> fired;
+  EpochScheduler manual(std::chrono::milliseconds(0),
+                        [&](uint64_t epoch) { fired.push_back(epoch); });
+  manual.Start();
+  manual.TriggerNow();
+  manual.TriggerNow();
+  manual.TriggerNow();
+  manual.Stop();
+  // TriggerNow is synchronous: all three ticks ran, in order, on the
+  // scheduler thread (no data race on `fired`).
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_EQ(fired[0], 0u);
+  EXPECT_EQ(fired[2], 2u);
+}
+
+// An unreachable central exhausts the attempt budget with a clean
+// Unavailable — and the snapshots stay pending, resuming (nothing lost)
+// once the central exists.
+TEST(FederationTest, UnreachableCentralRetainsSnapshotsAndResumes) {
+  const SketchParams params = TestParams();
+  const double epsilon = 2.0;
+  LdpJoinSketchClient client(params, epsilon);
+  const std::vector<LdpReport> reports = PerturbColumn(client, 4000, 13);
+
+  // Reserve an ephemeral port for the central, then free it — the region
+  // targets a port where nothing listens yet (SO_REUSEADDR makes the later
+  // rebind reliable).
+  uint16_t central_port = 0;
+  {
+    auto probe = Socket::ListenTcp(0);
+    ASSERT_TRUE(probe.ok());
+    central_port = probe->local_port();
+  }
+
+  RegionalNodeOptions options;
+  options.region_id = 1;
+  options.central_port = central_port;
+  options.max_ship_attempts = 2;
+  options.ship_retry_millis = 1;
+  RegionalNode region(params, epsilon, options);
+  ASSERT_TRUE(region.Start().ok());
+  auto sender =
+      FrameSender::Connect("127.0.0.1", region.port(), params, epsilon);
+  ASSERT_TRUE(sender.ok());
+  ASSERT_TRUE(sender->SendReports(reports).ok());
+  ASSERT_TRUE(sender->Finish().ok());
+
+  const Status flush = region.FlushAndStop();
+  EXPECT_EQ(flush.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(region.pending_snapshots(), 1u);
+  EXPECT_EQ(region.epochs_shipped(), 0u);
+
+  // The central comes up on that port; a second FlushAndStop resumes the
+  // retained snapshot — delayed, never lost.
+  CentralNodeOptions central_options;
+  central_options.server.port = central_port;
+  CentralNode central(params, epsilon, central_options);
+  ASSERT_TRUE(central.Start().ok());
+  ASSERT_TRUE(region.FlushAndStop().ok());
+  EXPECT_EQ(region.pending_snapshots(), 0u);
+  EXPECT_EQ(region.epochs_shipped(), 1u);
+
+  central.Stop();
+  LdpJoinSketchServer merged = central.Finalize();
+  LdpJoinSketchServer direct(params, epsilon);
+  direct.AbsorbBatch(reports);
+  direct.Finalize();
+  EXPECT_EQ(merged.Serialize(), direct.Serialize());
+}
+
+}  // namespace
+}  // namespace ldpjs

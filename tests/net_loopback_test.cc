@@ -258,6 +258,55 @@ TEST(NetLoopbackTest, ShedBackpressureLosesNothing) {
   EXPECT_EQ(server.Finalize().Serialize(), direct.Serialize());
 }
 
+TEST(NetLoopbackTest, ShedRetryExhaustionYieldsCleanUnavailable) {
+  // A pathological server that sheds every DATA frame: FrameSender must
+  // exhaust its retry budget and surface a clean retriable kUnavailable —
+  // never report the lost frame as success.
+  const SketchParams params = TestParams();
+  const double epsilon = 2.0;
+  auto listener = Socket::ListenTcp(0);
+  ASSERT_TRUE(listener.ok());
+  std::thread always_busy([&] {
+    auto conn = listener->Accept();
+    ASSERT_TRUE(conn.ok());
+    auto hello = ReadNetFrame(*conn, kMaxIngestFramePayload);
+    ASSERT_TRUE(hello.ok());
+    ASSERT_EQ(hello->type, NetFrameType::kHello);
+    SessionHelloOk ok;
+    ok.num_shards = 1;
+    ok.acked_data = true;  // shed-mode session: every DATA is acked
+    ASSERT_TRUE(
+        WriteNetFrame(*conn, NetFrameType::kHelloOk, EncodeHelloOk(ok)).ok());
+    for (;;) {
+      auto frame = ReadNetFrame(*conn, kMaxIngestFramePayload);
+      if (!frame.ok()) break;  // client gave up and closed
+      if (frame->type != NetFrameType::kData) break;
+      const uint8_t busy = static_cast<uint8_t>(DataAckCode::kBusy);
+      if (!WriteNetFrame(*conn, NetFrameType::kDataAck, {&busy, 1}).ok()) {
+        break;
+      }
+    }
+  });
+
+  LdpJoinSketchClient client(params, epsilon);
+  const std::vector<LdpReport> reports = PerturbColumn(client, 100, 31);
+  {
+    FrameSender::Options options;
+    options.max_busy_retries = 3;
+    options.busy_retry_micros = 1;
+    auto sender = FrameSender::Connect("127.0.0.1", listener->local_port(),
+                                       params, epsilon, options);
+    ASSERT_TRUE(sender.ok()) << sender.status().ToString();
+    const Status sent = sender->SendReports(reports);
+    ASSERT_FALSE(sent.ok());
+    EXPECT_EQ(sent.code(), StatusCode::kUnavailable);  // retriable, explicit
+    // Every attempt was refused; the budget (initial try + 3 retries) was
+    // really spent before giving up.
+    EXPECT_EQ(sender->busy_retries(), 4u);
+  }  // sender closes → the fake server's read fails → thread exits
+  always_busy.join();
+}
+
 TEST(NetLoopbackTest, ManyConcurrentSendersMergeExactly) {
   const SketchParams params = TestParams();
   const double epsilon = 2.0;

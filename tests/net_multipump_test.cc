@@ -1,0 +1,167 @@
+// Shard-affine multi-pump ingest: a FrameServer with N shards runs N pump
+// threads over N bounded queues. Raw integer lanes make any frame→shard
+// routing exact, so multi-pump must be bit-identical to the single-pump
+// shape (shards=1) and to a direct absorb — the refactor is purely a
+// throughput decision, and these tests pin that it can never change an
+// answer or break the session ordering guarantees.
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/frame_sender.h"
+#include "net/frame_server.h"
+
+namespace ldpjs {
+namespace {
+
+SketchParams TestParams() {
+  SketchParams params;
+  params.k = 6;
+  params.m = 256;
+  params.seed = 33;
+  return params;
+}
+
+std::vector<LdpReport> PerturbColumn(const LdpJoinSketchClient& client,
+                                     size_t n, uint64_t seed) {
+  std::vector<uint64_t> values(n);
+  for (size_t i = 0; i < n; ++i) values[i] = (i * 2654435761u) % 1500;
+  std::vector<LdpReport> reports(n);
+  Xoshiro256 rng(seed);
+  client.PerturbBatch(values, reports, rng);
+  return reports;
+}
+
+LdpJoinSketchServer RunThroughServer(const SketchParams& params,
+                                     double epsilon, size_t shards,
+                                     const std::vector<LdpReport>& reports,
+                                     NetMetrics* metrics_out) {
+  FrameServerOptions options;
+  options.num_shards = shards;
+  FrameServer server(params, epsilon, options);
+  EXPECT_TRUE(server.Start().ok());
+  auto sender =
+      FrameSender::Connect("127.0.0.1", server.port(), params, epsilon);
+  EXPECT_TRUE(sender.ok());
+  EXPECT_TRUE(sender->SendReports(reports).ok());
+  EXPECT_TRUE(sender->Finish().ok());
+  server.Stop();
+  if (metrics_out != nullptr) *metrics_out = server.metrics();
+  return server.Finalize();
+}
+
+TEST(NetMultipumpTest, MultiPumpBitIdenticalToSinglePumpAndDirect) {
+  const SketchParams params = TestParams();
+  const double epsilon = 2.0;
+  LdpJoinSketchClient client(params, epsilon);
+  const std::vector<LdpReport> reports = PerturbColumn(client, 40000, 3);
+
+  LdpJoinSketchServer direct(params, epsilon);
+  direct.AbsorbBatch(reports);
+  direct.Finalize();
+  const std::vector<uint8_t> want = direct.Serialize();
+
+  NetMetrics single_metrics, multi_metrics;
+  LdpJoinSketchServer single =
+      RunThroughServer(params, epsilon, 1, reports, &single_metrics);
+  LdpJoinSketchServer multi =
+      RunThroughServer(params, epsilon, 4, reports, &multi_metrics);
+  EXPECT_EQ(single.Serialize(), want);
+  EXPECT_EQ(multi.Serialize(), want);
+
+  // The multi-pump server really spread the work: 40000 reports = 10 DATA
+  // frames round-robined over 4 shard queues, so every pump ingested.
+  ASSERT_EQ(multi_metrics.shards.size(), 4u);
+  uint64_t shard_frames = 0;
+  for (const ShardMetrics& shard : multi_metrics.shards) {
+    EXPECT_GT(shard.frames, 0u);
+    shard_frames += shard.frames;
+  }
+  EXPECT_EQ(shard_frames, 10u);  // ceil(40000 / 4096) DATA frames
+  EXPECT_EQ(multi_metrics.reports_ingested, reports.size());
+  EXPECT_EQ(single_metrics.reports_ingested, reports.size());
+}
+
+// SNAPSHOT between bursts of DATA must observe exactly the frames sent
+// before it on this connection — the per-connection in-flight barrier that
+// replaces single-pump queue ordering.
+TEST(NetMultipumpTest, SnapshotOrderedAfterConnectionDataAcrossPumps) {
+  const SketchParams params = TestParams();
+  const double epsilon = 1.5;
+  LdpJoinSketchClient client(params, epsilon);
+  const std::vector<LdpReport> first = PerturbColumn(client, 12000, 5);
+  const std::vector<LdpReport> second = PerturbColumn(client, 9000, 6);
+
+  FrameServerOptions options;
+  options.num_shards = 4;
+  options.queue_capacity = 2;  // force real queueing across the pumps
+  FrameServer server(params, epsilon, options);
+  ASSERT_TRUE(server.Start().ok());
+  auto sender =
+      FrameSender::Connect("127.0.0.1", server.port(), params, epsilon);
+  ASSERT_TRUE(sender.ok());
+
+  LdpJoinSketchServer direct(params, epsilon);
+  ASSERT_TRUE(sender->SendReports(first).ok());
+  direct.AbsorbBatch(first);
+  auto snapshot1 = sender->SnapshotRawSketch();
+  ASSERT_TRUE(snapshot1.ok());
+  EXPECT_EQ(*snapshot1, direct.Serialize());
+
+  ASSERT_TRUE(sender->SendReports(second).ok());
+  direct.AbsorbBatch(second);
+  auto snapshot2 = sender->SnapshotRawSketch();
+  ASSERT_TRUE(snapshot2.ok());
+  EXPECT_EQ(*snapshot2, direct.Serialize());
+
+  ASSERT_TRUE(sender->Finish().ok());
+  server.Stop();
+  direct.Finalize();
+  EXPECT_EQ(server.Finalize().Serialize(), direct.Serialize());
+}
+
+// Concurrent senders against the multi-pump server still merge exactly,
+// and shed backpressure still loses nothing with per-shard queues.
+TEST(NetMultipumpTest, ConcurrentSendersAndShedBackpressureStayExact) {
+  const SketchParams params = TestParams();
+  const double epsilon = 2.0;
+  LdpJoinSketchClient client(params, epsilon);
+  constexpr size_t kSenders = 4;
+  std::vector<std::vector<LdpReport>> partitions;
+  for (size_t s = 0; s < kSenders; ++s) {
+    partitions.push_back(PerturbColumn(client, 10000, 50 + s));
+  }
+
+  FrameServerOptions options;
+  options.num_shards = 3;
+  options.queue_capacity = 1;  // shed on nearly every burst
+  options.backpressure = BackpressurePolicy::kShed;
+  FrameServer server(params, epsilon, options);
+  ASSERT_TRUE(server.Start().ok());
+  std::vector<std::thread> threads;
+  for (size_t s = 0; s < kSenders; ++s) {
+    threads.emplace_back([&, s] {
+      FrameSender::Options sender_options;
+      sender_options.busy_retry_micros = 20;
+      auto sender = FrameSender::Connect("127.0.0.1", server.port(), params,
+                                         epsilon, sender_options);
+      ASSERT_TRUE(sender.ok());
+      ASSERT_TRUE(sender->SendReports(partitions[s]).ok());
+      ASSERT_TRUE(sender->Finish().ok());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  server.Stop();
+
+  LdpJoinSketchServer direct(params, epsilon);
+  for (const auto& partition : partitions) direct.AbsorbBatch(partition);
+  direct.Finalize();
+  const NetMetrics metrics = server.metrics();
+  EXPECT_EQ(server.Finalize().Serialize(), direct.Serialize());
+  EXPECT_EQ(metrics.reports_ingested, kSenders * 10000);
+  EXPECT_LE(metrics.queue_high_water, options.queue_capacity + 1);
+}
+
+}  // namespace
+}  // namespace ldpjs

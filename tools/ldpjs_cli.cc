@@ -19,8 +19,32 @@
 // counter-based RNG streams, same seed derivations), so `estimate --check`
 // can assert the network path reproduced the in-process estimate bit for
 // bit.
+//
+// Federated mode (subcommands) — the two-tier deployment:
+//
+//   ldpjs_cli federate-central --port 7650 --finalize-after 2 --out a.bin
+//   ldpjs_cli federate-region --port 7651 --central-port 7650 --region 0 \
+//             --epoch-ms 200
+//   ldpjs_cli send --port 7651 --table a --senders 2 --sender-index 0 \
+//             --finalize 1
+//
+// Regions ingest client traffic and ship raw-lane epoch snapshots upstream
+// on the --epoch-ms cadence; a client FINALIZE makes the region flush its
+// final epoch and forward the FINALIZE to the central, which ends
+// collection after --finalize-after of them. `send --senders N
+// --sender-index i` streams only every Nth client block (same RNG streams),
+// so N senders across regions partition exactly one table.
+//
+// All serving subcommands dump NetMetrics as JSON on SIGUSR1 and at exit
+// (stdout, plus --metrics-json FILE when set) — shed/corrupt/queue-high-
+// water/per-region counters for ops.
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/stats.h"
@@ -28,6 +52,8 @@
 #include "core/simulation.h"
 #include "data/datasets.h"
 #include "data/join.h"
+#include "federation/central_node.h"
+#include "federation/regional_node.h"
 #include "net/frame_sender.h"
 #include "net/frame_server.h"
 #include "tools/flags.h"
@@ -135,20 +161,118 @@ void DumpMetrics(const NetMetrics& metrics) {
   for (const ConnectionMetrics& c : metrics.connections) {
     std::printf(
         "  conn %llu: frames=%llu bytes=%llu reports=%llu corrupt=%llu "
-        "shed=%llu hwm=%llu\n",
+        "shed=%llu\n",
         static_cast<unsigned long long>(c.id),
         static_cast<unsigned long long>(c.frames_received),
         static_cast<unsigned long long>(c.bytes_received),
         static_cast<unsigned long long>(c.reports_ingested),
         static_cast<unsigned long long>(c.corrupt_frames_rejected),
-        static_cast<unsigned long long>(c.frames_shed),
-        static_cast<unsigned long long>(c.queue_high_water));
+        static_cast<unsigned long long>(c.frames_shed));
   }
   for (size_t s = 0; s < metrics.shards.size(); ++s) {
-    std::printf("  shard %zu: frames=%llu reports=%llu\n", s,
+    std::printf("  shard %zu: frames=%llu reports=%llu hwm=%llu\n", s,
                 static_cast<unsigned long long>(metrics.shards[s].frames),
-                static_cast<unsigned long long>(metrics.shards[s].reports));
+                static_cast<unsigned long long>(metrics.shards[s].reports),
+                static_cast<unsigned long long>(
+                    metrics.shards[s].queue_high_water));
   }
+  for (const RegionMetrics& r : metrics.regions) {
+    std::printf(
+        "  region %u: epochs=%llu dup=%llu reports=%llu bytes=%llu\n",
+        r.region_id, static_cast<unsigned long long>(r.epochs_applied),
+        static_cast<unsigned long long>(r.duplicates_ignored),
+        static_cast<unsigned long long>(r.reports_merged),
+        static_cast<unsigned long long>(r.snapshot_bytes));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// NetMetrics-as-JSON for ops: every serving subcommand dumps on SIGUSR1 and
+// at exit, to stdout and optionally to --metrics-json FILE.
+// ---------------------------------------------------------------------------
+
+volatile std::sig_atomic_t g_metrics_dump_requested = 0;
+
+void HandleSigusr1(int) { g_metrics_dump_requested = 1; }
+
+class MetricsWatcher {
+ public:
+  MetricsWatcher(std::function<NetMetrics()> source, std::string json_path)
+      : source_(std::move(source)), json_path_(std::move(json_path)) {
+    std::signal(SIGUSR1, HandleSigusr1);
+    poller_ = std::thread([this] {
+      // Signal handlers can only set a flag; this thread turns the flag
+      // into a dump without restricting what the handler may touch.
+      while (!done_) {
+        if (g_metrics_dump_requested != 0) {
+          g_metrics_dump_requested = 0;
+          Dump();
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+    });
+  }
+
+  ~MetricsWatcher() {
+    done_ = true;
+    poller_.join();
+    std::signal(SIGUSR1, SIG_DFL);
+    Dump();  // the at-exit snapshot
+  }
+
+  void Dump() {
+    const std::string json = NetMetricsToJson(source_());
+    std::printf("NETMETRICS %s\n", json.c_str());
+    std::fflush(stdout);
+    if (!json_path_.empty()) {
+      std::FILE* f = std::fopen(json_path_.c_str(), "wb");
+      if (f != nullptr) {
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+      }
+    }
+  }
+
+ private:
+  std::function<NetMetrics()> source_;
+  std::string json_path_;
+  std::atomic<bool> done_{false};
+  std::thread poller_;
+};
+
+bool ParseBackpressure(const std::string& policy,
+                       BackpressurePolicy* out) {
+  if (policy == "block") {
+    *out = BackpressurePolicy::kBlock;
+    return true;
+  }
+  if (policy == "shed") {
+    *out = BackpressurePolicy::kShed;
+    return true;
+  }
+  std::fprintf(stderr, "unknown backpressure policy '%s' (block|shed)\n",
+               policy.c_str());
+  return false;
+}
+
+void DefineServerFlags(tools::Flags& flags) {
+  flags.Define("shards", "1", "aggregation shards (= ingest pumps)");
+  flags.Define("queue", "64", "per-shard ingest queue capacity");
+  flags.Define("backpressure", "block", "full-queue policy: block|shed");
+  flags.Define("metrics-json", "",
+               "also write the SIGUSR1/exit NetMetrics JSON here");
+}
+
+FrameServerOptions ServerOptionsFromFlags(const tools::Flags& flags,
+                                          bool* ok) {
+  FrameServerOptions options;
+  options.port = static_cast<uint16_t>(flags.GetInt("port"));
+  options.num_shards = static_cast<size_t>(flags.GetInt("shards"));
+  options.queue_capacity = static_cast<size_t>(flags.GetInt("queue"));
+  *ok = ParseBackpressure(flags.GetString("backpressure"),
+                          &options.backpressure);
+  return options;
 }
 
 // ---------------------------------------------------------------------------
@@ -158,26 +282,13 @@ int RunServe(int argc, char** argv) {
   tools::Flags flags;
   DefineWorkloadFlags(flags);
   flags.Define("port", "7542", "TCP port to listen on");
-  flags.Define("shards", "1", "aggregation shards");
-  flags.Define("queue", "64", "per-connection ingest queue capacity");
-  flags.Define("backpressure", "block", "full-queue policy: block|shed");
+  DefineServerFlags(flags);
   flags.Define("out", "", "write the finalized sketch here when done");
   flags.Parse(argc, argv);
 
-  FrameServerOptions options;
-  options.port = static_cast<uint16_t>(flags.GetInt("port"));
-  options.num_shards = static_cast<size_t>(flags.GetInt("shards"));
-  options.queue_capacity = static_cast<size_t>(flags.GetInt("queue"));
-  const std::string policy = flags.GetString("backpressure");
-  if (policy == "block") {
-    options.backpressure = BackpressurePolicy::kBlock;
-  } else if (policy == "shed") {
-    options.backpressure = BackpressurePolicy::kShed;
-  } else {
-    std::fprintf(stderr, "unknown backpressure policy '%s' (block|shed)\n",
-                 policy.c_str());
-    return 2;
-  }
+  bool policy_ok = false;
+  FrameServerOptions options = ServerOptionsFromFlags(flags, &policy_ok);
+  if (!policy_ok) return 2;
 
   const SketchParams params = SketchFromFlags(flags);
   FrameServer server(params, flags.GetDouble("epsilon"), options);
@@ -190,13 +301,20 @@ int RunServe(int argc, char** argv) {
   std::printf("serving LJSP on port %u (k=%d, m=%d, shards=%zu, queue=%zu, "
               "%s)\n",
               server.port(), params.k, params.m, options.num_shards,
-              options.queue_capacity, policy.c_str());
+              options.queue_capacity,
+              flags.GetString("backpressure").c_str());
   std::fflush(stdout);
 
-  server.WaitForFinalizeRequest();
-  server.Stop();
-  const NetMetrics metrics = server.metrics();
-  LdpJoinSketchServer sketch = server.Finalize();
+  NetMetrics metrics;
+  LdpJoinSketchServer sketch(params, flags.GetDouble("epsilon"));
+  {
+    MetricsWatcher watcher([&server] { return server.metrics(); },
+                           flags.GetString("metrics-json"));
+    server.WaitForFinalizeRequest();
+    server.Stop();
+    metrics = server.metrics();
+    sketch = server.Finalize();
+  }
   DumpMetrics(metrics);
   std::printf("finalized sketch: %llu reports\n",
               static_cast<unsigned long long>(sketch.total_reports()));
@@ -213,6 +331,151 @@ int RunServe(int argc, char** argv) {
 }
 
 // ---------------------------------------------------------------------------
+// federate-central: the top of the two-tier topology. Regions push raw-lane
+// epoch snapshots here; collection ends after --finalize-after FINALIZEs.
+// ---------------------------------------------------------------------------
+int RunFederateCentral(int argc, char** argv) {
+  tools::Flags flags;
+  DefineWorkloadFlags(flags);
+  flags.Define("port", "7650", "TCP port to listen on");
+  DefineServerFlags(flags);
+  flags.Define("finalize-after", "1",
+               "end collection after this many FINALIZE requests (one per "
+               "region)");
+  flags.Define("out", "", "write the finalized sketch here when done");
+  flags.Parse(argc, argv);
+
+  bool policy_ok = false;
+  CentralNodeOptions options;
+  options.server = ServerOptionsFromFlags(flags, &policy_ok);
+  if (!policy_ok) return 2;
+  options.finalize_after =
+      static_cast<size_t>(flags.GetInt("finalize-after"));
+
+  const SketchParams params = SketchFromFlags(flags);
+  CentralNode central(params, flags.GetDouble("epsilon"), options);
+  const Status started = central.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "cannot start central: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  std::printf("central aggregator on port %u (k=%d, m=%d, shards=%zu, "
+              "finalize-after=%zu)\n",
+              central.port(), params.k, params.m, options.server.num_shards,
+              options.finalize_after);
+  std::fflush(stdout);
+
+  NetMetrics metrics;
+  LdpJoinSketchServer sketch(params, flags.GetDouble("epsilon"));
+  {
+    MetricsWatcher watcher([&central] { return central.metrics(); },
+                           flags.GetString("metrics-json"));
+    central.WaitForRegions();
+    central.Stop();
+    metrics = central.metrics();
+    sketch = central.Finalize();
+  }
+  DumpMetrics(metrics);
+  std::printf("finalized sketch: %llu reports over %llu applied epochs\n",
+              static_cast<unsigned long long>(sketch.total_reports()),
+              static_cast<unsigned long long>(metrics.epochs_applied));
+  const std::string out = flags.GetString("out");
+  if (!out.empty()) {
+    const std::vector<uint8_t> bytes = sketch.Serialize();
+    if (!WriteFile(out, bytes)) {
+      std::fprintf(stderr, "cannot write %s\n", out.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu bytes)\n", out.c_str(), bytes.size());
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// federate-region: regional ingest tier. Aggregates client traffic, ships
+// epoch snapshots upstream on a wall-clock cadence, and on a client's
+// FINALIZE flushes the final epoch and forwards the FINALIZE to the
+// central.
+// ---------------------------------------------------------------------------
+int RunFederateRegion(int argc, char** argv) {
+  tools::Flags flags;
+  DefineWorkloadFlags(flags);
+  flags.Define("port", "7651", "region ingest port");
+  DefineServerFlags(flags);
+  flags.Define("central-host", "127.0.0.1", "central aggregator host");
+  flags.Define("central-port", "7650", "central aggregator port");
+  flags.Define("region", "0", "this region's id (dedup key upstream)");
+  flags.Define("epoch-ms", "200",
+               "epoch cut + ship cadence (0 = only the final flush)");
+  flags.Parse(argc, argv);
+
+  bool policy_ok = false;
+  RegionalNodeOptions options;
+  options.server = ServerOptionsFromFlags(flags, &policy_ok);
+  if (!policy_ok) return 2;
+  options.region_id = static_cast<uint32_t>(flags.GetInt("region"));
+  options.central_host = flags.GetString("central-host");
+  options.central_port = static_cast<uint16_t>(flags.GetInt("central-port"));
+  options.epoch_millis = static_cast<int>(flags.GetInt("epoch-ms"));
+  options.forward_finalize = true;
+
+  const SketchParams params = SketchFromFlags(flags);
+  RegionalNode region(params, flags.GetDouble("epsilon"), options);
+  const Status started = region.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "cannot start region: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  std::printf("region %u on port %u → central %s:%u (shards=%zu, "
+              "epoch-ms=%d)\n",
+              options.region_id, region.port(), options.central_host.c_str(),
+              static_cast<unsigned>(options.central_port),
+              options.server.num_shards, options.epoch_millis);
+  std::fflush(stdout);
+
+  NetMetrics metrics;
+  {
+    MetricsWatcher watcher([&region] { return region.server().metrics(); },
+                           flags.GetString("metrics-json"));
+    // A client FINALIZE is the "this region's collection is complete"
+    // signal: flush everything upstream and forward the FINALIZE.
+    region.server_mutable().WaitForFinalizeRequest();
+    // FlushAndStop retains unshipped snapshots across failed attempts, but
+    // only within this process — so keep retrying here rather than exiting
+    // with data that would die with us.
+    Status flushed = region.FlushAndStop();
+    for (int attempt = 1; !flushed.ok() && attempt < 5; ++attempt) {
+      std::fprintf(stderr,
+                   "flush attempt %d failed (%zu snapshots pending, "
+                   "retrying): %s\n",
+                   attempt, region.pending_snapshots(),
+                   flushed.ToString().c_str());
+      std::this_thread::sleep_for(std::chrono::milliseconds(500));
+      flushed = region.FlushAndStop();
+    }
+    metrics = region.server().metrics();
+    if (!flushed.ok()) {
+      std::fprintf(stderr,
+                   "flush failed; %zu pending snapshots are LOST with this "
+                   "process: %s\n",
+                   region.pending_snapshots(), flushed.ToString().c_str());
+      return 1;
+    }
+  }
+  DumpMetrics(metrics);
+  std::printf("region %u flushed: %llu epochs shipped, %llu snapshot bytes, "
+              "%llu ship retries\n",
+              options.region_id,
+              static_cast<unsigned long long>(region.epochs_shipped()),
+              static_cast<unsigned long long>(
+                  region.snapshot_bytes_shipped()),
+              static_cast<unsigned long long>(region.ship_retries()));
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
 // send: perturb one table exactly like the in-process simulation and stream
 // the frames to a serve instance.
 // ---------------------------------------------------------------------------
@@ -224,11 +487,24 @@ int RunSend(int argc, char** argv) {
   flags.Define("table", "a", "which join column to stream: a|b");
   flags.Define("trial", "0", "perturbation trial index (matches --trials)");
   flags.Define("finalize", "0", "send FINALIZE when done (1 = yes)");
+  flags.Define("senders", "1",
+               "total senders partitioning this table across regions");
+  flags.Define("sender-index", "0",
+               "this sender's slice: stream blocks where block % senders == "
+               "index (RNG streams unchanged, so N slices union to exactly "
+               "the full table)");
   flags.Parse(argc, argv);
 
   const std::string table = flags.GetString("table");
   if (table != "a" && table != "b") {
     std::fprintf(stderr, "--table must be a or b\n");
+    return 2;
+  }
+  const uint64_t senders = static_cast<uint64_t>(flags.GetInt("senders"));
+  const uint64_t sender_index =
+      static_cast<uint64_t>(flags.GetInt("sender-index"));
+  if (senders == 0 || sender_index >= senders) {
+    std::fprintf(stderr, "--sender-index must be < --senders (>= 1)\n");
     return 2;
   }
   const JoinWorkload workload = WorkloadFromFlags(flags);
@@ -258,9 +534,12 @@ int RunSend(int argc, char** argv) {
   const size_t rows = column.size();
   std::vector<LdpReport> block(kIngestBlockSize);
   BinaryWriter frame;
+  uint64_t sent_reports = 0;
   for (size_t first = 0; first < rows; first += kIngestBlockSize) {
     const size_t count = std::min(kIngestBlockSize, rows - first);
     const size_t block_index = first / kIngestBlockSize;
+    if (block_index % senders != sender_index) continue;  // another slice
+    sent_reports += count;
     Xoshiro256 rng = MakeStreamRng(run_seed, block_index);
     std::span<LdpReport> out(block.data(), count);
     client.PerturbBatch(std::span<const uint64_t>(values + first, count),
@@ -284,12 +563,13 @@ int RunSend(int argc, char** argv) {
     std::fprintf(stderr, "finish failed: %s\n", finished.ToString().c_str());
     return 1;
   }
-  std::printf("streamed table %s: %llu frames, %llu bytes, %llu reports "
-              "(%llu busy retries)\n",
-              table.c_str(),
+  std::printf("streamed table %s (slice %llu/%llu): %llu frames, %llu "
+              "bytes, %llu reports (%llu busy retries)\n",
+              table.c_str(), static_cast<unsigned long long>(sender_index),
+              static_cast<unsigned long long>(senders),
               static_cast<unsigned long long>(sender->frames_sent()),
               static_cast<unsigned long long>(sender->bytes_sent()),
-              static_cast<unsigned long long>(rows),
+              static_cast<unsigned long long>(sent_reports),
               static_cast<unsigned long long>(sender->busy_retries()));
   return 0;
 }
@@ -371,6 +651,13 @@ int RunExperiment(int argc, char** argv) {
   flags.Define("net", "0",
                "1 = ship wire frames over a TCP loopback session "
                "(FrameServer/FrameSender) — same estimates");
+  flags.Define("regions", "0",
+               "N >= 1 runs the federated topology on loopback: N regional "
+               "aggregators shipping epoch snapshots to one central — same "
+               "estimates");
+  flags.Define("epoch-reports", "0",
+               "federated mode: reports per region between epoch cuts "
+               "(0 = one epoch)");
   flags.Parse(argc, argv);
 
   const JoinMethod method = ParseMethod(flags.GetString("method"));
@@ -389,6 +676,9 @@ int RunExperiment(int argc, char** argv) {
   config.num_threads = static_cast<size_t>(flags.GetInt("threads"));
   config.num_shards = static_cast<size_t>(flags.GetInt("shards"));
   config.net_loopback = flags.GetInt("net") != 0;
+  config.num_regions = static_cast<size_t>(flags.GetInt("regions"));
+  config.epoch_reports =
+      static_cast<uint64_t>(flags.GetInt("epoch-reports"));
 
   const int trials = static_cast<int>(flags.GetInt("trials"));
   RunningStats estimates, res, offline, online;
@@ -429,9 +719,16 @@ int main(int argc, char** argv) {
     if (subcommand == "serve") return RunServe(argc - 1, argv + 1);
     if (subcommand == "send") return RunSend(argc - 1, argv + 1);
     if (subcommand == "estimate") return RunEstimate(argc - 1, argv + 1);
+    if (subcommand == "federate-central") {
+      return RunFederateCentral(argc - 1, argv + 1);
+    }
+    if (subcommand == "federate-region") {
+      return RunFederateRegion(argc - 1, argv + 1);
+    }
     std::fprintf(stderr,
-                 "unknown subcommand '%s' (serve|send|estimate, or flags "
-                 "only for experiment mode)\n",
+                 "unknown subcommand '%s' (serve|send|estimate|"
+                 "federate-central|federate-region, or flags only for "
+                 "experiment mode)\n",
                  subcommand.c_str());
     return 2;
   }
