@@ -32,6 +32,7 @@
 #include "core/ldp_join_sketch.h"
 #include "core/simulation.h"
 #include "data/zipf.h"
+#include "federation/central_node.h"
 #include "net/frame_sender.h"
 #include "net/frame_server.h"
 #include "seed_baseline.h"
@@ -543,7 +544,9 @@ void RunIngestionComparison() {
     double elapsed = 0.0;
     do {
       auto applied = sender->PushEpochSnapshot(0, epoch++, snapshot);
-      if (!applied.ok() || !*applied) std::abort();
+      if (!applied.ok() || applied->code != EpochPushAckCode::kApplied) {
+        std::abort();
+      }
       elapsed = SecondsSince(start);
     } while (elapsed < 0.5 || epoch < 8);
     snapshot_ship_bps =
@@ -551,6 +554,61 @@ void RunIngestionComparison() {
     if (!sender->Finish().ok()) std::abort();
     central.Stop();
     if (central.metrics().epochs_applied != epoch) std::abort();
+  }
+
+  // --- Central windowed estimates: the incrementally cached WindowedView
+  // vs the full re-merge FinalizedView, answering the same kind of query
+  // (finalized view + join estimate against a fixed sketch) on a central
+  // that has applied several epoch pushes. The cached path pays one lane
+  // copy + the estimate; the re-merge path pays shard merges + the k
+  // Hadamard transforms of a fresh finalize every query. ------------------
+  double windowed_estimate_qps = 0.0;
+  double view_cache_speedup = 0.0;
+  {
+    const size_t epoch_reports = std::min<size_t>(n, 100'000);
+    LdpJoinSketchServer epoch_sketch(params, epsilon);
+    epoch_sketch.AbsorbBatch(
+        std::span<const LdpReport>(reports_a.data(), epoch_reports));
+    const std::vector<uint8_t> snapshot = epoch_sketch.Serialize();
+
+    LdpJoinSketchServer estimate_against(params, epsilon);
+    estimate_against.AbsorbBatch(
+        std::span<const LdpReport>(reports_b.data(), epoch_reports));
+    estimate_against.Finalize();
+
+    CentralNodeOptions central_options;
+    central_options.server.num_shards = service_shards;
+    central_options.finalize_after = 1;
+    central_options.window_epochs = 4;
+    CentralNode central(params, epsilon, central_options);
+    if (!central.Start().ok()) std::abort();
+    auto sender =
+        FrameSender::Connect("127.0.0.1", central.port(), params, epsilon);
+    if (!sender.ok()) std::abort();
+    for (uint64_t epoch = 0; epoch < 6; ++epoch) {  // 2 epochs slide out
+      auto applied = sender->PushEpochSnapshot(0, epoch, snapshot);
+      if (!applied.ok()) std::abort();
+    }
+    const auto [cached_qps, remerge_qps] = MeasurePairedReportsPerSec(
+        1,
+        [&] {
+          const LdpJoinSketchServer view = central.WindowedFinalizedView();
+          benchmark::DoNotOptimize(view.JoinEstimate(estimate_against));
+        },
+        [&] {
+          const LdpJoinSketchServer view = central.FinalizedView();
+          benchmark::DoNotOptimize(view.JoinEstimate(estimate_against));
+        });
+    windowed_estimate_qps = cached_qps;
+    view_cache_speedup = cached_qps / remerge_qps;
+    // Sanity: the window really slid — 4 of 6 epochs in the view.
+    if (central.window()->epochs_expired() != 2) std::abort();
+    if (central.WindowedFinalizedView().total_reports() !=
+        4 * epoch_reports) {
+      std::abort();
+    }
+    if (!sender->Finish().ok()) std::abort();
+    central.Stop();
   }
 
   // --- finalize + estimate agreement across the three paths. --------------
@@ -616,6 +674,9 @@ void RunIngestionComparison() {
   std::printf("net ingest %zu pumps  : %.3e reports/sec (%.2fx)\n",
               service_shards, net_rps, net_rps / net_single_pump_rps);
   std::printf("snapshot shipping   : %.3e bytes/sec\n", snapshot_ship_bps);
+  std::printf("windowed estimates  : %.3e queries/sec (cached %.2fx the "
+              "re-merge view)\n",
+              windowed_estimate_qps, view_cache_speedup);
   std::printf("finalize            : %.3f ms (k=%d, m=%d)\n", finalize_ms,
               params.k, params.m);
   std::printf("estimates           : seed=%.6e scalar=%.6e batch=%.6e\n",
@@ -661,6 +722,8 @@ void RunIngestionComparison() {
           {"net_ingest_single_pump_rps", net_single_pump_rps},
           {"net_ingest_multipump_speedup", net_rps / net_single_pump_rps},
           {"federation_snapshot_ship_bytes_per_sec", snapshot_ship_bps},
+          {"central_windowed_estimate_per_sec", windowed_estimate_qps},
+          {"central_view_cache_speedup", view_cache_speedup},
           {"finalize_ms", finalize_ms},
           {"estimate_seed", estimate_seed},
           {"estimate_scalar", estimate_scalar},
@@ -686,7 +749,9 @@ void RunIngestionComparison() {
       "absorb_fused_vs_split_speedup", "merge_vector_indexed_lanes_per_sec",
       "merge_addlanes_lanes_per_sec", "merge_addlanes_vs_indexed_speedup",
       "net_ingest_reports_per_sec", "net_ingest_multipump_speedup",
-      "federation_snapshot_ship_bytes_per_sec", "finalize_ms",
+      "federation_snapshot_ship_bytes_per_sec",
+      "central_windowed_estimate_per_sec", "central_view_cache_speedup",
+      "finalize_ms",
       "estimate_seed", "estimate_scalar", "estimate_batch",
       "estimate_batch_equals_scalar", "estimate_batch_vs_seed_rel_gap",
   };

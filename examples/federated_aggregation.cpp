@@ -46,6 +46,8 @@ int main() {
   // --- the central tier -----------------------------------------------
   CentralNodeOptions central_options;
   central_options.server.num_shards = 2;
+  central_options.finalize_after = 2;   // two regions gate the frontier
+  central_options.window_epochs = 4;    // keep a sliding 4-epoch view too
   CentralNode central(params, epsilon, central_options);
   if (!central.Start().ok()) return 1;
   std::printf("central listening on 127.0.0.1:%u\n", central.port());
@@ -119,6 +121,23 @@ int main() {
                 static_cast<unsigned long long>(region.duplicates_ignored),
                 static_cast<unsigned long long>(region.reports_merged));
   }
+  // --- the sliding-window view: the last 4 cross-region-aligned epochs,
+  // answered from the incrementally cached accumulator (expired epochs
+  // were subtracted back out, bit-exactly) ------------------------------
+  const WindowedView& window = *central.window();
+  const LdpJoinSketchServer windowed = central.WindowedFinalizedView();
+  uint64_t merged_total = 0;
+  for (const RegionMetrics& region : metrics.regions) {
+    merged_total += region.reports_merged;
+  }
+  std::printf("windowed view: frontier=%llu in_window=%llu expired=%llu "
+              "reports=%llu (of %llu merged)\n",
+              static_cast<unsigned long long>(window.frontier()),
+              static_cast<unsigned long long>(window.epochs_in_window()),
+              static_cast<unsigned long long>(window.epochs_expired()),
+              static_cast<unsigned long long>(windowed.total_reports()),
+              static_cast<unsigned long long>(merged_total));
+
   central.Stop();
   LdpJoinSketchServer federated = central.Finalize();
 

@@ -133,6 +133,7 @@ JoinMethodResult RunLdpJoinSketch(const Column& a, const Column& b,
   sim.net_loopback = config.net_loopback;
   sim.num_regions = config.num_regions;
   sim.epoch_reports = config.epoch_reports;
+  sim.window_epochs = config.window_epochs;
 
   const auto offline_start = Clock::now();
   sim.run_seed = Mix64(config.run_seed ^ 0xA3ULL);
@@ -166,6 +167,7 @@ JoinMethodResult RunLdpJoinSketchPlus(const Column& a, const Column& b,
   params.simulation.net_loopback = config.net_loopback;
   params.simulation.num_regions = config.num_regions;
   params.simulation.epoch_reports = config.epoch_reports;
+  params.simulation.window_epochs = config.window_epochs;
 
   const LdpJoinSketchPlusResult plus = EstimateJoinSizePlus(a, b, params);
   JoinMethodResult result;

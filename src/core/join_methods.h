@@ -52,6 +52,10 @@ struct JoinMethodConfig {
   /// Federated mode: reports per region between epoch cuts (0 = one
   /// epoch). See SimulationOptions::epoch_reports.
   uint64_t epoch_reports = 0;
+  /// Federated mode: 0 = full-history estimate; W >= 1 = sliding-window
+  /// estimate over the last W cross-region-aligned epochs. See
+  /// SimulationOptions::window_epochs.
+  uint64_t window_epochs = 0;
   bool clamp_negative_frequencies = false;  ///< for the oracle baselines
 };
 

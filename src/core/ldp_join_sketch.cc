@@ -34,6 +34,12 @@ void AddLanes(int64_t* __restrict dst, const int64_t* __restrict src,
   for (size_t i = 0; i < n; ++i) dst[i] += src[i];
 }
 
+/// AddLanes' inverse, same vectorizable shape — the sliding-window retract.
+void SubLanes(int64_t* __restrict dst, const int64_t* __restrict src,
+              size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] -= src[i];
+}
+
 }  // namespace
 
 double DebiasFactor(double epsilon) {
@@ -227,6 +233,18 @@ void LdpJoinSketchServer::Merge(const LdpJoinSketchServer& other) {
   LDPJS_CHECK(this != &other);
   AddLanes(lanes_.data(), other.lanes_.data(), lanes_.size());
   total_ += other.total_;
+}
+
+void LdpJoinSketchServer::SubtractRaw(const LdpJoinSketchServer& other) {
+  LDPJS_CHECK(!finalized_ && !other.finalized_);
+  LDPJS_CHECK(params_.k == other.params_.k && params_.m == other.params_.m);
+  LDPJS_CHECK(params_.seed == other.params_.seed);
+  LDPJS_CHECK(this != &other);
+  // Subtracting a sketch that was never merged in would leave a negative
+  // report count — a caller bug, not a data condition.
+  LDPJS_CHECK(total_ >= other.total_);
+  SubLanes(lanes_.data(), other.lanes_.data(), lanes_.size());
+  total_ -= other.total_;
 }
 
 void LdpJoinSketchServer::ResetLanes() {

@@ -166,6 +166,15 @@ class LdpJoinSketchServer {
   /// order never changes the result.
   void Merge(const LdpJoinSketchServer& other);
 
+  /// Exact inverse of Merge: subtracts another server's raw lanes. Because
+  /// the lanes are plain int64 vote balances, Merge(S) followed by
+  /// SubtractRaw(S) restores every lane bit for bit — the linearity that
+  /// makes sliding-window aggregation an O(lanes) incremental update
+  /// (retract an expired epoch snapshot) instead of a recompute. `other`
+  /// must previously have been merged in (contract: total_reports() never
+  /// goes negative); both must share params/epsilon and be un-finalized.
+  void SubtractRaw(const LdpJoinSketchServer& other);
+
   /// Zeroes every raw lane and the report count, starting a fresh epoch in
   /// place (the multi-epoch cut: serialize the lanes, ship them, reset).
   /// Cheaper than reconstructing the sketch — the hash tables are reused.

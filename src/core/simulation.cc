@@ -63,6 +63,13 @@ LdpJoinSketchServer RunProtocolOverWire(const Column& column,
     const size_t n_shards = std::max<size_t>(1, options.num_shards);
     CentralNodeOptions central_options;
     central_options.server.num_shards = n_shards;
+    central_options.window_epochs = options.window_epochs;
+    // The windowed view's aligned frontier waits for every region it
+    // expects to hear from. Blocks round-robin over regions, so a run with
+    // fewer blocks than regions leaves the tail regions with no data and
+    // nothing to push — they must not gate the frontier forever.
+    central_options.window_expected_regions =
+        std::min(options.num_regions, blocks);
     CentralNode central(params, epsilon, central_options);
     LDPJS_CHECK(central.Start().ok());
 
@@ -90,9 +97,15 @@ LdpJoinSketchServer RunProtocolOverWire(const Column& column,
       reports_since_cut[region] += std::min(kIngestBlockSize, rows - first);
       if (options.epoch_reports > 0 &&
           reports_since_cut[region] >= options.epoch_reports) {
-        // The cut races the region's pumps mid-stream — whatever has been
-        // absorbed goes in this epoch, the rest in the next; any split is
-        // exact.
+        if (options.window_epochs > 0) {
+          // Windowed estimates are epoch-content-sensitive, so pin the
+          // contents down: the PING_OK barrier proves every frame this
+          // sender pushed is in the region's lanes before the cut.
+          LDPJS_CHECK(senders[region].Ping().ok());
+        }
+        // Without the barrier the cut races the region's pumps mid-stream
+        // — whatever has been absorbed goes in this epoch, the rest in the
+        // next; any split is exact for the full-history estimate.
         LDPJS_CHECK(regions[region]->CutAndShip().ok());
         reports_since_cut[region] = 0;
       }
@@ -104,6 +117,11 @@ LdpJoinSketchServer RunProtocolOverWire(const Column& column,
       LDPJS_CHECK(regions[r]->FlushAndStop().ok());
     }
     central.Stop();
+    if (options.window_epochs > 0) {
+      // The sliding-window estimate over the last W aligned epochs,
+      // answered from the central's incrementally cached accumulator.
+      return central.WindowedFinalizedView();
+    }
     return central.Finalize();
   }
 

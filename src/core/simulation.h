@@ -66,6 +66,15 @@ struct SimulationOptions {
   /// every `epoch_reports` reports it has ingested (0 = one epoch at the
   /// end). Any schedule is exact; this just exercises multi-epoch merges.
   uint64_t epoch_reports = 0;
+  /// Federated mode: 0 = the returned sketch is the full-history central
+  /// finalize (every epoch, the default). W >= 1 = the returned sketch is
+  /// the central's sliding-window view over the last W cross-region-
+  /// aligned epochs — epochs (E-W, E] where E is the newest epoch every
+  /// region has shipped (pass a huge W for "all epochs via the cached
+  /// incremental view"). Windowed runs insert an ingest barrier before
+  /// every cut, so each epoch's contents are exactly the blocks sent since
+  /// the previous cut and the run is deterministic.
+  uint64_t window_epochs = 0;
 };
 
 /// Runs the full LDPJoinSketch protocol over `column`: every value is

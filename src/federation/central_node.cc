@@ -2,9 +2,30 @@
 
 namespace ldpjs {
 
+FrameServerOptions CentralNode::WithEpochObserver(FrameServerOptions options,
+                                                  WindowedView* window) {
+  if (window != nullptr) {
+    options.epoch_observer = [window](uint32_t region_id, uint64_t epoch,
+                                      LdpJoinSketchServer* snapshot) {
+      window->OnEpochApplied(region_id, epoch, snapshot);
+    };
+  }
+  return options;
+}
+
 CentralNode::CentralNode(const SketchParams& params, double epsilon,
                          const CentralNodeOptions& options)
-    : server_(params, epsilon, options.server),
+    : window_(options.window_epochs > 0
+                  ? std::make_unique<WindowedView>(
+                        params, epsilon, options.window_epochs,
+                        options.window_expected_regions != 0
+                            ? options.window_expected_regions
+                            : (options.finalize_after == 0
+                                   ? 1
+                                   : options.finalize_after))
+                  : nullptr),
+      server_(params, epsilon,
+              WithEpochObserver(options.server, window_.get())),
       finalize_after_(options.finalize_after == 0 ? 1
                                                   : options.finalize_after) {}
 

@@ -1,5 +1,6 @@
 #include "federation/regional_node.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 #include <utility>
@@ -13,17 +14,12 @@ RegionalNode::RegionalNode(const SketchParams& params, double epsilon,
       options_(options),
       server_(params, epsilon, options.server) {
   LDPJS_CHECK(options_.max_ship_attempts >= 1);
-  // Epoch numbers are an incarnation-scoped monotonic sequence seeded from
-  // the wall clock: a restarted region (same region_id, fresh process)
-  // must start ABOVE every epoch its previous incarnation shipped, or the
-  // central's (region, epoch) high-water dedup would silently discard the
-  // new incarnation's data as "already applied". Microsecond resolution
-  // makes a restart-within-the-same-tick (or a clock stepped backwards
-  // across a restart) the only collision window.
-  next_epoch_ = static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::system_clock::now().time_since_epoch())
-          .count());
+  // Epoch numbers start at 0 for every incarnation and sync with the
+  // central's per-region high-water on each (re)connect (AdoptCentralEpoch)
+  // — deterministic and collision-free by construction, where the previous
+  // wall-clock seeding silently lost data on a same-tick restart or a
+  // backwards clock step, and destroyed cross-region epoch alignment (each
+  // region's numbers started at an arbitrary timestamp).
 }
 
 RegionalNode::~RegionalNode() {
@@ -57,6 +53,18 @@ Status RegionalNode::CutAndShip() {
   const uint64_t epoch = next_epoch_++;
   if (cut.reports > 0) {
     pending_.push_back(PendingSnapshot{epoch, std::move(cut.raw_sketch)});
+  } else if (!pending_.empty() && pending_.back().raw_sketch.empty() &&
+             !pending_.back().attempted) {
+    // Consecutive idle cuts coalesce into one heartbeat carrying the
+    // newest epoch number — an idle spell costs one 12-byte push, not one
+    // per tick.
+    pending_.back().epoch = epoch;
+  } else {
+    // Empty-epoch heartbeat (zero sketch bytes): nothing to merge, but
+    // the central must still see this region's epoch clock advance or an
+    // idle region would freeze the windowed view's aligned frontier — and
+    // stale pending snapshots would pile up at every active region.
+    pending_.push_back(PendingSnapshot{epoch, {}});
   }
   return ShipPendingLocked();
 }
@@ -77,31 +85,69 @@ Status RegionalNode::ShipPendingLocked() {
   };
   while (!pending_.empty()) {
     if (!upstream_) {
-      auto sender = FrameSender::Connect(
-          options_.central_host, options_.central_port, params_, epsilon_);
+      FrameSender::Options sender_options;
+      sender_options.announce_region = true;
+      sender_options.region_id = options_.region_id;
+      auto sender =
+          FrameSender::Connect(options_.central_host, options_.central_port,
+                               params_, epsilon_, sender_options);
       if (!sender.ok()) {
         LDPJS_RETURN_IF_ERROR(backoff(sender.status()));
         continue;
       }
       upstream_.emplace(std::move(*sender));
+      // The HELLO_OK carried the central's next-expected epoch for this
+      // region — the restart/collision sync.
+      AdoptCentralEpoch(upstream_->region_next_epoch());
     }
-    const PendingSnapshot& snap = pending_.front();
-    auto applied = upstream_->PushEpochSnapshot(options_.region_id, snap.epoch,
-                                                snap.raw_sketch);
-    if (!applied.ok()) {
+    PendingSnapshot& snap = pending_.front();
+    // From here the snapshot's number is frozen: the push may merge even
+    // if we never see the ack, and only retrying the same (region, epoch)
+    // resolves that ambiguity to exactly-once.
+    snap.attempted = true;
+    auto ack = upstream_->PushEpochSnapshot(options_.region_id, snap.epoch,
+                                            snap.raw_sketch);
+    if (!ack.ok()) {
       // Outcome unknown (the connection may have died after the central
       // merged but before we read the ack): reconnect and push the same
       // (region, epoch) again — the central's dedup makes it exactly-once.
       upstream_.reset();
-      LDPJS_RETURN_IF_ERROR(backoff(applied.status()));
+      LDPJS_RETURN_IF_ERROR(backoff(ack.status()));
       continue;
     }
     ++epochs_shipped_;
-    if (!*applied) ++duplicate_acks_;  // a retry resolved to exactly-once
+    if (ack->code == EpochPushAckCode::kDuplicate) {
+      ++duplicate_acks_;  // a retry resolved to exactly-once
+    }
+    // Track the central's high-water as it advances, so future cuts are
+    // numbered above everything it has applied even mid-session.
+    next_epoch_ = std::max(next_epoch_, ack->next_epoch);
     snapshot_bytes_shipped_ += snap.raw_sketch.size();
     pending_.pop_front();
   }
   return Status::OK();
+}
+
+void RegionalNode::AdoptCentralEpoch(uint64_t central_next_epoch) {
+  // Renumber pending snapshots the central would otherwise silently dedup
+  // away: anything un-attempted and numbered below its next-expected epoch
+  // moves up (in order, preserving gaps above the floor). Attempted
+  // snapshots keep their number — their push may already have merged, and
+  // renumbering them would turn the dedup's exactly-once into
+  // double-counting.
+  uint64_t floor = central_next_epoch;
+  for (PendingSnapshot& snap : pending_) {
+    if (snap.attempted) {
+      floor = std::max(floor, snap.epoch + 1);
+      continue;
+    }
+    if (snap.epoch < floor) {
+      snap.epoch = floor;
+      ++epochs_renumbered_;
+    }
+    floor = snap.epoch + 1;
+  }
+  next_epoch_ = std::max(next_epoch_, floor);
 }
 
 Status RegionalNode::FlushAndStop() {
@@ -180,6 +226,16 @@ uint64_t RegionalNode::duplicate_acks() const {
 size_t RegionalNode::pending_snapshots() const {
   std::lock_guard<std::mutex> lock(ship_mu_);
   return pending_.size();
+}
+
+uint64_t RegionalNode::epochs_renumbered() const {
+  std::lock_guard<std::mutex> lock(ship_mu_);
+  return epochs_renumbered_;
+}
+
+uint64_t RegionalNode::next_epoch() const {
+  std::lock_guard<std::mutex> lock(ship_mu_);
+  return next_epoch_;
 }
 
 }  // namespace ldpjs

@@ -17,9 +17,14 @@
 // or duplicates it. That is what makes the federated estimate bit-identical
 // to single-node ingestion of the union of all client streams.
 //
-// Empty epochs (no reports since the last cut) are skipped: shipping k·m
-// zero lanes would spend snapshot-sized uplink to say nothing. The central
-// dedup key tolerates the epoch-number gaps this leaves.
+// Empty epochs (no reports since the last cut) ship as 12-byte heartbeats
+// instead of k·m zero lanes — consecutive idle cuts coalesce into one —
+// so the central still sees this region's epoch clock advance (the
+// windowed view's aligned frontier would otherwise freeze on an idle
+// region) without spending snapshot-sized uplink to say nothing. The
+// terminal flush skips its empty cut entirely: after it the region is
+// done, and advancing its clock past its data would only push the
+// aligned frontier into an epoch that cannot exist.
 #ifndef LDPJS_FEDERATION_REGIONAL_NODE_H_
 #define LDPJS_FEDERATION_REGIONAL_NODE_H_
 
@@ -93,16 +98,36 @@ class RegionalNode {
   /// original did land — the exactly-once path taken).
   uint64_t duplicate_acks() const;
   size_t pending_snapshots() const;
+  /// Pending snapshots renumbered by a connect-time epoch sync (a restart
+  /// that would otherwise have collided with the previous incarnation).
+  uint64_t epochs_renumbered() const;
+  /// The next epoch number a cut will take (tests observe the sync).
+  uint64_t next_epoch() const;
 
  private:
   struct PendingSnapshot {
     uint64_t epoch;
     std::vector<uint8_t> raw_sketch;
+    /// A push for this snapshot was written to some upstream connection.
+    /// Its number is then frozen: the outcome may be ambiguous (merged but
+    /// unacked), and only a retry of the SAME (region, epoch) lets the
+    /// central's dedup resolve it to exactly-once. Un-attempted snapshots
+    /// are safely renumbered by the connect-time epoch sync.
+    bool attempted = false;
   };
 
   /// Ships every pending snapshot in epoch order; stops at the first
   /// snapshot whose attempt budget runs out. Requires ship_mu_.
   Status ShipPendingLocked();
+
+  /// Connect-time epoch sync: folds the central's next-expected epoch for
+  /// this region (from the HELLO_OK) into our numbering — un-attempted
+  /// pending snapshots below it are renumbered upwards and next_epoch_
+  /// adopts max(local, central). This is what makes epoch numbers survive
+  /// restarts: a fresh incarnation starts at 0, syncs on first connect,
+  /// and can never collide with (and be silently deduped against) an
+  /// epoch its predecessor already shipped. Requires ship_mu_.
+  void AdoptCentralEpoch(uint64_t central_next_epoch);
 
   SketchParams params_;
   double epsilon_;
@@ -116,14 +141,18 @@ class RegionalNode {
   mutable std::mutex ship_mu_;
   std::optional<FrameSender> upstream_;
   std::deque<PendingSnapshot> pending_;
-  /// Seeded from the wall clock at construction (see the constructor), so
-  /// a restarted incarnation never reuses epochs the central has already
-  /// applied for this region_id.
+  /// Incarnation-local monotonic epoch sequence, starting at 0 and synced
+  /// with the central's per-region high-water on every (re)connect (see
+  /// AdoptCentralEpoch). Earlier versions seeded this from the wall clock,
+  /// which silently LOST data when a restart landed in the same clock tick
+  /// or the clock stepped backwards — the central's dedup discarded the
+  /// new incarnation's colliding epochs as already applied.
   uint64_t next_epoch_ = 0;
   uint64_t epochs_shipped_ = 0;
   uint64_t snapshot_bytes_shipped_ = 0;
   uint64_t ship_retries_ = 0;
   uint64_t duplicate_acks_ = 0;
+  uint64_t epochs_renumbered_ = 0;
   bool flushed_ = false;
 };
 

@@ -18,6 +18,8 @@ Result<FrameSender> FrameSender::Connect(const std::string& host,
   hello.m = static_cast<uint32_t>(params.m);
   hello.seed = params.seed;
   hello.epsilon = epsilon;
+  hello.has_region = options.announce_region;
+  hello.region_id = options.region_id;
   LDPJS_RETURN_IF_ERROR(
       WriteNetFrame(*socket, NetFrameType::kHello, EncodeHello(hello)));
 
@@ -106,7 +108,7 @@ Result<std::vector<uint8_t>> FrameSender::SnapshotRawSketch() {
   return std::move(reply->payload);
 }
 
-Result<bool> FrameSender::PushEpochSnapshot(
+Result<EpochPushAck> FrameSender::PushEpochSnapshot(
     uint32_t region_id, uint64_t epoch, std::span<const uint8_t> raw_sketch) {
   LDPJS_CHECK(!finished_);
   const std::vector<uint8_t> payload =
@@ -117,12 +119,21 @@ Result<bool> FrameSender::PushEpochSnapshot(
   bytes_sent_ += 5 + payload.size();
   auto reply = ReadReply();
   if (!reply.ok()) return reply.status();
-  if (reply->type != NetFrameType::kEpochPushOk ||
-      reply->payload.size() != 1) {
+  if (reply->type != NetFrameType::kEpochPushOk) {
     return Status::Corruption("expected EPOCH_PUSH_OK");
   }
-  return reply->payload[0] ==
-         static_cast<uint8_t>(EpochPushAckCode::kApplied);
+  return DecodeEpochPushAck(reply->payload);
+}
+
+Status FrameSender::Ping() {
+  LDPJS_CHECK(!finished_);
+  LDPJS_RETURN_IF_ERROR(WriteNetFrame(socket_, NetFrameType::kPing, {}));
+  auto reply = ReadReply();
+  if (!reply.ok()) return reply.status();
+  if (reply->type != NetFrameType::kPingOk) {
+    return Status::Corruption("expected PING_OK");
+  }
+  return Status::OK();
 }
 
 Status FrameSender::RequestFinalize() {

@@ -30,6 +30,12 @@ class FrameSender {
   struct Options {
     int max_busy_retries = 100000;  ///< per frame, before Unavailable
     int busy_retry_micros = 200;    ///< sleep between busy retries
+    /// Announce a region id in the HELLO (federation upstream sessions).
+    /// The HELLO_OK then carries the server's next-expected epoch for that
+    /// region — read it with region_next_epoch(). See RegionalNode for the
+    /// restart/collision sync built on it.
+    bool announce_region = false;
+    uint32_t region_id = 0;
   };
 
   /// Connects and completes the handshake. Fails with the server's ERROR
@@ -63,12 +69,20 @@ class FrameSender {
 
   /// Federation upstream path: ships one epoch's serialized raw-lane
   /// snapshot to a central aggregator as EPOCH_PUSH and waits for the ack.
-  /// Returns true if the snapshot was merged, false if the central had
-  /// already applied this (region, epoch) — how a retry after an ambiguous
-  /// failure resolves to exactly-once. Any transport failure leaves the
-  /// outcome unknown; reconnect and push the same (region, epoch) again.
-  Result<bool> PushEpochSnapshot(uint32_t region_id, uint64_t epoch,
-                                 std::span<const uint8_t> raw_sketch);
+  /// The ack says whether the snapshot was merged (kApplied) or the
+  /// central had already applied this (region, epoch) (kDuplicate — how a
+  /// retry after an ambiguous failure resolves to exactly-once), and
+  /// carries the central's next-expected epoch for the region so the
+  /// shipper's numbering tracks the central's high-water. Any transport
+  /// failure leaves the outcome unknown; reconnect and push the same
+  /// (region, epoch) again.
+  Result<EpochPushAck> PushEpochSnapshot(uint32_t region_id, uint64_t epoch,
+                                         std::span<const uint8_t> raw_sketch);
+
+  /// Ingest barrier: returns once the server has absorbed every frame this
+  /// connection sent so far (PING/PING_OK — no lanes shipped back, unlike
+  /// SnapshotRawSketch). The session stays open, unlike Finish().
+  Status Ping();
 
   /// Asks the server to end collection (the CLI `serve` loop exits, drains,
   /// and finalizes). FINALIZE is processed after every frame this
@@ -90,6 +104,9 @@ class FrameSender {
 
   uint32_t server_shards() const { return session_.num_shards; }
   bool acked_data() const { return session_.acked_data; }
+  /// First epoch the server has not applied for the announced region
+  /// (0 when no region was announced or the server never heard from it).
+  uint64_t region_next_epoch() const { return session_.region_next_epoch; }
   uint64_t frames_sent() const { return frames_sent_; }
   uint64_t bytes_sent() const { return bytes_sent_; }
   uint64_t busy_retries() const { return busy_retries_; }

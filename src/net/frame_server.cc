@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <optional>
 #include <thread>
 
 namespace ldpjs {
@@ -132,6 +133,15 @@ void FrameServer::ReaderLoop(Connection* conn) {
       SessionHelloOk ok;
       ok.num_shards = static_cast<uint32_t>(aggregator_.num_shards());
       ok.acked_data = options_.backpressure == BackpressurePolicy::kShed;
+      if (hello->has_region) {
+        // The epoch sync a (re)connecting regional shipper runs on: the
+        // first epoch this server has NOT applied for that region. A
+        // region it has never heard from reads as 0 — the region keeps its
+        // own numbering. Read-only: a HELLO must not create a region row.
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = regions_.find(hello->region_id);
+        if (it != regions_.end()) ok.region_next_epoch = it->second.next_epoch;
+      }
       std::lock_guard<std::mutex> g(conn->write_mu);
       session_open =
           WriteNetFrame(conn->socket, NetFrameType::kHelloOk, EncodeHelloOk(ok))
@@ -159,6 +169,7 @@ void FrameServer::ReaderLoop(Connection* conn) {
     const bool is_control = frame->type == NetFrameType::kSnapshot ||
                             frame->type == NetFrameType::kEpochPush ||
                             frame->type == NetFrameType::kFinalize ||
+                            frame->type == NetFrameType::kPing ||
                             frame->type == NetFrameType::kBye;
     if (!is_data && !is_control) {
       conn->corrupt_frames.fetch_add(1, std::memory_order_relaxed);
@@ -191,8 +202,12 @@ void FrameServer::ReaderLoop(Connection* conn) {
           });
           ++conn->data_inflight;
           lane.queue.push_back(PumpItem{conn, std::move(frame->payload)});
-          lane.queue_high_water =
-              std::max<uint64_t>(lane.queue_high_water, lane.queue.size());
+          // Writers are serialized by mu_, so load-then-store cannot lose
+          // an update; the atomic exists for the lock-free metrics read.
+          const uint64_t depth = lane.queue.size();
+          if (depth > lane.queue_high_water.load(std::memory_order_relaxed)) {
+            lane.queue_high_water.store(depth, std::memory_order_relaxed);
+          }
         }
       }
       if (shed) {
@@ -231,8 +246,13 @@ void FrameServer::ReaderLoop(Connection* conn) {
         break;
       case NetFrameType::kFinalize: {
         if (frame->payload.size() != 0 && frame->payload.size() != 4) {
+          // Only 0 (anonymous) or 4 (u32 region tag) are well-formed. A
+          // truncated/garbage tag must never fall through to the barrier
+          // below — counting it (as anything) could end a multi-region
+          // collection early. Reject, count, and close the offender.
           conn->corrupt_frames.fetch_add(1, std::memory_order_relaxed);
           SendError(*conn, Status::Corruption("malformed FINALIZE payload"));
+          conn->socket.ShutdownBoth();
           session_open = false;
           break;
         }
@@ -258,6 +278,15 @@ void FrameServer::ReaderLoop(Connection* conn) {
           }
         }
         finalize_cv_.notify_all();
+        break;
+      }
+      case NetFrameType::kPing: {
+        // The WaitConnDrained above is the whole point: PING_OK promises
+        // "everything you sent is in the lanes" without shipping them back.
+        std::lock_guard<std::mutex> g(conn->write_mu);
+        if (!WriteNetFrame(conn->socket, NetFrameType::kPingOk, {}).ok()) {
+          conn->socket.ShutdownBoth();
+        }
         break;
       }
       case NetFrameType::kBye: {
@@ -303,64 +332,93 @@ void FrameServer::HandleEpochPush(Connection& conn,
     conn.socket.ShutdownBoth();
     return;
   }
-  uint8_t ack = static_cast<uint8_t>(EpochPushAckCode::kApplied);
+  // An empty sketch is the idle-region heartbeat: it advances the
+  // region's epoch clock (dedup + high-water + ack) without merging a
+  // lane, so a region with no traffic cannot freeze the windowed view's
+  // aligned frontier for everyone else.
+  const bool heartbeat = push->raw_sketch.empty();
+  // Decode + validate the pushed sketch before reserving the epoch, so a
+  // corrupt push never consumes an epoch number and never needs a
+  // reservation rollback — and the decoded sketch is shared by the shard
+  // merge and the windowed-view epoch store without a second deserialize.
+  std::optional<LdpJoinSketchServer> snapshot;
+  if (!heartbeat) {
+    auto decoded = aggregator_.DecodeCompatibleSketch(push->raw_sketch);
+    if (!decoded.ok()) {
+      conn.corrupt_frames.fetch_add(1, std::memory_order_relaxed);
+      SendError(conn, decoded.status());
+      conn.socket.ShutdownBoth();
+      return;
+    }
+    snapshot.emplace(std::move(*decoded));
+  }
+  EpochPushAck ack;
   bool fresh = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
     RegionState& region = regions_[push->region_id];
     region.metrics.region_id = push->region_id;
     if (push->epoch < region.next_epoch) {
-      // Already applied: the region retried after an ambiguous failure
-      // (e.g. the connection died between our merge and its ack read).
+      // Already reserved. If the original push is still merging on a dead
+      // connection's reader thread, wait it out: a kDuplicate ack must
+      // mean "applied" — the shipper will ship the NEXT epoch on reading
+      // it, and the windowed view's observer relies on seeing a region's
+      // epochs in order.
+      drain_cv_.wait(lock, [&] {
+        return regions_[push->region_id].inflight.count(push->epoch) == 0;
+      });
       ++region.metrics.duplicates_ignored;
-      ack = static_cast<uint8_t>(EpochPushAckCode::kDuplicate);
+      ack.code = EpochPushAckCode::kDuplicate;
     } else {
       // Reserve the epoch under mu_, merge outside it: a concurrent retry
-      // of the same (region, epoch) dedups against the in-flight merge,
-      // while the deserialize + k·m-lane merge holds only the target
-      // shard's lock — a large snapshot never stalls every reader and
-      // pump on the global mutex.
+      // of the same (region, epoch) blocks above until this merge
+      // completes, while the k·m-lane merge holds only the target shard's
+      // lock — a large snapshot never stalls every reader and pump on the
+      // global mutex.
       region.next_epoch = push->epoch + 1;
+      region.inflight.insert(push->epoch);
       fresh = true;
     }
   }
   if (fresh) {
-    const size_t shard =
-        push_shard_.fetch_add(1, std::memory_order_relaxed) % lanes_.size();
-    Status merged;
-    uint64_t delta = 0;
-    {
+    if (!heartbeat) {
+      const size_t shard =
+          push_shard_.fetch_add(1, std::memory_order_relaxed) % lanes_.size();
       std::lock_guard<std::mutex> agg(lanes_[shard]->agg_mu);
-      const uint64_t before = aggregator_.shard(shard).reports_ingested();
-      merged = aggregator_.MergeSerializedSketch(shard, push->raw_sketch);
-      delta = aggregator_.shard(shard).reports_ingested() - before;
+      aggregator_.MergeRawSketch(shard, *snapshot);
     }
     {
       std::lock_guard<std::mutex> lock(mu_);
       RegionState& region = regions_[push->region_id];
-      if (!merged.ok()) {
-        // Nothing touched a lane; roll the reservation back (unless a
-        // later push already advanced past it) so a retry of this epoch
-        // is not mistaken for applied.
-        if (region.next_epoch == push->epoch + 1) {
-          region.next_epoch = push->epoch;
-        }
+      if (heartbeat) {
+        ++region.metrics.empty_epochs;
       } else {
         ++region.metrics.epochs_applied;
-        region.metrics.reports_merged += delta;
+        region.metrics.reports_merged += snapshot->total_reports();
         region.metrics.snapshot_bytes += push->raw_sketch.size();
-        region.metrics.next_epoch = region.next_epoch;
       }
+      region.metrics.next_epoch = region.next_epoch;
     }
-    if (!merged.ok()) {
-      conn.corrupt_frames.fetch_add(1, std::memory_order_relaxed);
-      SendError(conn, merged);
-      conn.socket.ShutdownBoth();
-      return;
+    if (options_.epoch_observer) {
+      // After the lanes, before the ack: once the region reads
+      // EPOCH_PUSH_OK, windowed views already contain the epoch. The
+      // observer may steal the snapshot — it is dead after this call.
+      options_.epoch_observer(push->region_id, push->epoch,
+                              heartbeat ? nullptr : &*snapshot);
     }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      regions_[push->region_id].inflight.erase(push->epoch);
+    }
+    drain_cv_.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ack.next_epoch = regions_[push->region_id].next_epoch;
   }
   std::lock_guard<std::mutex> g(conn.write_mu);
-  if (!WriteNetFrame(conn.socket, NetFrameType::kEpochPushOk, {&ack, 1})
+  if (!WriteNetFrame(conn.socket, NetFrameType::kEpochPushOk,
+                     EncodeEpochPushAck(ack))
            .ok()) {
     conn.socket.ShutdownBoth();
   }
@@ -557,7 +615,8 @@ NetMetrics FrameServer::metrics() const {
     ShardMetrics shard;
     shard.frames = lane->frames.load(std::memory_order_relaxed);
     shard.reports = lane->reports.load(std::memory_order_relaxed);
-    shard.queue_high_water = lane->queue_high_water;
+    shard.queue_high_water =
+        lane->queue_high_water.load(std::memory_order_relaxed);
     m.queue_high_water = std::max(m.queue_high_water, shard.queue_high_water);
     m.shards.push_back(shard);
   }

@@ -45,6 +45,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -76,6 +77,21 @@ struct FrameServerOptions {
   /// at most this long before the write fails and the connection is cut.
   /// 0 disables the guard.
   int send_timeout_seconds = 30;
+  /// Called exactly once per fresh (region, epoch) EPOCH_PUSH, after the
+  /// snapshot is merged into the lanes and before the push is acked — the
+  /// (region, epoch) dedup guarantees the exactly-once, and a retried
+  /// push's duplicate ack waits for the original's observer call, so a
+  /// region's epochs are observed strictly in order. `snapshot` is the
+  /// decoded, validated raw-lane snapshot — the server discards it after
+  /// the call, so the observer may move from it — or nullptr for an
+  /// empty-epoch heartbeat (an idle region advancing its epoch clock;
+  /// nothing merged). Invoked on the pushing connection's reader thread,
+  /// concurrently across regions; the observer synchronizes itself (see
+  /// federation/WindowedView). Keep it cheap — the pushing region waits on
+  /// the ack behind it.
+  std::function<void(uint32_t region_id, uint64_t epoch,
+                     LdpJoinSketchServer* snapshot)>
+      epoch_observer;
 };
 
 class FrameServer {
@@ -161,12 +177,21 @@ class FrameServer {
     std::condition_variable work_cv;   ///< pump waits for queue items
     std::thread pump;
     mutable std::mutex agg_mu;         ///< guards aggregator shard state
-    uint64_t queue_high_water = 0;     ///< guarded by FrameServer::mu_
+    /// Written by readers under mu_, but read lock-free by metrics paths —
+    /// atomic so a TSan-clean snapshot never has to take the queue lock.
+    std::atomic<uint64_t> queue_high_water{0};
     std::atomic<uint64_t> frames{0};
     std::atomic<uint64_t> reports{0};
   };
   struct RegionState {
     uint64_t next_epoch = 0;  ///< pushes below this are duplicates
+    /// Epochs reserved but not yet merged+observed. A retry of one of
+    /// these waits for the original to complete before its duplicate ack,
+    /// so "kDuplicate" always means "applied", never "in flight" — and
+    /// the epoch observer sees a region's epochs strictly in order even
+    /// when a connection dies mid-merge and the shipper retries on a
+    /// fresh one.
+    std::set<uint64_t> inflight;
     RegionMetrics metrics;
   };
 

@@ -70,6 +70,7 @@ std::string NetMetricsToJson(const NetMetrics& m) {
     bool f = true;
     AppendField(out, "region_id", r.region_id, &f);
     AppendField(out, "epochs_applied", r.epochs_applied, &f);
+    AppendField(out, "empty_epochs", r.empty_epochs, &f);
     AppendField(out, "duplicates_ignored", r.duplicates_ignored, &f);
     AppendField(out, "reports_merged", r.reports_merged, &f);
     AppendField(out, "snapshot_bytes", r.snapshot_bytes, &f);

@@ -35,6 +35,7 @@ struct ShardMetrics {
 struct RegionMetrics {
   uint32_t region_id = 0;
   uint64_t epochs_applied = 0;     ///< snapshots merged into the lanes
+  uint64_t empty_epochs = 0;       ///< heartbeat pushes (nothing merged)
   uint64_t duplicates_ignored = 0; ///< retried pushes deduped on (r, epoch)
   uint64_t reports_merged = 0;     ///< reports inside the applied snapshots
   uint64_t snapshot_bytes = 0;     ///< serialized sketch bytes applied

@@ -8,7 +8,7 @@ namespace {
 
 bool IsKnownFrameType(uint8_t type) {
   return type >= static_cast<uint8_t>(NetFrameType::kHello) &&
-         type <= static_cast<uint8_t>(NetFrameType::kEpochPushOk);
+         type <= static_cast<uint8_t>(NetFrameType::kPingOk);
 }
 
 }  // namespace
@@ -21,6 +21,8 @@ std::vector<uint8_t> EncodeHello(const SessionHello& hello) {
   writer.PutU32(hello.m);
   writer.PutU64(hello.seed);
   writer.PutDouble(hello.epsilon);
+  writer.PutU8(hello.has_region ? 1 : 0);
+  writer.PutU32(hello.region_id);
   return writer.TakeBuffer();
 }
 
@@ -46,11 +48,20 @@ Result<SessionHello> DecodeHello(std::span<const uint8_t> payload) {
   if (!seed.ok()) return seed.status();
   auto epsilon = reader.GetDouble();
   if (!epsilon.ok()) return epsilon.status();
+  auto has_region = reader.GetU8();
+  if (!has_region.ok()) return has_region.status();
+  if (*has_region > 1) {
+    return Status::Corruption("HELLO region flag is not 0 or 1");
+  }
+  auto region = reader.GetU32();
+  if (!region.ok()) return region.status();
   if (!reader.AtEnd()) return Status::Corruption("trailing bytes after HELLO");
   hello.k = *k;
   hello.m = *m;
   hello.seed = *seed;
   hello.epsilon = *epsilon;
+  hello.has_region = *has_region != 0;
+  hello.region_id = *region;
   return hello;
 }
 
@@ -59,6 +70,7 @@ std::vector<uint8_t> EncodeHelloOk(const SessionHelloOk& ok) {
   writer.PutU8(ok.version);
   writer.PutU32(ok.num_shards);
   writer.PutU8(ok.acked_data ? 1 : 0);
+  writer.PutU64(ok.region_next_epoch);
   return writer.TakeBuffer();
 }
 
@@ -70,6 +82,8 @@ Result<SessionHelloOk> DecodeHelloOk(std::span<const uint8_t> payload) {
   if (!shards.ok()) return shards.status();
   auto acked = reader.GetU8();
   if (!acked.ok()) return acked.status();
+  auto next_epoch = reader.GetU64();
+  if (!next_epoch.ok()) return next_epoch.status();
   if (!reader.AtEnd()) {
     return Status::Corruption("trailing bytes after HELLO_OK");
   }
@@ -77,7 +91,33 @@ Result<SessionHelloOk> DecodeHelloOk(std::span<const uint8_t> payload) {
   ok.version = *version;
   ok.num_shards = *shards;
   ok.acked_data = *acked != 0;
+  ok.region_next_epoch = *next_epoch;
   return ok;
+}
+
+std::vector<uint8_t> EncodeEpochPushAck(const EpochPushAck& ack) {
+  BinaryWriter writer;
+  writer.PutU8(static_cast<uint8_t>(ack.code));
+  writer.PutU64(ack.next_epoch);
+  return writer.TakeBuffer();
+}
+
+Result<EpochPushAck> DecodeEpochPushAck(std::span<const uint8_t> payload) {
+  BinaryReader reader(payload);
+  auto code = reader.GetU8();
+  if (!code.ok()) return code.status();
+  if (*code > static_cast<uint8_t>(EpochPushAckCode::kDuplicate)) {
+    return Status::Corruption("unknown EPOCH_PUSH_OK code");
+  }
+  auto next_epoch = reader.GetU64();
+  if (!next_epoch.ok()) return next_epoch.status();
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes after EPOCH_PUSH_OK");
+  }
+  EpochPushAck ack;
+  ack.code = static_cast<EpochPushAckCode>(*code);
+  ack.next_epoch = *next_epoch;
+  return ack;
 }
 
 std::vector<uint8_t> EncodeEpochPush(uint32_t region_id, uint64_t epoch,
@@ -100,11 +140,10 @@ Result<EpochPush> DecodeEpochPush(std::span<const uint8_t> payload) {
   if (!region.ok()) return region.status();
   auto epoch = reader.GetU64();
   if (!epoch.ok()) return epoch.status();
+  // Zero sketch bytes are legal: the empty-epoch heartbeat, advancing the
+  // region's epoch clock without shipping (or merging) any lanes.
   auto sketch = reader.GetRaw(reader.remaining());
   if (!sketch.ok()) return sketch.status();
-  if (sketch->empty()) {
-    return Status::Corruption("EPOCH_PUSH carries no sketch bytes");
-  }
   EpochPush push;
   push.region_id = *region;
   push.epoch = *epoch;

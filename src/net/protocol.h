@@ -17,6 +17,8 @@
 //     |            ...                       |    means retry the frame)
 //     | -- SNAPSHOT ----------------------> |
 //     | <- SNAPSHOT_DATA {raw-lane sketch}- |   merged un-finalized lanes
+//     | -- PING --------------------------> |   ordered-after-DATA barrier
+//     | <- PING_OK ------------------------ |   (no lanes shipped back)
 //     | -- BYE ---------------------------> |
 //     | <- BYE_OK ------------------------- |   all of this connection's
 //     |  close                              |   frames are ingested
@@ -46,11 +48,16 @@
 namespace ldpjs {
 
 inline constexpr uint32_t kNetMagic = 0x50534A4CU;  // "LJSP" little-endian
-inline constexpr uint8_t kNetVersion = 1;
+/// v2: HELLO may announce a region id and HELLO_OK answers with the
+/// server's next-expected epoch for that region (the restart/resume sync);
+/// EPOCH_PUSH_OK carries the same next-epoch alongside its ack code; PING/
+/// PING_OK give clients a cheap ordered-after-DATA ingest barrier. v1
+/// peers are rejected at the handshake with a clear error.
+inline constexpr uint8_t kNetVersion = 2;
 
 /// Frame types. Client→server: kHello, kData, kSnapshot, kFinalize, kBye,
-/// kEpochPush. Server→client: kHelloOk, kDataAck, kSnapshotData,
-/// kFinalizeOk, kByeOk, kError, kEpochPushOk.
+/// kEpochPush, kPing. Server→client: kHelloOk, kDataAck, kSnapshotData,
+/// kFinalizeOk, kByeOk, kError, kEpochPushOk, kPingOk.
 enum class NetFrameType : uint8_t {
   kHello = 1,
   kHelloOk = 2,
@@ -68,13 +75,25 @@ enum class NetFrameType : uint8_t {
   kError = 11,
   /// Federation: a regional aggregator ships one epoch's raw-lane snapshot
   /// upstream. Payload: u32 region_id, u64 epoch, then the serialized
-  /// un-finalized sketch. Ordered after the connection's DATA like the
+  /// un-finalized sketch — or zero sketch bytes for an empty-epoch
+  /// heartbeat (the region had nothing to ship but its epoch clock still
+  /// advances, so an idle region never freezes the windowed view's
+  /// aligned frontier). Ordered after the connection's DATA like the
   /// other non-DATA frames; never shed.
   kEpochPush = 12,
-  /// Ack for kEpochPush: one EpochPushAckCode byte. `kDuplicate` makes a
-  /// retried push after an ambiguous failure exactly-once — the central
-  /// tier dedups on (region_id, epoch) and never double-merges.
+  /// Ack for kEpochPush: an EpochPushAckCode byte plus the server's
+  /// next-expected epoch for the pushing region (see EpochPushAck).
+  /// `kDuplicate` makes a retried push after an ambiguous failure
+  /// exactly-once — the central tier dedups on (region_id, epoch) and
+  /// never double-merges.
   kEpochPushOk = 13,
+  /// Ingest barrier: an empty no-op frame, ordered after every DATA frame
+  /// its connection sent (like the other control frames) and answered with
+  /// kPingOk. PING_OK is therefore proof that everything sent before it is
+  /// in the lanes — the cheap barrier epoch-sensitive drivers use before a
+  /// cut, where SNAPSHOT (which ships the full lanes back) would be waste.
+  kPing = 14,
+  kPingOk = 15,
 };
 
 /// Hard cap on client→server frame payloads. A batch envelope is at most
@@ -94,11 +113,17 @@ enum class DataAckCode : uint8_t {
 /// HELLO payload: the sketch session parameters. The server accepts a
 /// connection only if every field matches its own configuration bit for bit
 /// (mismatched params would silently poison lanes, never mergeable).
+/// A regional aggregator's upstream session additionally announces its
+/// region id, so the HELLO_OK can carry the server's next-expected epoch
+/// for that region — the sync a restarted incarnation uses to number its
+/// epochs above everything its predecessor already shipped.
 struct SessionHello {
   uint32_t k = 0;
   uint32_t m = 0;
   uint64_t seed = 0;
   double epsilon = 0.0;
+  bool has_region = false;
+  uint32_t region_id = 0;
 };
 
 std::vector<uint8_t> EncodeHello(const SessionHello& hello);
@@ -106,20 +131,36 @@ Result<SessionHello> DecodeHello(std::span<const uint8_t> payload);
 
 /// HELLO_OK payload: protocol version echo plus the server's shard count
 /// and whether every DATA frame will be acked (shed-mode flow control).
+/// `region_next_epoch` answers a region-announcing HELLO with the first
+/// epoch the server has NOT applied for that region (0 when the region has
+/// never pushed, or when the HELLO carried no region).
 struct SessionHelloOk {
   uint8_t version = kNetVersion;
   uint32_t num_shards = 0;
   bool acked_data = false;
+  uint64_t region_next_epoch = 0;
 };
 
 std::vector<uint8_t> EncodeHelloOk(const SessionHelloOk& ok);
 Result<SessionHelloOk> DecodeHelloOk(std::span<const uint8_t> payload);
 
-/// EPOCH_PUSH_OK payload (one byte).
+/// EPOCH_PUSH_OK result code.
 enum class EpochPushAckCode : uint8_t {
   kApplied = 0,    ///< snapshot merged into the central lanes
   kDuplicate = 1,  ///< (region, epoch) already applied — retry resolved
 };
+
+/// EPOCH_PUSH_OK payload: the ack code plus the server's next-expected
+/// epoch for the pushing region (its high-water + 1, after this push). The
+/// shipper folds it into its own numbering, so region and central converge
+/// on an epoch sequence even across restarts and clock steps.
+struct EpochPushAck {
+  EpochPushAckCode code = EpochPushAckCode::kApplied;
+  uint64_t next_epoch = 0;
+};
+
+std::vector<uint8_t> EncodeEpochPushAck(const EpochPushAck& ack);
+Result<EpochPushAck> DecodeEpochPushAck(std::span<const uint8_t> payload);
 
 /// EPOCH_PUSH payload header; the serialized raw-lane sketch follows it to
 /// the end of the frame (no inner length prefix — the transport frame

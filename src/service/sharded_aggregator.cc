@@ -26,16 +26,15 @@ Status ShardedAggregator::IngestFrameToShard(size_t shard,
   return shards_[shard].IngestFrame(frame);
 }
 
-Status ShardedAggregator::MergeSerializedSketch(
-    size_t shard, std::span<const uint8_t> bytes) {
-  LDPJS_CHECK(shard < shards_.size());
+Result<LdpJoinSketchServer> ShardedAggregator::DecodeCompatibleSketch(
+    std::span<const uint8_t> bytes) const {
   auto pushed = LdpJoinSketchServer::Deserialize(bytes);
   if (!pushed.ok()) return pushed.status();
   if (pushed->finalized()) {
     return Status::FailedPrecondition(
         "pushed sketch is finalized: only raw-lane snapshots merge");
   }
-  const LdpJoinSketchServer& mine = shards_[shard].sketch();
+  const LdpJoinSketchServer& mine = shards_[0].sketch();
   const SketchParams& theirs = pushed->params();
   // Epsilon compares as bits: mismatched debias scales must never merge.
   const double e_theirs = pushed->epsilon();
@@ -48,8 +47,19 @@ Status ShardedAggregator::MergeSerializedSketch(
     return Status::FailedPrecondition(
         "pushed sketch params mismatch: lanes are not mergeable");
   }
-  shards_[shard].MergeRaw(*pushed);
-  return Status::OK();
+  return pushed;
+}
+
+void ShardedAggregator::MergeRawSketch(size_t shard,
+                                       const LdpJoinSketchServer& sketch) {
+  LDPJS_CHECK(shard < shards_.size());
+  shards_[shard].MergeRaw(sketch);
+}
+
+void ShardedAggregator::SubtractRawSketch(size_t shard,
+                                          const LdpJoinSketchServer& sketch) {
+  LDPJS_CHECK(shard < shards_.size());
+  shards_[shard].SubtractRaw(sketch);
 }
 
 ShardedAggregator::EpochCut ShardedAggregator::CutEpoch() {

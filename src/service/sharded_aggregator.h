@@ -46,11 +46,28 @@ class ShardedAggregator {
   /// same shard concurrently must serialize themselves.
   Status IngestFrameToShard(size_t shard, std::span<const uint8_t> frame);
 
-  /// Federated path: deserializes an un-finalized raw-lane sketch (a
-  /// regional epoch snapshot) and merges it into shard `shard`. Rejects
-  /// corrupt bytes, finalized sketches, and any params/epsilon mismatch
-  /// with a Status *before* touching a lane.
-  Status MergeSerializedSketch(size_t shard, std::span<const uint8_t> bytes);
+  /// Federated path, validation half: deserializes an un-finalized
+  /// raw-lane sketch (a regional epoch snapshot) and checks it is
+  /// mergeable into this aggregator. Rejects corrupt bytes, finalized
+  /// sketches, and any params/epsilon mismatch with a Status *before* any
+  /// lane could be touched. The decoded sketch can then be merged (and
+  /// later subtracted) any number of times without re-validation — the
+  /// central tier decodes once and reuses the sketch for both its shard
+  /// merge and its windowed-view epoch store.
+  Result<LdpJoinSketchServer> DecodeCompatibleSketch(
+      std::span<const uint8_t> bytes) const;
+
+  /// Merges an already-validated raw-lane sketch into shard `shard` (exact
+  /// integer lane addition). Not synchronized, like IngestFrameToShard.
+  void MergeRawSketch(size_t shard, const LdpJoinSketchServer& sketch);
+
+  /// Exact inverse of MergeRawSketch: retracts a previously merged sketch
+  /// from shard `shard` — how a service-level caller expires an epoch in
+  /// place (the central's WindowedView instead retracts from its own
+  /// separate accumulator). Target the shard the sketch was merged into —
+  /// a shard's report balance can never go negative (contract check),
+  /// even though the global merge is linear.
+  void SubtractRawSketch(size_t shard, const LdpJoinSketchServer& sketch);
 
   /// One epoch cut: the serialized merged raw lanes of everything ingested
   /// since the last cut, plus the report count inside the cut. Every shard

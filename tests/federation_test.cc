@@ -175,13 +175,16 @@ TEST(FederationTest, DuplicateEpochPushIsDedupedExactlyOnce) {
 
   auto first = sender->PushEpochSnapshot(3, 0, snapshot);
   ASSERT_TRUE(first.ok());
-  EXPECT_TRUE(*first);  // applied
+  EXPECT_EQ(first->code, EpochPushAckCode::kApplied);
+  EXPECT_EQ(first->next_epoch, 1u);  // the ack carries the high-water sync
   auto replay = sender->PushEpochSnapshot(3, 0, snapshot);
   ASSERT_TRUE(replay.ok());
-  EXPECT_FALSE(*replay);  // duplicate — ignored
+  EXPECT_EQ(replay->code, EpochPushAckCode::kDuplicate);  // ignored
+  EXPECT_EQ(replay->next_epoch, 1u);
   auto second = sender->PushEpochSnapshot(3, 1, snapshot);
   ASSERT_TRUE(second.ok());
-  EXPECT_TRUE(*second);
+  EXPECT_EQ(second->code, EpochPushAckCode::kApplied);
+  EXPECT_EQ(second->next_epoch, 2u);
   ASSERT_TRUE(sender->Finish().ok());
 
   central.Stop();
@@ -252,9 +255,10 @@ TEST(FederationTest, CorruptOrMismatchedPushesRejected) {
 }
 
 // A restarted region (same region_id, fresh process/incarnation) must not
-// have its data discarded by the central's high-water dedup: epoch numbers
-// are seeded from the wall clock, so a new incarnation always starts above
-// everything its predecessor shipped.
+// have its data discarded by the central's high-water dedup: every
+// incarnation starts its epochs at 0, and the connect-time sync (HELLO_OK
+// carries the central's next-expected epoch) renumbers its un-attempted
+// snapshots above everything the predecessor shipped.
 TEST(FederationTest, RestartedRegionIncarnationIsNotDeduped) {
   const SketchParams params = TestParams();
   const double epsilon = 2.0;
@@ -289,6 +293,11 @@ TEST(FederationTest, RestartedRegionIncarnationIsNotDeduped) {
     ASSERT_TRUE(sender->Finish().ok());
     ASSERT_TRUE(incarnation2.FlushAndStop().ok());
     EXPECT_EQ(incarnation2.duplicate_acks(), 0u);  // nothing deduped away
+    // The second incarnation numbered its cut 0 too — the connect-time
+    // sync renumbered it above the predecessor's epochs instead of letting
+    // the central discard it as a duplicate.
+    EXPECT_EQ(incarnation2.epochs_renumbered(), 1u);
+    EXPECT_EQ(incarnation2.next_epoch(), 2u);
   }
 
   central.Stop();

@@ -5,6 +5,9 @@
 // envelope, params mismatch, or mid-stream disconnect can crash the server
 // (these tests run under the CI ASan/UBSan job); each is counted in the
 // metrics instead.
+#include <atomic>
+#include <chrono>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -222,6 +225,132 @@ TEST(NetLoopbackTest, MalformedFramesAreCountedAndServerSurvives) {
   direct.AbsorbBatch(reports);
   direct.Finalize();
   EXPECT_EQ(server.Finalize().Serialize(), direct.Serialize());
+}
+
+// Satellite regression: a FINALIZE payload of any size other than 0
+// (anonymous) or 4 (region-tagged) is a protocol violation. It must be
+// rejected as corruption — counted, ERROR'd, connection closed — and must
+// NEVER advance the finalize barrier: a truncated or garbage region tag
+// that counted as an anonymous finalize could end a multi-region
+// collection early with data still in flight.
+TEST(NetLoopbackTest, MalformedFinalizePayloadsRejectedNotCounted) {
+  const SketchParams params = TestParams();
+  const double epsilon = 2.0;
+  FrameServerOptions options;
+  FrameServer server(params, epsilon, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::vector<uint8_t> hello = EncodeHello(
+      SessionHello{static_cast<uint32_t>(params.k),
+                   static_cast<uint32_t>(params.m), params.seed, epsilon});
+  auto open_session = [&]() -> Socket {
+    auto socket = Socket::ConnectTcp("127.0.0.1", server.port());
+    EXPECT_TRUE(socket.ok());
+    EXPECT_TRUE(WriteNetFrame(*socket, NetFrameType::kHello, hello).ok());
+    auto reply = ReadNetFrame(*socket, kMaxControlFramePayload);
+    EXPECT_TRUE(reply.ok() && reply->type == NetFrameType::kHelloOk);
+    return std::move(*socket);
+  };
+
+  std::atomic<bool> finalized{false};
+  std::thread waiter([&] {
+    server.WaitForFinalizeRequest();
+    finalized.store(true);
+  });
+
+  for (const size_t size : {size_t{1}, size_t{2}, size_t{3}, size_t{5}}) {
+    Socket socket = open_session();
+    const std::vector<uint8_t> payload(size, 0x5A);
+    ASSERT_TRUE(
+        WriteNetFrame(socket, NetFrameType::kFinalize, payload).ok());
+    // The offender gets ERROR (never FINALIZE_OK), then the session ends.
+    auto reply = ReadNetFrame(socket, kMaxControlFramePayload);
+    ASSERT_TRUE(reply.ok()) << "size=" << size;
+    EXPECT_EQ(reply->type, NetFrameType::kError) << "size=" << size;
+    auto after = ReadNetFrame(socket, kMaxControlFramePayload);
+    EXPECT_FALSE(after.ok()) << "size=" << size;
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(finalized.load());  // no malformed size advanced the barrier
+  {
+    const NetMetrics metrics = server.metrics();
+    EXPECT_EQ(metrics.corrupt_frames_rejected, 4u);
+  }
+
+  {  // Size 4 — a legitimate region tag — IS the barrier.
+    Socket socket = open_session();
+    const uint8_t region[4] = {1, 0, 0, 0};
+    ASSERT_TRUE(WriteNetFrame(socket, NetFrameType::kFinalize, region).ok());
+    auto reply = ReadNetFrame(socket, kMaxControlFramePayload);
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply->type, NetFrameType::kFinalizeOk);
+  }
+  waiter.join();
+  EXPECT_TRUE(finalized.load());
+  server.Stop();
+}
+
+// PING_OK is an ingest barrier: ordered after every DATA frame its
+// connection sent, so lanes already hold everything when it returns — the
+// cheap alternative to SNAPSHOT the windowed epoch cut relies on.
+TEST(NetLoopbackTest, PingIsAnIngestBarrier) {
+  const SketchParams params = TestParams();
+  const double epsilon = 2.0;
+  FrameServerOptions options;
+  options.num_shards = 4;
+  FrameServer server(params, epsilon, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  LdpJoinSketchClient client(params, epsilon);
+  const std::vector<LdpReport> reports = PerturbColumn(client, 20000, 23);
+  auto sender =
+      FrameSender::Connect("127.0.0.1", server.port(), params, epsilon);
+  ASSERT_TRUE(sender.ok());
+  ASSERT_TRUE(sender->SendReports(reports).ok());
+  ASSERT_TRUE(sender->Ping().ok());
+  // Everything is in the lanes NOW — no Stop(), no BYE.
+  EXPECT_EQ(server.metrics().reports_ingested, reports.size());
+  const LdpJoinSketchServer view = server.FinalizedView();
+  EXPECT_EQ(view.total_reports(), reports.size());
+  ASSERT_TRUE(sender->Finish().ok());
+  server.Stop();
+}
+
+// Satellite regression (meaningful under the TSan CI job): a metrics
+// snapshot taken concurrently with full-rate ingest must be race-free —
+// queue_high_water is read lock-free while readers update it under the
+// queue lock.
+TEST(NetLoopbackTest, MetricsSnapshotRacesIngestCleanly) {
+  const SketchParams params = TestParams();
+  const double epsilon = 2.0;
+  FrameServerOptions options;
+  options.num_shards = 2;
+  options.queue_capacity = 4;  // small queue: high-water moves constantly
+  FrameServer server(params, epsilon, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::atomic<bool> done{false};
+  std::thread poller([&] {
+    uint64_t last_reports = 0;
+    while (!done.load()) {
+      const NetMetrics metrics = server.metrics();
+      // Totals must be monotone under concurrent snapshots.
+      EXPECT_GE(metrics.reports_ingested, last_reports);
+      last_reports = metrics.reports_ingested;
+    }
+  });
+
+  LdpJoinSketchClient client(params, epsilon);
+  const std::vector<LdpReport> reports = PerturbColumn(client, 60000, 29);
+  auto sender =
+      FrameSender::Connect("127.0.0.1", server.port(), params, epsilon);
+  ASSERT_TRUE(sender.ok());
+  ASSERT_TRUE(sender->SendReports(reports).ok());
+  ASSERT_TRUE(sender->Finish().ok());
+  done.store(true);
+  poller.join();
+  server.Stop();
+  EXPECT_EQ(server.metrics().reports_ingested, reports.size());
 }
 
 TEST(NetLoopbackTest, ShedBackpressureLosesNothing) {

@@ -35,6 +35,23 @@ TEST(NetProtocolTest, HelloRoundTrips) {
   EXPECT_EQ(decoded->m, hello.m);
   EXPECT_EQ(decoded->seed, hello.seed);
   EXPECT_EQ(decoded->epsilon, hello.epsilon);
+  EXPECT_FALSE(decoded->has_region);
+}
+
+TEST(NetProtocolTest, HelloCarriesRegionAnnouncement) {
+  SessionHello hello;
+  hello.k = 6;
+  hello.m = 256;
+  hello.has_region = true;
+  hello.region_id = 0xABCD1234u;
+  auto decoded = DecodeHello(EncodeHello(hello));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->has_region);
+  EXPECT_EQ(decoded->region_id, 0xABCD1234u);
+  // The flag byte is strict: anything but 0/1 is corruption, not "true".
+  std::vector<uint8_t> bad = EncodeHello(hello);
+  bad[bad.size() - 5] = 2;  // the has_region byte (before the u32 region)
+  EXPECT_EQ(DecodeHello(bad).status().code(), StatusCode::kCorruption);
 }
 
 TEST(NetProtocolTest, HelloRejectsBadMagicVersionAndTruncation) {
@@ -68,11 +85,50 @@ TEST(NetProtocolTest, HelloOkRoundTrips) {
   SessionHelloOk ok;
   ok.num_shards = 7;
   ok.acked_data = true;
+  ok.region_next_epoch = 0x1122334455667788ULL;
   auto decoded = DecodeHelloOk(EncodeHelloOk(ok));
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(decoded->version, kNetVersion);
   EXPECT_EQ(decoded->num_shards, 7u);
   EXPECT_TRUE(decoded->acked_data);
+  EXPECT_EQ(decoded->region_next_epoch, 0x1122334455667788ULL);
+}
+
+TEST(NetProtocolTest, EpochPushAckRoundTripsAndRejectsGarbage) {
+  EpochPushAck ack;
+  ack.code = EpochPushAckCode::kDuplicate;
+  ack.next_epoch = 42;
+  const std::vector<uint8_t> bytes = EncodeEpochPushAck(ack);
+  auto decoded = DecodeEpochPushAck(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->code, EpochPushAckCode::kDuplicate);
+  EXPECT_EQ(decoded->next_epoch, 42u);
+  // Unknown code byte, truncation, and trailing bytes are all corruption.
+  std::vector<uint8_t> bad = bytes;
+  bad[0] = 9;
+  EXPECT_EQ(DecodeEpochPushAck(bad).status().code(), StatusCode::kCorruption);
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    const std::vector<uint8_t> truncated(
+        bytes.begin(), bytes.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(DecodeEpochPushAck(truncated).ok()) << "cut=" << cut;
+  }
+  std::vector<uint8_t> trailing = bytes;
+  trailing.push_back(0);
+  EXPECT_EQ(DecodeEpochPushAck(trailing).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(NetProtocolTest, PingFramesAreKnownTypes) {
+  auto [a, b] = StreamPair();
+  ASSERT_TRUE(WriteNetFrame(a, NetFrameType::kPing, {}).ok());
+  ASSERT_TRUE(WriteNetFrame(a, NetFrameType::kPingOk, {}).ok());
+  auto ping = ReadNetFrame(b, kMaxIngestFramePayload);
+  ASSERT_TRUE(ping.ok());
+  EXPECT_EQ(ping->type, NetFrameType::kPing);
+  EXPECT_TRUE(ping->payload.empty());
+  auto ping_ok = ReadNetFrame(b, kMaxIngestFramePayload);
+  ASSERT_TRUE(ping_ok.ok());
+  EXPECT_EQ(ping_ok->type, NetFrameType::kPingOk);
 }
 
 TEST(NetProtocolTest, ErrorPayloadRoundTripsStatus) {

@@ -342,6 +342,14 @@ int RunFederateCentral(int argc, char** argv) {
   flags.Define("finalize-after", "1",
                "end collection after this many FINALIZE requests (one per "
                "region)");
+  flags.Define("window", "0",
+               "W >= 1 maintains a sliding-window view over the last W "
+               "cross-region-aligned epochs and writes ITS finalized sketch "
+               "to --out instead of the full history");
+  flags.Define("window-regions", "0",
+               "regions the windowed view's aligned frontier waits for "
+               "(0 = --finalize-after; set explicitly when the FINALIZE "
+               "quorum is not one per region)");
   flags.Define("out", "", "write the finalized sketch here when done");
   flags.Parse(argc, argv);
 
@@ -351,6 +359,9 @@ int RunFederateCentral(int argc, char** argv) {
   if (!policy_ok) return 2;
   options.finalize_after =
       static_cast<size_t>(flags.GetInt("finalize-after"));
+  options.window_epochs = static_cast<uint64_t>(flags.GetInt("window"));
+  options.window_expected_regions =
+      static_cast<size_t>(flags.GetInt("window-regions"));
 
   const SketchParams params = SketchFromFlags(flags);
   CentralNode central(params, flags.GetDouble("epsilon"), options);
@@ -374,10 +385,28 @@ int RunFederateCentral(int argc, char** argv) {
     central.WaitForRegions();
     central.Stop();
     metrics = central.metrics();
-    sketch = central.Finalize();
+    if (central.windowed()) {
+      // The windowed deployment's answer: the last --window aligned
+      // epochs, from the incrementally cached view.
+      sketch = central.WindowedFinalizedView();
+      const WindowedView& window = *central.window();
+      std::printf(
+          "windowed view: W=%llu frontier=%s epochs_in_window=%llu "
+          "expired=%llu pending=%llu reports=%llu\n",
+          static_cast<unsigned long long>(window.window_epochs()),
+          window.aligned() ? std::to_string(window.frontier()).c_str()
+                           : "unaligned",
+          static_cast<unsigned long long>(window.epochs_in_window()),
+          static_cast<unsigned long long>(window.epochs_expired()),
+          static_cast<unsigned long long>(window.epochs_pending()),
+          static_cast<unsigned long long>(window.window_reports()));
+    } else {
+      sketch = central.Finalize();
+    }
   }
   DumpMetrics(metrics);
-  std::printf("finalized sketch: %llu reports over %llu applied epochs\n",
+  std::printf("%s sketch: %llu reports (%llu epochs applied centrally)\n",
+              central.windowed() ? "windowed" : "finalized",
               static_cast<unsigned long long>(sketch.total_reports()),
               static_cast<unsigned long long>(metrics.epochs_applied));
   const std::string out = flags.GetString("out");
@@ -586,6 +615,14 @@ int RunEstimate(int argc, char** argv) {
   flags.Define("check", "0",
                "1 = recompute in-process (trial 0) and require a bit-"
                "identical estimate");
+  flags.Define("regions", "0",
+               "check against the federated in-process run with this many "
+               "regions (matches a federate-central deployment)");
+  flags.Define("epoch-reports", "0",
+               "check: reports per region between epoch cuts");
+  flags.Define("window", "0",
+               "check: sliding-window W the deployment ran with "
+               "(federate-central --window)");
   flags.Parse(argc, argv);
 
   auto load = [](const std::string& path) -> Result<LdpJoinSketchServer> {
@@ -614,6 +651,10 @@ int RunEstimate(int argc, char** argv) {
     JoinMethodConfig config;
     config.epsilon = flags.GetDouble("epsilon");
     config.sketch = SketchFromFlags(flags);
+    config.num_regions = static_cast<size_t>(flags.GetInt("regions"));
+    config.epoch_reports =
+        static_cast<uint64_t>(flags.GetInt("epoch-reports"));
+    config.window_epochs = static_cast<uint64_t>(flags.GetInt("window"));
     const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
     config.run_seed = Mix64(seed ^ 0xF1A6ULL);  // trial 0
     const JoinWorkload workload = WorkloadFromFlags(flags);
@@ -658,6 +699,9 @@ int RunExperiment(int argc, char** argv) {
   flags.Define("epoch-reports", "0",
                "federated mode: reports per region between epoch cuts "
                "(0 = one epoch)");
+  flags.Define("window", "0",
+               "federated mode: W >= 1 estimates over only the last W "
+               "cross-region-aligned epochs (sliding window)");
   flags.Parse(argc, argv);
 
   const JoinMethod method = ParseMethod(flags.GetString("method"));
@@ -679,6 +723,7 @@ int RunExperiment(int argc, char** argv) {
   config.num_regions = static_cast<size_t>(flags.GetInt("regions"));
   config.epoch_reports =
       static_cast<uint64_t>(flags.GetInt("epoch-reports"));
+  config.window_epochs = static_cast<uint64_t>(flags.GetInt("window"));
 
   const int trials = static_cast<int>(flags.GetInt("trials"));
   RunningStats estimates, res, offline, online;
