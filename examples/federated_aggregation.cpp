@@ -59,7 +59,7 @@ int main() {
     options.region_id = r;
     options.central_port = central.port();
     options.server.num_shards = r == 0 ? 2 : 1;
-    options.ship_retry_millis = 5;
+    options.ship_backoff = {.base_micros = 5000, .cap_micros = 100000};
     regions.push_back(
         std::make_unique<RegionalNode>(params, epsilon, options));
     if (!regions[r]->Start().ok()) return 1;

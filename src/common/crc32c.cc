@@ -1,0 +1,37 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace ldpjs {
+
+namespace {
+
+/// Table for the Castagnoli polynomial 0x1EDC6F41 (reflected 0x82F63B78),
+/// built once at first use.
+const std::array<uint32_t, 256>& Crc32cTable() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1) ? (crc >> 1) ^ 0x82F63B78U : crc >> 1;
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(std::span<const uint8_t> bytes, uint32_t seed) {
+  const std::array<uint32_t, 256>& table = Crc32cTable();
+  uint32_t crc = ~seed;
+  for (const uint8_t byte : bytes) {
+    crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace ldpjs

@@ -1,0 +1,21 @@
+// CRC32C (Castagnoli) over byte spans — the checksum guarding the regional
+// snapshot spool's on-disk records. Software slice-by-one table
+// implementation: the spool writes one record per epoch cut, so checksum
+// throughput is irrelevant next to the fsync beside it; what matters is
+// that a torn or bit-flipped record is detected at recovery, never
+// replayed into the lanes.
+#ifndef LDPJS_COMMON_CRC32C_H_
+#define LDPJS_COMMON_CRC32C_H_
+
+#include <cstdint>
+#include <span>
+
+namespace ldpjs {
+
+/// CRC32C of `bytes`, continuing from `seed` (pass the previous call's
+/// result to checksum a logical record split across buffers; start at 0).
+uint32_t Crc32c(std::span<const uint8_t> bytes, uint32_t seed = 0);
+
+}  // namespace ldpjs
+
+#endif  // LDPJS_COMMON_CRC32C_H_

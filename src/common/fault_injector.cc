@@ -1,0 +1,160 @@
+#include "common/fault_injector.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace ldpjs {
+
+std::atomic<FaultInjector*> FaultInjector::active_{nullptr};
+
+std::string_view FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kPartialWrite: return "partial-write";
+    case FaultKind::kCorrupt: return "corrupt";
+    case FaultKind::kDisconnect: return "disconnect";
+    case FaultKind::kRefuseConnect: return "refuse-connect";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// FNV-1a over the site name: stable across runs and platforms, which is
+/// what makes the seeded schedule a pure function of (seed, site, hit).
+uint64_t SiteHash(std::string_view site) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : site) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+bool EndsWith(std::string_view site, std::string_view suffix) {
+  return site.size() >= suffix.size() &&
+         site.substr(site.size() - suffix.size()) == suffix;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(uint64_t seed, double rate, uint64_t max_faults)
+    : seed_(seed),
+      rate_bits_(static_cast<uint64_t>(
+          std::clamp(rate, 0.0, 1.0) * 4294967296.0)),
+      max_faults_(max_faults),
+      seeded_(true) {}
+
+void FaultInjector::AddRule(std::string site, uint64_t hit, FaultKind kind,
+                            uint64_t param) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_[std::move(site)].push_back(Rule{hit, kind, param});
+}
+
+FaultAction FaultInjector::ScheduledAction(std::string_view site,
+                                          uint64_t site_hash,
+                                          uint64_t hit) const {
+  // One well-mixed draw decides fire/kind/param for this (site, hit):
+  // pure in (seed, site, hit), so replays are bit-exact.
+  const uint64_t r = Mix64(seed_ ^ Mix64(site_hash ^ (hit * 0x9E3779B97F4A7C15ULL)));
+  if ((r & 0xFFFFFFFFULL) >= rate_bits_) return {};
+  const uint64_t pick = r >> 32;
+  FaultAction action;
+  if (EndsWith(site, ".connect")) {
+    action.kind = FaultKind::kRefuseConnect;
+  } else if (EndsWith(site, ".recv")) {
+    // A receiver can stall (delay) or die (disconnect); corrupting its
+    // inbound copy would diverge it from what the peer actually sent.
+    action.kind = (pick % 2 == 0) ? FaultKind::kDelay : FaultKind::kDisconnect;
+  } else {
+    switch (pick % 5) {
+      case 0: action.kind = FaultKind::kDrop; break;
+      case 1: action.kind = FaultKind::kDelay; break;
+      case 2: action.kind = FaultKind::kPartialWrite; break;
+      case 3: action.kind = FaultKind::kCorrupt; break;
+      default: action.kind = FaultKind::kDisconnect; break;
+    }
+  }
+  // Delay millis 1..4 (short enough never to trip a receive deadline on
+  // its own). The scheduled corrupt index stays inside the 5-byte LJSP
+  // transport header (byte index mod the buffer at the site): a mangled
+  // length or type is always rejected by the peer's framing layer, so the
+  // fault forces a retry — whereas a flipped byte deep in a sketch payload
+  // would merge silently and (deliberately, detectably) break the chaos
+  // suite's bit-identity pin. Explicit rules can still target any byte.
+  switch (action.kind) {
+    case FaultKind::kDelay: action.param = 1 + (pick / 8) % 4; break;
+    case FaultKind::kCorrupt: action.param = (pick / 8) % 5; break;
+    default: action.param = pick / 8; break;
+  }
+  return action;
+}
+
+FaultAction FaultInjector::Next(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = sites_.try_emplace(std::string(site));
+  FaultSiteStats& stats = it->second;
+  const uint64_t hit = stats.hits++;
+
+  // Targeted rules first: a test pinning one exact failure must not race
+  // the seeded schedule for the slot.
+  if (auto rules_it = rules_.find(site); rules_it != rules_.end()) {
+    for (const Rule& rule : rules_it->second) {
+      if (rule.hit == hit) {
+        ++stats.injected;
+        return FaultAction{rule.kind, rule.param};
+      }
+    }
+  }
+  if (seeded_ && scheduled_injected_ < max_faults_) {
+    const FaultAction action = ScheduledAction(site, SiteHash(site), hit);
+    if (action.kind != FaultKind::kNone) {
+      ++stats.injected;
+      ++scheduled_injected_;
+      return action;
+    }
+  }
+  return {};
+}
+
+uint64_t FaultInjector::total_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [site, stats] : sites_) total += stats.hits;
+  return total;
+}
+
+uint64_t FaultInjector::total_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [site, stats] : sites_) total += stats.injected;
+  return total;
+}
+
+std::map<std::string, FaultSiteStats> FaultInjector::site_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {sites_.begin(), sites_.end()};
+}
+
+std::string FaultInjector::StatsString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [site, stats] : sites_) {
+    if (!out.empty()) out += ' ';
+    out += site;
+    out += '=';
+    out += std::to_string(stats.hits);
+    out += '/';
+    out += std::to_string(stats.injected);
+  }
+  return out;
+}
+
+void FaultInjector::Install(FaultInjector* injector) {
+  active_.store(injector, std::memory_order_release);
+}
+
+}  // namespace ldpjs

@@ -1,0 +1,147 @@
+// Deterministic fault injection for the wire stack — the chaos harness's
+// foundation.
+//
+// Every fault-capable operation in the stack is a named *site*: a socket
+// labeled "region0.up" checks the sites "region0.up.send" /
+// "region0.up.recv" / "region0.up.connect" before each send / recv /
+// connect. A FaultInjector decides, per (site, hit-count), whether that
+// operation proceeds normally or suffers an injected fault:
+//
+//   kDrop          the write is swallowed (bytes vanish mid-stream; the
+//                  peer desyncs and the connection must heal by retry)
+//   kDelay         the operation is delayed by param milliseconds
+//   kPartialWrite  a prefix of the bytes is written, then the connection
+//                  is cut (the torn-frame case)
+//   kCorrupt       one byte is flipped before the write (checksum /
+//                  framing validation must catch it downstream)
+//   kDisconnect    the socket is shut down and the operation fails
+//   kRefuseConnect ConnectTcp fails before the SYN (a down peer)
+//
+// Determinism: a fault either comes from an explicit rule (site, hit) or
+// from the seeded schedule, where the decision for hit N of a site is a
+// pure function of (seed, site, N) — so ANY failure interleaving replays
+// bit-exactly from its seed: same faults, same retries, same counters.
+// Hit counters are per-site and process-wide, so determinism holds as
+// long as the operations on each individual site are themselves ordered
+// deterministically (the chaos scenarios drive the federation
+// synchronously for exactly this reason).
+//
+// Production cost: injection is off unless a FaultInjector is installed
+// (a relaxed atomic pointer load) AND the socket was labeled with a site
+// (an empty-string check). Unlabeled sockets never pay the site lookup.
+#ifndef LDPJS_COMMON_FAULT_INJECTOR_H_
+#define LDPJS_COMMON_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ldpjs {
+
+enum class FaultKind : uint8_t {
+  kNone = 0,
+  kDrop,
+  kDelay,
+  kPartialWrite,
+  kCorrupt,
+  kDisconnect,
+  kRefuseConnect,
+};
+
+std::string_view FaultKindName(FaultKind kind);
+
+/// The verdict for one operation: what to inject, with a kind-specific
+/// parameter (delay millis for kDelay, corrupted byte index for kCorrupt).
+struct FaultAction {
+  FaultKind kind = FaultKind::kNone;
+  uint64_t param = 0;
+};
+
+/// Per-site observability: how often the site was exercised and how often
+/// a fault fired there. The chaos harness pins replay determinism on these.
+struct FaultSiteStats {
+  uint64_t hits = 0;
+  uint64_t injected = 0;
+};
+
+class FaultInjector {
+ public:
+  /// An injector with no schedule: faults come only from AddRule.
+  FaultInjector() = default;
+
+  /// Seeded schedule: each (site, hit) decision is Bernoulli(rate) on
+  /// Mix64(seed, site-hash, hit), with the kind drawn from the subset that
+  /// applies to the site's operation (suffix ".send" / ".recv" /
+  /// ".connect"). At most `max_faults` fire in total, so a schedule always
+  /// lets the run complete — chaos delays and re-routes data, the retry
+  /// machinery must ensure it never loses it.
+  FaultInjector(uint64_t seed, double rate, uint64_t max_faults);
+
+  /// Explicit targeted fault: the `hit`-th operation (0-based) on `site`
+  /// suffers `kind`. Rules fire before (and independently of) the seeded
+  /// schedule, and do not count against max_faults.
+  void AddRule(std::string site, uint64_t hit, FaultKind kind,
+               uint64_t param = 0);
+
+  /// Called by an instrumented operation: counts the hit and returns the
+  /// action to apply. Thread-safe.
+  FaultAction Next(std::string_view site);
+
+  uint64_t total_hits() const;
+  uint64_t total_injected() const;
+  std::map<std::string, FaultSiteStats> site_stats() const;
+  /// Canonical "site=hits/injected site=..." line — two runs of the same
+  /// seeded schedule must produce equal strings (the replay assertion).
+  std::string StatsString() const;
+
+  /// Process-global installation point the instrumented call sites check.
+  /// Install(nullptr) disables injection. The caller owns the injector and
+  /// must keep it alive (and quiesce instrumented threads) until after
+  /// uninstalling — use ScopedFaultInjection.
+  static void Install(FaultInjector* injector);
+  static FaultInjector* Active() {
+    return active_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Rule {
+    uint64_t hit;
+    FaultKind kind;
+    uint64_t param;
+  };
+
+  /// The seeded decision for (site_hash, hit) — pure, no state.
+  FaultAction ScheduledAction(std::string_view site, uint64_t site_hash,
+                              uint64_t hit) const;
+
+  uint64_t seed_ = 0;
+  uint64_t rate_bits_ = 0;  ///< rate scaled to 2^32 for an integer compare
+  uint64_t max_faults_ = 0;
+  bool seeded_ = false;
+
+  mutable std::mutex mu_;
+  std::map<std::string, FaultSiteStats, std::less<>> sites_;
+  std::map<std::string, std::vector<Rule>, std::less<>> rules_;
+  uint64_t scheduled_injected_ = 0;  ///< against max_faults_
+
+  static std::atomic<FaultInjector*> active_;
+};
+
+/// RAII install/uninstall for tests and the chaos harness.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(FaultInjector* injector) {
+    FaultInjector::Install(injector);
+  }
+  ~ScopedFaultInjection() { FaultInjector::Install(nullptr); }
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+};
+
+}  // namespace ldpjs
+
+#endif  // LDPJS_COMMON_FAULT_INJECTOR_H_

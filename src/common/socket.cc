@@ -10,8 +10,12 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
+
+#include "common/fault_injector.h"
 
 namespace ldpjs {
 
@@ -26,17 +30,37 @@ void SetNoDelay(int fd) {
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
+/// Injection check for one operation on a labeled socket. Returns kNone —
+/// without touching the injector — for unlabeled sockets or when no
+/// injector is installed, so production traffic pays one branch.
+FaultAction NextFault(const std::string& site, const char* op) {
+  if (site.empty()) return {};
+  FaultInjector* injector = FaultInjector::Active();
+  if (injector == nullptr) return {};
+  return injector->Next(site + op);
+}
+
+void InjectedDelay(uint64_t millis) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(millis));
+}
+
 }  // namespace
 
 Socket::~Socket() { Close(); }
 
-Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+Socket::Socket(Socket&& other) noexcept
+    : fd_(other.fd_), fault_site_(std::move(other.fault_site_)) {
+  other.fd_ = -1;
+  other.fault_site_.clear();
+}
 
 Socket& Socket::operator=(Socket&& other) noexcept {
   if (this != &other) {
     Close();
     fd_ = other.fd_;
+    fault_site_ = std::move(other.fault_site_);
     other.fd_ = -1;
+    other.fault_site_.clear();
   }
   return *this;
 }
@@ -65,7 +89,20 @@ Result<Socket> Socket::ListenTcp(uint16_t port) {
   return socket;
 }
 
-Result<Socket> Socket::ConnectTcp(const std::string& host, uint16_t port) {
+Result<Socket> Socket::ConnectTcp(const std::string& host, uint16_t port,
+                                  std::string fault_site) {
+  const FaultAction fault = NextFault(fault_site, ".connect");
+  switch (fault.kind) {
+    case FaultKind::kRefuseConnect:
+      return Status::Unavailable("connect " + host + ":" +
+                                 std::to_string(port) +
+                                 ": injected connection refusal");
+    case FaultKind::kDelay:
+      InjectedDelay(fault.param);
+      break;
+    default:
+      break;
+  }
   addrinfo hints{};
   hints.ai_family = AF_INET;
   hints.ai_socktype = SOCK_STREAM;
@@ -113,6 +150,7 @@ Result<Socket> Socket::ConnectTcp(const std::string& host, uint16_t port) {
     }
   }
   SetNoDelay(fd);
+  socket.fault_site_ = std::move(fault_site);
   return socket;
 }
 
@@ -124,11 +162,21 @@ Result<Socket> Socket::Accept() const {
       return Socket(fd);
     }
     if (errno == EINTR) continue;  // a signal is not a dead listener
-    return Status::Unavailable(std::string("accept: ") + std::strerror(errno));
+    // Transient, connection-scoped conditions are worth retrying: the
+    // aborted handshake's successor may be fine, and buffer pressure
+    // drains. Process-scoped conditions (fd exhaustion, a bad listener fd)
+    // fail every subsequent accept identically — retrying is a spin loop —
+    // so they surface as Internal and the acceptor should stop.
+    if (errno == ECONNABORTED || errno == EAGAIN || errno == EWOULDBLOCK ||
+        errno == ENOBUFS || errno == ENOMEM || errno == EPROTO) {
+      return Status::Unavailable(std::string("accept: ") +
+                                 std::strerror(errno));
+    }
+    return Status::Internal(std::string("accept: ") + std::strerror(errno));
   }
 }
 
-Status Socket::SendAll(std::span<const uint8_t> bytes) const {
+Status Socket::SendRaw(std::span<const uint8_t> bytes) const {
   size_t sent = 0;
   while (sent < bytes.size()) {
     const ssize_t n =
@@ -142,8 +190,55 @@ Status Socket::SendAll(std::span<const uint8_t> bytes) const {
   return Status::OK();
 }
 
+Status Socket::SendFaulted(const FaultAction& action,
+                           std::vector<uint8_t>& bytes) const {
+  switch (action.kind) {
+    case FaultKind::kDrop:
+      // The caller believes the bytes left; the peer never sees them. The
+      // stream is now desynced and only a reconnect + retry can heal it.
+      return Status::OK();
+    case FaultKind::kDelay:
+      InjectedDelay(action.param);
+      return SendRaw(bytes);
+    case FaultKind::kPartialWrite: {
+      if (!bytes.empty()) {
+        const size_t prefix = action.param % bytes.size();
+        (void)SendRaw(std::span<const uint8_t>(bytes.data(), prefix));
+      }
+      ShutdownBoth();
+      return Status::Unavailable("send: injected partial write");
+    }
+    case FaultKind::kCorrupt:
+      if (!bytes.empty()) bytes[action.param % bytes.size()] ^= 0x01;
+      return SendRaw(bytes);
+    case FaultKind::kDisconnect:
+      ShutdownBoth();
+      return Status::Unavailable("send: injected disconnect");
+    default:
+      return SendRaw(bytes);
+  }
+}
+
+Status Socket::SendAll(std::span<const uint8_t> bytes) const {
+  const FaultAction fault = NextFault(fault_site_, ".send");
+  if (fault.kind != FaultKind::kNone) {
+    std::vector<uint8_t> copy(bytes.begin(), bytes.end());
+    return SendFaulted(fault, copy);
+  }
+  return SendRaw(bytes);
+}
+
 Status Socket::SendAllV(std::span<const uint8_t> head,
                         std::span<const uint8_t> body) const {
+  const FaultAction fault = NextFault(fault_site_, ".send");
+  if (fault.kind != FaultKind::kNone) {
+    // Fault paths flatten the gathered write; their cost is irrelevant.
+    std::vector<uint8_t> copy;
+    copy.reserve(head.size() + body.size());
+    copy.insert(copy.end(), head.begin(), head.end());
+    copy.insert(copy.end(), body.begin(), body.end());
+    return SendFaulted(fault, copy);
+  }
   size_t sent = 0;
   const size_t total = head.size() + body.size();
   while (sent < total) {
@@ -175,10 +270,26 @@ Status Socket::SendAllV(std::span<const uint8_t> head,
 }
 
 Result<size_t> Socket::RecvSome(std::span<uint8_t> out) const {
+  const FaultAction fault = NextFault(fault_site_, ".recv");
+  switch (fault.kind) {
+    case FaultKind::kDelay:
+      InjectedDelay(fault.param);
+      break;
+    case FaultKind::kDisconnect:
+      ShutdownBoth();
+      return Status::Unavailable("recv: injected disconnect");
+    default:
+      break;
+  }
   for (;;) {
     const ssize_t n = ::recv(fd_, out.data(), out.size(), 0);
     if (n >= 0) return static_cast<size_t>(n);
     if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // Blocking sockets only see EAGAIN when SO_RCVTIMEO elapsed: the
+      // peer went quiet past the configured deadline.
+      return Status::DeadlineExceeded("recv: idle deadline elapsed");
+    }
     return Status::Unavailable(std::string("recv: ") + std::strerror(errno));
   }
 }
@@ -205,6 +316,12 @@ void Socket::SetSendTimeout(int seconds) const {
   timeval tv{};
   tv.tv_sec = seconds;
   ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+void Socket::SetRecvTimeout(int seconds) const {
+  timeval tv{};
+  tv.tv_sec = seconds;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
 }
 
 uint16_t Socket::local_port() const {

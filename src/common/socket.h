@@ -8,17 +8,26 @@
 // waits for completion via poll + SO_ERROR), so a process that handles
 // signals — SIGUSR1 metrics dumps, profilers, debuggers — never sees a
 // spurious Corruption/Unavailable from an interrupted syscall.
+//
+// Fault injection: a socket labeled with set_fault_site("name") consults
+// the installed FaultInjector (common/fault_injector.h) before each send
+// ("name.send") and recv ("name.recv"), and ConnectTcp consults
+// "<site>.connect" when given a site. Unlabeled sockets — the default —
+// skip all of it.
 #ifndef LDPJS_COMMON_SOCKET_H_
 #define LDPJS_COMMON_SOCKET_H_
 
 #include <cstdint>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
 
 namespace ldpjs {
+
+struct FaultAction;
 
 class Socket {
  public:
@@ -37,11 +46,17 @@ class Socket {
 
   /// Connected socket to host:port (numeric address or hostname) with
   /// TCP_NODELAY set — the session protocol exchanges small control frames
-  /// whose round trips must not wait on Nagle.
-  static Result<Socket> ConnectTcp(const std::string& host, uint16_t port);
+  /// whose round trips must not wait on Nagle. A non-empty `fault_site`
+  /// labels the connection for fault injection (checked as
+  /// "<fault_site>.connect" before the attempt).
+  static Result<Socket> ConnectTcp(const std::string& host, uint16_t port,
+                                   std::string fault_site = {});
 
-  /// Accepts one connection (blocking) with TCP_NODELAY set. Fails with
-  /// Unavailable once the listener has been shut down.
+  /// Accepts one connection (blocking) with TCP_NODELAY set. Failures are
+  /// classified: Unavailable for transient conditions worth retrying
+  /// (ECONNABORTED, EAGAIN, ENOBUFS, ENOMEM, EPROTO — and a shut-down
+  /// listener); Internal for conditions where retrying can only spin
+  /// (EMFILE, ENFILE, EBADF, EINVAL, ...), which should stop the acceptor.
   Result<Socket> Accept() const;
 
   /// Sends the whole span (looping over partial writes).
@@ -69,6 +84,17 @@ class Socket {
   /// server's ingest pump) against a peer that stops reading.
   void SetSendTimeout(int seconds) const;
 
+  /// Caps how long a blocking recv may wait for bytes (SO_RCVTIMEO);
+  /// afterwards RecvSome/RecvAll fail with DeadlineExceeded. This is the
+  /// idle-connection watchdog: a hung peer turns into a reapable Status
+  /// instead of a thread parked in recv forever.
+  void SetRecvTimeout(int seconds) const;
+
+  /// Labels this socket as a fault-injection site (see file comment).
+  /// Empty (the default) disables injection for this socket.
+  void set_fault_site(std::string site) { fault_site_ = std::move(site); }
+  const std::string& fault_site() const { return fault_site_; }
+
   void Close();
   bool valid() const { return fd_ >= 0; }
   int fd() const { return fd_; }
@@ -77,7 +103,14 @@ class Socket {
   uint16_t local_port() const;
 
  private:
+  /// The send loop without fault checks (SendAll minus injection).
+  Status SendRaw(std::span<const uint8_t> bytes) const;
+  /// Executes an injected send fault against a private copy of the bytes.
+  Status SendFaulted(const FaultAction& action,
+                     std::vector<uint8_t>& bytes) const;
+
   int fd_ = -1;
+  std::string fault_site_;
 };
 
 }  // namespace ldpjs

@@ -22,7 +22,8 @@ enum class StatusCode {
   kCorruption,
   kUnimplemented,
   kInternal,
-  kUnavailable,  ///< transient/retriable: busy peer, backpressure shed
+  kUnavailable,       ///< transient/retriable: busy peer, backpressure shed
+  kDeadlineExceeded,  ///< a configured timeout elapsed (idle peer, hung recv)
 };
 
 /// Returns a short human-readable name for a StatusCode.
@@ -37,6 +38,7 @@ constexpr std::string_view StatusCodeName(StatusCode code) {
     case StatusCode::kUnimplemented: return "Unimplemented";
     case StatusCode::kInternal: return "Internal";
     case StatusCode::kUnavailable: return "Unavailable";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
   }
   return "Unknown";
 }
@@ -73,6 +75,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,105 @@
+// Chaos scenario harness: one deterministic federated run under an
+// injected fault schedule, with the invariants the run must uphold
+// captured as data for tests (and the CLI `chaos` subcommand) to assert.
+//
+// Topology per scenario: N RegionalNodes shipping epoch snapshots to one
+// windowed CentralNode, each region fed by its own client session. The
+// run is driven synchronously — regions are cut and shipped one at a
+// time, with Ping ingest barriers between a client's sends and its
+// region's cut — so every operation on a fault site happens in a
+// deterministic order and the seeded schedule (see FaultInjector)
+// replays bit-exactly: same seed, same faults, same retry counters.
+//
+// Faults are injected only on the regions' upstream EPOCH_PUSH sessions
+// (site "region<i>.up"): that path has the (region, epoch) dedup that
+// makes arbitrary drop/corrupt/partial/disconnect schedules recoverable
+// to exactly-once. The invariant a scenario pins is the repo's north
+// star under fire: the final federated sketch — and the windowed view's
+// full-window sketch — must equal a single node absorbing every
+// client's reports directly, bit for bit, no matter which faults fired.
+#ifndef LDPJS_FEDERATION_CHAOS_HARNESS_H_
+#define LDPJS_FEDERATION_CHAOS_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/ldp_join_sketch.h"
+#include "net/net_metrics.h"
+
+namespace ldpjs {
+
+struct ChaosScenarioOptions {
+  SketchParams params;
+  double epsilon = 2.0;
+
+  /// Seeded fault schedule (see FaultInjector): each upstream operation
+  /// suffers a fault with probability `fault_rate`, at most `max_faults`
+  /// total so the run always completes. rate 0 = fault-free control run.
+  uint64_t fault_seed = 1;
+  double fault_rate = 0.0;
+  uint64_t max_faults = 6;
+
+  size_t num_regions = 2;
+  size_t epochs = 3;
+  size_t reports_per_epoch = 1500;
+  uint64_t data_seed = 400;
+
+  /// Per-cut ship attempt budget. A scenario's faults are bounded by
+  /// max_faults, so a generous budget guarantees eventual delivery.
+  int max_ship_attempts = 64;
+  /// Upstream SO_RCVTIMEO: turns a dropped EPOCH_PUSH (or its lost ack)
+  /// into a timed-out retry instead of a deadlock. Chaos runs need >= 1.
+  int upstream_recv_timeout_seconds = 1;
+  /// Non-empty: every region spools its cuts durably under this
+  /// directory (exercises the WAL on the chaos path).
+  std::string spool_dir;
+};
+
+struct ChaosScenarioResult {
+  /// Serialized finalized sketches — the bit-identity triple. Both
+  /// `federated` (central full-history Finalize) and `windowed` (the
+  /// sliding view over a window covering the whole run) must equal
+  /// `direct` (single-node absorb of every report) byte for byte.
+  std::vector<uint8_t> federated;
+  std::vector<uint8_t> windowed;
+  std::vector<uint8_t> direct;
+
+  uint64_t total_reports = 0;
+
+  /// Injector accounting for the replay assertion: two runs of the same
+  /// scenario must produce equal `fault_stats` strings and counters.
+  uint64_t fault_hits = 0;
+  uint64_t faults_injected = 0;
+  std::string fault_stats;  ///< FaultInjector::StatsString()
+
+  /// Robustness counters summed over regions.
+  uint64_t ship_retries = 0;
+  uint64_t duplicate_acks = 0;
+  uint64_t backoff_millis = 0;
+  uint64_t spool_bytes_written = 0;
+  uint64_t spool_errors = 0;
+
+  /// Windowed-view state at the end of the run.
+  uint64_t frontier = 0;
+  uint64_t epochs_expired = 0;
+
+  NetMetrics central_metrics;
+
+  bool bit_identical() const {
+    return federated == direct && windowed == direct;
+  }
+};
+
+/// Runs one scenario to completion. Installs the scenario's injector for
+/// the duration (process-global — do not run scenarios concurrently).
+/// Fails only on harness-level breakage (a port that cannot bind, a
+/// retry budget exhausted beyond the scenario's fault bound); injected
+/// faults themselves are the point and never fail the run.
+Result<ChaosScenarioResult> RunChaosScenario(const ChaosScenarioOptions& options);
+
+}  // namespace ldpjs
+
+#endif  // LDPJS_FEDERATION_CHAOS_HARNESS_H_

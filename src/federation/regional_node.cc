@@ -5,7 +5,21 @@
 #include <thread>
 #include <utility>
 
+#include "common/random.h"
+
 namespace ldpjs {
+
+namespace {
+
+/// Per-region jitter stream: two regions with identical options must not
+/// sleep in lockstep against a recovering central.
+BackoffOptions RegionBackoff(const BackoffOptions& base, uint32_t region_id) {
+  BackoffOptions options = base;
+  options.seed = Mix64(base.seed ^ (0x5E6100AALL + region_id));
+  return options;
+}
+
+}  // namespace
 
 RegionalNode::RegionalNode(const SketchParams& params, double epsilon,
                            const RegionalNodeOptions& options)
@@ -31,6 +45,25 @@ RegionalNode::~RegionalNode() {
 }
 
 Status RegionalNode::Start() {
+  if (!options_.spool_dir.empty()) {
+    // Recover before anything ships: epochs a crashed predecessor cut but
+    // never got acked re-enter the pending queue with their attempted
+    // flags intact, and our numbering resumes above them. The first
+    // (re)connect's AdoptCentralEpoch then reconciles with the central —
+    // attempted epochs retry under their frozen numbers (the dedup
+    // resolves merged-but-unacked to exactly-once), un-attempted ones
+    // renumber safely.
+    std::lock_guard<std::mutex> lock(ship_mu_);
+    std::vector<SpoolEntry> recovered;
+    LDPJS_RETURN_IF_ERROR(
+        spool_.Open(options_.spool_dir, options_.region_id, &recovered));
+    for (SpoolEntry& entry : recovered) {
+      next_epoch_ = std::max(next_epoch_, entry.epoch + 1);
+      pending_.push_back(PendingSnapshot{entry.epoch,
+                                         std::move(entry.raw_sketch),
+                                         entry.attempted});
+    }
+  }
   LDPJS_RETURN_IF_ERROR(server_.Start());
   if (options_.epoch_millis > 0) {
     scheduler_ = std::make_unique<EpochScheduler>(
@@ -53,6 +86,9 @@ Status RegionalNode::CutAndShip() {
   const uint64_t epoch = next_epoch_++;
   if (cut.reports > 0) {
     pending_.push_back(PendingSnapshot{epoch, std::move(cut.raw_sketch)});
+    // Write-ahead: the snapshot is durable before the only other copy (the
+    // queue entry) exists — a crash anywhere after this line replays it.
+    SpoolAppendLocked(pending_.back());
   } else if (!pending_.empty() && pending_.back().raw_sketch.empty() &&
              !pending_.back().attempted) {
     // Consecutive idle cuts coalesce into one heartbeat carrying the
@@ -71,6 +107,8 @@ Status RegionalNode::CutAndShip() {
 
 Status RegionalNode::ShipPendingLocked() {
   int attempts = 0;
+  Backoff backoff_state(RegionBackoff(options_.ship_backoff,
+                                      options_.region_id));
   auto backoff = [&](const Status& status) -> Status {
     ++ship_retries_;
     if (++attempts >= options_.max_ship_attempts) {
@@ -79,8 +117,9 @@ Status RegionalNode::ShipPendingLocked() {
           " ship attempts (" + std::to_string(pending_.size()) +
           " snapshots pending, none lost): " + status.ToString());
     }
-    std::this_thread::sleep_for(
-        std::chrono::milliseconds(options_.ship_retry_millis));
+    const uint64_t before = backoff_state.total_micros();
+    backoff_state.SleepNext();
+    ship_backoff_micros_ += backoff_state.total_micros() - before;
     return Status::OK();
   };
   while (!pending_.empty()) {
@@ -88,6 +127,9 @@ Status RegionalNode::ShipPendingLocked() {
       FrameSender::Options sender_options;
       sender_options.announce_region = true;
       sender_options.region_id = options_.region_id;
+      sender_options.recv_timeout_seconds =
+          options_.upstream_recv_timeout_seconds;
+      sender_options.fault_site = options_.upstream_fault_site;
       auto sender =
           FrameSender::Connect(options_.central_host, options_.central_port,
                                params_, epsilon_, sender_options);
@@ -103,8 +145,13 @@ Status RegionalNode::ShipPendingLocked() {
     PendingSnapshot& snap = pending_.front();
     // From here the snapshot's number is frozen: the push may merge even
     // if we never see the ack, and only retrying the same (region, epoch)
-    // resolves that ambiguity to exactly-once.
-    snap.attempted = true;
+    // resolves that ambiguity to exactly-once. The frozen number must hit
+    // the spool BEFORE the wire — a crash between the push and the ack
+    // must replay the SAME epoch, never renumber a possibly-merged one.
+    if (!snap.attempted) {
+      SpoolMarkAttemptedLocked(snap);
+      snap.attempted = true;
+    }
     auto ack = upstream_->PushEpochSnapshot(options_.region_id, snap.epoch,
                                             snap.raw_sketch);
     if (!ack.ok()) {
@@ -123,9 +170,27 @@ Status RegionalNode::ShipPendingLocked() {
     // numbered above everything it has applied even mid-session.
     next_epoch_ = std::max(next_epoch_, ack->next_epoch);
     snapshot_bytes_shipped_ += snap.raw_sketch.size();
+    SpoolMarkShippedLocked(snap);
     pending_.pop_front();
   }
   return Status::OK();
+}
+
+void RegionalNode::SpoolAppendLocked(const PendingSnapshot& snap) {
+  if (!spool_.is_open() || snap.raw_sketch.empty()) return;
+  if (!spool_.AppendSnapshot(snap.epoch, snap.raw_sketch).ok()) {
+    ++spool_errors_;  // durability degraded; keep shipping from memory
+  }
+}
+
+void RegionalNode::SpoolMarkAttemptedLocked(const PendingSnapshot& snap) {
+  if (!spool_.is_open() || snap.raw_sketch.empty()) return;
+  if (!spool_.MarkAttempted(snap.epoch).ok()) ++spool_errors_;
+}
+
+void RegionalNode::SpoolMarkShippedLocked(const PendingSnapshot& snap) {
+  if (!spool_.is_open() || snap.raw_sketch.empty()) return;
+  if (!spool_.MarkShipped(snap.epoch).ok()) ++spool_errors_;
 }
 
 void RegionalNode::AdoptCentralEpoch(uint64_t central_next_epoch) {
@@ -142,6 +207,10 @@ void RegionalNode::AdoptCentralEpoch(uint64_t central_next_epoch) {
       continue;
     }
     if (snap.epoch < floor) {
+      if (spool_.is_open() && !snap.raw_sketch.empty() &&
+          !spool_.RecordRenumber(snap.epoch, floor).ok()) {
+        ++spool_errors_;
+      }
       snap.epoch = floor;
       ++epochs_renumbered_;
     }
@@ -162,6 +231,7 @@ Status RegionalNode::FlushAndStop() {
   const uint64_t epoch = next_epoch_++;
   if (cut.reports > 0) {
     pending_.push_back(PendingSnapshot{epoch, std::move(cut.raw_sketch)});
+    SpoolAppendLocked(pending_.back());
   }
   // A failed ship leaves flushed_ false with the snapshots still pending —
   // FlushAndStop can be called again once the central is reachable.
@@ -174,16 +244,28 @@ Status RegionalNode::FlushAndStop() {
     // collection early. (The data barrier is the acked EPOCH_PUSHes
     // above; this is the coordination barrier.)
     int attempts = 0;
+    Backoff backoff_state(RegionBackoff(options_.ship_backoff,
+                                        options_.region_id));
+    auto backoff = [&] {
+      const uint64_t before = backoff_state.total_micros();
+      backoff_state.SleepNext();
+      ship_backoff_micros_ += backoff_state.total_micros() - before;
+      ++ship_retries_;
+    };
     for (;;) {
       if (!upstream_) {
-        auto sender = FrameSender::Connect(
-            options_.central_host, options_.central_port, params_, epsilon_);
+        FrameSender::Options sender_options;
+        sender_options.recv_timeout_seconds =
+            options_.upstream_recv_timeout_seconds;
+        sender_options.fault_site = options_.upstream_fault_site;
+        auto sender = FrameSender::Connect(options_.central_host,
+                                           options_.central_port, params_,
+                                           epsilon_, sender_options);
         if (!sender.ok()) {
           if (++attempts >= options_.max_ship_attempts) {
             return sender.status();
           }
-          std::this_thread::sleep_for(
-              std::chrono::milliseconds(options_.ship_retry_millis));
+          backoff();
           continue;
         }
         upstream_.emplace(std::move(*sender));
@@ -193,14 +275,24 @@ Status RegionalNode::FlushAndStop() {
       upstream_.reset();
       if (finalized.ok()) break;
       if (++attempts >= options_.max_ship_attempts) return finalized;
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(options_.ship_retry_millis));
+      backoff();
     }
   } else if (upstream_) {
     (void)upstream_->Finish();  // best-effort BYE; the pushes are acked
     upstream_.reset();
   }
   return Status::OK();
+}
+
+NetMetrics RegionalNode::metrics() const {
+  NetMetrics m = server_.metrics();
+  std::lock_guard<std::mutex> lock(ship_mu_);
+  m.retries_attempted += ship_retries_;
+  m.backoff_millis += ship_backoff_micros_ / 1000;
+  m.spool_bytes_written = spool_.bytes_written();
+  m.spool_bytes_resumed = spool_.bytes_resumed();
+  m.spool_epochs_resumed = spool_.epochs_resumed();
+  return m;
 }
 
 uint64_t RegionalNode::epochs_shipped() const {
@@ -236,6 +328,16 @@ uint64_t RegionalNode::epochs_renumbered() const {
 uint64_t RegionalNode::next_epoch() const {
   std::lock_guard<std::mutex> lock(ship_mu_);
   return next_epoch_;
+}
+
+uint64_t RegionalNode::spool_epochs_resumed() const {
+  std::lock_guard<std::mutex> lock(ship_mu_);
+  return spool_.epochs_resumed();
+}
+
+uint64_t RegionalNode::spool_errors() const {
+  std::lock_guard<std::mutex> lock(ship_mu_);
+  return spool_errors_;
 }
 
 }  // namespace ldpjs

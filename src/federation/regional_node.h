@@ -36,8 +36,10 @@
 #include <string>
 #include <vector>
 
+#include "common/backoff.h"
 #include "common/status.h"
 #include "federation/epoch_scheduler.h"
+#include "federation/snapshot_spool.h"
 #include "net/frame_sender.h"
 #include "net/frame_server.h"
 
@@ -55,7 +57,23 @@ struct RegionalNodeOptions {
   /// Ship retry budget per CutAndShip call, across reconnects. Exhaustion
   /// returns Unavailable but keeps the snapshots pending for next time.
   int max_ship_attempts = 8;
-  int ship_retry_millis = 20;  ///< linear backoff between attempts
+  /// Jittered exponential backoff between ship attempts (replaces the old
+  /// fixed ship_retry_millis interval: N regions retrying a recovering
+  /// central on a fixed interval arrive as one synchronized herd).
+  BackoffOptions ship_backoff{.base_micros = 2000, .cap_micros = 500000};
+  /// Durable spool directory. Empty (default) = in-memory pending queue
+  /// only. Non-empty: every data-bearing epoch cut is persisted (fsynced)
+  /// to <spool_dir>/region-<id>.spool before shipping, and Start()
+  /// rebuilds the pending queue from the spool after a crash — see
+  /// SnapshotSpool for the exactly-once story.
+  std::string spool_dir;
+  /// SO_RCVTIMEO for upstream sessions: caps how long a ship can wait on a
+  /// hung central for any ack before failing over to reconnect+retry.
+  /// 0 disables (a healthy central acks promptly; chaos runs arm this).
+  int upstream_recv_timeout_seconds = 0;
+  /// Fault-injection site label for upstream sessions (chaos runs), e.g.
+  /// "region0.up". Empty disables.
+  std::string upstream_fault_site;
   /// Forward a client's FINALIZE upstream during FlushAndStop — the CLI
   /// deployment's signal that this region's collection is complete.
   bool forward_finalize = false;
@@ -71,6 +89,9 @@ class RegionalNode {
   RegionalNode& operator=(const RegionalNode&) = delete;
 
   /// Starts the ingest server and, if epoch_millis > 0, the scheduler.
+  /// With spool_dir set, first opens/recovers the durable spool: pending
+  /// epochs a crashed predecessor never shipped re-enter the queue (and
+  /// next_epoch_ resumes above them), so the following ships lose nothing.
   Status Start();
 
   /// Region-facing ingest port (valid after Start).
@@ -91,6 +112,10 @@ class RegionalNode {
   const FrameServer& server() const { return server_; }
   FrameServer& server_mutable() { return server_; }
 
+  /// The ingest server's NetMetrics augmented with this node's robustness
+  /// counters: ship retries, cumulative ship backoff, and spool traffic.
+  NetMetrics metrics() const;
+
   uint64_t epochs_shipped() const;
   uint64_t snapshot_bytes_shipped() const;
   uint64_t ship_retries() const;
@@ -103,6 +128,10 @@ class RegionalNode {
   uint64_t epochs_renumbered() const;
   /// The next epoch number a cut will take (tests observe the sync).
   uint64_t next_epoch() const;
+  /// Pending epochs rebuilt from the durable spool at Start().
+  uint64_t spool_epochs_resumed() const;
+  /// Spool append/sync failures (shipping continued from memory).
+  uint64_t spool_errors() const;
 
  private:
   struct PendingSnapshot {
@@ -129,11 +158,20 @@ class RegionalNode {
   /// epoch its predecessor already shipped. Requires ship_mu_.
   void AdoptCentralEpoch(uint64_t central_next_epoch);
 
+  /// Write-ahead helpers around the spool: no-ops when the spool is off or
+  /// the snapshot is a heartbeat; a disk failure counts spool_errors_ and
+  /// shipping continues from memory (durability degrades, data does not
+  /// stop flowing). Require ship_mu_.
+  void SpoolAppendLocked(const PendingSnapshot& snap);
+  void SpoolMarkAttemptedLocked(const PendingSnapshot& snap);
+  void SpoolMarkShippedLocked(const PendingSnapshot& snap);
+
   SketchParams params_;
   double epsilon_;
   RegionalNodeOptions options_;
   FrameServer server_;
   std::unique_ptr<EpochScheduler> scheduler_;
+  SnapshotSpool spool_;  ///< open iff options_.spool_dir non-empty; ship_mu_
 
   /// Serializes cut+ship: scheduler ticks, manual CutAndShip calls, and the
   /// final flush never interleave, so epochs are numbered and shipped in
@@ -153,6 +191,8 @@ class RegionalNode {
   uint64_t ship_retries_ = 0;
   uint64_t duplicate_acks_ = 0;
   uint64_t epochs_renumbered_ = 0;
+  uint64_t ship_backoff_micros_ = 0;  ///< cumulative, across ship incidents
+  uint64_t spool_errors_ = 0;
   bool flushed_ = false;
 };
 

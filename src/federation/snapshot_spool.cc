@@ -1,0 +1,348 @@
+#include "federation/snapshot_spool.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/crc32c.h"
+
+namespace ldpjs {
+
+namespace {
+
+constexpr char kMagic[8] = {'L', 'J', 'S', 'S', 'P', 'O', 'O', 'L'};
+constexpr uint32_t kSpoolVersion = 1;
+constexpr size_t kHeaderBytes = sizeof(kMagic) + 4 + 4;
+/// u32 len + u8 type up front, u32 crc behind the payload.
+constexpr size_t kRecordOverhead = 4 + 1 + 4;
+
+enum RecordType : uint8_t {
+  kSnapshot = 1,
+  kAttempted = 2,
+  kShipped = 3,
+  kRenumber = 4,
+};
+
+void PutU32(std::vector<uint8_t>& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutU64(std::vector<uint8_t>& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+uint32_t ReadU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+uint64_t ReadU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+Status ErrnoStatus(const std::string& op) {
+  return Status::Internal(op + ": " + std::strerror(errno));
+}
+
+Status WriteFully(int fd, std::span<const uint8_t> bytes) {
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("spool write");
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status SyncFd(int fd) {
+  int rc;
+  do {
+    rc = ::fdatasync(fd);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return ErrnoStatus("spool fdatasync");
+  return Status::OK();
+}
+
+/// fsync the directory so a freshly created/renamed spool file survives a
+/// crash of the whole machine, not just the process.
+void SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  (void)::fsync(fd);
+  ::close(fd);
+}
+
+std::vector<uint8_t> EncodeRecord(uint8_t type,
+                                  std::span<const uint8_t> payload) {
+  std::vector<uint8_t> record;
+  record.reserve(kRecordOverhead + payload.size());
+  PutU32(record, static_cast<uint32_t>(payload.size()));
+  record.push_back(type);
+  record.insert(record.end(), payload.begin(), payload.end());
+  // CRC covers type + payload: a record whose length prefix lies lands on
+  // a misaligned "crc" and fails the check, same as a torn tail.
+  uint32_t crc = Crc32c({&type, 1});
+  crc = Crc32c(payload, crc);
+  PutU32(record, crc);
+  return record;
+}
+
+}  // namespace
+
+SnapshotSpool::~SnapshotSpool() { Close(); }
+
+void SnapshotSpool::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status SnapshotSpool::Open(const std::string& dir, uint32_t region_id,
+                           std::vector<SpoolEntry>* recovered) {
+  LDPJS_CHECK(fd_ < 0);
+  LDPJS_CHECK(recovered != nullptr);
+  recovered->clear();
+  path_ = dir + "/region-" + std::to_string(region_id) + ".spool";
+  const int fd = ::open(path_.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) return ErrnoStatus("spool open " + path_);
+  fd_ = fd;
+
+  // Read the whole file: spool size is bounded by the pending queue after
+  // every compaction, and recovery happens once per incarnation.
+  std::vector<uint8_t> bytes;
+  {
+    struct stat st{};
+    if (::fstat(fd_, &st) != 0) return ErrnoStatus("spool fstat");
+    bytes.resize(static_cast<size_t>(st.st_size));
+    size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = ::read(fd_, bytes.data() + off, bytes.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("spool read");
+      }
+      if (n == 0) break;  // raced a truncate; treat the rest as torn
+      off += static_cast<size_t>(n);
+    }
+    bytes.resize(off);
+  }
+
+  if (bytes.empty()) {
+    // Fresh spool: write the header now so every later append is a pure
+    // record and recovery can always demand a full header.
+    std::vector<uint8_t> header(kMagic, kMagic + sizeof(kMagic));
+    PutU32(header, kSpoolVersion);
+    PutU32(header, region_id);
+    LDPJS_RETURN_IF_ERROR(WriteFully(fd_, header));
+    LDPJS_RETURN_IF_ERROR(SyncFd(fd_));
+    SyncDir(dir);
+    return Status::OK();
+  }
+  if (bytes.size() < kHeaderBytes ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("spool " + path_ + ": bad header");
+  }
+  if (ReadU32(bytes.data() + sizeof(kMagic)) != kSpoolVersion) {
+    return Status::Corruption("spool " + path_ + ": unknown version");
+  }
+  if (ReadU32(bytes.data() + sizeof(kMagic) + 4) != region_id) {
+    return Status::Corruption("spool " + path_ + ": belongs to region " +
+                              std::to_string(ReadU32(bytes.data() +
+                                                     sizeof(kMagic) + 4)));
+  }
+
+  // Replay records until the first torn/corrupt one, which marks the crash
+  // point — everything after it is the unreachable tail of a dead append.
+  std::map<uint64_t, SpoolEntry> live;
+  size_t off = kHeaderBytes;
+  size_t valid_end = off;
+  while (bytes.size() - off >= kRecordOverhead) {
+    const uint32_t len = ReadU32(bytes.data() + off);
+    if (bytes.size() - off < kRecordOverhead + len) break;  // torn tail
+    const uint8_t type = bytes[off + 4];
+    const uint8_t* payload = bytes.data() + off + 5;
+    uint32_t crc = Crc32c({&type, 1});
+    crc = Crc32c({payload, len}, crc);
+    if (crc != ReadU32(payload + len)) break;  // torn or bit-flipped
+    // A record from an unknown writer (future type, wrong payload shape)
+    // cannot be interpreted; keep the prefix this reader understands and
+    // treat the rest as the torn tail.
+    const bool well_formed =
+        (type == kSnapshot && len >= 8) ||
+        ((type == kAttempted || type == kShipped) && len == 8) ||
+        (type == kRenumber && len == 16);
+    if (!well_formed) break;
+    switch (type) {
+      case kSnapshot: {
+        SpoolEntry entry;
+        entry.epoch = ReadU64(payload);
+        entry.raw_sketch.assign(payload + 8, payload + len);
+        live[entry.epoch] = std::move(entry);
+        break;
+      }
+      case kAttempted:
+        if (auto it = live.find(ReadU64(payload)); it != live.end()) {
+          it->second.attempted = true;
+        }
+        break;
+      case kShipped:
+        live.erase(ReadU64(payload));
+        break;
+      case kRenumber: {
+        auto it = live.find(ReadU64(payload));
+        if (it != live.end()) {
+          SpoolEntry entry = std::move(it->second);
+          live.erase(it);
+          entry.epoch = ReadU64(payload + 8);
+          live[entry.epoch] = std::move(entry);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    off += kRecordOverhead + len;
+    valid_end = off;
+  }
+  if (valid_end < bytes.size()) {
+    // Torn tail: cut it off so the next append starts at a record boundary.
+    if (::ftruncate(fd_, static_cast<off_t>(valid_end)) != 0) {
+      return ErrnoStatus("spool ftruncate");
+    }
+  }
+
+  for (auto& [epoch, entry] : live) {
+    bytes_resumed_ += kRecordOverhead + 8 + entry.raw_sketch.size();
+    recovered->push_back(std::move(entry));
+  }
+  epochs_resumed_ = recovered->size();
+  live_entries_ = recovered->size();
+
+  // Compact: the recovered live set becomes the whole file, dropping every
+  // shipped/renumbered record a long-lived predecessor accumulated.
+  std::map<uint64_t, SpoolEntry> compacted;
+  for (const SpoolEntry& entry : *recovered) compacted[entry.epoch] = entry;
+  LDPJS_RETURN_IF_ERROR(Compact(compacted));
+  return Status::OK();
+}
+
+Status SnapshotSpool::Compact(const std::map<uint64_t, SpoolEntry>& live) {
+  const std::string tmp_path = path_ + ".tmp";
+  const int tmp = ::open(tmp_path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (tmp < 0) return ErrnoStatus("spool compact open " + tmp_path);
+
+  std::vector<uint8_t> out(kMagic, kMagic + sizeof(kMagic));
+  PutU32(out, kSpoolVersion);
+  // Carry the region id over from the current file's header.
+  uint8_t region_bytes[4];
+  if (::pread(fd_, region_bytes, 4, sizeof(kMagic) + 4) != 4) {
+    ::close(tmp);
+    ::unlink(tmp_path.c_str());
+    return ErrnoStatus("spool compact pread");
+  }
+  out.insert(out.end(), region_bytes, region_bytes + 4);
+  for (const auto& [epoch, entry] : live) {
+    std::vector<uint8_t> payload;
+    payload.reserve(8 + entry.raw_sketch.size());
+    PutU64(payload, epoch);
+    payload.insert(payload.end(), entry.raw_sketch.begin(),
+                   entry.raw_sketch.end());
+    const std::vector<uint8_t> record = EncodeRecord(kSnapshot, payload);
+    out.insert(out.end(), record.begin(), record.end());
+    if (entry.attempted) {
+      std::vector<uint8_t> attempted_payload;
+      PutU64(attempted_payload, epoch);
+      const std::vector<uint8_t> attempted =
+          EncodeRecord(kAttempted, attempted_payload);
+      out.insert(out.end(), attempted.begin(), attempted.end());
+    }
+  }
+  Status status = WriteFully(tmp, out);
+  if (status.ok()) status = SyncFd(tmp);
+  if (!status.ok()) {
+    ::close(tmp);
+    ::unlink(tmp_path.c_str());
+    return status;
+  }
+  // Atomic swap: either the old file or the fully-synced new one exists,
+  // never a half-written spool.
+  if (::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+    ::close(tmp);
+    ::unlink(tmp_path.c_str());
+    return ErrnoStatus("spool compact rename");
+  }
+  const size_t slash = path_.find_last_of('/');
+  SyncDir(slash == std::string::npos ? "." : path_.substr(0, slash));
+  ::close(fd_);
+  fd_ = tmp;
+  if (::lseek(fd_, 0, SEEK_END) < 0) return ErrnoStatus("spool lseek");
+  return Status::OK();
+}
+
+Status SnapshotSpool::AppendRecord(uint8_t type,
+                                   std::span<const uint8_t> payload) {
+  LDPJS_CHECK(fd_ >= 0);
+  const std::vector<uint8_t> record = EncodeRecord(type, payload);
+  LDPJS_RETURN_IF_ERROR(WriteFully(fd_, record));
+  LDPJS_RETURN_IF_ERROR(SyncFd(fd_));
+  bytes_written_ += record.size();
+  return Status::OK();
+}
+
+Status SnapshotSpool::AppendSnapshot(uint64_t epoch,
+                                     std::span<const uint8_t> raw_sketch) {
+  std::vector<uint8_t> payload;
+  payload.reserve(8 + raw_sketch.size());
+  PutU64(payload, epoch);
+  payload.insert(payload.end(), raw_sketch.begin(), raw_sketch.end());
+  LDPJS_RETURN_IF_ERROR(AppendRecord(kSnapshot, payload));
+  ++live_entries_;
+  return Status::OK();
+}
+
+Status SnapshotSpool::MarkAttempted(uint64_t epoch) {
+  std::vector<uint8_t> payload;
+  PutU64(payload, epoch);
+  return AppendRecord(kAttempted, payload);
+}
+
+Status SnapshotSpool::MarkShipped(uint64_t epoch) {
+  std::vector<uint8_t> payload;
+  PutU64(payload, epoch);
+  LDPJS_RETURN_IF_ERROR(AppendRecord(kShipped, payload));
+  if (live_entries_ > 0) --live_entries_;
+  if (live_entries_ == 0) {
+    // The queue is drained: drop the accumulated history instead of
+    // letting the file grow with the region's lifetime. Truncating to the
+    // header is the cheap in-line compaction; the rename-based one runs at
+    // recovery.
+    if (::ftruncate(fd_, static_cast<off_t>(kHeaderBytes)) != 0) {
+      return ErrnoStatus("spool ftruncate");
+    }
+    if (::lseek(fd_, 0, SEEK_END) < 0) return ErrnoStatus("spool lseek");
+    LDPJS_RETURN_IF_ERROR(SyncFd(fd_));
+  }
+  return Status::OK();
+}
+
+Status SnapshotSpool::RecordRenumber(uint64_t old_epoch, uint64_t new_epoch) {
+  std::vector<uint8_t> payload;
+  PutU64(payload, old_epoch);
+  PutU64(payload, new_epoch);
+  return AppendRecord(kRenumber, payload);
+}
+
+}  // namespace ldpjs

@@ -1,0 +1,100 @@
+// SnapshotSpool: the regional node's durable write-ahead log of pending
+// epoch snapshots.
+//
+// Why it exists: RegionalNode's pending queue is the only copy of an epoch
+// between its cut and the central's EPOCH_PUSH_OK. Without a spool, a
+// regional crash in that window silently loses every report the epoch held.
+// With spool_dir set, each data-bearing cut is appended (and fsynced) here
+// BEFORE it enters the in-memory queue, and a restarted incarnation rebuilds
+// its pending queue from the spool — shipping then resumes through the
+// central's (region, epoch) dedup, so a crash delays data but never loses
+// or duplicates it.
+//
+// On-disk format (all integers little-endian), one file per region:
+//
+//   header:  "LJSSPOOL" | u32 version | u32 region_id
+//   record:  u32 len | u8 type | payload[len] | u32 crc32c(type+payload)
+//
+// Record types replay the queue's state machine:
+//   kSnapshot  u64 epoch | sketch bytes     — a cut entered the queue
+//   kAttempted u64 epoch                    — first wire attempt imminent
+//   kShipped   u64 epoch                    — EPOCH_PUSH_OK received
+//   kRenumber  u64 old | u64 new            — connect-time epoch sync
+//
+// kAttempted is fsynced BEFORE the first push of that epoch goes on the
+// wire: a push may merge at the central even if the ack (and this process)
+// dies, so a restarted incarnation must know the number is frozen — ship
+// the SAME (region, epoch) and let the dedup resolve it, never renumber it.
+// That ordering is what preserves exactly-once across a crash.
+//
+// Recovery truncates the file at the first torn or checksum-corrupt record
+// (a crash mid-append tears only the tail; everything before it is intact)
+// and then compacts: live entries are rewritten to a fresh file which
+// atomically replaces the old one, so spool size tracks the pending queue,
+// not the region's lifetime.
+#ifndef LDPJS_FEDERATION_SNAPSHOT_SPOOL_H_
+#define LDPJS_FEDERATION_SNAPSHOT_SPOOL_H_
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ldpjs {
+
+/// One pending epoch recovered from the spool.
+struct SpoolEntry {
+  uint64_t epoch = 0;
+  std::vector<uint8_t> raw_sketch;
+  bool attempted = false;  ///< number frozen; retry, don't renumber
+};
+
+class SnapshotSpool {
+ public:
+  SnapshotSpool() = default;
+  ~SnapshotSpool();
+
+  SnapshotSpool(const SnapshotSpool&) = delete;
+  SnapshotSpool& operator=(const SnapshotSpool&) = delete;
+
+  /// Opens (creating if absent) `dir`/region-<id>.spool, recovers the live
+  /// entries into `recovered` (epoch order), truncates any torn tail, and
+  /// compacts the file down to the live set. A spool whose header names a
+  /// different region is refused — two regions must never share a file.
+  Status Open(const std::string& dir, uint32_t region_id,
+              std::vector<SpoolEntry>* recovered);
+
+  bool is_open() const { return fd_ >= 0; }
+
+  /// Appends + fsyncs one record. All return the write/sync error if the
+  /// disk fails; the caller decides whether to keep shipping from memory.
+  Status AppendSnapshot(uint64_t epoch, std::span<const uint8_t> raw_sketch);
+  Status MarkAttempted(uint64_t epoch);
+  Status MarkShipped(uint64_t epoch);
+  Status RecordRenumber(uint64_t old_epoch, uint64_t new_epoch);
+
+  void Close();
+
+  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t bytes_resumed() const { return bytes_resumed_; }
+  uint64_t epochs_resumed() const { return epochs_resumed_; }
+
+ private:
+  Status AppendRecord(uint8_t type, std::span<const uint8_t> payload);
+  /// Rewrites the file as header + live entries via tmp-file + rename.
+  Status Compact(const std::map<uint64_t, SpoolEntry>& live);
+
+  std::string path_;
+  int fd_ = -1;
+  size_t live_entries_ = 0;  ///< spooled epochs not yet marked shipped
+  uint64_t bytes_written_ = 0;
+  uint64_t bytes_resumed_ = 0;
+  uint64_t epochs_resumed_ = 0;
+};
+
+}  // namespace ldpjs
+
+#endif  // LDPJS_FEDERATION_SNAPSHOT_SPOOL_H_

@@ -10,8 +10,13 @@ Result<FrameSender> FrameSender::Connect(const std::string& host,
                                          const SketchParams& params,
                                          double epsilon,
                                          const Options& options) {
-  auto socket = Socket::ConnectTcp(host, port);
+  auto socket = Socket::ConnectTcp(host, port, options.fault_site);
   if (!socket.ok()) return socket.status();
+  if (options.recv_timeout_seconds > 0) {
+    // Before the handshake, so even a server that accepts and goes mute
+    // cannot park this client forever waiting for HELLO_OK.
+    socket->SetRecvTimeout(options.recv_timeout_seconds);
+  }
 
   SessionHello hello;
   hello.k = static_cast<uint32_t>(params.k);
@@ -68,19 +73,19 @@ Status FrameSender::SendEncodedBatch(std::span<const uint8_t> envelope) {
       return Status::Corruption("expected DATA_ACK");
     }
     if (reply->payload[0] == static_cast<uint8_t>(DataAckCode::kAbsorbed)) {
+      if (attempt > 0) busy_backoff_.Reset();  // incident over
       return Status::OK();
     }
     // Busy: the server shed the frame under backpressure. Retry the same
-    // bytes after a short sleep; lanes are integer adds, so a retried frame
-    // lands exactly once (it was never ingested) and ordering cannot
-    // matter.
+    // bytes after a jittered, exponentially growing backoff; lanes are
+    // integer adds, so a retried frame lands exactly once (it was never
+    // ingested) and ordering cannot matter.
     ++busy_retries_;
     if (attempt >= options_.max_busy_retries) {
       return Status::Unavailable("server still busy after " +
                                  std::to_string(attempt) + " retries");
     }
-    std::this_thread::sleep_for(
-        std::chrono::microseconds(options_.busy_retry_micros));
+    busy_backoff_.SleepNext();
   }
 }
 

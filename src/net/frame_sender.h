@@ -4,11 +4,11 @@
 // envelopes inside DATA frames.
 //
 // Flow control: against a kShed server every DATA frame is acked; a busy
-// ack makes SendReports/SendEncodedBatch retry the same frame after a short
-// sleep (bounded by Options::max_busy_retries, then Unavailable). Against a
-// kBlock server there are no per-frame acks — TCP flow control is the
-// backpressure — and Finish()'s BYE/BYE_OK exchange is the proof that every
-// frame sent on this connection has been ingested.
+// ack makes SendReports/SendEncodedBatch retry the same frame after a
+// jittered exponential backoff (bounded by Options::max_busy_retries, then
+// Unavailable). Against a kBlock server there are no per-frame acks — TCP
+// flow control is the backpressure — and Finish()'s BYE/BYE_OK exchange is
+// the proof that every frame sent on this connection has been ingested.
 #ifndef LDPJS_NET_FRAME_SENDER_H_
 #define LDPJS_NET_FRAME_SENDER_H_
 
@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/backoff.h"
 #include "common/result.h"
 #include "common/socket.h"
 #include "common/status.h"
@@ -29,7 +30,19 @@ class FrameSender {
  public:
   struct Options {
     int max_busy_retries = 100000;  ///< per frame, before Unavailable
-    int busy_retry_micros = 200;    ///< sleep between busy retries
+    /// Backoff between busy retries: decorrelated jitter from 100us up to
+    /// 20ms, so a fleet of shed clients does not hammer the server in
+    /// lockstep the way a fixed interval would.
+    BackoffOptions busy_backoff{.base_micros = 100, .cap_micros = 20000};
+    /// SO_RCVTIMEO on the session socket: caps how long any reply wait
+    /// (HELLO_OK, acks, snapshots) can hang on a dead-but-connected server
+    /// before failing with DeadlineExceeded. 0 disables. Chaos runs arm
+    /// this so a dropped EPOCH_PUSH_OK turns into a retry, not a deadlock.
+    int recv_timeout_seconds = 0;
+    /// Fault-injection site label for the session socket (chaos runs);
+    /// also checked as "<fault_site>.connect" before connecting. Empty
+    /// disables.
+    std::string fault_site;
     /// Announce a region id in the HELLO (federation upstream sessions).
     /// The HELLO_OK then carries the server's next-expected epoch for that
     /// region — read it with region_next_epoch(). See RegionalNode for the
@@ -110,11 +123,16 @@ class FrameSender {
   uint64_t frames_sent() const { return frames_sent_; }
   uint64_t bytes_sent() const { return bytes_sent_; }
   uint64_t busy_retries() const { return busy_retries_; }
+  /// Cumulative time this sender has slept in busy backoff.
+  uint64_t backoff_micros() const { return busy_backoff_.total_micros(); }
 
  private:
   FrameSender(Socket socket, const SessionHelloOk& session,
               const Options& options)
-      : socket_(std::move(socket)), session_(session), options_(options) {}
+      : socket_(std::move(socket)),
+        session_(session),
+        options_(options),
+        busy_backoff_(options.busy_backoff) {}
 
   /// Reads the next server frame, surfacing ERROR frames as their Status.
   Result<NetFrame> ReadReply();
@@ -122,6 +140,7 @@ class FrameSender {
   Socket socket_;
   SessionHelloOk session_;
   Options options_;
+  Backoff busy_backoff_;
   uint64_t frames_sent_ = 0;
   uint64_t bytes_sent_ = 0;
   uint64_t busy_retries_ = 0;

@@ -6,12 +6,19 @@
 #include <optional>
 #include <thread>
 
+#include "common/backoff.h"
+#include "common/fault_injector.h"
+
 namespace ldpjs {
 
 namespace {
 
 /// Transport header bytes per frame (u32 length + u8 type).
 constexpr size_t kFrameHeaderBytes = 5;
+
+/// Bound on retained departed-connection metrics rows; older rows fold
+/// into one accumulator so totals stay exact under reconnect storms.
+constexpr size_t kMaxDepartedRows = 64;
 
 }  // namespace
 
@@ -50,6 +57,11 @@ Status FrameServer::Start() {
 }
 
 void FrameServer::AcceptLoop() {
+  // Jittered backoff between transient accept failures: bursts of aborted
+  // handshakes or buffer pressure back the acceptor off without parking it
+  // on a fixed interval.
+  Backoff backoff(
+      BackoffOptions{.base_micros = 1000, .cap_micros = 200000, .seed = 1});
   for (;;) {
     // Reap ahead of each accept, so a server that has handled millions of
     // short-lived clients holds live connections plus one metrics row per
@@ -61,13 +73,28 @@ void FrameServer::AcceptLoop() {
       if (stopping_) return;
     }
     if (!socket.ok()) {
-      // Persistent failures (EMFILE under connection pressure) must not
-      // busy-spin a core; back off briefly before retrying.
-      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      if (socket.status().code() == StatusCode::kInternal) {
+        // Process-scoped accept failure (fd exhaustion, bad listener):
+        // every retry would fail identically, so spinning only burns a
+        // core. Count it and stop accepting; existing sessions continue.
+        accept_fatal_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      accept_failures_.fetch_add(1, std::memory_order_relaxed);
+      backoff.SleepNext();
+      accept_backoff_micros_.store(backoff.total_micros(),
+                                   std::memory_order_relaxed);
       continue;
     }
+    backoff.Reset();  // a successful accept ends the incident
     if (options_.send_timeout_seconds > 0) {
       socket->SetSendTimeout(options_.send_timeout_seconds);
+    }
+    if (options_.idle_timeout_seconds > 0) {
+      socket->SetRecvTimeout(options_.idle_timeout_seconds);
+    }
+    if (!options_.fault_site.empty()) {
+      socket->set_fault_site(options_.fault_site);
     }
     auto conn = std::make_unique<Connection>();
     conn->id = connections_accepted_.fetch_add(1, std::memory_order_relaxed);
@@ -150,6 +177,11 @@ void FrameServer::ReaderLoop(Connection* conn) {
   } else if (!hello_frame.ok() &&
              hello_frame.status().code() == StatusCode::kNotFound) {
     // Clean close before HELLO: a port probe, not an error.
+  } else if (!hello_frame.ok() &&
+             hello_frame.status().code() == StatusCode::kDeadlineExceeded) {
+    // Connected but never spoke: the idle deadline reaps it.
+    idle_reaped_.fetch_add(1, std::memory_order_relaxed);
+    conn->socket.ShutdownBoth();
   } else {
     conn->corrupt_frames.fetch_add(1, std::memory_order_relaxed);
     SendError(*conn, Status::Corruption("expected HELLO"));
@@ -159,6 +191,15 @@ void FrameServer::ReaderLoop(Connection* conn) {
   while (session_open) {
     auto frame = ReadNetFrame(conn->socket, max_session_payload_);
     if (!frame.ok()) {
+      if (frame.status().code() == StatusCode::kDeadlineExceeded) {
+        // The peer went silent past the idle deadline: reap the
+        // connection so a hung client cannot pin a thread and fd forever.
+        // Its already-queued frames still drain — reaping loses nothing.
+        idle_reaped_.fetch_add(1, std::memory_order_relaxed);
+        SendError(*conn, frame.status());
+        conn->socket.ShutdownBoth();
+        break;
+      }
       if (frame.status().code() != StatusCode::kNotFound) {
         conn->corrupt_frames.fetch_add(1, std::memory_order_relaxed);
         SendError(*conn, frame.status());
@@ -453,6 +494,20 @@ void FrameServer::ReapFinishedConnections() {
     }
     std::erase_if(connections_,
                   [](const std::unique_ptr<Connection>& c) { return !c; });
+    // Bound the departed rows: under a reconnect storm (millions of
+    // short-lived sessions) the oldest rows fold into one accumulator, so
+    // metrics memory is O(kMaxDepartedRows) while every total stays exact
+    // and monotone.
+    while (departed_.size() > kMaxDepartedRows) {
+      const ConnectionMetrics& old = departed_.front();
+      departed_folded_.frames_received += old.frames_received;
+      departed_folded_.bytes_received += old.bytes_received;
+      departed_folded_.reports_ingested += old.reports_ingested;
+      departed_folded_.corrupt_frames_rejected += old.corrupt_frames_rejected;
+      departed_folded_.frames_shed += old.frames_shed;
+      departed_.pop_front();
+      ++connections_folded_;
+    }
   }
   for (auto& conn : finished) conn->reader.join();
 }
@@ -599,10 +654,27 @@ NetMetrics FrameServer::metrics() const {
   m.connections_accepted =
       connections_accepted_.load(std::memory_order_relaxed);
   m.handshakes_rejected = handshakes_rejected_.load(std::memory_order_relaxed);
-  m.connections = departed_;  // final rows of reaped connections
+  m.accept_failures = accept_failures_.load(std::memory_order_relaxed);
+  m.accept_fatal = accept_fatal_.load(std::memory_order_relaxed);
+  m.idle_reaped = idle_reaped_.load(std::memory_order_relaxed);
+  m.connections_folded = connections_folded_;
+  m.retries_attempted = m.accept_failures;  // server-side retries = accepts
+  m.backoff_millis =
+      accept_backoff_micros_.load(std::memory_order_relaxed) / 1000;
+  if (const FaultInjector* injector = FaultInjector::Active()) {
+    m.faults_injected = injector->total_injected();
+  }
+  m.connections.assign(departed_.begin(), departed_.end());
   for (const auto& conn : connections_) {
     m.connections.push_back(SnapshotConnection(*conn));
   }
+  // Totals start from the folded accumulator so they cover every
+  // connection ever served, not just the retained rows.
+  m.frames_received = departed_folded_.frames_received;
+  m.bytes_received = departed_folded_.bytes_received;
+  m.reports_ingested = departed_folded_.reports_ingested;
+  m.corrupt_frames_rejected = departed_folded_.corrupt_frames_rejected;
+  m.frames_shed = departed_folded_.frames_shed;
   for (const ConnectionMetrics& c : m.connections) {
     m.connections_active += c.active ? 1 : 0;
     m.frames_received += c.frames_received;

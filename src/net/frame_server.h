@@ -77,6 +77,16 @@ struct FrameServerOptions {
   /// at most this long before the write fails and the connection is cut.
   /// 0 disables the guard.
   int send_timeout_seconds = 30;
+  /// SO_RCVTIMEO on accepted sockets — the idle-connection watchdog: a
+  /// client that goes silent for this long is reaped (counted in
+  /// idle_reaped) and its fd/thread reclaimed. 0 (default) disables the
+  /// deadline: a regional shipper legitimately idles between epochs, so
+  /// only deployments that know their traffic cadence should arm this.
+  int idle_timeout_seconds = 0;
+  /// Fault-injection site label stamped on every accepted socket (chaos
+  /// runs check "<fault_site>.send"/".recv"). Empty — the default —
+  /// disables injection on server-side connections.
+  std::string fault_site;
   /// Called exactly once per fresh (region, epoch) EPOCH_PUSH, after the
   /// snapshot is merged into the lanes and before the push is acked — the
   /// (region, epoch) dedup guarantees the exactly-once, and a retried
@@ -234,7 +244,12 @@ class FrameServer {
   /// folded into departed_) — server memory does not grow with the total
   /// number of clients ever served.
   std::vector<std::unique_ptr<Connection>> connections_;
-  std::vector<ConnectionMetrics> departed_;  ///< final per-conn snapshots
+  /// Final per-conn snapshots, newest last. Bounded: once it exceeds
+  /// kMaxDepartedRows the oldest rows are folded into departed_folded_ —
+  /// a reconnect storm grows counters, never memory.
+  std::deque<ConnectionMetrics> departed_;
+  ConnectionMetrics departed_folded_;  ///< accumulator of folded rows; mu_
+  uint64_t connections_folded_ = 0;    ///< rows folded so far; mu_
   std::map<uint32_t, RegionState> regions_;  ///< guarded by mu_
   bool started_ = false;
   bool stopping_ = false;
@@ -248,6 +263,10 @@ class FrameServer {
   bool finalized_ = false;
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> handshakes_rejected_{0};
+  std::atomic<uint64_t> accept_failures_{0};      ///< transient, retried
+  std::atomic<uint64_t> accept_fatal_{0};         ///< acceptor stopped
+  std::atomic<uint64_t> idle_reaped_{0};          ///< hung clients cut
+  std::atomic<uint64_t> accept_backoff_micros_{0};
 };
 
 }  // namespace ldpjs

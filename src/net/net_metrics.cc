@@ -35,6 +35,16 @@ std::string NetMetricsToJson(const NetMetrics& m) {
   AppendField(out, "epochs_applied", m.epochs_applied, &first);
   AppendField(out, "epoch_duplicates_ignored", m.epoch_duplicates_ignored,
               &first);
+  AppendField(out, "accept_failures", m.accept_failures, &first);
+  AppendField(out, "accept_fatal", m.accept_fatal, &first);
+  AppendField(out, "idle_reaped", m.idle_reaped, &first);
+  AppendField(out, "connections_folded", m.connections_folded, &first);
+  AppendField(out, "retries_attempted", m.retries_attempted, &first);
+  AppendField(out, "backoff_millis", m.backoff_millis, &first);
+  AppendField(out, "faults_injected", m.faults_injected, &first);
+  AppendField(out, "spool_bytes_written", m.spool_bytes_written, &first);
+  AppendField(out, "spool_bytes_resumed", m.spool_bytes_resumed, &first);
+  AppendField(out, "spool_epochs_resumed", m.spool_epochs_resumed, &first);
   out += ",\"connections\":[";
   for (size_t i = 0; i < m.connections.size(); ++i) {
     const ConnectionMetrics& c = m.connections[i];

@@ -46,7 +46,9 @@ struct NetMetrics {
   uint64_t connections_accepted = 0;
   uint64_t connections_active = 0;
   uint64_t handshakes_rejected = 0;  ///< HELLO with mismatched params
-  // Totals over all connections (sum of the rows below).
+  // Totals over all connections (sum of the rows below). The totals stay
+  // monotone even when old departed-connection rows are folded away (see
+  // connections_folded).
   uint64_t frames_received = 0;
   uint64_t bytes_received = 0;
   uint64_t reports_ingested = 0;
@@ -56,6 +58,17 @@ struct NetMetrics {
   // Federation totals (sum of the region rows).
   uint64_t epochs_applied = 0;
   uint64_t epoch_duplicates_ignored = 0;
+  // Robustness counters.
+  uint64_t accept_failures = 0;     ///< transient accept errors (retried)
+  uint64_t accept_fatal = 0;        ///< fatal accept errors (acceptor stops)
+  uint64_t idle_reaped = 0;         ///< connections closed by idle deadline
+  uint64_t connections_folded = 0;  ///< departed rows folded into totals
+  uint64_t retries_attempted = 0;   ///< wire retries (ship + busy backoff)
+  uint64_t backoff_millis = 0;      ///< cumulative time slept in backoff
+  uint64_t faults_injected = 0;     ///< injected faults observed (chaos runs)
+  uint64_t spool_bytes_written = 0; ///< durable spool appends
+  uint64_t spool_bytes_resumed = 0; ///< spool bytes replayed at restart
+  uint64_t spool_epochs_resumed = 0;///< pending epochs rebuilt from spool
   std::vector<ConnectionMetrics> connections;
   std::vector<ShardMetrics> shards;
   std::vector<RegionMetrics> regions;

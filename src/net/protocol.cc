@@ -178,7 +178,8 @@ Status DecodeErrorPayload(std::span<const uint8_t> payload) {
   const uint8_t code = payload[0];
   std::string message(reinterpret_cast<const char*>(payload.data()) + 1,
                       payload.size() - 1);
-  if (code == 0 || code > static_cast<uint8_t>(StatusCode::kUnavailable)) {
+  if (code == 0 ||
+      code > static_cast<uint8_t>(StatusCode::kDeadlineExceeded)) {
     return Status::Internal("peer reported an error: " + message);
   }
   return Status(static_cast<StatusCode>(code), std::move(message));

@@ -97,7 +97,7 @@ TEST(FederationTest, MidEpochDisconnectRetriesToExactlyOnce) {
   region_options.region_id = 7;
   region_options.central_port = central.port();
   region_options.server.num_shards = 2;
-  region_options.ship_retry_millis = 1;
+  region_options.ship_backoff = {.base_micros = 1000, .cap_micros = 4000};
   RegionalNode region(params, epsilon, region_options);
   ASSERT_TRUE(region.Start().ok());
 
@@ -403,7 +403,7 @@ TEST(FederationTest, UnreachableCentralRetainsSnapshotsAndResumes) {
   options.region_id = 1;
   options.central_port = central_port;
   options.max_ship_attempts = 2;
-  options.ship_retry_millis = 1;
+  options.ship_backoff = {.base_micros = 1000, .cap_micros = 4000};
   RegionalNode region(params, epsilon, options);
   ASSERT_TRUE(region.Start().ok());
   auto sender =

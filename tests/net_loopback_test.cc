@@ -367,7 +367,7 @@ TEST(NetLoopbackTest, ShedBackpressureLosesNothing) {
   ASSERT_TRUE(server.Start().ok());
 
   FrameSender::Options sender_options;
-  sender_options.busy_retry_micros = 50;
+  sender_options.busy_backoff = {.base_micros = 50, .cap_micros = 2000};
   auto sender = FrameSender::Connect("127.0.0.1", server.port(), params,
                                      epsilon, sender_options);
   ASSERT_TRUE(sender.ok());
@@ -422,7 +422,7 @@ TEST(NetLoopbackTest, ShedRetryExhaustionYieldsCleanUnavailable) {
   {
     FrameSender::Options options;
     options.max_busy_retries = 3;
-    options.busy_retry_micros = 1;
+    options.busy_backoff = {.base_micros = 1, .cap_micros = 100};
     auto sender = FrameSender::Connect("127.0.0.1", listener->local_port(),
                                        params, epsilon, options);
     ASSERT_TRUE(sender.ok()) << sender.status().ToString();

@@ -143,7 +143,7 @@ TEST(NetMultipumpTest, ConcurrentSendersAndShedBackpressureStayExact) {
   for (size_t s = 0; s < kSenders; ++s) {
     threads.emplace_back([&, s] {
       FrameSender::Options sender_options;
-      sender_options.busy_retry_micros = 20;
+      sender_options.busy_backoff = {.base_micros = 20, .cap_micros = 1000};
       auto sender = FrameSender::Connect("127.0.0.1", server.port(), params,
                                          epsilon, sender_options);
       ASSERT_TRUE(sender.ok());

@@ -38,6 +38,15 @@
 // All serving subcommands dump NetMetrics as JSON on SIGUSR1 and at exit
 // (stdout, plus --metrics-json FILE when set) — shed/corrupt/queue-high-
 // water/per-region counters for ops.
+//
+// Chaos mode:
+//
+//   ldpjs_cli chaos --sweep 4 --fault-rate 0.2 [--spool-dir /tmp/spool]
+//
+// sweeps seeded fault schedules (drops, delays, torn writes, corrupt
+// headers, disconnects) over a loopback federated run and verifies the
+// chaos invariants live: bit-identity against a direct absorb, and
+// bit-exact replay of every schedule from its seed.
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -53,6 +62,7 @@
 #include "data/datasets.h"
 #include "data/join.h"
 #include "federation/central_node.h"
+#include "federation/chaos_harness.h"
 #include "federation/regional_node.h"
 #include "net/frame_sender.h"
 #include "net/frame_server.h"
@@ -158,6 +168,23 @@ void DumpMetrics(const NetMetrics& metrics) {
               static_cast<unsigned long long>(metrics.reports_ingested));
   std::printf("queue high-water: %llu frames\n",
               static_cast<unsigned long long>(metrics.queue_high_water));
+  std::printf("robustness     : %llu retries (%llu ms backoff), %llu accept "
+              "failures (%llu fatal), %llu idle reaped, %llu faults "
+              "injected\n",
+              static_cast<unsigned long long>(metrics.retries_attempted),
+              static_cast<unsigned long long>(metrics.backoff_millis),
+              static_cast<unsigned long long>(metrics.accept_failures),
+              static_cast<unsigned long long>(metrics.accept_fatal),
+              static_cast<unsigned long long>(metrics.idle_reaped),
+              static_cast<unsigned long long>(metrics.faults_injected));
+  if (metrics.spool_bytes_written > 0 || metrics.spool_bytes_resumed > 0) {
+    std::printf("spool          : %llu bytes written, %llu bytes / %llu "
+                "epochs resumed\n",
+                static_cast<unsigned long long>(metrics.spool_bytes_written),
+                static_cast<unsigned long long>(metrics.spool_bytes_resumed),
+                static_cast<unsigned long long>(
+                    metrics.spool_epochs_resumed));
+  }
   for (const ConnectionMetrics& c : metrics.connections) {
     std::printf(
         "  conn %llu: frames=%llu bytes=%llu reports=%llu corrupt=%llu "
@@ -260,6 +287,10 @@ void DefineServerFlags(tools::Flags& flags) {
   flags.Define("shards", "1", "aggregation shards (= ingest pumps)");
   flags.Define("queue", "64", "per-shard ingest queue capacity");
   flags.Define("backpressure", "block", "full-queue policy: block|shed");
+  flags.Define("idle-timeout", "0",
+               "reap a client connection silent for this many seconds "
+               "(0 = off; regional shippers legitimately idle between "
+               "epochs, so arm it only when the traffic cadence is known)");
   flags.Define("metrics-json", "",
                "also write the SIGUSR1/exit NetMetrics JSON here");
 }
@@ -270,6 +301,7 @@ FrameServerOptions ServerOptionsFromFlags(const tools::Flags& flags,
   options.port = static_cast<uint16_t>(flags.GetInt("port"));
   options.num_shards = static_cast<size_t>(flags.GetInt("shards"));
   options.queue_capacity = static_cast<size_t>(flags.GetInt("queue"));
+  options.idle_timeout_seconds = static_cast<int>(flags.GetInt("idle-timeout"));
   *ok = ParseBackpressure(flags.GetString("backpressure"),
                           &options.backpressure);
   return options;
@@ -437,6 +469,13 @@ int RunFederateRegion(int argc, char** argv) {
   flags.Define("region", "0", "this region's id (dedup key upstream)");
   flags.Define("epoch-ms", "200",
                "epoch cut + ship cadence (0 = only the final flush)");
+  flags.Define("spool-dir", "",
+               "durable spool directory: epoch cuts are fsynced here before "
+               "shipping, and a restart resumes un-shipped epochs from it "
+               "(empty = in-memory pending queue only)");
+  flags.Define("recv-timeout", "30",
+               "seconds a ship may wait on a hung central for any ack "
+               "before reconnect+retry (0 = wait forever)");
   flags.Parse(argc, argv);
 
   bool policy_ok = false;
@@ -447,6 +486,9 @@ int RunFederateRegion(int argc, char** argv) {
   options.central_host = flags.GetString("central-host");
   options.central_port = static_cast<uint16_t>(flags.GetInt("central-port"));
   options.epoch_millis = static_cast<int>(flags.GetInt("epoch-ms"));
+  options.spool_dir = flags.GetString("spool-dir");
+  options.upstream_recv_timeout_seconds =
+      static_cast<int>(flags.GetInt("recv-timeout"));
   options.forward_finalize = true;
 
   const SketchParams params = SketchFromFlags(flags);
@@ -466,7 +508,9 @@ int RunFederateRegion(int argc, char** argv) {
 
   NetMetrics metrics;
   {
-    MetricsWatcher watcher([&region] { return region.server().metrics(); },
+    // region.metrics() (not the bare ingest server's): includes the ship
+    // retry/backoff counters and spool traffic.
+    MetricsWatcher watcher([&region] { return region.metrics(); },
                            flags.GetString("metrics-json"));
     // A client FINALIZE is the "this region's collection is complete"
     // signal: flush everything upstream and forward the FINALIZE.
@@ -484,7 +528,7 @@ int RunFederateRegion(int argc, char** argv) {
       std::this_thread::sleep_for(std::chrono::milliseconds(500));
       flushed = region.FlushAndStop();
     }
-    metrics = region.server().metrics();
+    metrics = region.metrics();
     if (!flushed.ok()) {
       std::fprintf(stderr,
                    "flush failed; %zu pending snapshots are LOST with this "
@@ -675,6 +719,96 @@ int RunEstimate(int argc, char** argv) {
 }
 
 // ---------------------------------------------------------------------------
+// chaos: sweep seeded fault schedules over a loopback federated run and
+// verify the chaos invariants live — bit-identity of the federated (and
+// windowed) estimate against a direct single-node absorb, and bit-exact
+// replay of every schedule from its seed. Exit 0 only if every scenario
+// holds; the ops smoke test CI runs on every change.
+// ---------------------------------------------------------------------------
+int RunChaos(int argc, char** argv) {
+  tools::Flags flags;
+  flags.Define("k", "6", "sketch rows");
+  flags.Define("m", "256", "sketch columns");
+  flags.Define("epsilon", "2", "privacy budget");
+  flags.Define("fault-seed", "1", "first fault schedule seed");
+  flags.Define("sweep", "4", "number of consecutive seeds to sweep");
+  flags.Define("fault-rate", "0.2",
+               "per-operation fault probability on the upstream path");
+  flags.Define("max-faults", "4", "fault budget per scenario");
+  flags.Define("regions", "2", "regional nodes");
+  flags.Define("epochs", "2", "epoch cuts per region");
+  flags.Define("reports", "800", "reports per region per epoch");
+  flags.Define("replay", "1",
+               "1 = run each scenario twice and require bit-exact replay "
+               "(same faults, same retries, same estimate)");
+  flags.Define("spool-dir", "",
+               "run the sweep with durable spooling under this directory");
+  flags.Parse(argc, argv);
+
+  ChaosScenarioOptions options;
+  options.params.k = static_cast<int>(flags.GetInt("k"));
+  options.params.m = static_cast<int>(flags.GetInt("m"));
+  options.params.seed = 21;
+  options.epsilon = flags.GetDouble("epsilon");
+  options.fault_rate = flags.GetDouble("fault-rate");
+  options.max_faults = static_cast<uint64_t>(flags.GetInt("max-faults"));
+  options.num_regions = static_cast<size_t>(flags.GetInt("regions"));
+  options.epochs = static_cast<size_t>(flags.GetInt("epochs"));
+  options.reports_per_epoch = static_cast<size_t>(flags.GetInt("reports"));
+  options.spool_dir = flags.GetString("spool-dir");
+
+  const uint64_t first_seed =
+      static_cast<uint64_t>(flags.GetInt("fault-seed"));
+  const uint64_t sweep = static_cast<uint64_t>(flags.GetInt("sweep"));
+  const bool replay = flags.GetInt("replay") != 0;
+  int failures = 0;
+  for (uint64_t seed = first_seed; seed < first_seed + sweep; ++seed) {
+    options.fault_seed = seed;
+    auto run = RunChaosScenario(options);
+    if (!run.ok()) {
+      std::fprintf(stderr, "seed %llu: harness error: %s\n",
+                   static_cast<unsigned long long>(seed),
+                   run.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    bool ok = run->bit_identical();
+    std::printf(
+        "seed %llu: %s  faults=%llu/%llu hits, retries=%llu, dups=%llu, "
+        "backoff=%llums%s\n",
+        static_cast<unsigned long long>(seed),
+        ok ? "bit-identical" : "ESTIMATE DIVERGED",
+        static_cast<unsigned long long>(run->faults_injected),
+        static_cast<unsigned long long>(run->fault_hits),
+        static_cast<unsigned long long>(run->ship_retries),
+        static_cast<unsigned long long>(run->duplicate_acks),
+        static_cast<unsigned long long>(run->backoff_millis),
+        run->spool_bytes_written > 0 ? " (spooled)" : "");
+    std::printf("  sites: %s\n", run->fault_stats.c_str());
+    if (replay) {
+      auto again = RunChaosScenario(options);
+      if (!again.ok() || !again->bit_identical() ||
+          again->fault_stats != run->fault_stats ||
+          again->ship_retries != run->ship_retries ||
+          again->federated != run->federated) {
+        std::printf("  replay: DIVERGED from first run\n");
+        ok = false;
+      } else {
+        std::printf("  replay: bit-exact\n");
+      }
+    }
+    if (!ok) ++failures;
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "%d scenario(s) FAILED\n", failures);
+    return 1;
+  }
+  std::printf("all %llu scenario(s) held bit-identity under chaos\n",
+              static_cast<unsigned long long>(sweep));
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
 // experiment mode (original interface).
 // ---------------------------------------------------------------------------
 int RunExperiment(int argc, char** argv) {
@@ -770,10 +904,11 @@ int main(int argc, char** argv) {
     if (subcommand == "federate-region") {
       return RunFederateRegion(argc - 1, argv + 1);
     }
+    if (subcommand == "chaos") return RunChaos(argc - 1, argv + 1);
     std::fprintf(stderr,
                  "unknown subcommand '%s' (serve|send|estimate|"
-                 "federate-central|federate-region, or flags only for "
-                 "experiment mode)\n",
+                 "federate-central|federate-region|chaos, or flags only "
+                 "for experiment mode)\n",
                  subcommand.c_str());
     return 2;
   }
