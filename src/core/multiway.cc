@@ -47,7 +47,7 @@ MultiwayReport LdpMultiwayClient::Perturb(uint64_t a, uint64_t b,
 
 LdpMultiwayServer::LdpMultiwayServer(const MultiwayParams& params,
                                      double epsilon)
-    : params_(params), c_eps_(DebiasFactor(epsilon)) {
+    : params_(params), epsilon_(epsilon), c_eps_(DebiasFactor(epsilon)) {
   params_.Validate();
   cells_.assign(static_cast<size_t>(params.k) *
                     static_cast<size_t>(params.m_left) *
@@ -98,6 +98,95 @@ void LdpMultiwayServer::Finalize() {
     }
   }
   finalized_ = true;
+}
+
+namespace {
+
+/// "LJM1" little-endian: the multiway counterpart of the sketch's LJS2.
+constexpr uint32_t kMultiwayMagic = 0x314D4A4CU;
+constexpr uint8_t kMultiwayVersion = 1;
+/// Deserialization bound on k·m_left·m_right — a hostile shape must be
+/// rejected before the cell vector is allocated.
+constexpr uint64_t kMaxMultiwayCells = uint64_t{1} << 27;
+
+}  // namespace
+
+std::vector<uint8_t> LdpMultiwayServer::Serialize() const {
+  BinaryWriter writer;
+  writer.PutU32(kMultiwayMagic);
+  writer.PutU8(kMultiwayVersion);
+  writer.PutU32(static_cast<uint32_t>(params_.k));
+  writer.PutU32(static_cast<uint32_t>(params_.m_left));
+  writer.PutU32(static_cast<uint32_t>(params_.m_right));
+  writer.PutU64(params_.left_seed);
+  writer.PutU64(params_.right_seed);
+  writer.PutDouble(epsilon_);
+  writer.PutU64(total_);
+  writer.PutU8(finalized_ ? 1 : 0);
+  writer.PutDoubleVector(cells_);
+  return writer.TakeBuffer();
+}
+
+Result<LdpMultiwayServer> LdpMultiwayServer::Deserialize(
+    std::span<const uint8_t> bytes) {
+  BinaryReader reader(bytes);
+  auto magic = reader.GetU32();
+  if (!magic.ok()) return magic.status();
+  if (*magic != kMultiwayMagic) {
+    return Status::Corruption("missing LJM1 multiway sketch magic");
+  }
+  auto version = reader.GetU8();
+  if (!version.ok()) return version.status();
+  if (*version != kMultiwayVersion) {
+    return Status::Corruption("unsupported multiway sketch version " +
+                              std::to_string(*version));
+  }
+  auto k = reader.GetU32();
+  if (!k.ok()) return k.status();
+  auto m_left = reader.GetU32();
+  if (!m_left.ok()) return m_left.status();
+  auto m_right = reader.GetU32();
+  if (!m_right.ok()) return m_right.status();
+  auto left_seed = reader.GetU64();
+  if (!left_seed.ok()) return left_seed.status();
+  auto right_seed = reader.GetU64();
+  if (!right_seed.ok()) return right_seed.status();
+  auto epsilon = reader.GetDouble();
+  if (!epsilon.ok()) return epsilon.status();
+  auto total = reader.GetU64();
+  if (!total.ok()) return total.status();
+  auto finalized = reader.GetU8();
+  if (!finalized.ok()) return finalized.status();
+  if (*k < 1 || *k > 0xffff || *m_left < 2 || *m_right < 2 ||
+      !IsPowerOfTwo(*m_left) || !IsPowerOfTwo(*m_right)) {
+    return Status::Corruption("invalid multiway sketch shape");
+  }
+  const uint64_t expected_cells =
+      static_cast<uint64_t>(*k) * static_cast<uint64_t>(*m_left) *
+      static_cast<uint64_t>(*m_right);
+  if (expected_cells > kMaxMultiwayCells) {
+    return Status::Corruption("multiway sketch shape too large");
+  }
+  if (!(*epsilon > 0.0)) return Status::Corruption("invalid epsilon");
+  auto cells = reader.GetDoubleVector();
+  if (!cells.ok()) return cells.status();
+  if (cells->size() != expected_cells) {
+    return Status::Corruption("multiway cell count does not match shape");
+  }
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes after multiway sketch");
+  }
+  MultiwayParams params;
+  params.k = static_cast<int>(*k);
+  params.m_left = static_cast<int>(*m_left);
+  params.m_right = static_cast<int>(*m_right);
+  params.left_seed = *left_seed;
+  params.right_seed = *right_seed;
+  LdpMultiwayServer server(params, *epsilon);
+  server.total_ = *total;
+  server.finalized_ = *finalized != 0;
+  server.cells_ = std::move(*cells);
+  return server;
 }
 
 const double* LdpMultiwayServer::replica_data(int replica) const {

@@ -16,10 +16,12 @@
 #define LDPJS_CORE_MULTIWAY_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/hash.h"
 #include "common/random.h"
+#include "common/result.h"
 #include "core/ldp_join_sketch.h"
 #include "data/join.h"
 
@@ -78,8 +80,15 @@ class LdpMultiwayServer {
   /// Replica r as a row-major (m_left x m_right) matrix.
   const double* replica_data(int replica) const;
 
+  /// Versioned "LJM1" byte format (shape, seeds, epsilon, total, cells).
+  /// Both raw and finalized states round-trip — the wire query path ships
+  /// finalized middles, tests round-trip both.
+  std::vector<uint8_t> Serialize() const;
+  static Result<LdpMultiwayServer> Deserialize(std::span<const uint8_t> bytes);
+
  private:
   MultiwayParams params_;
+  double epsilon_ = 0.0;
   double c_eps_;
   uint64_t total_ = 0;
   bool finalized_ = false;

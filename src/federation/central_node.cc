@@ -9,6 +9,11 @@ FrameServerOptions CentralNode::WithEpochObserver(FrameServerOptions options,
                                       LdpJoinSketchServer* snapshot) {
       window->OnEpochApplied(region_id, epoch, snapshot);
     };
+    // A windowed central answers QUERY from the sliding window, not the
+    // lifetime lanes: the response carries the window's aligned frontier
+    // as its epoch identity. The window outlives the server (declared
+    // before it), so the raw pointer is safe.
+    options.query_view_source = [window] { return window->Published(); };
   }
   return options;
 }

@@ -71,10 +71,19 @@ class CentralNode {
   LdpJoinSketchServer FinalizedView() const { return server_.FinalizedView(); }
 
   /// Finalized sliding-window view over the last `window_epochs` aligned
-  /// epochs — the cached incremental path. Requires windowed().
+  /// epochs — the cached incremental path. Requires windowed(). Copies the
+  /// sketch; hot read paths should hold WindowedPublishedView() instead.
   LdpJoinSketchServer WindowedFinalizedView() const {
     LDPJS_CHECK(window_ != nullptr);
     return window_->Finalized();
+  }
+
+  /// The latest RCU-published immutable window view — one atomic load, no
+  /// copy, no lock shared with ingest. This is also what QUERY frames are
+  /// answered from on a windowed central. Requires windowed().
+  std::shared_ptr<const PublishedView> WindowedPublishedView() const {
+    LDPJS_CHECK(window_ != nullptr);
+    return window_->Published();
   }
 
   bool windowed() const { return window_ != nullptr; }

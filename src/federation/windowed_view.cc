@@ -11,6 +11,10 @@ WindowedView::WindowedView(const SketchParams& params, double epsilon,
       expected_regions_(std::max<size_t>(1, expected_regions)),
       acc_(params, epsilon) {
   LDPJS_CHECK(window_ >= 1);
+  // Initial empty publication: Published() is never null, so readers are a
+  // bare atomic load with no "not yet published" branch to race on.
+  std::lock_guard<std::mutex> lock(mu_);
+  PublishLocked();
 }
 
 void WindowedView::OnEpochApplied(uint32_t region_id, uint64_t epoch,
@@ -26,6 +30,22 @@ void WindowedView::OnEpochApplied(uint32_t region_id, uint64_t epoch,
   }
   region.high_water = std::max(region.high_water, epoch);
   AdvanceLocked();
+  // Writer-side publication at the epoch boundary: one finalize per
+  // applied epoch, amortized over every read until the next one. A
+  // heartbeat that only moves the frontier republishes too — the view's
+  // epoch identity is part of the answer.
+  if (dirty_ || pub_aligned_ != has_frontier_ || pub_frontier_ != frontier_) {
+    PublishLocked();
+  }
+}
+
+void WindowedView::PublishLocked() {
+  LdpJoinSketchServer finalized = acc_;  // the accumulator keeps its lanes
+  finalized.Finalize();
+  publisher_.Publish(std::move(finalized), has_frontier_, frontier_);
+  dirty_ = false;
+  pub_aligned_ = has_frontier_;
+  pub_frontier_ = frontier_;
 }
 
 void WindowedView::AdvanceLocked() {
@@ -72,16 +92,6 @@ void WindowedView::AdvanceLocked() {
       }
     }
   }
-}
-
-LdpJoinSketchServer WindowedView::Finalized() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (dirty_ || !cached_finalized_.has_value()) {
-    cached_finalized_ = acc_;  // copy; the accumulator keeps its raw lanes
-    cached_finalized_->Finalize();
-    dirty_ = false;
-  }
-  return *cached_finalized_;
 }
 
 LdpJoinSketchServer WindowedView::RawWindow() const {

@@ -20,7 +20,7 @@
 // Until `expected_regions` distinct regions have pushed at least one
 // epoch, there is no frontier and the window is empty.
 //
-// Cache invalidation rules:
+// Accumulator maintenance rules:
 //   - a fresh snapshot at epoch e <= E (the laggard region catching the
 //     frontier up) merges into the accumulator;
 //   - a snapshot at epoch e > E is retained as pending and merges when E
@@ -29,22 +29,30 @@
 //     accumulator and their stored snapshots freed;
 //   - duplicates never reach this class — the central's (region, epoch)
 //     dedup calls the observer exactly once per applied snapshot.
-// The finalized view is computed copy-on-read only when the accumulator is
-// dirty; a steady-state query returns a copy of the cached finalized
-// sketch — no shard merges, no Hadamard transforms.
+//
+// Read side (RCU publication): whenever an applied epoch changes the
+// accumulator or moves the frontier, the WRITER finalizes a copy and
+// publishes it as an immutable PublishedView through an atomic
+// shared_ptr swap. Readers call Published() — one atomic load, no copy,
+// and no lock shared with the ingest/observer path — and estimate against
+// a snapshot that can never change underneath them. This replaces the old
+// copy-on-read cache, which copied the whole k·m sketch under mu_ on
+// EVERY call even when clean and serialized readers against writers.
 //
 // Memory: one accumulator plus the stored snapshots — at most W in-window
 // epochs per region, plus whatever a region has pushed ahead of the
-// frontier (bounded in practice by the cut cadence spread between regions).
+// frontier (bounded in practice by the cut cadence spread between regions) —
+// plus the published snapshot (readers may briefly keep predecessors alive).
 #ifndef LDPJS_FEDERATION_WINDOWED_VIEW_H_
 #define LDPJS_FEDERATION_WINDOWED_VIEW_H_
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
-#include <optional>
 
 #include "core/ldp_join_sketch.h"
+#include "service/published_view.h"
 
 namespace ldpjs {
 
@@ -72,10 +80,19 @@ class WindowedView {
   void OnEpochApplied(uint32_t region_id, uint64_t epoch,
                       LdpJoinSketchServer* snapshot);
 
+  /// The latest published immutable window view — one atomic load, no
+  /// locks shared with OnEpochApplied, never null (an empty view is
+  /// published at construction). THE steady-state read path: estimate
+  /// directly against Published()->sketch.
+  std::shared_ptr<const PublishedView> Published() const {
+    return publisher_.Current();
+  }
+
   /// Finalized copy of the window accumulator — the sketch to estimate
-  /// with. Copy-on-read: finalizes only when the accumulator changed since
-  /// the last call, otherwise returns a copy of the cached result.
-  LdpJoinSketchServer Finalized() const;
+  /// with. Compatibility wrapper over Published(): still lock-free (the
+  /// writer publishes at every change), but copies the sketch — hot read
+  /// paths should hold Published() instead.
+  LdpJoinSketchServer Finalized() const { return Published()->sketch; }
 
   /// Raw-lane copy of the window accumulator (un-finalized; tests merge /
   /// compare it).
@@ -112,8 +129,12 @@ class WindowedView {
 
   /// Recomputes the frontier and reconciles the accumulator with the
   /// window (E-W, E]: merge what entered, subtract what expired, free what
-  /// slid past. Requires mu_.
+  /// slid past. Requires mu_. Sets dirty_ when the accumulator changed.
   void AdvanceLocked();
+
+  /// Finalizes a copy of the accumulator and swaps it into the publisher.
+  /// Requires mu_ (writer side only — readers never come here).
+  void PublishLocked();
 
   const uint64_t window_;
   const size_t expected_regions_;
@@ -125,8 +146,12 @@ class WindowedView {
   uint64_t frontier_ = 0;
   uint64_t in_window_ = 0;
   uint64_t expired_ = 0;
-  mutable bool dirty_ = true;
-  mutable std::optional<LdpJoinSketchServer> cached_finalized_;
+  bool dirty_ = false;  ///< accumulator changed since the last publish; mu_
+  /// Last published (aligned, frontier) — republish when either moves even
+  /// if the accumulator did not (e.g. heartbeat-only frontier advance).
+  bool pub_aligned_ = false;   ///< mu_
+  uint64_t pub_frontier_ = 0;  ///< mu_
+  ViewPublisher publisher_;
 };
 
 }  // namespace ldpjs

@@ -19,6 +19,7 @@ Result<FrameSender> FrameSender::Connect(const std::string& host,
   }
 
   SessionHello hello;
+  hello.version = options.announce_version;
   hello.k = static_cast<uint32_t>(params.k);
   hello.m = static_cast<uint32_t>(params.m);
   hello.seed = params.seed;
@@ -38,8 +39,12 @@ Result<FrameSender> FrameSender::Connect(const std::string& host,
   }
   auto session = DecodeHelloOk(reply->payload);
   if (!session.ok()) return session.status();
-  if (session->version != kNetVersion) {
-    return Status::FailedPrecondition("server speaks LJSP version " +
+  // The server answers with the negotiated session version — the minimum
+  // of the two sides — so it can never exceed what we announced or fall
+  // below the oldest version this build still speaks.
+  if (session->version < kNetMinVersion ||
+      session->version > options.announce_version) {
+    return Status::FailedPrecondition("server negotiated LJSP version " +
                                       std::to_string(session->version));
   }
   return FrameSender(std::move(*socket), *session, options);
@@ -139,6 +144,36 @@ Status FrameSender::Ping() {
     return Status::Corruption("expected PING_OK");
   }
   return Status::OK();
+}
+
+Result<QueryResponse> FrameSender::Query(const QueryRequest& request) {
+  LDPJS_CHECK(!finished_);
+  if (session_.version < 3) {
+    return Status::FailedPrecondition(
+        "QUERY requires LJSP v3; session negotiated v" +
+        std::to_string(session_.version));
+  }
+  const std::vector<uint8_t> payload = EncodeQueryRequest(request);
+  if (payload.size() > kMaxQueryFramePayload) {
+    // The server would refuse the frame from its length prefix alone and
+    // cut the connection; reject here so the caller gets an actionable
+    // error (shrink the probe/middles) instead of a mid-send reset — and
+    // the session stays usable for the next query.
+    return Status::InvalidArgument(
+        "QUERY payload of " + std::to_string(payload.size()) +
+        " bytes exceeds kMaxQueryFramePayload (" +
+        std::to_string(kMaxQueryFramePayload) +
+        "); shrink the probe sketch or middle matrices");
+  }
+  LDPJS_RETURN_IF_ERROR(WriteNetFrame(socket_, NetFrameType::kQuery, payload));
+  ++frames_sent_;
+  bytes_sent_ += 5 + payload.size();
+  auto reply = ReadReply();
+  if (!reply.ok()) return reply.status();
+  if (reply->type != NetFrameType::kQueryOk) {
+    return Status::Corruption("expected QUERY_OK");
+  }
+  return DecodeQueryResponse(reply->payload);
 }
 
 Status FrameSender::RequestFinalize() {

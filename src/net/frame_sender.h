@@ -49,6 +49,11 @@ class FrameSender {
     /// restart/collision sync built on it.
     bool announce_region = false;
     uint32_t region_id = 0;
+    /// Protocol version announced in the HELLO. The session speaks the
+    /// minimum of this and the server's version (read it back with
+    /// negotiated_version()). Tests set 2 to exercise a v2 session against
+    /// a v3 server; real clients leave the default.
+    uint8_t announce_version = kNetVersion;
   };
 
   /// Connects and completes the handshake. Fails with the server's ERROR
@@ -94,8 +99,18 @@ class FrameSender {
 
   /// Ingest barrier: returns once the server has absorbed every frame this
   /// connection sent so far (PING/PING_OK — no lanes shipped back, unlike
-  /// SnapshotRawSketch). The session stays open, unlike Finish().
+  /// SnapshotRawSketch). The session stays open, unlike Finish(). On a v3
+  /// session the server also republishes its query view at the barrier, so
+  /// Ping-then-Query reads your own writes.
   Status Ping();
+
+  /// v3 read path: one query against the server's published finalized
+  /// view (join size / frequency / frequent items / multiway chain / AQP
+  /// range kinds — see QueryKind). Fails with FailedPrecondition without
+  /// touching the wire when the session negotiated < v3, and with the
+  /// server's ERROR status when it rejects the request (mismatched probe
+  /// params, oversized domain, ...). The session stays open either way.
+  Result<QueryResponse> Query(const QueryRequest& request);
 
   /// Asks the server to end collection (the CLI `serve` loop exits, drains,
   /// and finalizes). FINALIZE is processed after every frame this
@@ -117,6 +132,8 @@ class FrameSender {
 
   uint32_t server_shards() const { return session_.num_shards; }
   bool acked_data() const { return session_.acked_data; }
+  /// The version this session actually speaks: min(ours, server's).
+  uint8_t negotiated_version() const { return session_.version; }
   /// First epoch the server has not applied for the announced region
   /// (0 when no region was announced or the server never heard from it).
   uint64_t region_next_epoch() const { return session_.region_next_epoch; }

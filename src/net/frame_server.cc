@@ -8,6 +8,7 @@
 
 #include "common/backoff.h"
 #include "common/fault_injector.h"
+#include "service/query_engine.h"
 
 namespace ldpjs {
 
@@ -28,7 +29,8 @@ FrameServer::FrameServer(const SketchParams& params, double epsilon,
       epsilon_(epsilon),
       options_(options),
       max_session_payload_(
-          std::max(kMaxIngestFramePayload, EpochPushPayloadBound(params) + 64)),
+          std::max({kMaxIngestFramePayload, EpochPushPayloadBound(params) + 64,
+                    kMaxQueryFramePayload + 64})),
       aggregator_(params, epsilon,
                   options.num_shards == 0 ? 1 : options.num_shards) {
   LDPJS_CHECK(options_.queue_capacity >= 1);
@@ -49,6 +51,9 @@ Status FrameServer::Start() {
   listener_ = std::move(*listener);
   port_ = listener_.local_port();
   started_ = true;
+  // Initial empty publication: CurrentPublishedView() is never null once
+  // the server is up, so query paths have no "not yet published" branch.
+  PublishView();
   acceptor_ = std::thread(&FrameServer::AcceptLoop, this);
   for (size_t s = 0; s < lanes_.size(); ++s) {
     lanes_[s]->pump = std::thread(&FrameServer::PumpLoop, this, s);
@@ -157,7 +162,11 @@ void FrameServer::ReaderLoop(Connection* conn) {
                            std::to_string(params_.k) +
                            " m=" + std::to_string(params_.m)));
     } else {
+      // Version negotiation: the session speaks min(theirs, ours). A v2
+      // peer keeps its exact v2 session; QUERY is gated on >= 3 below.
+      conn->version = std::min(hello->version, kNetVersion);
       SessionHelloOk ok;
+      ok.version = conn->version;
       ok.num_shards = static_cast<uint32_t>(aggregator_.num_shards());
       ok.acked_data = options_.backpressure == BackpressurePolicy::kShed;
       if (hello->has_region) {
@@ -203,23 +212,48 @@ void FrameServer::ReaderLoop(Connection* conn) {
       if (frame.status().code() != StatusCode::kNotFound) {
         conn->corrupt_frames.fetch_add(1, std::memory_order_relaxed);
         SendError(*conn, frame.status());
+        // Shut the socket down NOW, not when the next accept/exit reaps the
+        // Connection: a peer mid-send on an oversized frame is blocked in
+        // send() with a full socket buffer, and only an RST unblocks it.
+        // Leaving the fd open parks that peer until unrelated traffic
+        // arrives — on an otherwise idle server, forever.
+        conn->socket.ShutdownBoth();
       }
       break;
     }
     const bool is_data = frame->type == NetFrameType::kData;
+    const bool is_query = frame->type == NetFrameType::kQuery;
     const bool is_control = frame->type == NetFrameType::kSnapshot ||
                             frame->type == NetFrameType::kEpochPush ||
                             frame->type == NetFrameType::kFinalize ||
                             frame->type == NetFrameType::kPing ||
                             frame->type == NetFrameType::kBye;
-    if (!is_data && !is_control) {
+    if (!is_data && !is_control && !is_query) {
       conn->corrupt_frames.fetch_add(1, std::memory_order_relaxed);
       SendError(*conn, Status::Corruption("unexpected client frame type"));
+      conn->socket.ShutdownBoth();
       break;
     }
     conn->frames_received.fetch_add(1, std::memory_order_relaxed);
     conn->bytes_received.fetch_add(kFrameHeaderBytes + frame->payload.size(),
                                    std::memory_order_relaxed);
+
+    if (is_query) {
+      // Deliberately NOT behind WaitConnDrained: a query reads the latest
+      // published view and nothing else, so it can never stall behind —
+      // or hold up — ingest or the finalize barrier.
+      if (conn->version < 3) {
+        conn->corrupt_frames.fetch_add(1, std::memory_order_relaxed);
+        queries_rejected_.fetch_add(1, std::memory_order_relaxed);
+        SendError(*conn, Status::FailedPrecondition(
+                             "QUERY requires LJSP v3; session negotiated v" +
+                             std::to_string(conn->version)));
+        conn->socket.ShutdownBoth();
+        break;
+      }
+      if (!HandleQuery(*conn, frame->payload)) break;
+      continue;
+    }
 
     if (is_data) {
       // Shard-affine routing: connection-local round-robin spreads a single
@@ -297,6 +331,10 @@ void FrameServer::ReaderLoop(Connection* conn) {
           session_open = false;
           break;
         }
+        // The finalizing client's frames are all drained (barrier above):
+        // publish them so queries arriving after the collection ends see
+        // the complete view.
+        PublishView();
         {
           std::lock_guard<std::mutex> g(conn->write_mu);
           if (!WriteNetFrame(conn->socket, NetFrameType::kFinalizeOk, {})
@@ -324,6 +362,9 @@ void FrameServer::ReaderLoop(Connection* conn) {
       case NetFrameType::kPing: {
         // The WaitConnDrained above is the whole point: PING_OK promises
         // "everything you sent is in the lanes" without shipping them back.
+        // Republish before acking, so "ping, then query" reads your own
+        // writes from the published view.
+        PublishView();
         std::lock_guard<std::mutex> g(conn->write_mu);
         if (!WriteNetFrame(conn->socket, NetFrameType::kPingOk, {}).ok()) {
           conn->socket.ShutdownBoth();
@@ -447,6 +488,9 @@ void FrameServer::HandleEpochPush(Connection& conn,
       options_.epoch_observer(push->region_id, push->epoch,
                               heartbeat ? nullptr : &*snapshot);
     }
+    // Same before-the-ack rule for the lifetime view: once the region
+    // reads EPOCH_PUSH_OK, queries serve a view containing the epoch.
+    PublishView();
     {
       std::lock_guard<std::mutex> lock(mu_);
       regions_[push->region_id].inflight.erase(push->epoch);
@@ -590,6 +634,50 @@ LdpJoinSketchServer FrameServer::FinalizedView() const {
   return merged;
 }
 
+void FrameServer::PublishView() {
+  LdpJoinSketchServer merged = MergeShardsLocked();
+  merged.Finalize();
+  // The lifetime view has no window frontier: aligned=false, epoch=0.
+  publisher_.Publish(std::move(merged), /*aligned=*/false, /*epoch=*/0);
+}
+
+bool FrameServer::HandleQuery(Connection& conn,
+                              std::span<const uint8_t> payload) {
+  auto request = DecodeQueryRequest(payload);
+  if (!request.ok()) {
+    // Undecodable bytes: protocol violation — cut the connection like any
+    // other corrupt frame.
+    conn.corrupt_frames.fetch_add(1, std::memory_order_relaxed);
+    queries_rejected_.fetch_add(1, std::memory_order_relaxed);
+    SendError(conn, request.status());
+    conn.socket.ShutdownBoth();
+    return false;
+  }
+  const std::shared_ptr<const PublishedView> view =
+      options_.query_view_source ? options_.query_view_source()
+                                 : publisher_.Current();
+  auto response = AnswerQuery(*view, *request);
+  if (!response.ok()) {
+    // Semantically invalid (mismatched probe shape, oversized domain...):
+    // answer with the error and keep the session — the next query may be
+    // well-formed.
+    queries_rejected_.fetch_add(1, std::memory_order_relaxed);
+    SendError(conn, response.status());
+    return true;
+  }
+  query_frames_.fetch_add(1, std::memory_order_relaxed);
+  query_kind_served_[static_cast<size_t>(request->kind)].fetch_add(
+      1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> g(conn.write_mu);
+  if (!WriteNetFrame(conn.socket, NetFrameType::kQueryOk,
+                     EncodeQueryResponse(*response))
+           .ok()) {
+    conn.socket.ShutdownBoth();
+    return false;
+  }
+  return true;
+}
+
 void FrameServer::DisconnectClients() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& conn : connections_) conn->socket.ShutdownBoth();
@@ -663,6 +751,19 @@ NetMetrics FrameServer::metrics() const {
       accept_backoff_micros_.load(std::memory_order_relaxed) / 1000;
   if (const FaultInjector* injector = FaultInjector::Active()) {
     m.faults_injected = injector->total_injected();
+  }
+  m.query_frames = query_frames_.load(std::memory_order_relaxed);
+  m.queries_rejected = queries_rejected_.load(std::memory_order_relaxed);
+  m.views_published = publisher_.publications();
+  static constexpr const char* kQueryKindNames[6] = {
+      "join_size", "frequency",   "frequent_items",
+      "multiway",  "range_count", "predicate_join"};
+  for (size_t i = 0; i < 6; ++i) {
+    const uint64_t served =
+        query_kind_served_[i].load(std::memory_order_relaxed);
+    if (served > 0) {
+      m.query_kinds.push_back(QueryKindMetrics{kQueryKindNames[i], served});
+    }
   }
   m.connections.assign(departed_.begin(), departed_.end());
   for (const auto& conn : connections_) {

@@ -58,6 +58,7 @@
 #include "core/ldp_join_sketch.h"
 #include "net/net_metrics.h"
 #include "net/protocol.h"
+#include "service/published_view.h"
 #include "service/sharded_aggregator.h"
 
 namespace ldpjs {
@@ -102,6 +103,14 @@ struct FrameServerOptions {
   std::function<void(uint32_t region_id, uint64_t epoch,
                      LdpJoinSketchServer* snapshot)>
       epoch_observer;
+  /// Where QUERY frames read from. Unset (default): the server's own
+  /// published lifetime view (everything merged so far, republished at
+  /// every EPOCH_PUSH, PING barrier, and FINALIZE). Set it to route
+  /// queries elsewhere — a windowed CentralNode points it at its
+  /// WindowedView's publisher so QUERY answers cover the sliding window.
+  /// Must be cheap and lock-free (called per query on reader threads);
+  /// must never return null.
+  std::function<std::shared_ptr<const PublishedView>()> query_view_source;
 };
 
 class FrameServer {
@@ -135,8 +144,22 @@ class FrameServer {
 
   /// A finalized copy of everything currently in the lanes, without
   /// disturbing collection — how a central aggregator answers estimates at
-  /// an epoch boundary while regions keep streaming.
+  /// an epoch boundary while regions keep streaming. Takes every shard
+  /// lock and copies k·m lanes per call; steady-state readers should hold
+  /// CurrentPublishedView() instead.
   LdpJoinSketchServer FinalizedView() const;
+
+  /// The latest RCU-published lifetime view (atomic load, no ingest
+  /// locks). Published at Start (empty), at every applied EPOCH_PUSH, at
+  /// every PING barrier, and at FINALIZE — so "ping, then query" reads
+  /// your own writes. Never null after Start.
+  std::shared_ptr<const PublishedView> CurrentPublishedView() const {
+    return publisher_.Current();
+  }
+
+  /// Merges and finalizes the current lanes and publishes them as a fresh
+  /// view (what PING does implicitly). Callable any time after Start.
+  void PublishView();
 
   /// Disconnects every currently attached client (their queued frames are
   /// still drained; the listener stays open, so clients may reconnect).
@@ -164,6 +187,9 @@ class FrameServer {
   struct Connection {
     uint64_t id = 0;
     Socket socket;
+    /// Negotiated LJSP version (min of client's HELLO and ours). QUERY is
+    /// only legal at >= 3; a v2 session sending one gets ERROR + close.
+    uint8_t version = kNetVersion;
     std::thread reader;
     std::mutex write_mu;       ///< serializes socket writes (acks, replies)
     bool reader_done = false;  ///< guarded by FrameServer::mu_
@@ -215,6 +241,10 @@ class FrameServer {
   void WaitConnDrained(Connection* conn);
   void HandleSnapshot(Connection& conn);
   void HandleEpochPush(Connection& conn, std::span<const uint8_t> payload);
+  /// Answers one QUERY from the published view. Returns false when the
+  /// connection should be closed (corrupt payload). Never waits on the
+  /// drain barrier — queries cannot stall, or be stalled by, ingest.
+  bool HandleQuery(Connection& conn, std::span<const uint8_t> payload);
   bool AllReadersDone() const;  ///< requires mu_
   void ReapFinishedConnections();
   ConnectionMetrics SnapshotConnection(const Connection& conn) const;
@@ -261,6 +291,13 @@ class FrameServer {
   size_t anonymous_finalizes_ = 0;
   std::set<uint32_t> finalized_regions_;
   bool finalized_ = false;
+  /// RCU-published lifetime view (see CurrentPublishedView).
+  ViewPublisher publisher_;
+  /// Query counters: answered frames, rejected (corrupt/invalid/v2), and
+  /// per-kind served rows. Lock-free — queries never touch mu_.
+  std::atomic<uint64_t> query_frames_{0};
+  std::atomic<uint64_t> queries_rejected_{0};
+  std::atomic<uint64_t> query_kind_served_[6] = {};
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> handshakes_rejected_{0};
   std::atomic<uint64_t> accept_failures_{0};      ///< transient, retried

@@ -45,6 +45,18 @@ std::string NetMetricsToJson(const NetMetrics& m) {
   AppendField(out, "spool_bytes_written", m.spool_bytes_written, &first);
   AppendField(out, "spool_bytes_resumed", m.spool_bytes_resumed, &first);
   AppendField(out, "spool_epochs_resumed", m.spool_epochs_resumed, &first);
+  AppendField(out, "query_frames", m.query_frames, &first);
+  AppendField(out, "queries_rejected", m.queries_rejected, &first);
+  AppendField(out, "views_published", m.views_published, &first);
+  out += ",\"query_kinds\":{";
+  for (size_t i = 0; i < m.query_kinds.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '"';
+    out += m.query_kinds[i].kind;
+    out += "\":";
+    out += std::to_string(m.query_kinds[i].served);
+  }
+  out += '}';
   out += ",\"connections\":[";
   for (size_t i = 0; i < m.connections.size(); ++i) {
     const ConnectionMetrics& c = m.connections[i];

@@ -42,6 +42,13 @@ struct RegionMetrics {
   uint64_t next_epoch = 0;         ///< first epoch not yet applied
 };
 
+/// Per-query-kind served counters (one row per QueryKind the server has
+/// answered at least once).
+struct QueryKindMetrics {
+  std::string kind;     ///< "join_size", "frequency", ...
+  uint64_t served = 0;  ///< QUERY_OK replies of this kind
+};
+
 struct NetMetrics {
   uint64_t connections_accepted = 0;
   uint64_t connections_active = 0;
@@ -69,6 +76,11 @@ struct NetMetrics {
   uint64_t spool_bytes_written = 0; ///< durable spool appends
   uint64_t spool_bytes_resumed = 0; ///< spool bytes replayed at restart
   uint64_t spool_epochs_resumed = 0;///< pending epochs rebuilt from spool
+  // Read-side serving tier (LJSP v3 QUERY).
+  uint64_t query_frames = 0;       ///< queries answered with QUERY_OK
+  uint64_t queries_rejected = 0;   ///< corrupt/invalid/pre-v3 queries
+  uint64_t views_published = 0;    ///< RCU view publications so far
+  std::vector<QueryKindMetrics> query_kinds;  ///< served count per kind
   std::vector<ConnectionMetrics> connections;
   std::vector<ShardMetrics> shards;
   std::vector<RegionMetrics> regions;

@@ -8,7 +8,7 @@ namespace {
 
 bool IsKnownFrameType(uint8_t type) {
   return type >= static_cast<uint8_t>(NetFrameType::kHello) &&
-         type <= static_cast<uint8_t>(NetFrameType::kPingOk);
+         type <= static_cast<uint8_t>(NetFrameType::kQueryOk);
 }
 
 }  // namespace
@@ -16,7 +16,7 @@ bool IsKnownFrameType(uint8_t type) {
 std::vector<uint8_t> EncodeHello(const SessionHello& hello) {
   BinaryWriter writer;
   writer.PutU32(kNetMagic);
-  writer.PutU8(kNetVersion);
+  writer.PutU8(hello.version);
   writer.PutU32(hello.k);
   writer.PutU32(hello.m);
   writer.PutU64(hello.seed);
@@ -35,11 +35,16 @@ Result<SessionHello> DecodeHello(std::span<const uint8_t> payload) {
   }
   auto version = reader.GetU8();
   if (!version.ok()) return version.status();
-  if (*version != kNetVersion) {
+  // The HELLO layout is identical across every version we speak, so any
+  // version in [kNetMinVersion, kNetVersion] parses; the server answers
+  // with the negotiated minimum. Anything outside the band is rejected —
+  // a future layout change could not be parsed here anyway.
+  if (*version < kNetMinVersion || *version > kNetVersion) {
     return Status::Corruption("unsupported LJSP protocol version " +
                               std::to_string(*version));
   }
   SessionHello hello;
+  hello.version = *version;
   auto k = reader.GetU32();
   if (!k.ok()) return k.status();
   auto m = reader.GetU32();
@@ -161,6 +166,164 @@ size_t EpochPushPayloadBound(const SketchParams& params) {
   const size_t sketch_bytes =
       LdpJoinSketchServer(params, /*epsilon=*/1.0).Serialize().size();
   return kEpochPushHeaderBytes + sketch_bytes;
+}
+
+std::vector<uint8_t> EncodeQueryRequest(const QueryRequest& request) {
+  BinaryWriter writer;
+  writer.PutU8(static_cast<uint8_t>(request.kind));
+  switch (request.kind) {
+    case QueryKind::kJoinSize:
+      writer.PutFrame(request.probe_sketch);
+      break;
+    case QueryKind::kFrequency:
+      writer.PutU64(request.key);
+      break;
+    case QueryKind::kFrequentItems:
+      writer.PutU64(request.domain);
+      writer.PutDouble(request.threshold);
+      break;
+    case QueryKind::kMultiwayChain:
+      writer.PutU32(static_cast<uint32_t>(request.middles.size()));
+      for (const auto& middle : request.middles) writer.PutFrame(middle);
+      writer.PutFrame(request.probe_sketch);
+      break;
+    case QueryKind::kRangeCount:
+      writer.PutU64(request.range_lo);
+      writer.PutU64(request.range_hi);
+      break;
+    case QueryKind::kPredicateJoin:
+      writer.PutU64(request.range_lo);
+      writer.PutU64(request.range_hi);
+      writer.PutFrame(request.probe_sketch);
+      break;
+  }
+  return writer.TakeBuffer();
+}
+
+Result<QueryRequest> DecodeQueryRequest(std::span<const uint8_t> payload) {
+  BinaryReader reader(payload);
+  auto kind = reader.GetU8();
+  if (!kind.ok()) return kind.status();
+  if (*kind > static_cast<uint8_t>(QueryKind::kPredicateJoin)) {
+    return Status::Corruption("unknown query kind " + std::to_string(*kind));
+  }
+  QueryRequest request;
+  request.kind = static_cast<QueryKind>(*kind);
+  switch (request.kind) {
+    case QueryKind::kJoinSize: {
+      auto probe = reader.GetFrame();
+      if (!probe.ok()) return probe.status();
+      request.probe_sketch.assign(probe->begin(), probe->end());
+      break;
+    }
+    case QueryKind::kFrequency: {
+      auto key = reader.GetU64();
+      if (!key.ok()) return key.status();
+      request.key = *key;
+      break;
+    }
+    case QueryKind::kFrequentItems: {
+      auto domain = reader.GetU64();
+      if (!domain.ok()) return domain.status();
+      auto threshold = reader.GetDouble();
+      if (!threshold.ok()) return threshold.status();
+      request.domain = *domain;
+      request.threshold = *threshold;
+      break;
+    }
+    case QueryKind::kMultiwayChain: {
+      auto count = reader.GetU32();
+      if (!count.ok()) return count.status();
+      if (*count > kMaxQueryMiddles) {
+        return Status::Corruption("multiway query with " +
+                                  std::to_string(*count) + " middles");
+      }
+      request.middles.reserve(*count);
+      for (uint32_t i = 0; i < *count; ++i) {
+        auto middle = reader.GetFrame();
+        if (!middle.ok()) return middle.status();
+        request.middles.emplace_back(middle->begin(), middle->end());
+      }
+      auto probe = reader.GetFrame();
+      if (!probe.ok()) return probe.status();
+      request.probe_sketch.assign(probe->begin(), probe->end());
+      break;
+    }
+    case QueryKind::kRangeCount:
+    case QueryKind::kPredicateJoin: {
+      auto lo = reader.GetU64();
+      if (!lo.ok()) return lo.status();
+      auto hi = reader.GetU64();
+      if (!hi.ok()) return hi.status();
+      request.range_lo = *lo;
+      request.range_hi = *hi;
+      if (request.kind == QueryKind::kPredicateJoin) {
+        auto probe = reader.GetFrame();
+        if (!probe.ok()) return probe.status();
+        request.probe_sketch.assign(probe->begin(), probe->end());
+      }
+      break;
+    }
+  }
+  if (!reader.AtEnd()) return Status::Corruption("trailing bytes after QUERY");
+  return request;
+}
+
+std::vector<uint8_t> EncodeQueryResponse(const QueryResponse& response) {
+  BinaryWriter writer;
+  writer.PutU8(static_cast<uint8_t>(response.kind));
+  writer.PutU64(response.view_sequence);
+  writer.PutU8(response.view_aligned ? 1 : 0);
+  writer.PutU64(response.view_epoch);
+  writer.PutU64(response.view_reports);
+  writer.PutDouble(response.value);
+  writer.PutU64(response.items.size());
+  for (uint64_t item : response.items) writer.PutU64(item);
+  return writer.TakeBuffer();
+}
+
+Result<QueryResponse> DecodeQueryResponse(std::span<const uint8_t> payload) {
+  BinaryReader reader(payload);
+  auto kind = reader.GetU8();
+  if (!kind.ok()) return kind.status();
+  if (*kind > static_cast<uint8_t>(QueryKind::kPredicateJoin)) {
+    return Status::Corruption("unknown query kind in QUERY_OK");
+  }
+  auto sequence = reader.GetU64();
+  if (!sequence.ok()) return sequence.status();
+  auto aligned = reader.GetU8();
+  if (!aligned.ok()) return aligned.status();
+  if (*aligned > 1) {
+    return Status::Corruption("QUERY_OK aligned flag is not 0 or 1");
+  }
+  auto epoch = reader.GetU64();
+  if (!epoch.ok()) return epoch.status();
+  auto reports = reader.GetU64();
+  if (!reports.ok()) return reports.status();
+  auto value = reader.GetDouble();
+  if (!value.ok()) return value.status();
+  auto item_count = reader.GetU64();
+  if (!item_count.ok()) return item_count.status();
+  if (*item_count > reader.remaining() / 8) {
+    return Status::Corruption("QUERY_OK item list exceeds buffer");
+  }
+  QueryResponse response;
+  response.kind = static_cast<QueryKind>(*kind);
+  response.view_sequence = *sequence;
+  response.view_aligned = *aligned != 0;
+  response.view_epoch = *epoch;
+  response.view_reports = *reports;
+  response.value = *value;
+  response.items.reserve(*item_count);
+  for (uint64_t i = 0; i < *item_count; ++i) {
+    auto item = reader.GetU64();
+    if (!item.ok()) return item.status();
+    response.items.push_back(*item);
+  }
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes after QUERY_OK");
+  }
+  return response;
 }
 
 std::vector<uint8_t> EncodeErrorPayload(const Status& status) {

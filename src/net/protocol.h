@@ -53,7 +53,17 @@ inline constexpr uint32_t kNetMagic = 0x50534A4CU;  // "LJSP" little-endian
 /// EPOCH_PUSH_OK carries the same next-epoch alongside its ack code; PING/
 /// PING_OK give clients a cheap ordered-after-DATA ingest barrier. v1
 /// peers are rejected at the handshake with a clear error.
-inline constexpr uint8_t kNetVersion = 2;
+///
+/// v3: the HELLO carries the client's version and the HELLO_OK echoes the
+/// negotiated one (min of the two sides), so v2 peers keep working
+/// unchanged; on a v3 session the client may send QUERY frames — join-size
+/// / frequency / frequent-items / multiway-chain / AQP range estimates
+/// answered from the server's RCU-published finalized view (see
+/// service/published_view.h) without ever touching the ingest locks. A v2
+/// session sending QUERY gets ERROR + close.
+inline constexpr uint8_t kNetVersion = 3;
+/// Oldest protocol version this build still speaks.
+inline constexpr uint8_t kNetMinVersion = 2;
 
 /// Frame types. Client→server: kHello, kData, kSnapshot, kFinalize, kBye,
 /// kEpochPush, kPing. Server→client: kHelloOk, kDataAck, kSnapshotData,
@@ -94,6 +104,17 @@ enum class NetFrameType : uint8_t {
   /// cut, where SNAPSHOT (which ships the full lanes back) would be waste.
   kPing = 14,
   kPingOk = 15,
+  /// v3 read path: one query against the server's published finalized view.
+  /// Payload: a QueryRequest (see below). Unlike the other non-DATA frames
+  /// a QUERY is NOT ordered after the connection's DATA — it is answered
+  /// immediately from the latest published snapshot, so a query can never
+  /// stall (or be stalled by) ingest or the finalize barrier. Clients that
+  /// want "my own writes visible" send PING first: the server republishes
+  /// at every PING barrier and epoch boundary.
+  kQuery = 16,
+  /// Payload: a QueryResponse — the answer plus the identity (sequence /
+  /// epoch / report count) of the published view that produced it.
+  kQueryOk = 17,
 };
 
 /// Hard cap on client→server frame payloads. A batch envelope is at most
@@ -103,6 +124,20 @@ inline constexpr size_t kMaxIngestFramePayload = 64 * 1024;
 
 /// Cap on server→client payloads (snapshots carry k·m raw i64 lanes).
 inline constexpr size_t kMaxControlFramePayload = size_t{256} * 1024 * 1024;
+
+/// Cap on a QUERY frame payload. The heavy kinds carry serialized sketches
+/// (a probe sketch is k·m doubles; a multiway middle is k·m1·m2), so this
+/// admits realistic probes and moderate middle matrices while keeping a
+/// hostile length prefix from making the server allocate unboundedly.
+inline constexpr size_t kMaxQueryFramePayload = size_t{32} * 1024 * 1024;
+
+/// Caps on the O(domain)/O(width) query kinds: a frequent-items or range
+/// scan costs O(domain·k) server-side, so an unbounded request is a DoS.
+/// Requests above these are rejected with InvalidArgument, never evaluated.
+inline constexpr uint64_t kMaxQueryDomain = uint64_t{1} << 22;
+inline constexpr uint64_t kMaxQueryRangeWidth = uint64_t{1} << 22;
+/// Cap on middle sketches in one multiway-chain query.
+inline constexpr size_t kMaxQueryMiddles = 8;
 
 /// DATA_ACK payload (one byte).
 enum class DataAckCode : uint8_t {
@@ -118,6 +153,10 @@ enum class DataAckCode : uint8_t {
 /// for that region — the sync a restarted incarnation uses to number its
 /// epochs above everything its predecessor already shipped.
 struct SessionHello {
+  /// The client's protocol version. The server accepts any version in
+  /// [kNetMinVersion, kNetVersion] and answers with the negotiated session
+  /// version (the minimum of the two sides) in HELLO_OK.
+  uint8_t version = kNetVersion;
   uint32_t k = 0;
   uint32_t m = 0;
   uint64_t seed = 0;
@@ -185,6 +224,66 @@ Result<EpochPush> DecodeEpochPush(std::span<const uint8_t> payload);
 /// session frames with max(kMaxIngestFramePayload, this) and a malicious
 /// length prefix still cannot make them allocate unboundedly.
 size_t EpochPushPayloadBound(const SketchParams& params);
+
+/// What a QUERY asks of the published view. Every kind is answered from
+/// one immutable snapshot, so the reply is internally consistent even
+/// while ingest and epoch cuts run concurrently.
+enum class QueryKind : uint8_t {
+  /// Join size |view ⋈ probe|: the probe payload is a serialized
+  /// LdpJoinSketchServer for the other table (raw lanes are finalized
+  /// server-side; params/seed must match the view's sketch).
+  kJoinSize = 0,
+  /// Thm-7 frequency estimate f̂(key).
+  kFrequency = 1,
+  /// Values in [0, domain) with f̂ > threshold (FAP phase 1). Sorted
+  /// ascending in the reply; domain capped by kMaxQueryDomain.
+  kFrequentItems = 2,
+  /// Chain join |view ⋈ M_1 ⋈ ... ⋈ M_p ⋈ probe| (Eq. 27): the payload
+  /// carries p serialized finalized LdpMultiwayServer middles plus the
+  /// right-end probe sketch; the published view is the left end.
+  kMultiwayChain = 3,
+  /// AQP COUNT(*) WHERE key in [lo, hi] (width capped).
+  kRangeCount = 4,
+  /// AQP join size restricted to keys in [lo, hi]: Σ f̂_view·f̂_probe.
+  kPredicateJoin = 5,
+};
+
+/// One decoded QUERY payload. Only the fields for `kind` are meaningful;
+/// the codec writes/reads exactly the fields that kind defines, so a
+/// truncated or over-long payload is always Corruption.
+struct QueryRequest {
+  QueryKind kind = QueryKind::kFrequency;
+  uint64_t key = 0;           ///< kFrequency
+  uint64_t domain = 0;        ///< kFrequentItems
+  double threshold = 0.0;     ///< kFrequentItems
+  uint64_t range_lo = 0;      ///< kRangeCount, kPredicateJoin
+  uint64_t range_hi = 0;      ///< kRangeCount, kPredicateJoin
+  /// Serialized LdpJoinSketchServer probe (kJoinSize, kMultiwayChain's
+  /// right end, kPredicateJoin).
+  std::vector<uint8_t> probe_sketch;
+  /// Serialized finalized LdpMultiwayServer middles (kMultiwayChain).
+  std::vector<std::vector<uint8_t>> middles;
+};
+
+std::vector<uint8_t> EncodeQueryRequest(const QueryRequest& request);
+Result<QueryRequest> DecodeQueryRequest(std::span<const uint8_t> payload);
+
+/// One QUERY_OK payload: the answer plus the identity of the published
+/// view that produced it. `value` is bit-exact over the wire (doubles are
+/// memcpy round-trips), which is what lets a served answer be pinned
+/// bit-identical to the in-process estimate on the same view.
+struct QueryResponse {
+  QueryKind kind = QueryKind::kFrequency;
+  uint64_t view_sequence = 0;  ///< publication counter of the view
+  bool view_aligned = false;   ///< windowed views: frontier established
+  uint64_t view_epoch = 0;     ///< aligned frontier (windowed) else 0
+  uint64_t view_reports = 0;   ///< reports inside the view's sketch
+  double value = 0.0;          ///< scalar answer (all kinds)
+  std::vector<uint64_t> items; ///< kFrequentItems: sorted ascending
+};
+
+std::vector<uint8_t> EncodeQueryResponse(const QueryResponse& response);
+Result<QueryResponse> DecodeQueryResponse(std::span<const uint8_t> payload);
 
 /// ERROR payload: one status-code byte plus the message bytes. The decoded
 /// Status is what the failing server-side operation returned, so a client

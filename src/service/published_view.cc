@@ -1,0 +1,21 @@
+#include "service/published_view.h"
+
+#include <utility>
+
+namespace ldpjs {
+
+std::shared_ptr<const PublishedView> ViewPublisher::Publish(
+    LdpJoinSketchServer finalized, bool aligned, uint64_t epoch) {
+  LDPJS_CHECK(finalized.finalized());
+  auto view = std::make_shared<const PublishedView>(
+      sequence_.fetch_add(1, std::memory_order_relaxed) + 1, aligned, epoch,
+      std::move(finalized));
+  current_.store(view, std::memory_order_release);
+  return view;
+}
+
+std::shared_ptr<const PublishedView> ViewPublisher::Current() const {
+  return current_.load(std::memory_order_acquire);
+}
+
+}  // namespace ldpjs

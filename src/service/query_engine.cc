@@ -1,0 +1,157 @@
+#include "service/query_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/aqp.h"
+#include "core/freq_items.h"
+#include "core/multiway.h"
+
+namespace ldpjs {
+
+namespace {
+
+/// Decodes a probe sketch and finalizes it if it arrived as raw lanes —
+/// clients may ship either; the estimate needs finalized cells.
+Result<LdpJoinSketchServer> DecodeProbe(std::span<const uint8_t> bytes) {
+  auto probe = LdpJoinSketchServer::Deserialize(bytes);
+  if (!probe.ok()) return probe.status();
+  if (!probe->finalized()) probe->Finalize();
+  return probe;
+}
+
+/// The probe must share the view sketch's shape and hash seed, or the
+/// downstream estimator would abort on its contract checks.
+Status CheckProbeMatches(const LdpJoinSketchServer& view_sketch,
+                         const LdpJoinSketchServer& probe) {
+  if (probe.params().k != view_sketch.params().k ||
+      probe.params().m != view_sketch.params().m ||
+      probe.params().seed != view_sketch.params().seed) {
+    return Status::InvalidArgument(
+        "probe sketch params do not match the served view (k/m/seed)");
+  }
+  return Status::OK();
+}
+
+Status CheckRange(uint64_t lo, uint64_t hi) {
+  if (lo > hi) return Status::InvalidArgument("query range lo > hi");
+  const uint64_t width = hi - lo + 1;  // lo <= hi, so no overflow
+  if (width == 0 || width > kMaxQueryRangeWidth) {
+    return Status::InvalidArgument("query range width exceeds the limit of " +
+                                   std::to_string(kMaxQueryRangeWidth));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<QueryResponse> AnswerQuery(const PublishedView& view,
+                                  const QueryRequest& request) {
+  QueryResponse response;
+  response.kind = request.kind;
+  response.view_sequence = view.sequence;
+  response.view_aligned = view.aligned;
+  response.view_epoch = view.epoch;
+  response.view_reports = view.reports();
+
+  switch (request.kind) {
+    case QueryKind::kJoinSize: {
+      auto probe = DecodeProbe(request.probe_sketch);
+      if (!probe.ok()) return probe.status();
+      LDPJS_RETURN_IF_ERROR(CheckProbeMatches(view.sketch, *probe));
+      response.value = view.sketch.JoinEstimate(*probe);
+      break;
+    }
+    case QueryKind::kFrequency: {
+      response.value = view.sketch.FrequencyEstimate(request.key);
+      break;
+    }
+    case QueryKind::kFrequentItems: {
+      if (request.domain == 0 || request.domain > kMaxQueryDomain) {
+        return Status::InvalidArgument(
+            "frequent-items domain must be in [1, " +
+            std::to_string(kMaxQueryDomain) + "]");
+      }
+      if (!std::isfinite(request.threshold)) {
+        return Status::InvalidArgument("frequent-items threshold not finite");
+      }
+      const std::unordered_set<uint64_t> items =
+          FindFrequentItems(view.sketch, request.domain, request.threshold);
+      response.items.assign(items.begin(), items.end());
+      std::sort(response.items.begin(), response.items.end());
+      response.value = static_cast<double>(response.items.size());
+      break;
+    }
+    case QueryKind::kMultiwayChain: {
+      if (request.middles.empty()) {
+        return Status::InvalidArgument("multiway chain needs >= 1 middle");
+      }
+      if (request.middles.size() > kMaxQueryMiddles) {
+        return Status::InvalidArgument("too many multiway middles");
+      }
+      std::vector<LdpMultiwayServer> middles;
+      middles.reserve(request.middles.size());
+      for (const auto& bytes : request.middles) {
+        auto middle = LdpMultiwayServer::Deserialize(bytes);
+        if (!middle.ok()) return middle.status();
+        if (!middle->finalized()) {
+          return Status::InvalidArgument(
+              "multiway middles must arrive finalized");
+        }
+        if (middle->params().k != view.sketch.params().k) {
+          return Status::InvalidArgument("multiway middle k mismatch");
+        }
+        middles.push_back(std::move(*middle));
+      }
+      auto probe = DecodeProbe(request.probe_sketch);
+      if (!probe.ok()) return probe.status();
+      if (probe->params().k != view.sketch.params().k) {
+        return Status::InvalidArgument("multiway probe k mismatch");
+      }
+      // Chain dimensions must agree link by link (the estimator CHECKs
+      // them): view.m == first.m_left, middle[i].m_right ==
+      // middle[i+1].m_left, last.m_right == probe.m.
+      int dim = view.sketch.params().m;
+      for (const LdpMultiwayServer& middle : middles) {
+        if (middle.params().m_left != dim) {
+          return Status::InvalidArgument("multiway chain dimension mismatch");
+        }
+        dim = middle.params().m_right;
+      }
+      if (probe->params().m != dim) {
+        return Status::InvalidArgument("multiway chain dimension mismatch");
+      }
+      std::vector<const LdpMultiwayServer*> middle_ptrs;
+      middle_ptrs.reserve(middles.size());
+      for (const LdpMultiwayServer& middle : middles) {
+        middle_ptrs.push_back(&middle);
+      }
+      response.value =
+          LdpChainJoinEstimate(view.sketch, middle_ptrs, *probe);
+      break;
+    }
+    case QueryKind::kRangeCount: {
+      LDPJS_RETURN_IF_ERROR(CheckRange(request.range_lo, request.range_hi));
+      response.value = RangeCountEstimate(
+          view.sketch, ValueRange{request.range_lo, request.range_hi});
+      break;
+    }
+    case QueryKind::kPredicateJoin: {
+      LDPJS_RETURN_IF_ERROR(CheckRange(request.range_lo, request.range_hi));
+      auto probe = DecodeProbe(request.probe_sketch);
+      if (!probe.ok()) return probe.status();
+      LDPJS_RETURN_IF_ERROR(CheckProbeMatches(view.sketch, *probe));
+      response.value = PredicateJoinEstimate(
+          view.sketch, *probe, ValueRange{request.range_lo, request.range_hi});
+      break;
+    }
+    default:
+      return Status::InvalidArgument("unknown query kind");
+  }
+  return response;
+}
+
+}  // namespace ldpjs

@@ -165,9 +165,12 @@ TEST(NetLoopbackTest, MalformedFramesAreCountedAndServerSurvives) {
   FrameServer server(params, epsilon, options);
   ASSERT_TRUE(server.Start().ok());
 
-  const std::vector<uint8_t> hello = EncodeHello(
-      SessionHello{static_cast<uint32_t>(params.k),
-                   static_cast<uint32_t>(params.m), params.seed, epsilon});
+  SessionHello hello_fields;
+  hello_fields.k = static_cast<uint32_t>(params.k);
+  hello_fields.m = static_cast<uint32_t>(params.m);
+  hello_fields.seed = params.seed;
+  hello_fields.epsilon = epsilon;
+  const std::vector<uint8_t> hello = EncodeHello(hello_fields);
   auto open_session = [&]() -> Socket {
     auto socket = Socket::ConnectTcp("127.0.0.1", server.port());
     EXPECT_TRUE(socket.ok());
@@ -240,9 +243,12 @@ TEST(NetLoopbackTest, MalformedFinalizePayloadsRejectedNotCounted) {
   FrameServer server(params, epsilon, options);
   ASSERT_TRUE(server.Start().ok());
 
-  const std::vector<uint8_t> hello = EncodeHello(
-      SessionHello{static_cast<uint32_t>(params.k),
-                   static_cast<uint32_t>(params.m), params.seed, epsilon});
+  SessionHello hello_fields;
+  hello_fields.k = static_cast<uint32_t>(params.k);
+  hello_fields.m = static_cast<uint32_t>(params.m);
+  hello_fields.seed = params.seed;
+  hello_fields.epsilon = epsilon;
+  const std::vector<uint8_t> hello = EncodeHello(hello_fields);
   auto open_session = [&]() -> Socket {
     auto socket = Socket::ConnectTcp("127.0.0.1", server.port());
     EXPECT_TRUE(socket.ok());

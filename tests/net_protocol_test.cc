@@ -81,6 +81,28 @@ TEST(NetProtocolTest, HelloRejectsBadMagicVersionAndTruncation) {
   }
 }
 
+TEST(NetProtocolTest, HelloVersionBandIsStrict) {
+  SessionHello hello;
+  hello.k = 18;
+  hello.m = 1024;
+  // v2 peers stay welcome (the band's floor), v3 is the default.
+  hello.version = 2;
+  auto v2 = DecodeHello(EncodeHello(hello));
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(v2->version, 2);
+  hello.version = kNetVersion;
+  auto v3 = DecodeHello(EncodeHello(hello));
+  ASSERT_TRUE(v3.ok());
+  EXPECT_EQ(v3->version, kNetVersion);
+  // v1 (below the floor) and a from-the-future v4 are both rejected.
+  for (const uint8_t version : {uint8_t{1}, uint8_t{kNetVersion + 1}}) {
+    hello.version = version;
+    EXPECT_EQ(DecodeHello(EncodeHello(hello)).status().code(),
+              StatusCode::kCorruption)
+        << "version=" << static_cast<int>(version);
+  }
+}
+
 TEST(NetProtocolTest, HelloOkRoundTrips) {
   SessionHelloOk ok;
   ok.num_shards = 7;
@@ -129,6 +151,111 @@ TEST(NetProtocolTest, PingFramesAreKnownTypes) {
   auto ping_ok = ReadNetFrame(b, kMaxIngestFramePayload);
   ASSERT_TRUE(ping_ok.ok());
   EXPECT_EQ(ping_ok->type, NetFrameType::kPingOk);
+}
+
+/// One request per QueryKind with every kind-relevant field set to a
+/// distinctive value, so a codec that drops or reorders a field cannot
+/// round-trip canonically.
+std::vector<QueryRequest> AllQueryKinds() {
+  std::vector<QueryRequest> requests;
+  QueryRequest join;
+  join.kind = QueryKind::kJoinSize;
+  join.probe_sketch = {1, 2, 3, 4, 5, 6, 7, 8};
+  requests.push_back(join);
+  QueryRequest freq;
+  freq.kind = QueryKind::kFrequency;
+  freq.key = 0x0123456789ABCDEFULL;
+  requests.push_back(freq);
+  QueryRequest topk;
+  topk.kind = QueryKind::kFrequentItems;
+  topk.domain = 4096;
+  topk.threshold = 2.5;
+  requests.push_back(topk);
+  QueryRequest chain;
+  chain.kind = QueryKind::kMultiwayChain;
+  chain.middles = {{9, 8, 7}, {6, 5}};
+  chain.probe_sketch = {4, 3, 2, 1};
+  requests.push_back(chain);
+  QueryRequest range;
+  range.kind = QueryKind::kRangeCount;
+  range.range_lo = 100;
+  range.range_hi = 900;
+  requests.push_back(range);
+  QueryRequest pred;
+  pred.kind = QueryKind::kPredicateJoin;
+  pred.range_lo = 7;
+  pred.range_hi = 77;
+  pred.probe_sketch = {0xAA, 0xBB};
+  requests.push_back(pred);
+  return requests;
+}
+
+TEST(NetProtocolTest, QueryRequestRoundTripsEveryKind) {
+  for (const QueryRequest& request : AllQueryKinds()) {
+    SCOPED_TRACE(static_cast<int>(request.kind));
+    const std::vector<uint8_t> bytes = EncodeQueryRequest(request);
+    auto decoded = DecodeQueryRequest(bytes);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->kind, request.kind);
+    // Canonical: re-encoding the decoded request reproduces the bytes, so
+    // every kind-relevant field survived exactly.
+    EXPECT_EQ(EncodeQueryRequest(*decoded), bytes);
+  }
+}
+
+TEST(NetProtocolTest, QueryRequestRejectsTruncationGarbageAndTrailing) {
+  // Unknown kind byte up front.
+  EXPECT_EQ(DecodeQueryRequest(std::vector<uint8_t>{6}).status().code(),
+            StatusCode::kCorruption);
+  EXPECT_FALSE(DecodeQueryRequest(std::vector<uint8_t>{}).ok());
+  for (const QueryRequest& request : AllQueryKinds()) {
+    SCOPED_TRACE(static_cast<int>(request.kind));
+    const std::vector<uint8_t> bytes = EncodeQueryRequest(request);
+    for (size_t cut = 0; cut < bytes.size(); ++cut) {
+      const std::vector<uint8_t> truncated(
+          bytes.begin(), bytes.begin() + static_cast<long>(cut));
+      EXPECT_FALSE(DecodeQueryRequest(truncated).ok()) << "cut=" << cut;
+    }
+    std::vector<uint8_t> trailing = bytes;
+    trailing.push_back(0);
+    EXPECT_EQ(DecodeQueryRequest(trailing).status().code(),
+              StatusCode::kCorruption);
+  }
+}
+
+TEST(NetProtocolTest, QueryResponseRoundTripsBitExactAndRejectsGarbage) {
+  QueryResponse response;
+  response.kind = QueryKind::kFrequentItems;
+  response.view_sequence = 41;
+  response.view_aligned = true;
+  response.view_epoch = 0xFEEDF00DULL;
+  response.view_reports = 123456789;
+  response.value = 0x1.fedcba9876543p+42;  // exercises every mantissa bit
+  response.items = {3, 1, 4, 1, 5, 9};
+  const std::vector<uint8_t> bytes = EncodeQueryResponse(response);
+  auto decoded = DecodeQueryResponse(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->kind, response.kind);
+  EXPECT_EQ(decoded->view_sequence, response.view_sequence);
+  EXPECT_EQ(decoded->view_aligned, response.view_aligned);
+  EXPECT_EQ(decoded->view_epoch, response.view_epoch);
+  EXPECT_EQ(decoded->view_reports, response.view_reports);
+  EXPECT_EQ(decoded->value, response.value);  // exact — memcpy round trip
+  EXPECT_EQ(decoded->items, response.items);
+
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    const std::vector<uint8_t> truncated(
+        bytes.begin(), bytes.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(DecodeQueryResponse(truncated).ok()) << "cut=" << cut;
+  }
+  std::vector<uint8_t> trailing = bytes;
+  trailing.push_back(0);
+  EXPECT_EQ(DecodeQueryResponse(trailing).status().code(),
+            StatusCode::kCorruption);
+  std::vector<uint8_t> bad_kind = bytes;
+  bad_kind[0] = 6;
+  EXPECT_EQ(DecodeQueryResponse(bad_kind).status().code(),
+            StatusCode::kCorruption);
 }
 
 TEST(NetProtocolTest, ErrorPayloadRoundTripsStatus) {

@@ -51,6 +51,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <string>
 #include <thread>
@@ -58,6 +59,7 @@
 
 #include "common/stats.h"
 #include "core/join_methods.h"
+#include "core/multiway.h"
 #include "core/simulation.h"
 #include "data/datasets.h"
 #include "data/join.h"
@@ -66,6 +68,8 @@
 #include "federation/regional_node.h"
 #include "net/frame_sender.h"
 #include "net/frame_server.h"
+#include "service/published_view.h"
+#include "service/query_engine.h"
 #include "tools/flags.h"
 
 namespace {
@@ -719,6 +723,223 @@ int RunEstimate(int argc, char** argv) {
 }
 
 // ---------------------------------------------------------------------------
+// query: the LJSP v3 read path. One query against a live serve /
+// federate-central instance's published view — join size, frequency,
+// frequent items, multiway chain, or AQP range estimates — without
+// interrupting collection. `--check 1` additionally fetches the server's
+// raw lanes and requires the served answer to be bit-identical to the
+// local evaluation of the same view (lifetime servers only — a windowed
+// central's QUERY view is its sliding window, which SNAPSHOT does not
+// expose).
+// ---------------------------------------------------------------------------
+int RunQuery(int argc, char** argv) {
+  tools::Flags flags;
+  DefineWorkloadFlags(flags);
+  flags.Define("host", "127.0.0.1", "server host");
+  flags.Define("port", "7542", "server port");
+  flags.Define("kind", "freq",
+               "what to ask: join|freq|topk|multiway|range|predjoin");
+  flags.Define("key", "0", "freq: key to estimate");
+  flags.Define("domain", "1024", "topk: scan keys in [0, domain)");
+  flags.Define("threshold", "0",
+               "topk: report keys with estimated frequency above this");
+  flags.Define("lo", "0", "range/predjoin: key range lower bound");
+  flags.Define("hi", "0", "range/predjoin: key range upper bound");
+  flags.Define("mid-m", "64",
+               "multiway: middle sketch right-side width (power of two)");
+  flags.Define("trial", "0", "probe perturbation trial (matches send)");
+  flags.Define("ping", "1",
+               "PING before querying, so the served view includes "
+               "everything already ingested (read-your-writes)");
+  flags.Define("check", "0",
+               "1 = fetch the raw lanes and require the served answer to "
+               "be bit-identical to evaluating the same view locally");
+  flags.Define("finalize", "0",
+               "send FINALIZE after the query (ends the collection)");
+  flags.Parse(argc, argv);
+
+  const std::string kind_name = flags.GetString("kind");
+  QueryRequest request;
+  if (kind_name == "join") {
+    request.kind = QueryKind::kJoinSize;
+  } else if (kind_name == "freq") {
+    request.kind = QueryKind::kFrequency;
+  } else if (kind_name == "topk") {
+    request.kind = QueryKind::kFrequentItems;
+  } else if (kind_name == "multiway") {
+    request.kind = QueryKind::kMultiwayChain;
+  } else if (kind_name == "range") {
+    request.kind = QueryKind::kRangeCount;
+  } else if (kind_name == "predjoin") {
+    request.kind = QueryKind::kPredicateJoin;
+  } else {
+    std::fprintf(stderr,
+                 "unknown kind '%s' (join|freq|topk|multiway|range|"
+                 "predjoin)\n",
+                 kind_name.c_str());
+    return 2;
+  }
+  request.key = static_cast<uint64_t>(flags.GetInt("key"));
+  request.domain = static_cast<uint64_t>(flags.GetInt("domain"));
+  request.threshold = flags.GetDouble("threshold");
+  request.range_lo = static_cast<uint64_t>(flags.GetInt("lo"));
+  request.range_hi = static_cast<uint64_t>(flags.GetInt("hi"));
+
+  const SketchParams params = SketchFromFlags(flags);
+  const double epsilon = flags.GetDouble("epsilon");
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  const uint64_t trial = static_cast<uint64_t>(flags.GetInt("trial"));
+
+  const bool needs_probe = request.kind == QueryKind::kJoinSize ||
+                           request.kind == QueryKind::kMultiwayChain ||
+                           request.kind == QueryKind::kPredicateJoin;
+  if (needs_probe) {
+    // The probe is table B perturbed exactly like `send --table b` would
+    // (same RNG streams, same seed chain) and absorbed locally, so the
+    // served estimate is the one the full network run would produce.
+    const JoinWorkload workload = WorkloadFromFlags(flags);
+    const uint64_t trial_seed = Mix64(seed ^ (0xF1A6ULL + trial));
+    const uint64_t run_seed = Mix64(trial_seed ^ 0xB3ULL);
+    SketchParams probe_params = params;
+    if (request.kind == QueryKind::kMultiwayChain) {
+      // Chain layout: view (left end, hashed on params.seed) ⋈ middle ⋈
+      // probe. The middle's left side shares the view's hashes; its right
+      // side and the probe share a derived seed.
+      const int mid_m = static_cast<int>(flags.GetInt("mid-m"));
+      MultiwayParams middle_params;
+      middle_params.k = params.k;
+      middle_params.m_left = params.m;
+      middle_params.m_right = mid_m;
+      middle_params.left_seed = params.seed;
+      middle_params.right_seed = Mix64(params.seed ^ 0x517EULL);
+      LdpMultiwayClient middle_client(middle_params, epsilon);
+      LdpMultiwayServer middle_server(middle_params, epsilon);
+      Xoshiro256 middle_rng = MakeStreamRng(Mix64(seed ^ 0x3D1DULL), trial);
+      const std::vector<uint64_t>& a = workload.table_a.values();
+      const std::vector<uint64_t>& b = workload.table_b.values();
+      for (size_t i = 0; i < a.size(); ++i) {
+        middle_server.Absorb(
+            middle_client.Perturb(a[i], b[i % b.size()], middle_rng));
+      }
+      middle_server.Finalize();  // middles must arrive finalized
+      request.middles.push_back(middle_server.Serialize());
+      probe_params.m = mid_m;
+      probe_params.seed = middle_params.right_seed;
+    }
+    LdpJoinSketchClient probe_client(probe_params, epsilon);
+    LdpJoinSketchServer probe_server(probe_params, epsilon);
+    const std::vector<uint64_t>& values = workload.table_b.values();
+    std::vector<LdpReport> block(kIngestBlockSize);
+    for (size_t first = 0; first < values.size();
+         first += kIngestBlockSize) {
+      const size_t count = std::min(kIngestBlockSize, values.size() - first);
+      Xoshiro256 rng = MakeStreamRng(run_seed, first / kIngestBlockSize);
+      std::span<LdpReport> out(block.data(), count);
+      probe_client.PerturbBatch(
+          std::span<const uint64_t>(values.data() + first, count), out, rng);
+      probe_server.AbsorbBatch(out);
+    }
+    request.probe_sketch = probe_server.Serialize();  // raw; server finalizes
+  }
+
+  auto sender =
+      FrameSender::Connect(flags.GetString("host"),
+                           static_cast<uint16_t>(flags.GetInt("port")),
+                           params, epsilon);
+  if (!sender.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 sender.status().ToString().c_str());
+    return 1;
+  }
+  if (flags.GetInt("ping") != 0) {
+    const Status pinged = sender->Ping();
+    if (!pinged.ok()) {
+      std::fprintf(stderr, "ping failed: %s\n", pinged.ToString().c_str());
+      return 1;
+    }
+  }
+  auto response = sender->Query(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 response.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("kind           : %s (LJSP v%u)\n", kind_name.c_str(),
+              static_cast<unsigned>(sender->negotiated_version()));
+  std::printf("view           : seq=%llu %s reports=%llu\n",
+              static_cast<unsigned long long>(response->view_sequence),
+              response->view_aligned
+                  ? ("frontier=" + std::to_string(response->view_epoch))
+                        .c_str()
+                  : "lifetime",
+              static_cast<unsigned long long>(response->view_reports));
+  std::printf("answer         : %.17g\n", response->value);
+  if (!response->items.empty()) {
+    std::printf("items          :");
+    for (const uint64_t item : response->items) {
+      std::printf(" %llu", static_cast<unsigned long long>(item));
+    }
+    std::printf("\n");
+  }
+
+  if (flags.GetInt("check") != 0) {
+    // Same view, evaluated locally: the lanes fetched right after the
+    // query are the ones the PING republished (no concurrent ingest in a
+    // checked run), so the served answer must match bit for bit.
+    auto raw = sender->SnapshotRawSketch();
+    if (!raw.ok()) {
+      std::fprintf(stderr, "snapshot failed: %s\n",
+                   raw.status().ToString().c_str());
+      return 1;
+    }
+    auto lanes = LdpJoinSketchServer::Deserialize(*raw);
+    if (!lanes.ok()) {
+      std::fprintf(stderr, "snapshot decode failed: %s\n",
+                   lanes.status().ToString().c_str());
+      return 1;
+    }
+    lanes->Finalize();
+    const PublishedView local_view(response->view_sequence,
+                                   response->view_aligned,
+                                   response->view_epoch, std::move(*lanes));
+    auto local = AnswerQuery(local_view, request);
+    if (!local.ok()) {
+      std::fprintf(stderr, "local evaluation failed: %s\n",
+                   local.status().ToString().c_str());
+      return 1;
+    }
+    uint64_t served_bits = 0, local_bits = 0;
+    std::memcpy(&served_bits, &response->value, sizeof(served_bits));
+    std::memcpy(&local_bits, &local->value, sizeof(local_bits));
+    std::printf("local answer   : %.17g\n", local->value);
+    if (served_bits != local_bits || response->items != local->items ||
+        response->view_reports != local_view.reports()) {
+      std::printf("MISMATCH: served answer diverged from the local "
+                  "evaluation of the same view\n");
+      return 1;
+    }
+    std::printf("bit-identical: yes\n");
+  }
+
+  if (flags.GetInt("finalize") != 0) {
+    const Status finalized = sender->RequestFinalize();
+    if (!finalized.ok()) {
+      std::fprintf(stderr, "finalize failed: %s\n",
+                   finalized.ToString().c_str());
+      return 1;
+    }
+  } else {
+    const Status finished = sender->Finish();
+    if (!finished.ok()) {
+      std::fprintf(stderr, "finish failed: %s\n",
+                   finished.ToString().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
 // chaos: sweep seeded fault schedules over a loopback federated run and
 // verify the chaos invariants live — bit-identity of the federated (and
 // windowed) estimate against a direct single-node absorb, and bit-exact
@@ -898,6 +1119,7 @@ int main(int argc, char** argv) {
     if (subcommand == "serve") return RunServe(argc - 1, argv + 1);
     if (subcommand == "send") return RunSend(argc - 1, argv + 1);
     if (subcommand == "estimate") return RunEstimate(argc - 1, argv + 1);
+    if (subcommand == "query") return RunQuery(argc - 1, argv + 1);
     if (subcommand == "federate-central") {
       return RunFederateCentral(argc - 1, argv + 1);
     }
@@ -906,7 +1128,7 @@ int main(int argc, char** argv) {
     }
     if (subcommand == "chaos") return RunChaos(argc - 1, argv + 1);
     std::fprintf(stderr,
-                 "unknown subcommand '%s' (serve|send|estimate|"
+                 "unknown subcommand '%s' (serve|send|estimate|query|"
                  "federate-central|federate-region|chaos, or flags only "
                  "for experiment mode)\n",
                  subcommand.c_str());
