@@ -39,6 +39,8 @@
 #include "federation/windowed_view.h"
 #include "net/frame_sender.h"
 #include "net/frame_server.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "seed_baseline.h"
 #include "service/sharded_aggregator.h"
 
@@ -753,6 +755,99 @@ void RunIngestionComparison() {
     if (served.views_published == 0) std::abort();
   }
 
+  // --- Observability cost + the ingest-to-queryable SLO. Two pins:
+  //   1. Recording into a hot-path histogram with metrics ON, versus the
+  //      single-branch disabled path, must cost less than 2% of one wire
+  //      frame's absorb budget (kMaxWireBatchReports reports at the
+  //      measured batch absorb rate) — instrumentation stays in the noise.
+  //   2. A traced loopback round (one TRACED frame + the PING barrier that
+  //      forces the publish closing the SLO clock) must land a finite
+  //      origin-to-queryable latency in the registry every time. ----------
+  double metrics_record_overhead_ns = 0.0;
+  double ingest_to_queryable_p50_ms = 0.0;
+  double ingest_to_queryable_p99_ms = 0.0;
+  double query_latency_p99_us = 0.0;
+  {
+    ObsHistogram overhead_hist;
+    auto per_record_ns = [&](bool enabled) {
+      SetObsEnabled(enabled);
+      constexpr uint64_t kRecords = 2'000'000;
+      const auto start = Clock::now();
+      for (uint64_t i = 0; i < kRecords; ++i) {
+        overhead_hist.Record(i & 0xFFFF);
+      }
+      return SecondsSince(start) * 1e9 / static_cast<double>(kRecords);
+    };
+    const double disabled_ns = per_record_ns(false);
+    const double enabled_ns = per_record_ns(true);
+    SetObsEnabled(true);
+    metrics_record_overhead_ns = std::max(0.0, enabled_ns - disabled_ns);
+    const double frame_budget_ns =
+        1e9 / batch_rps * static_cast<double>(kMaxWireBatchReports);
+    if (metrics_record_overhead_ns >= 0.02 * frame_budget_ns) std::abort();
+
+    const HistogramSnapshot i2q_before =
+        MetricsRegistry::Default().HistogramByName("ingest_to_queryable_ns");
+    const HistogramSnapshot query_before =
+        MetricsRegistry::Default().HistogramByName("query_latency_ns");
+    constexpr int kTracedRounds = 20;
+    {
+      FrameServerOptions options;
+      options.num_shards = 2;
+      FrameServer server(params, epsilon, options);
+      if (!server.Start().ok()) std::abort();
+      auto sender =
+          FrameSender::Connect("127.0.0.1", server.port(), params, epsilon);
+      if (!sender.ok()) std::abort();
+      QueryRequest request;
+      request.kind = QueryKind::kFrequency;
+      request.key = 7;
+      for (int round = 0; round < kTracedRounds; ++round) {
+        TraceContext trace;
+        trace.trace_id = 0xB0B00000ull + static_cast<uint64_t>(round) + 1;
+        trace.origin_ns = NowNanos();
+        const auto& frame = net_frames[round % net_frames.size()];
+        if (!sender->SendTracedBatch(frame, trace).ok()) std::abort();
+        if (!sender->Ping().ok()) std::abort();
+        auto response = sender->Query(request);
+        if (!response.ok()) std::abort();
+        benchmark::DoNotOptimize(response->value);
+      }
+      if (!sender->Finish().ok()) std::abort();
+      server.Stop();
+    }
+    auto delta = [](const HistogramSnapshot& after,
+                    const HistogramSnapshot& before) {
+      HistogramSnapshot d;
+      for (size_t i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+        d.buckets[i] = after.buckets[i] - before.buckets[i];
+        d.count += d.buckets[i];
+      }
+      d.sum = after.sum - before.sum;
+      return d;
+    };
+    const HistogramSnapshot i2q = delta(
+        MetricsRegistry::Default().HistogramByName("ingest_to_queryable_ns"),
+        i2q_before);
+    const HistogramSnapshot query_lat = delta(
+        MetricsRegistry::Default().HistogramByName("query_latency_ns"),
+        query_before);
+    // Every traced round must close the origin→publish loop, and every
+    // query must land in the latency series.
+    if (i2q.count < kTracedRounds) std::abort();
+    if (query_lat.count < kTracedRounds) std::abort();
+    ingest_to_queryable_p50_ms =
+        static_cast<double>(i2q.Percentile(0.50)) / 1e6;
+    ingest_to_queryable_p99_ms =
+        static_cast<double>(i2q.Percentile(0.99)) / 1e6;
+    query_latency_p99_us =
+        static_cast<double>(query_lat.Percentile(0.99)) / 1e3;
+    if (!std::isfinite(ingest_to_queryable_p99_ms) ||
+        ingest_to_queryable_p99_ms <= 0.0) {
+      std::abort();
+    }
+  }
+
   // --- finalize + estimate agreement across the three paths. --------------
   SeedServer seed_a(params, epsilon), seed_b(params, epsilon);
   for (const LdpReport& r : reports_a) seed_a.Absorb(r);
@@ -825,6 +920,13 @@ void RunIngestionComparison() {
   std::printf("query qps 1 thread  : %.3e\n", query_qps_1thread);
   std::printf("query qps %zu threads : %.3e (%.2fx)\n", query_threads,
               query_qps_nthreads, query_qps_scaling);
+  std::printf("metrics record cost : %.2f ns/record (enabled minus "
+              "disabled)\n",
+              metrics_record_overhead_ns);
+  std::printf("ingest→queryable    : p50 %.3f ms, p99 %.3f ms (traced "
+              "loopback)\n",
+              ingest_to_queryable_p50_ms, ingest_to_queryable_p99_ms);
+  std::printf("query latency p99   : %.1f us\n", query_latency_p99_us);
   std::printf("finalize            : %.3f ms (k=%d, m=%d)\n", finalize_ms,
               params.k, params.m);
   std::printf("estimates           : seed=%.6e scalar=%.6e batch=%.6e\n",
@@ -878,6 +980,10 @@ void RunIngestionComparison() {
           {"query_qps_nthreads", query_qps_nthreads},
           {"query_qps_scaling", query_qps_scaling},
           {"query_threads", static_cast<double>(query_threads)},
+          {"metrics_record_overhead_ns", metrics_record_overhead_ns},
+          {"ingest_to_queryable_p50_ms", ingest_to_queryable_p50_ms},
+          {"ingest_to_queryable_p99_ms", ingest_to_queryable_p99_ms},
+          {"query_latency_p99_us", query_latency_p99_us},
           {"finalize_ms", finalize_ms},
           {"estimate_seed", estimate_seed},
           {"estimate_scalar", estimate_scalar},
@@ -907,6 +1013,8 @@ void RunIngestionComparison() {
       "central_windowed_estimate_per_sec", "central_view_cache_speedup",
       "rcu_published_reads_per_sec", "rcu_published_vs_copy_speedup",
       "query_qps_1thread", "query_qps_scaling",
+      "metrics_record_overhead_ns", "ingest_to_queryable_p50_ms",
+      "ingest_to_queryable_p99_ms", "query_latency_p99_us",
       "finalize_ms",
       "estimate_seed", "estimate_scalar", "estimate_batch",
       "estimate_batch_equals_scalar", "estimate_batch_vs_seed_rel_gap",

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 #include <thread>
 #include <utility>
 
 #include "common/random.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ldpjs {
 
@@ -26,8 +29,21 @@ RegionalNode::RegionalNode(const SketchParams& params, double epsilon,
     : params_(params),
       epsilon_(epsilon),
       options_(options),
-      server_(params, epsilon, options.server) {
+      server_(params, epsilon, [&, this] {
+        FrameServerOptions server_options = options.server;
+        // A STATS scrape of the regional ingest port reports this node's
+        // augmented metrics() — ship retries, backoff, spool traffic — not
+        // just the bare server counters. Safe to capture `this`: the
+        // source is only invoked by a running server, after construction.
+        server_options.stats_metrics_source = [this] { return metrics(); };
+        return server_options;
+      }()) {
   LDPJS_CHECK(options_.max_ship_attempts >= 1);
+  const std::string region = std::to_string(options_.region_id);
+  ship_rtt_hist_ = MetricsRegistry::Default().GetHistogram(
+      "region" + region + "_ship_rtt_ns");
+  spool_replay_hist_ = MetricsRegistry::Default().GetHistogram(
+      "region" + region + "_spool_replay_ns");
   // Epoch numbers start at 0 for every incarnation and sync with the
   // central's per-region high-water on each (re)connect (AdoptCentralEpoch)
   // — deterministic and collision-free by construction, where the previous
@@ -54,6 +70,7 @@ Status RegionalNode::Start() {
     // resolves merged-but-unacked to exactly-once), un-attempted ones
     // renumber safely.
     std::lock_guard<std::mutex> lock(ship_mu_);
+    const uint64_t replay_start_ns = ObsEnabled() ? NowNanos() : 0;
     std::vector<SpoolEntry> recovered;
     LDPJS_RETURN_IF_ERROR(
         spool_.Open(options_.spool_dir, options_.region_id, &recovered));
@@ -61,7 +78,13 @@ Status RegionalNode::Start() {
       next_epoch_ = std::max(next_epoch_, entry.epoch + 1);
       pending_.push_back(PendingSnapshot{entry.epoch,
                                          std::move(entry.raw_sketch),
-                                         entry.attempted});
+                                         entry.attempted, TraceContext{}});
+    }
+    if (replay_start_ns != 0) {
+      const uint64_t now = NowNanos();
+      spool_replay_hist_->Record(now > replay_start_ns
+                                     ? now - replay_start_ns
+                                     : 0);
     }
   }
   LDPJS_RETURN_IF_ERROR(server_.Start());
@@ -83,9 +106,13 @@ Status RegionalNode::CutAndShip() {
     return Status::FailedPrecondition("region already flushed");
   }
   ShardedAggregator::EpochCut cut = server_.CutEpochSnapshot();
+  // Claimed exactly once per cut: the oldest sampled trace absorbed into
+  // this snapshot rides its EPOCH_PUSH upstream, origin intact.
+  const TraceContext cut_trace = server_.TakeCutTrace();
   const uint64_t epoch = next_epoch_++;
   if (cut.reports > 0) {
-    pending_.push_back(PendingSnapshot{epoch, std::move(cut.raw_sketch)});
+    pending_.push_back(PendingSnapshot{epoch, std::move(cut.raw_sketch),
+                                       /*attempted=*/false, cut_trace});
     // Write-ahead: the snapshot is durable before the only other copy (the
     // queue entry) exists — a crash anywhere after this line replays it.
     SpoolAppendLocked(pending_.back());
@@ -100,7 +127,8 @@ Status RegionalNode::CutAndShip() {
     // the central must still see this region's epoch clock advance or an
     // idle region would freeze the windowed view's aligned frontier — and
     // stale pending snapshots would pile up at every active region.
-    pending_.push_back(PendingSnapshot{epoch, {}});
+    pending_.push_back(
+        PendingSnapshot{epoch, {}, /*attempted=*/false, TraceContext{}});
   }
   return ShipPendingLocked();
 }
@@ -152,8 +180,9 @@ Status RegionalNode::ShipPendingLocked() {
       SpoolMarkAttemptedLocked(snap);
       snap.attempted = true;
     }
-    auto ack = upstream_->PushEpochSnapshot(options_.region_id, snap.epoch,
-                                            snap.raw_sketch);
+    const uint64_t ship_start_ns = ObsEnabled() ? NowNanos() : 0;
+    auto ack = upstream_->PushEpochSnapshotTraced(
+        options_.region_id, snap.epoch, snap.raw_sketch, snap.trace);
     if (!ack.ok()) {
       // Outcome unknown (the connection may have died after the central
       // merged but before we read the ack): reconnect and push the same
@@ -163,6 +192,15 @@ Status RegionalNode::ShipPendingLocked() {
       continue;
     }
     ++epochs_shipped_;
+    if (ship_start_ns != 0) {
+      const uint64_t now = NowNanos();
+      const uint64_t rtt = now > ship_start_ns ? now - ship_start_ns : 0;
+      ship_rtt_hist_->Record(rtt);
+      if (snap.trace.active()) {
+        TraceLog::Global().Record(snap.trace.trace_id, "regional_ship",
+                                  ship_start_ns, now);
+      }
+    }
     if (ack->code == EpochPushAckCode::kDuplicate) {
       ++duplicate_acks_;  // a retry resolved to exactly-once
     }
@@ -228,9 +266,11 @@ Status RegionalNode::FlushAndStop() {
   std::lock_guard<std::mutex> lock(ship_mu_);
   if (flushed_) return Status::OK();
   ShardedAggregator::EpochCut cut = server_.CutEpochSnapshot();
+  const TraceContext cut_trace = server_.TakeCutTrace();
   const uint64_t epoch = next_epoch_++;
   if (cut.reports > 0) {
-    pending_.push_back(PendingSnapshot{epoch, std::move(cut.raw_sketch)});
+    pending_.push_back(PendingSnapshot{epoch, std::move(cut.raw_sketch),
+                                       /*attempted=*/false, cut_trace});
     SpoolAppendLocked(pending_.back());
   }
   // A failed ship leaves flushed_ false with the snapshots still pending —

@@ -143,6 +143,12 @@ class RegionalNode {
     /// central's dedup resolve it to exactly-once. Un-attempted snapshots
     /// are safely renumbered by the connect-time epoch sync.
     bool attempted = false;
+    /// Oldest sampled trace absorbed into this cut (claimed from the ingest
+    /// server at cut time). Rides the EPOCH_PUSH as a TRACED envelope with
+    /// the client origin preserved, so the central's view publish measures
+    /// true client→central ingest-to-queryable latency. Not spooled: a
+    /// crash-replayed epoch ships untraced (telemetry, not data).
+    TraceContext trace;
   };
 
   /// Ships every pending snapshot in epoch order; stops at the first
@@ -170,6 +176,12 @@ class RegionalNode {
   double epsilon_;
   RegionalNodeOptions options_;
   FrameServer server_;
+  /// Per-region ship round-trip distribution (connect excluded): push
+  /// written → ack decoded. Registered once at construction; recording is
+  /// wait-free (see ObsHistogram).
+  ObsHistogram* ship_rtt_hist_;
+  /// Start()-time spool recovery duration (one sample per recovery).
+  ObsHistogram* spool_replay_hist_;
   std::unique_ptr<EpochScheduler> scheduler_;
   SnapshotSpool spool_;  ///< open iff options_.spool_dir non-empty; ship_mu_
 

@@ -1,9 +1,27 @@
 #include "net/frame_sender.h"
 
+#include <atomic>
 #include <chrono>
 #include <thread>
 
+#include "common/random.h"
+#include "obs/metrics.h"
+
 namespace ldpjs {
+
+namespace {
+
+/// Process-unique trace ids: a mix of a monotone draw counter and the wall
+/// clock, so ids from different processes (or restarts) collide only with
+/// hash probability and id 0 — the "untraced" sentinel — never comes out.
+uint64_t NextTraceId() {
+  static std::atomic<uint64_t> counter{0};
+  const uint64_t id = Mix64(
+      (counter.fetch_add(1, std::memory_order_relaxed) << 20) ^ NowNanos());
+  return id == 0 ? 1 : id;
+}
+
+}  // namespace
 
 Result<FrameSender> FrameSender::Connect(const std::string& host,
                                          uint16_t port,
@@ -65,12 +83,48 @@ Result<NetFrame> FrameSender::ReadReply() {
 }
 
 Status FrameSender::SendEncodedBatch(std::span<const uint8_t> envelope) {
+  TraceContext trace;
+  if (options_.trace_every > 0 && session_.version >= 4 &&
+      batches_sent_ % options_.trace_every == 0) {
+    trace.trace_id = NextTraceId();
+    trace.origin_ns = NowNanos();
+  }
+  return SendBatchInternal(envelope, trace);
+}
+
+Status FrameSender::SendTracedBatch(std::span<const uint8_t> envelope,
+                                    const TraceContext& trace) {
+  // Below v4 the server would reject a TRACED frame; drop the trace, keep
+  // the bytes — tracing is telemetry, never a delivery requirement.
+  if (session_.version < 4) return SendBatchInternal(envelope, TraceContext{});
+  return SendBatchInternal(envelope, trace);
+}
+
+Status FrameSender::SendBatchInternal(std::span<const uint8_t> envelope,
+                                      const TraceContext& trace) {
   LDPJS_CHECK(!finished_);
+  ++batches_sent_;
+  std::vector<uint8_t> wrapped;
+  std::span<const uint8_t> wire = envelope;
+  NetFrameType type = NetFrameType::kData;
+  const uint64_t send_start_ns =
+      trace.active() && ObsEnabled() ? NowNanos() : 0;
+  if (trace.active()) {
+    wrapped = EncodeTraced(NetFrameType::kData, trace.trace_id,
+                           trace.origin_ns, envelope);
+    wire = wrapped;
+    type = NetFrameType::kTraced;
+  }
   for (int attempt = 0;; ++attempt) {
-    LDPJS_RETURN_IF_ERROR(
-        WriteNetFrame(socket_, NetFrameType::kData, envelope));
+    LDPJS_RETURN_IF_ERROR(WriteNetFrame(socket_, type, wire));
     ++frames_sent_;
-    bytes_sent_ += 5 + envelope.size();
+    bytes_sent_ += 5 + wire.size();
+    if (send_start_ns != 0 && attempt == 0) {
+      // The client-side span covers origin (encode start) → handed to the
+      // kernel; the server's queue span picks up from its enqueue.
+      TraceLog::Global().Record(trace.trace_id, "client_send",
+                                trace.origin_ns, NowNanos());
+    }
     if (!session_.acked_data) return Status::OK();
     auto reply = ReadReply();
     if (!reply.ok()) return reply.status();
@@ -120,11 +174,24 @@ Result<std::vector<uint8_t>> FrameSender::SnapshotRawSketch() {
 
 Result<EpochPushAck> FrameSender::PushEpochSnapshot(
     uint32_t region_id, uint64_t epoch, std::span<const uint8_t> raw_sketch) {
+  return PushEpochSnapshotTraced(region_id, epoch, raw_sketch,
+                                 TraceContext{});
+}
+
+Result<EpochPushAck> FrameSender::PushEpochSnapshotTraced(
+    uint32_t region_id, uint64_t epoch, std::span<const uint8_t> raw_sketch,
+    const TraceContext& trace) {
   LDPJS_CHECK(!finished_);
-  const std::vector<uint8_t> payload =
-      EncodeEpochPush(region_id, epoch, raw_sketch);
-  LDPJS_RETURN_IF_ERROR(
-      WriteNetFrame(socket_, NetFrameType::kEpochPush, payload));
+  std::vector<uint8_t> payload = EncodeEpochPush(region_id, epoch, raw_sketch);
+  NetFrameType type = NetFrameType::kEpochPush;
+  if (trace.active() && session_.version >= 4) {
+    // Origin preserved from the client that produced the traced batch — the
+    // central's view publish then measures true client→central latency.
+    payload = EncodeTraced(NetFrameType::kEpochPush, trace.trace_id,
+                           trace.origin_ns, payload);
+    type = NetFrameType::kTraced;
+  }
+  LDPJS_RETURN_IF_ERROR(WriteNetFrame(socket_, type, payload));
   ++frames_sent_;
   bytes_sent_ += 5 + payload.size();
   auto reply = ReadReply();
@@ -133,6 +200,23 @@ Result<EpochPushAck> FrameSender::PushEpochSnapshot(
     return Status::Corruption("expected EPOCH_PUSH_OK");
   }
   return DecodeEpochPushAck(reply->payload);
+}
+
+Result<std::string> FrameSender::Stats() {
+  LDPJS_CHECK(!finished_);
+  if (session_.version < 4) {
+    return Status::FailedPrecondition(
+        "STATS requires LJSP v4; session negotiated v" +
+        std::to_string(session_.version));
+  }
+  LDPJS_RETURN_IF_ERROR(
+      WriteNetFrame(socket_, NetFrameType::kStatsRequest, {}));
+  auto reply = ReadReply();
+  if (!reply.ok()) return reply.status();
+  if (reply->type != NetFrameType::kStats) {
+    return Status::Corruption("expected STATS");
+  }
+  return std::string(reply->payload.begin(), reply->payload.end());
 }
 
 Status FrameSender::Ping() {

@@ -23,6 +23,7 @@
 #include "common/status.h"
 #include "core/ldp_join_sketch.h"
 #include "net/protocol.h"
+#include "obs/trace.h"
 
 namespace ldpjs {
 
@@ -54,6 +55,12 @@ class FrameSender {
     /// negotiated_version()). Tests set 2 to exercise a v2 session against
     /// a v3 server; real clients leave the default.
     uint8_t announce_version = kNetVersion;
+    /// Trace sampling: wrap every Nth DATA batch in a TRACED envelope
+    /// (batch 0, N, 2N, ...) with a fresh trace id and an origin timestamp
+    /// taken just before the send. 0 (default) disables sampling. Ignored
+    /// on sessions that negotiated < v4 — the frames stay plain, so traced
+    /// senders interoperate with v3 servers untouched.
+    uint64_t trace_every = 0;
   };
 
   /// Connects and completes the handshake. Fails with the server's ERROR
@@ -77,8 +84,18 @@ class FrameSender {
 
   /// Streams one already-encoded LJSB batch envelope. This is the zero-
   /// re-encode path the loopback simulation uses: the exact bytes the
-  /// in-process service would ingest go on the wire.
+  /// in-process service would ingest go on the wire. Applies Options::
+  /// trace_every sampling (the sampled batch goes out as a TRACED frame
+  /// with a fresh id and origin = just before this send).
   Status SendEncodedBatch(std::span<const uint8_t> envelope);
+
+  /// Streams one batch wrapped in a TRACED envelope with an explicit trace
+  /// context — how a caller includes its own encode time in the origin
+  /// (stamp origin_ns before encoding). On a session below v4 the batch is
+  /// sent plain: the trace is dropped, never a protocol error, so the same
+  /// caller code runs against old servers.
+  Status SendTracedBatch(std::span<const uint8_t> envelope,
+                         const TraceContext& trace);
 
   /// Asks the server for a raw-lane snapshot of everything ingested so far
   /// (ordered after every frame this connection has sent). Returns the
@@ -97,6 +114,14 @@ class FrameSender {
   Result<EpochPushAck> PushEpochSnapshot(uint32_t region_id, uint64_t epoch,
                                          std::span<const uint8_t> raw_sketch);
 
+  /// PushEpochSnapshot with a trace context riding along (a regional
+  /// shipper forwarding the context claimed at its epoch cut, origin
+  /// preserved, so the central's publish measures client→central latency).
+  /// Below v4 the push goes out plain and the trace is dropped.
+  Result<EpochPushAck> PushEpochSnapshotTraced(
+      uint32_t region_id, uint64_t epoch, std::span<const uint8_t> raw_sketch,
+      const TraceContext& trace);
+
   /// Ingest barrier: returns once the server has absorbed every frame this
   /// connection sent so far (PING/PING_OK — no lanes shipped back, unlike
   /// SnapshotRawSketch). The session stays open, unlike Finish(). On a v3
@@ -111,6 +136,12 @@ class FrameSender {
   /// server's ERROR status when it rejects the request (mismatched probe
   /// params, oversized domain, ...). The session stays open either way.
   Result<QueryResponse> Query(const QueryRequest& request);
+
+  /// v4 ops path: asks the server for its stats snapshot (the same JSON
+  /// the SIGUSR1 dump and JSONL exporter emit — see obs/stats_export.h).
+  /// Fails with FailedPrecondition without touching the wire when the
+  /// session negotiated < v4. Never ordered behind ingest server-side.
+  Result<std::string> Stats();
 
   /// Asks the server to end collection (the CLI `serve` loop exits, drains,
   /// and finalizes). FINALIZE is processed after every frame this
@@ -154,6 +185,12 @@ class FrameSender {
   /// Reads the next server frame, surfacing ERROR frames as their Status.
   Result<NetFrame> ReadReply();
 
+  /// Shared body of the plain/traced batch sends: writes either a bare
+  /// DATA frame or a TRACED(kData) envelope, then runs the busy-retry
+  /// protocol. A retried frame re-sends the identical bytes.
+  Status SendBatchInternal(std::span<const uint8_t> envelope,
+                           const TraceContext& trace);
+
   Socket socket_;
   SessionHelloOk session_;
   Options options_;
@@ -161,6 +198,7 @@ class FrameSender {
   uint64_t frames_sent_ = 0;
   uint64_t bytes_sent_ = 0;
   uint64_t busy_retries_ = 0;
+  uint64_t batches_sent_ = 0;  ///< trace_every sampling cursor
   bool finished_ = false;
 };
 

@@ -8,6 +8,7 @@
 
 #include "common/backoff.h"
 #include "common/fault_injector.h"
+#include "obs/stats_export.h"
 #include "service/query_engine.h"
 
 namespace ldpjs {
@@ -35,9 +36,26 @@ FrameServer::FrameServer(const SketchParams& params, double epsilon,
                   options.num_shards == 0 ? 1 : options.num_shards) {
   LDPJS_CHECK(options_.queue_capacity >= 1);
   lanes_.reserve(aggregator_.num_shards());
+  MetricsRegistry& registry = MetricsRegistry::Default();
   for (size_t s = 0; s < aggregator_.num_shards(); ++s) {
-    lanes_.push_back(std::make_unique<ShardLane>());
+    auto lane = std::make_unique<ShardLane>();
+    const std::string prefix = "shard" + std::to_string(s);
+    lane->queue_wait_hist = registry.GetHistogram(prefix + "_queue_wait_ns");
+    lane->absorb_hist = registry.GetHistogram(prefix + "_absorb_ns");
+    lanes_.push_back(std::move(lane));
   }
+  ingest_to_queryable_hist_ = registry.GetHistogram("ingest_to_queryable_ns");
+  query_latency_hist_ = registry.GetHistogram("query_latency_ns");
+  query_error_latency_hist_ = registry.GetHistogram("query_error_latency_ns");
+  static constexpr const char* kKindNames[6] = {
+      "join_size", "frequency",   "frequent_items",
+      "multiway",  "range_count", "predicate_join"};
+  for (size_t i = 0; i < 6; ++i) {
+    query_kind_latency_[i] =
+        registry.GetHistogram(std::string("query_") + kKindNames[i] +
+                              "_latency_ns");
+  }
+  view_last_publish_gauge_ = registry.GetGauge("view_last_publish_unix_ns");
 }
 
 FrameServer::~FrameServer() {
@@ -221,14 +239,44 @@ void FrameServer::ReaderLoop(Connection* conn) {
       }
       break;
     }
-    const bool is_data = frame->type == NetFrameType::kData;
-    const bool is_query = frame->type == NetFrameType::kQuery;
-    const bool is_control = frame->type == NetFrameType::kSnapshot ||
-                            frame->type == NetFrameType::kEpochPush ||
-                            frame->type == NetFrameType::kFinalize ||
-                            frame->type == NetFrameType::kPing ||
-                            frame->type == NetFrameType::kBye;
-    if (!is_data && !is_control && !is_query) {
+    // v4 trace envelope: unwrap it here so every downstream handler sees
+    // exactly the inner frame it would have seen on a bare session — the
+    // trace context rides alongside, it never changes the bytes handled.
+    TraceContext trace;
+    size_t payload_offset = 0;
+    NetFrameType effective_type = frame->type;
+    if (frame->type == NetFrameType::kTraced) {
+      if (conn->version < 4) {
+        conn->corrupt_frames.fetch_add(1, std::memory_order_relaxed);
+        SendError(*conn, Status::FailedPrecondition(
+                             "TRACED requires LJSP v4; session negotiated v" +
+                             std::to_string(conn->version)));
+        conn->socket.ShutdownBoth();
+        break;
+      }
+      auto traced = DecodeTraced(frame->payload);
+      if (!traced.ok()) {
+        conn->corrupt_frames.fetch_add(1, std::memory_order_relaxed);
+        SendError(*conn, traced.status());
+        conn->socket.ShutdownBoth();
+        break;
+      }
+      trace.trace_id = traced->trace_id;
+      trace.origin_ns = traced->origin_ns;
+      payload_offset = kTracedHeaderBytes;
+      effective_type = traced->inner_type;
+    }
+    const std::span<const uint8_t> payload =
+        std::span<const uint8_t>(frame->payload).subspan(payload_offset);
+    const bool is_data = effective_type == NetFrameType::kData;
+    const bool is_query = effective_type == NetFrameType::kQuery;
+    const bool is_stats = effective_type == NetFrameType::kStatsRequest;
+    const bool is_control = effective_type == NetFrameType::kSnapshot ||
+                            effective_type == NetFrameType::kEpochPush ||
+                            effective_type == NetFrameType::kFinalize ||
+                            effective_type == NetFrameType::kPing ||
+                            effective_type == NetFrameType::kBye;
+    if (!is_data && !is_control && !is_query && !is_stats) {
       conn->corrupt_frames.fetch_add(1, std::memory_order_relaxed);
       SendError(*conn, Status::Corruption("unexpected client frame type"));
       conn->socket.ShutdownBoth();
@@ -238,6 +286,22 @@ void FrameServer::ReaderLoop(Connection* conn) {
     conn->bytes_received.fetch_add(kFrameHeaderBytes + frame->payload.size(),
                                    std::memory_order_relaxed);
 
+    if (is_stats) {
+      // Like QUERY, deliberately NOT behind WaitConnDrained: an ops probe
+      // must never stall behind (or hold up) a busy ingest queue.
+      if (conn->version < 4) {
+        conn->corrupt_frames.fetch_add(1, std::memory_order_relaxed);
+        SendError(*conn,
+                  Status::FailedPrecondition(
+                      "STATS_REQUEST requires LJSP v4; session negotiated v" +
+                      std::to_string(conn->version)));
+        conn->socket.ShutdownBoth();
+        break;
+      }
+      HandleStats(*conn);
+      continue;
+    }
+
     if (is_query) {
       // Deliberately NOT behind WaitConnDrained: a query reads the latest
       // published view and nothing else, so it can never stall behind —
@@ -245,13 +309,14 @@ void FrameServer::ReaderLoop(Connection* conn) {
       if (conn->version < 3) {
         conn->corrupt_frames.fetch_add(1, std::memory_order_relaxed);
         queries_rejected_.fetch_add(1, std::memory_order_relaxed);
+        query_kind_rejected_[6].fetch_add(1, std::memory_order_relaxed);
         SendError(*conn, Status::FailedPrecondition(
                              "QUERY requires LJSP v3; session negotiated v" +
                              std::to_string(conn->version)));
         conn->socket.ShutdownBoth();
         break;
       }
-      if (!HandleQuery(*conn, frame->payload)) break;
+      if (!HandleQuery(*conn, payload, trace)) break;
       continue;
     }
 
@@ -276,7 +341,13 @@ void FrameServer::ReaderLoop(Connection* conn) {
             return lane.queue.size() < options_.queue_capacity || stopping_;
           });
           ++conn->data_inflight;
-          lane.queue.push_back(PumpItem{conn, std::move(frame->payload)});
+          PumpItem item;
+          item.conn = conn;
+          item.payload = std::move(frame->payload);
+          item.payload_offset = payload_offset;
+          item.trace = trace;
+          if (ObsEnabled()) item.enqueue_ns = NowNanos();
+          lane.queue.push_back(std::move(item));
           // Writers are serialized by mu_, so load-then-store cannot lose
           // an update; the atomic exists for the lock-free metrics read.
           const uint64_t depth = lane.queue.size();
@@ -312,12 +383,12 @@ void FrameServer::ReaderLoop(Connection* conn) {
     // then act — so SNAPSHOT_DATA / EPOCH_PUSH_OK / FINALIZE_OK / BYE_OK
     // keep their "your data is in the lanes" meaning under multi-pump.
     WaitConnDrained(conn);
-    switch (frame->type) {
+    switch (effective_type) {
       case NetFrameType::kSnapshot:
         HandleSnapshot(*conn);
         break;
       case NetFrameType::kEpochPush:
-        HandleEpochPush(*conn, frame->payload);
+        HandleEpochPush(*conn, payload, trace);
         break;
       case NetFrameType::kFinalize: {
         if (frame->payload.size() != 0 && frame->payload.size() != 4) {
@@ -406,7 +477,10 @@ void FrameServer::HandleSnapshot(Connection& conn) {
 }
 
 void FrameServer::HandleEpochPush(Connection& conn,
-                                  std::span<const uint8_t> payload) {
+                                  std::span<const uint8_t> payload,
+                                  const TraceContext& trace) {
+  const uint64_t merge_start_ns =
+      (ObsEnabled() && trace.active()) ? NowNanos() : 0;
   auto push = DecodeEpochPush(payload);
   if (!push.ok()) {
     conn.corrupt_frames.fetch_add(1, std::memory_order_relaxed);
@@ -487,6 +561,15 @@ void FrameServer::HandleEpochPush(Connection& conn,
       // observer may steal the snapshot — it is dead after this call.
       options_.epoch_observer(push->region_id, push->epoch,
                               heartbeat ? nullptr : &*snapshot);
+    }
+    if (ObsEnabled() && trace.active()) {
+      TraceLog::Global().Record(trace.trace_id, "central_merge",
+                                merge_start_ns, NowNanos());
+      // Park the propagated context for the PublishView below to claim: the
+      // recorded ingest-to-queryable latency then spans the full circuit,
+      // client encode → regional absorb → epoch cut → ship → central merge
+      // → published (queryable) view.
+      NoteAbsorbedTrace(trace);
     }
     // Same before-the-ack rule for the lifetime view: once the region
     // reads EPOCH_PUSH_OK, queries serve a view containing the epoch.
@@ -572,7 +655,7 @@ void FrameServer::PumpLoop(size_t shard) {
       lane.queue.pop_front();
     }
     space_cv_.notify_all();
-    ProcessData(shard, *item.conn, item.payload);
+    ProcessData(shard, item);
     {
       std::lock_guard<std::mutex> lock(mu_);
       --item.conn->data_inflight;
@@ -581,9 +664,15 @@ void FrameServer::PumpLoop(size_t shard) {
   }
 }
 
-void FrameServer::ProcessData(size_t shard, Connection& conn,
-                              std::span<const uint8_t> payload) {
+void FrameServer::ProcessData(size_t shard, PumpItem& item) {
+  Connection& conn = *item.conn;
+  const std::span<const uint8_t> payload =
+      std::span<const uint8_t>(item.payload).subspan(item.payload_offset);
   ShardLane& lane = *lanes_[shard];
+  // Two clock reads per frame when observability is on (a frame carries up
+  // to 4096 reports, so this is well under the 2% overhead pin); zero when
+  // off — enqueue_ns stays 0 and the branch below is not taken.
+  const uint64_t dequeue_ns = item.enqueue_ns != 0 ? NowNanos() : 0;
   Status status;
   uint64_t delta = 0;
   {
@@ -604,6 +693,33 @@ void FrameServer::ProcessData(size_t shard, Connection& conn,
   conn.reports_ingested.fetch_add(delta, std::memory_order_relaxed);
   lane.frames.fetch_add(1, std::memory_order_relaxed);
   lane.reports.fetch_add(delta, std::memory_order_relaxed);
+  if (dequeue_ns != 0) {
+    const uint64_t done_ns = NowNanos();
+    lane.queue_wait_hist->Record(
+        dequeue_ns > item.enqueue_ns ? dequeue_ns - item.enqueue_ns : 0);
+    lane.absorb_hist->Record(done_ns > dequeue_ns ? done_ns - dequeue_ns : 0);
+    if (item.trace.active()) {
+      TraceLog::Global().Record(item.trace.trace_id, "server_queue",
+                                item.enqueue_ns, dequeue_ns);
+      TraceLog::Global().Record(item.trace.trace_id, "shard_absorb",
+                                dequeue_ns, done_ns);
+      NoteAbsorbedTrace(item.trace);
+    }
+  }
+}
+
+void FrameServer::NoteAbsorbedTrace(const TraceContext& trace) {
+  std::lock_guard<std::mutex> lock(obs_mu_);
+  // Keep the oldest unclaimed origin in each slot, so the latency claimed
+  // at the next publish/cut is the conservative one for the interval.
+  if (!pending_publish_trace_.active() ||
+      trace.origin_ns < pending_publish_trace_.origin_ns) {
+    pending_publish_trace_ = trace;
+  }
+  if (!pending_cut_trace_.active() ||
+      trace.origin_ns < pending_cut_trace_.origin_ns) {
+    pending_cut_trace_ = trace;
+  }
 }
 
 void FrameServer::WaitForFinalizeRequests(size_t count) {
@@ -622,10 +738,32 @@ LdpJoinSketchServer FrameServer::MergeShardsLocked() const {
 
 ShardedAggregator::EpochCut FrameServer::CutEpochSnapshot() {
   LDPJS_CHECK(!finalized_);
+  const uint64_t cut_start_ns = ObsEnabled() ? NowNanos() : 0;
   std::vector<std::unique_lock<std::mutex>> locks;
   locks.reserve(lanes_.size());
   for (const auto& lane : lanes_) locks.emplace_back(lane->agg_mu);
-  return aggregator_.CutEpoch();
+  ShardedAggregator::EpochCut cut = aggregator_.CutEpoch();
+  TraceContext claimed;
+  {
+    // Claim the oldest traced frame absorbed since the last cut: it is in
+    // this cut's snapshot now, and TakeCutTrace() hands it to the shipper.
+    std::lock_guard<std::mutex> lock(obs_mu_);
+    last_cut_trace_ = pending_cut_trace_;
+    pending_cut_trace_ = TraceContext{};
+    claimed = last_cut_trace_;
+  }
+  if (cut_start_ns != 0 && claimed.active()) {
+    TraceLog::Global().Record(claimed.trace_id, "epoch_cut", cut_start_ns,
+                              NowNanos());
+  }
+  return cut;
+}
+
+TraceContext FrameServer::TakeCutTrace() {
+  std::lock_guard<std::mutex> lock(obs_mu_);
+  TraceContext trace = last_cut_trace_;
+  last_cut_trace_ = TraceContext{};
+  return trace;
 }
 
 LdpJoinSketchServer FrameServer::FinalizedView() const {
@@ -635,24 +773,63 @@ LdpJoinSketchServer FrameServer::FinalizedView() const {
 }
 
 void FrameServer::PublishView() {
+  const uint64_t publish_start_ns = ObsEnabled() ? NowNanos() : 0;
   LdpJoinSketchServer merged = MergeShardsLocked();
   merged.Finalize();
   // The lifetime view has no window frontier: aligned=false, epoch=0.
   publisher_.Publish(std::move(merged), /*aligned=*/false, /*epoch=*/0);
+  if (publish_start_ns == 0) return;
+  const uint64_t now = NowNanos();
+  view_last_publish_gauge_->Set(now);
+  TraceContext claimed;
+  {
+    std::lock_guard<std::mutex> lock(obs_mu_);
+    claimed = pending_publish_trace_;
+    pending_publish_trace_ = TraceContext{};
+  }
+  if (claimed.active()) {
+    // The claimed frame's reports just became queryable: the distance from
+    // its client-side origin to this publish IS the ingest-to-queryable
+    // latency (origin-preserving TRACED EPOCH_PUSH makes the same reading
+    // span client→central on the federated path).
+    ingest_to_queryable_hist_->Record(
+        now > claimed.origin_ns ? now - claimed.origin_ns : 0);
+    TraceLog::Global().Record(claimed.trace_id, "view_publish",
+                              publish_start_ns, now);
+  }
+}
+
+void FrameServer::RecordQueryOutcome(size_t kind_index, uint64_t start_ns,
+                                     bool rejected) {
+  if (start_ns == 0) return;  // obs was off when the query arrived
+  const uint64_t now = NowNanos();
+  const uint64_t elapsed = now > start_ns ? now - start_ns : 0;
+  if (rejected) {
+    query_error_latency_hist_->Record(elapsed);
+    return;
+  }
+  query_latency_hist_->Record(elapsed);
+  if (kind_index < 6) query_kind_latency_[kind_index]->Record(elapsed);
 }
 
 bool FrameServer::HandleQuery(Connection& conn,
-                              std::span<const uint8_t> payload) {
+                              std::span<const uint8_t> payload,
+                              const TraceContext& trace) {
+  const uint64_t start_ns = ObsEnabled() ? NowNanos() : 0;
   auto request = DecodeQueryRequest(payload);
   if (!request.ok()) {
     // Undecodable bytes: protocol violation — cut the connection like any
-    // other corrupt frame.
+    // other corrupt frame. The kind never decoded, so the reject lands on
+    // the "unknown" attribution row.
     conn.corrupt_frames.fetch_add(1, std::memory_order_relaxed);
     queries_rejected_.fetch_add(1, std::memory_order_relaxed);
+    query_kind_rejected_[6].fetch_add(1, std::memory_order_relaxed);
+    RecordQueryOutcome(6, start_ns, /*rejected=*/true);
     SendError(conn, request.status());
     conn.socket.ShutdownBoth();
     return false;
   }
+  const size_t kind_index = static_cast<size_t>(request->kind);
   const std::shared_ptr<const PublishedView> view =
       options_.query_view_source ? options_.query_view_source()
                                  : publisher_.Current();
@@ -662,12 +839,18 @@ bool FrameServer::HandleQuery(Connection& conn,
     // answer with the error and keep the session — the next query may be
     // well-formed.
     queries_rejected_.fetch_add(1, std::memory_order_relaxed);
+    query_kind_rejected_[kind_index].fetch_add(1, std::memory_order_relaxed);
+    RecordQueryOutcome(kind_index, start_ns, /*rejected=*/true);
     SendError(conn, response.status());
     return true;
   }
   query_frames_.fetch_add(1, std::memory_order_relaxed);
-  query_kind_served_[static_cast<size_t>(request->kind)].fetch_add(
-      1, std::memory_order_relaxed);
+  query_kind_served_[kind_index].fetch_add(1, std::memory_order_relaxed);
+  RecordQueryOutcome(kind_index, start_ns, /*rejected=*/false);
+  if (start_ns != 0 && trace.active()) {
+    TraceLog::Global().Record(trace.trace_id, "query_serve", start_ns,
+                              NowNanos());
+  }
   std::lock_guard<std::mutex> g(conn.write_mu);
   if (!WriteNetFrame(conn.socket, NetFrameType::kQueryOk,
                      EncodeQueryResponse(*response))
@@ -676,6 +859,25 @@ bool FrameServer::HandleQuery(Connection& conn,
     return false;
   }
   return true;
+}
+
+void FrameServer::HandleStats(Connection& conn) {
+  const std::string json = StatsJson();
+  std::lock_guard<std::mutex> g(conn.write_mu);
+  if (!WriteNetFrame(conn.socket, NetFrameType::kStats,
+                     std::span<const uint8_t>(
+                         reinterpret_cast<const uint8_t*>(json.data()),
+                         json.size()))
+           .ok()) {
+    conn.socket.ShutdownBoth();
+  }
+}
+
+std::string FrameServer::StatsJson() const {
+  const NetMetrics m = options_.stats_metrics_source
+                           ? options_.stats_metrics_source()
+                           : metrics();
+  return StatsToJson(m, &MetricsRegistry::Default());
 }
 
 void FrameServer::DisconnectClients() {
@@ -763,6 +965,16 @@ NetMetrics FrameServer::metrics() const {
         query_kind_served_[i].load(std::memory_order_relaxed);
     if (served > 0) {
       m.query_kinds.push_back(QueryKindMetrics{kQueryKindNames[i], served});
+    }
+  }
+  // Rejects attributable to a kind; slot 6 collects the ones whose kind
+  // never decoded (corrupt payload, pre-v3 session).
+  for (size_t i = 0; i < 7; ++i) {
+    const uint64_t rejected =
+        query_kind_rejected_[i].load(std::memory_order_relaxed);
+    if (rejected > 0) {
+      m.query_rejected_kinds.push_back(QueryKindMetrics{
+          i < 6 ? kQueryKindNames[i] : "unknown", rejected});
     }
   }
   m.connections.assign(departed_.begin(), departed_.end());

@@ -58,6 +58,8 @@
 #include "core/ldp_join_sketch.h"
 #include "net/net_metrics.h"
 #include "net/protocol.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/published_view.h"
 #include "service/sharded_aggregator.h"
 
@@ -111,6 +113,11 @@ struct FrameServerOptions {
   /// Must be cheap and lock-free (called per query on reader threads);
   /// must never return null.
   std::function<std::shared_ptr<const PublishedView>()> query_view_source;
+  /// What a STATS frame snapshots. Unset (default): the server's own
+  /// metrics(). A RegionalNode points it at its augmented metrics() so a
+  /// stats scrape of the regional ingest port also sees the ship-side
+  /// counters (retries, backoff, spool) the bare server cannot know.
+  std::function<NetMetrics()> stats_metrics_source;
 };
 
 class FrameServer {
@@ -141,6 +148,14 @@ class FrameServer {
   /// the server is live or after Stop() (the final flush), but not after
   /// Finalize().
   ShardedAggregator::EpochCut CutEpochSnapshot();
+
+  /// The trace context of the oldest traced DATA frame absorbed since the
+  /// last cut, claimed by CutEpochSnapshot() — a RegionalNode attaches it
+  /// to the cut's pending snapshot so the context (and its client-side
+  /// origin timestamp) rides the EPOCH_PUSH upstream and the central tier
+  /// can record true client→central ingest-to-queryable latency. Inactive
+  /// context when no traced frame landed in the cut epoch.
+  TraceContext TakeCutTrace();
 
   /// A finalized copy of everything currently in the lanes, without
   /// disturbing collection — how a central aggregator answers estimates at
@@ -183,6 +198,11 @@ class FrameServer {
   /// counters.
   NetMetrics metrics() const;
 
+  /// The JSON a STATS frame answers with: the stats_metrics_source (or the
+  /// server's own metrics()) serialized together with the process-global
+  /// registry through the one shared serializer (obs/stats_export.h).
+  std::string StatsJson() const;
+
  private:
   struct Connection {
     uint64_t id = 0;
@@ -204,6 +224,11 @@ class FrameServer {
   struct PumpItem {
     Connection* conn;             ///< kept alive until inflight drains
     std::vector<uint8_t> payload;
+    /// Wrapped DATA keeps the outer TRACED payload and points past its
+    /// header — the LJSB bytes are never copied or re-encoded.
+    size_t payload_offset = 0;
+    uint64_t enqueue_ns = 0;      ///< queue-wait timing (obs enabled only)
+    TraceContext trace;           ///< inactive unless the frame was TRACED
   };
   /// One shard's ingest lane: a bounded queue drained by a dedicated pump,
   /// plus the mutex that makes the shard's aggregator state lockable by
@@ -218,6 +243,10 @@ class FrameServer {
     std::atomic<uint64_t> queue_high_water{0};
     std::atomic<uint64_t> frames{0};
     std::atomic<uint64_t> reports{0};
+    /// Cached registry instruments (stable pointers, see obs/metrics.h):
+    /// per-shard queue-wait and absorb-time distributions.
+    ObsHistogram* queue_wait_hist = nullptr;
+    ObsHistogram* absorb_hist = nullptr;
   };
   struct RegionState {
     uint64_t next_epoch = 0;  ///< pushes below this are duplicates
@@ -234,17 +263,27 @@ class FrameServer {
   void AcceptLoop();
   void ReaderLoop(Connection* conn);
   void PumpLoop(size_t shard);
-  void ProcessData(size_t shard, Connection& conn,
-                   std::span<const uint8_t> payload);
+  void ProcessData(size_t shard, PumpItem& item);
   /// Blocks until every DATA frame `conn` enqueued has been absorbed — the
   /// ordering barrier control frames ride on.
   void WaitConnDrained(Connection* conn);
   void HandleSnapshot(Connection& conn);
-  void HandleEpochPush(Connection& conn, std::span<const uint8_t> payload);
+  void HandleEpochPush(Connection& conn, std::span<const uint8_t> payload,
+                       const TraceContext& trace);
   /// Answers one QUERY from the published view. Returns false when the
   /// connection should be closed (corrupt payload). Never waits on the
   /// drain barrier — queries cannot stall, or be stalled by, ingest.
-  bool HandleQuery(Connection& conn, std::span<const uint8_t> payload);
+  bool HandleQuery(Connection& conn, std::span<const uint8_t> payload,
+                   const TraceContext& trace);
+  /// Answers one STATS_REQUEST with the StatsJson() payload. Like QUERY,
+  /// never behind the drain barrier — an ops probe must not stall behind
+  /// a busy ingest queue.
+  void HandleStats(Connection& conn);
+  /// Notes a traced frame absorbed into the lanes: the pending-publish and
+  /// pending-cut slots keep the oldest unclaimed origin, so the claimed
+  /// latency is the conservative (worst) one across a publish interval.
+  void NoteAbsorbedTrace(const TraceContext& trace);
+  void RecordQueryOutcome(size_t kind_index, uint64_t start_ns, bool rejected);
   bool AllReadersDone() const;  ///< requires mu_
   void ReapFinishedConnections();
   ConnectionMetrics SnapshotConnection(const Connection& conn) const;
@@ -294,10 +333,27 @@ class FrameServer {
   /// RCU-published lifetime view (see CurrentPublishedView).
   ViewPublisher publisher_;
   /// Query counters: answered frames, rejected (corrupt/invalid/v2), and
-  /// per-kind served rows. Lock-free — queries never touch mu_.
+  /// per-kind served/rejected rows. Lock-free — queries never touch mu_.
+  /// Slot 6 of the rejected array is "unknown": the kind never decoded.
   std::atomic<uint64_t> query_frames_{0};
   std::atomic<uint64_t> queries_rejected_{0};
   std::atomic<uint64_t> query_kind_served_[6] = {};
+  std::atomic<uint64_t> query_kind_rejected_[7] = {};
+  /// Pending trace slots (tiny critical sections; only sampled frames and
+  /// publish/cut paths ever touch them). publish: claimed by PublishView()
+  /// — serve-tier ingest-to-queryable. cut: claimed by CutEpochSnapshot()
+  /// — handed to the regional shipper via TakeCutTrace().
+  std::mutex obs_mu_;
+  TraceContext pending_publish_trace_;
+  TraceContext pending_cut_trace_;
+  TraceContext last_cut_trace_;
+  /// Cached registry instruments (stable pointers into the process-global
+  /// registry; per-shard ones live on the lanes).
+  ObsHistogram* ingest_to_queryable_hist_ = nullptr;
+  ObsHistogram* query_latency_hist_ = nullptr;
+  ObsHistogram* query_error_latency_hist_ = nullptr;
+  ObsHistogram* query_kind_latency_[6] = {};
+  ObsGauge* view_last_publish_gauge_ = nullptr;
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> handshakes_rejected_{0};
   std::atomic<uint64_t> accept_failures_{0};      ///< transient, retried

@@ -1,106 +1,14 @@
 #include "net/net_metrics.h"
 
+#include "obs/stats_export.h"
+
 namespace ldpjs {
 
-namespace {
-
-void AppendField(std::string& out, const char* name, uint64_t value,
-                 bool* first) {
-  if (!*first) out += ',';
-  *first = false;
-  out += '"';
-  out += name;
-  out += "\":";
-  out += std::to_string(value);
-}
-
-}  // namespace
-
 std::string NetMetricsToJson(const NetMetrics& m) {
-  std::string out;
-  out.reserve(512 + 128 * (m.connections.size() + m.shards.size() +
-                           m.regions.size()));
-  out += '{';
-  bool first = true;
-  AppendField(out, "connections_accepted", m.connections_accepted, &first);
-  AppendField(out, "connections_active", m.connections_active, &first);
-  AppendField(out, "handshakes_rejected", m.handshakes_rejected, &first);
-  AppendField(out, "frames_received", m.frames_received, &first);
-  AppendField(out, "bytes_received", m.bytes_received, &first);
-  AppendField(out, "reports_ingested", m.reports_ingested, &first);
-  AppendField(out, "corrupt_frames_rejected", m.corrupt_frames_rejected,
-              &first);
-  AppendField(out, "frames_shed", m.frames_shed, &first);
-  AppendField(out, "queue_high_water", m.queue_high_water, &first);
-  AppendField(out, "epochs_applied", m.epochs_applied, &first);
-  AppendField(out, "epoch_duplicates_ignored", m.epoch_duplicates_ignored,
-              &first);
-  AppendField(out, "accept_failures", m.accept_failures, &first);
-  AppendField(out, "accept_fatal", m.accept_fatal, &first);
-  AppendField(out, "idle_reaped", m.idle_reaped, &first);
-  AppendField(out, "connections_folded", m.connections_folded, &first);
-  AppendField(out, "retries_attempted", m.retries_attempted, &first);
-  AppendField(out, "backoff_millis", m.backoff_millis, &first);
-  AppendField(out, "faults_injected", m.faults_injected, &first);
-  AppendField(out, "spool_bytes_written", m.spool_bytes_written, &first);
-  AppendField(out, "spool_bytes_resumed", m.spool_bytes_resumed, &first);
-  AppendField(out, "spool_epochs_resumed", m.spool_epochs_resumed, &first);
-  AppendField(out, "query_frames", m.query_frames, &first);
-  AppendField(out, "queries_rejected", m.queries_rejected, &first);
-  AppendField(out, "views_published", m.views_published, &first);
-  out += ",\"query_kinds\":{";
-  for (size_t i = 0; i < m.query_kinds.size(); ++i) {
-    if (i > 0) out += ',';
-    out += '"';
-    out += m.query_kinds[i].kind;
-    out += "\":";
-    out += std::to_string(m.query_kinds[i].served);
-  }
-  out += '}';
-  out += ",\"connections\":[";
-  for (size_t i = 0; i < m.connections.size(); ++i) {
-    const ConnectionMetrics& c = m.connections[i];
-    if (i > 0) out += ',';
-    out += '{';
-    bool f = true;
-    AppendField(out, "id", c.id, &f);
-    AppendField(out, "active", c.active ? 1 : 0, &f);
-    AppendField(out, "frames_received", c.frames_received, &f);
-    AppendField(out, "bytes_received", c.bytes_received, &f);
-    AppendField(out, "reports_ingested", c.reports_ingested, &f);
-    AppendField(out, "corrupt_frames_rejected", c.corrupt_frames_rejected, &f);
-    AppendField(out, "frames_shed", c.frames_shed, &f);
-    out += '}';
-  }
-  out += "],\"shards\":[";
-  for (size_t i = 0; i < m.shards.size(); ++i) {
-    const ShardMetrics& s = m.shards[i];
-    if (i > 0) out += ',';
-    out += '{';
-    bool f = true;
-    AppendField(out, "shard", i, &f);
-    AppendField(out, "frames", s.frames, &f);
-    AppendField(out, "reports", s.reports, &f);
-    AppendField(out, "queue_high_water", s.queue_high_water, &f);
-    out += '}';
-  }
-  out += "],\"regions\":[";
-  for (size_t i = 0; i < m.regions.size(); ++i) {
-    const RegionMetrics& r = m.regions[i];
-    if (i > 0) out += ',';
-    out += '{';
-    bool f = true;
-    AppendField(out, "region_id", r.region_id, &f);
-    AppendField(out, "epochs_applied", r.epochs_applied, &f);
-    AppendField(out, "empty_epochs", r.empty_epochs, &f);
-    AppendField(out, "duplicates_ignored", r.duplicates_ignored, &f);
-    AppendField(out, "reports_merged", r.reports_merged, &f);
-    AppendField(out, "snapshot_bytes", r.snapshot_bytes, &f);
-    AppendField(out, "next_epoch", r.next_epoch, &f);
-    out += '}';
-  }
-  out += "]}";
-  return out;
+  // One serializer for every consumer — STATS frame, SIGUSR1 dump, JSONL
+  // exporter, and this legacy entry point — so the schema cannot fork.
+  // Passing no registry reproduces the counters-only shape.
+  return StatsToJson(m, nullptr);
 }
 
 }  // namespace ldpjs

@@ -81,6 +81,10 @@ struct NetMetrics {
   uint64_t queries_rejected = 0;   ///< corrupt/invalid/pre-v3 queries
   uint64_t views_published = 0;    ///< RCU view publications so far
   std::vector<QueryKindMetrics> query_kinds;  ///< served count per kind
+  /// Rejected count per kind (rows only for kinds rejected at least once;
+  /// rejects whose kind never decoded land on the "unknown" row), so
+  /// queries_rejected is attributable instead of one opaque aggregate.
+  std::vector<QueryKindMetrics> query_rejected_kinds;
   std::vector<ConnectionMetrics> connections;
   std::vector<ShardMetrics> shards;
   std::vector<RegionMetrics> regions;

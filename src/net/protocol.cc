@@ -8,7 +8,7 @@ namespace {
 
 bool IsKnownFrameType(uint8_t type) {
   return type >= static_cast<uint8_t>(NetFrameType::kHello) &&
-         type <= static_cast<uint8_t>(NetFrameType::kQueryOk);
+         type <= static_cast<uint8_t>(NetFrameType::kTraced);
 }
 
 }  // namespace
@@ -324,6 +324,46 @@ Result<QueryResponse> DecodeQueryResponse(std::span<const uint8_t> payload) {
     return Status::Corruption("trailing bytes after QUERY_OK");
   }
   return response;
+}
+
+std::vector<uint8_t> EncodeTraced(NetFrameType inner_type, uint64_t trace_id,
+                                  uint64_t origin_ns,
+                                  std::span<const uint8_t> inner_payload) {
+  std::vector<uint8_t> payload;
+  payload.reserve(kTracedHeaderBytes + inner_payload.size());
+  payload.push_back(static_cast<uint8_t>(inner_type));
+  for (int shift = 0; shift < 64; shift += 8) {
+    payload.push_back(static_cast<uint8_t>(trace_id >> shift));
+  }
+  for (int shift = 0; shift < 64; shift += 8) {
+    payload.push_back(static_cast<uint8_t>(origin_ns >> shift));
+  }
+  payload.insert(payload.end(), inner_payload.begin(), inner_payload.end());
+  return payload;
+}
+
+Result<TracedFrame> DecodeTraced(std::span<const uint8_t> payload) {
+  BinaryReader reader(payload);
+  auto inner = reader.GetU8();
+  if (!inner.ok()) return inner.status();
+  if (*inner != static_cast<uint8_t>(NetFrameType::kData) &&
+      *inner != static_cast<uint8_t>(NetFrameType::kEpochPush) &&
+      *inner != static_cast<uint8_t>(NetFrameType::kQuery)) {
+    return Status::Corruption("TRACED wraps untraceable frame type " +
+                              std::to_string(*inner));
+  }
+  auto trace_id = reader.GetU64();
+  if (!trace_id.ok()) return trace_id.status();
+  auto origin_ns = reader.GetU64();
+  if (!origin_ns.ok()) return origin_ns.status();
+  auto rest = reader.GetRaw(reader.remaining());
+  if (!rest.ok()) return rest.status();
+  TracedFrame frame;
+  frame.inner_type = static_cast<NetFrameType>(*inner);
+  frame.trace_id = *trace_id;
+  frame.origin_ns = *origin_ns;
+  frame.inner_payload = *rest;
+  return frame;
 }
 
 std::vector<uint8_t> EncodeErrorPayload(const Status& status) {

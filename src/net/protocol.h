@@ -61,7 +61,18 @@ inline constexpr uint32_t kNetMagic = 0x50534A4CU;  // "LJSP" little-endian
 /// answered from the server's RCU-published finalized view (see
 /// service/published_view.h) without ever touching the ingest locks. A v2
 /// session sending QUERY gets ERROR + close.
-inline constexpr uint8_t kNetVersion = 3;
+///
+/// v4: observability. Negotiated in HELLO exactly like v3 (the HELLO/
+/// HELLO_OK layout is unchanged, only the accepted band widens), so v2/v3
+/// peers keep working byte-for-byte. On a v4 session the client may send
+/// STATS_REQUEST (answered immediately with a STATS JSON frame, never
+/// behind the ingest drain barrier) and may wrap a DATA/EPOCH_PUSH/QUERY
+/// frame in a TRACED envelope carrying a compact trace context — a u64
+/// trace id plus the wall-clock origin timestamp stamped where the batch
+/// was encoded — so a sampled batch can be timed across every tier it
+/// crosses. Untraced frames are byte-identical to v3, preserving the
+/// bit-identity invariant of the ingest path.
+inline constexpr uint8_t kNetVersion = 4;
 /// Oldest protocol version this build still speaks.
 inline constexpr uint8_t kNetMinVersion = 2;
 
@@ -115,6 +126,21 @@ enum class NetFrameType : uint8_t {
   /// Payload: a QueryResponse — the answer plus the identity (sequence /
   /// epoch / report count) of the published view that produced it.
   kQueryOk = 17,
+  /// v4 read path: ask the server for its stats snapshot. Empty payload;
+  /// answered immediately with kStats (like QUERY, a stats scrape is never
+  /// ordered behind the connection's DATA — an ops probe must not stall on
+  /// a busy ingest queue).
+  kStatsRequest = 18,
+  /// Payload: one UTF-8 JSON object (see obs/stats_export.h) — the same
+  /// serializer output the SIGUSR1 dump and the JSONL exporter emit.
+  kStats = 19,
+  /// v4 trace envelope: u8 inner frame type (kData, kEpochPush or kQuery)
+  /// + u64 trace_id + u64 origin_ns, then the inner frame's payload
+  /// unchanged to the end of the frame. The receiver unwraps, notes the
+  /// trace context, and handles the inner frame exactly as if it had
+  /// arrived bare — tracing rides alongside the bytes, it never re-encodes
+  /// them.
+  kTraced = 20,
 };
 
 /// Hard cap on client→server frame payloads. A batch envelope is at most
@@ -284,6 +310,27 @@ struct QueryResponse {
 
 std::vector<uint8_t> EncodeQueryResponse(const QueryResponse& response);
 Result<QueryResponse> DecodeQueryResponse(std::span<const uint8_t> payload);
+
+/// One decoded TRACED envelope (v4): the inner frame type, the trace
+/// context, and a zero-copy view of the inner payload.
+struct TracedFrame {
+  NetFrameType inner_type = NetFrameType::kData;
+  uint64_t trace_id = 0;
+  uint64_t origin_ns = 0;
+  std::span<const uint8_t> inner_payload;  ///< borrows the outer payload
+};
+
+/// Bytes a TRACED envelope adds in front of the inner payload
+/// (u8 inner type + u64 trace id + u64 origin timestamp).
+inline constexpr size_t kTracedHeaderBytes = 17;
+
+std::vector<uint8_t> EncodeTraced(NetFrameType inner_type, uint64_t trace_id,
+                                  uint64_t origin_ns,
+                                  std::span<const uint8_t> inner_payload);
+/// The decoded view borrows `payload` — keep it alive. Rejects inner types
+/// other than kData/kEpochPush/kQuery (wrapping a control frame would let
+/// tracing bypass the drain-barrier ordering those frames rely on).
+Result<TracedFrame> DecodeTraced(std::span<const uint8_t> payload);
 
 /// ERROR payload: one status-code byte plus the message bytes. The decoded
 /// Status is what the failing server-side operation returned, so a client

@@ -1,0 +1,33 @@
+// The single stats serializer: the STATS frame, the SIGUSR1 dump, the
+// periodic JSONL exporter, and the legacy NetMetricsToJson all emit through
+// StatsToJson, so the schema cannot drift into per-caller dialects.
+//
+// Output shape:
+//   - every pre-existing NetMetrics key, unchanged in name and type, at the
+//     top level (totals, then query_kinds / connections / shards / regions);
+//   - "query_rejected_kinds": {kind: count} — per-kind reject attribution;
+//   - when a registry is supplied, "obs": {counters, gauges, histograms}
+//     where each histogram carries count/sum/mean/p50/p90/p99/p999, plus
+//     derived top-level doubles "ingest_to_queryable_p50_ms",
+//     "ingest_to_queryable_p99_ms" and "view_staleness_ms" (0.0 while the
+//     corresponding series is empty, so consumers can always parse them).
+#ifndef LDPJS_OBS_STATS_EXPORT_H_
+#define LDPJS_OBS_STATS_EXPORT_H_
+
+#include <string>
+
+#include "net/net_metrics.h"
+#include "obs/metrics.h"
+
+namespace ldpjs {
+
+/// Renders a NetMetrics snapshot — and, when `registry` is non-null, the
+/// registry's instruments — as one JSON object. `registry == nullptr`
+/// reproduces the pre-obs NetMetricsToJson output byte-compatibly (modulo
+/// the additive query_rejected_kinds key).
+std::string StatsToJson(const NetMetrics& metrics,
+                        const MetricsRegistry* registry);
+
+}  // namespace ldpjs
+
+#endif  // LDPJS_OBS_STATS_EXPORT_H_

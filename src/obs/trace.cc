@@ -1,0 +1,42 @@
+#include "obs/trace.h"
+
+namespace ldpjs {
+
+TraceLog& TraceLog::Global() {
+  static TraceLog* const log = new TraceLog();
+  return *log;
+}
+
+void TraceLog::Record(uint64_t trace_id, std::string stage, uint64_t start_ns,
+                      uint64_t end_ns) {
+  if (trace_id == 0) return;
+  TraceSpan span{trace_id, std::move(stage), start_ns, end_ns};
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < kCapacity) {
+    ring_.push_back(std::move(span));
+    return;
+  }
+  wrapped_ = true;
+  ring_[next_] = std::move(span);
+  next_ = (next_ + 1) % kCapacity;
+}
+
+std::vector<TraceSpan> TraceLog::Collect(uint64_t trace_id) const {
+  std::vector<TraceSpan> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Record order: once wrapped, the oldest retained span sits at next_.
+  const size_t n = ring_.size();
+  const size_t first = wrapped_ ? next_ : 0;
+  for (size_t i = 0; i < n; ++i) {
+    const TraceSpan& span = ring_[(first + i) % n];
+    if (span.trace_id == trace_id) out.push_back(span);
+  }
+  return out;
+}
+
+size_t TraceLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+}  // namespace ldpjs

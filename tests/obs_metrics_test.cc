@@ -1,0 +1,211 @@
+// Metrics registry primitives, including the concurrency contracts the
+// design leans on:
+//   - snapshots taken while writers hammer a histogram are never torn
+//     (count == sum of buckets by construction) and monotone, and the
+//     post-join totals are exact — this test runs under the CI TSan job;
+//   - the disabled path records nothing (the "one branch when off" pin);
+//   - instrument pointers are stable across repeated lookups, so cached
+//     raw pointers stay valid for the registry's lifetime.
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ldpjs {
+namespace {
+
+/// Restores the global obs switch even when an assertion bails out early.
+class ObsEnabledGuard {
+ public:
+  ObsEnabledGuard() = default;
+  ~ObsEnabledGuard() { SetObsEnabled(true); }
+};
+
+TEST(ObsMetricsTest, BucketBoundaries) {
+  // v = 0 → bucket 0; v in [2^(i-1), 2^i) → bucket i.
+  EXPECT_EQ(ObsHistogram::BucketOf(0), 0u);
+  EXPECT_EQ(ObsHistogram::BucketOf(1), 1u);
+  EXPECT_EQ(ObsHistogram::BucketOf(2), 2u);
+  EXPECT_EQ(ObsHistogram::BucketOf(3), 2u);
+  EXPECT_EQ(ObsHistogram::BucketOf(4), 3u);
+  EXPECT_EQ(ObsHistogram::BucketOf(1023), 10u);
+  EXPECT_EQ(ObsHistogram::BucketOf(1024), 11u);
+  EXPECT_EQ(ObsHistogram::BucketOf(UINT64_MAX), 64u);
+
+  ObsHistogram hist;
+  hist.Record(0);
+  hist.Record(1);
+  hist.Record(3);
+  hist.Record(1024);
+  const HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_EQ(snap.sum, 1028u);
+  EXPECT_EQ(snap.buckets[0], 1u);
+  EXPECT_EQ(snap.buckets[1], 1u);
+  EXPECT_EQ(snap.buckets[2], 1u);
+  EXPECT_EQ(snap.buckets[11], 1u);
+}
+
+TEST(ObsMetricsTest, PercentileRankWalk) {
+  ObsHistogram hist;
+  // 90 fast observations (~1us) and 10 slow ones (~1ms): p50 must land in
+  // the fast bucket, p99 in the slow one. Values are bucket upper bounds.
+  for (int i = 0; i < 90; ++i) hist.Record(1000);
+  for (int i = 0; i < 10; ++i) hist.Record(1000000);
+  const HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_EQ(snap.Percentile(0.50), (1ull << 10) - 1);  // 1000 → bucket 10
+  EXPECT_EQ(snap.Percentile(0.90), (1ull << 10) - 1);  // rank 90 is fast
+  EXPECT_EQ(snap.Percentile(0.99), (1ull << 20) - 1);  // 1e6 → bucket 20
+  // Degenerate inputs stay sane.
+  EXPECT_EQ(HistogramSnapshot{}.Percentile(0.99), 0u);
+  ObsHistogram zeros;
+  zeros.Record(0);
+  EXPECT_EQ(zeros.Snapshot().Percentile(0.99), 0u);
+}
+
+TEST(ObsMetricsTest, DisabledRecordsNothing) {
+  ObsEnabledGuard guard;
+  ObsHistogram hist;
+  ObsCounter counter;
+  ObsGauge gauge;
+  SetObsEnabled(false);
+  hist.Record(42);
+  counter.Increment();
+  gauge.Set(7);
+  EXPECT_EQ(hist.Snapshot().count, 0u);
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(gauge.value(), 0u);
+  SetObsEnabled(true);
+  hist.Record(42);
+  counter.Increment();
+  gauge.Set(7);
+  EXPECT_EQ(hist.Snapshot().count, 1u);
+  EXPECT_EQ(counter.value(), 1u);
+  EXPECT_EQ(gauge.value(), 7u);
+}
+
+TEST(ObsMetricsTest, RegistryPointersStable) {
+  MetricsRegistry registry;
+  ObsHistogram* hist = registry.GetHistogram("absorb_ns");
+  ObsCounter* counter = registry.GetCounter("events");
+  ObsGauge* gauge = registry.GetGauge("level");
+  // Interleave registrations; the originals must not move.
+  for (int i = 0; i < 100; ++i) {
+    registry.GetHistogram("other_" + std::to_string(i));
+  }
+  EXPECT_EQ(registry.GetHistogram("absorb_ns"), hist);
+  EXPECT_EQ(registry.GetCounter("events"), counter);
+  EXPECT_EQ(registry.GetGauge("level"), gauge);
+
+  hist->Record(5);
+  counter->Add(3);
+  gauge->Set(9);
+  const MetricsRegistry::Snapshot snap = registry.TakeSnapshot();
+  EXPECT_EQ(snap.histograms.size(), 101u);
+  bool found = false;
+  for (const auto& [name, h] : snap.histograms) {
+    if (name == "absorb_ns") {
+      found = true;
+      EXPECT_EQ(h.count, 1u);
+      EXPECT_EQ(h.sum, 5u);
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(registry.HistogramByName("absorb_ns").count, 1u);
+  EXPECT_EQ(registry.HistogramByName("no_such_series").count, 0u);
+}
+
+// The TSan hammer: 8 writers × 100k records racing a snapshot reader. The
+// contract under test is exactly what the STATS scrape relies on — a
+// snapshot taken mid-flight is internally consistent (its count equals the
+// sum of its buckets BY READ, not by trust) and monotone, and once the
+// writers join the totals are exact.
+TEST(ObsMetricsTest, HammerWritersVsSnapshotReader) {
+  constexpr int kWriters = 8;
+  constexpr uint64_t kPerWriter = 100000;
+  ObsHistogram hist;
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> snapshots_taken{0};
+
+  std::thread reader([&] {
+    uint64_t last_count = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const HistogramSnapshot snap = hist.Snapshot();
+      uint64_t bucket_total = 0;
+      for (const uint64_t b : snap.buckets) bucket_total += b;
+      ASSERT_EQ(snap.count, bucket_total);   // never torn
+      ASSERT_GE(snap.count, last_count);     // never regresses
+      last_count = snap.count;
+      snapshots_taken.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&hist, w] {
+      // Distinct value per writer spreads records across buckets, so a torn
+      // cross-bucket read would be caught, not masked by one hot bucket.
+      const uint64_t value = 1ull << (w * 3);
+      for (uint64_t i = 0; i < kPerWriter; ++i) hist.Record(value);
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  const HistogramSnapshot final_snap = hist.Snapshot();
+  EXPECT_EQ(final_snap.count, kWriters * kPerWriter);
+  uint64_t expected_sum = 0;
+  for (int w = 0; w < kWriters; ++w) {
+    expected_sum += (1ull << (w * 3)) * kPerWriter;
+  }
+  EXPECT_EQ(final_snap.sum, expected_sum);
+  EXPECT_GT(snapshots_taken.load(), 0u);
+}
+
+TEST(ObsMetricsTest, CountersRaceExact) {
+  MetricsRegistry registry;
+  ObsCounter* counter = registry.GetCounter("hits");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < 50000; ++i) counter->Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter->value(), 400000u);
+}
+
+TEST(ObsTraceTest, RingBoundAndCollect) {
+  TraceLog log;
+  log.Record(77, "stage_a", 10, 20);
+  log.Record(77, "stage_b", 20, 30);
+  log.Record(99, "stage_a", 15, 25);
+  log.Record(0, "ignored", 1, 2);  // id 0 is the untraced sentinel
+  const std::vector<TraceSpan> spans = log.Collect(77);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].stage, "stage_a");
+  EXPECT_EQ(spans[1].stage, "stage_b");
+  EXPECT_EQ(log.Collect(0).size(), 0u);
+
+  // Overflow wraps: the ring keeps the newest kCapacity spans.
+  TraceLog ring;
+  for (uint64_t i = 0; i < TraceLog::kCapacity + 50; ++i) {
+    ring.Record(500, "flood", i, i + 1);
+  }
+  EXPECT_EQ(ring.size(), TraceLog::kCapacity);
+  const std::vector<TraceSpan> kept = ring.Collect(500);
+  EXPECT_EQ(kept.size(), TraceLog::kCapacity);
+  // Oldest surviving span is the one just past the overwritten prefix.
+  EXPECT_EQ(kept.front().start_ns, 50u);
+  EXPECT_EQ(kept.back().start_ns, TraceLog::kCapacity + 49);
+}
+
+}  // namespace
+}  // namespace ldpjs

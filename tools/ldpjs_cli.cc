@@ -35,9 +35,12 @@
 // --sender-index i` streams only every Nth client block (same RNG streams),
 // so N senders across regions partition exactly one table.
 //
-// All serving subcommands dump NetMetrics as JSON on SIGUSR1 and at exit
+// All serving subcommands dump a stats JSON snapshot on SIGUSR1 and at exit
 // (stdout, plus --metrics-json FILE when set) — shed/corrupt/queue-high-
-// water/per-region counters for ops.
+// water/per-region counters plus the obs registry's latency histograms —
+// and can append the same JSON periodically with --stats-jsonl FILE
+// --stats-period N. `ldpjs_cli stats --port P [--watch N]` scrapes the
+// identical snapshot from a live server over LJSP v4 (see RunStats).
 //
 // Chaos mode:
 //
@@ -68,6 +71,8 @@
 #include "federation/regional_node.h"
 #include "net/frame_sender.h"
 #include "net/frame_server.h"
+#include "obs/metrics.h"
+#include "obs/stats_export.h"
 #include "service/published_view.h"
 #include "service/query_engine.h"
 #include "tools/flags.h"
@@ -228,16 +233,29 @@ void HandleSigusr1(int) { g_metrics_dump_requested = 1; }
 
 class MetricsWatcher {
  public:
-  MetricsWatcher(std::function<NetMetrics()> source, std::string json_path)
-      : source_(std::move(source)), json_path_(std::move(json_path)) {
+  MetricsWatcher(std::function<NetMetrics()> source, std::string json_path,
+                 std::string jsonl_path = "", int jsonl_period_seconds = 0)
+      : source_(std::move(source)),
+        json_path_(std::move(json_path)),
+        jsonl_path_(std::move(jsonl_path)),
+        jsonl_period_seconds_(jsonl_period_seconds) {
     std::signal(SIGUSR1, HandleSigusr1);
     poller_ = std::thread([this] {
       // Signal handlers can only set a flag; this thread turns the flag
       // into a dump without restricting what the handler may touch.
+      auto last_jsonl = std::chrono::steady_clock::now();
       while (!done_) {
         if (g_metrics_dump_requested != 0) {
           g_metrics_dump_requested = 0;
           Dump();
+        }
+        if (!jsonl_path_.empty() && jsonl_period_seconds_ > 0) {
+          const auto now = std::chrono::steady_clock::now();
+          if (now - last_jsonl >=
+              std::chrono::seconds(jsonl_period_seconds_)) {
+            last_jsonl = now;
+            AppendJsonl();
+          }
         }
         std::this_thread::sleep_for(std::chrono::milliseconds(100));
       }
@@ -249,10 +267,18 @@ class MetricsWatcher {
     poller_.join();
     std::signal(SIGUSR1, SIG_DFL);
     Dump();  // the at-exit snapshot
+    if (!jsonl_path_.empty()) AppendJsonl();  // the at-exit sample
+  }
+
+  /// One JSON snapshot through the same serializer as the STATS frame —
+  /// the SIGUSR1 dump, the STATS scrape, and the JSONL export can never
+  /// drift apart in shape.
+  std::string Snapshot() const {
+    return StatsToJson(source_(), &MetricsRegistry::Default());
   }
 
   void Dump() {
-    const std::string json = NetMetricsToJson(source_());
+    const std::string json = Snapshot();
     std::printf("NETMETRICS %s\n", json.c_str());
     std::fflush(stdout);
     if (!json_path_.empty()) {
@@ -265,9 +291,21 @@ class MetricsWatcher {
     }
   }
 
+  void AppendJsonl() {
+    const std::string json = Snapshot();
+    std::FILE* f = std::fopen(jsonl_path_.c_str(), "ab");
+    if (f != nullptr) {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+    }
+  }
+
  private:
   std::function<NetMetrics()> source_;
   std::string json_path_;
+  std::string jsonl_path_;
+  int jsonl_period_seconds_;
   std::atomic<bool> done_{false};
   std::thread poller_;
 };
@@ -297,6 +335,18 @@ void DefineServerFlags(tools::Flags& flags) {
                "epochs, so arm it only when the traffic cadence is known)");
   flags.Define("metrics-json", "",
                "also write the SIGUSR1/exit NetMetrics JSON here");
+  flags.Define("stats-jsonl", "",
+               "append a stats JSON line (same schema as the STATS frame "
+               "and SIGUSR1 dump) here every --stats-period seconds");
+  flags.Define("stats-period", "10",
+               "seconds between --stats-jsonl samples");
+}
+
+MetricsWatcher MakeWatcher(const tools::Flags& flags,
+                           std::function<NetMetrics()> source) {
+  return MetricsWatcher(std::move(source), flags.GetString("metrics-json"),
+                        flags.GetString("stats-jsonl"),
+                        static_cast<int>(flags.GetInt("stats-period")));
 }
 
 FrameServerOptions ServerOptionsFromFlags(const tools::Flags& flags,
@@ -344,8 +394,8 @@ int RunServe(int argc, char** argv) {
   NetMetrics metrics;
   LdpJoinSketchServer sketch(params, flags.GetDouble("epsilon"));
   {
-    MetricsWatcher watcher([&server] { return server.metrics(); },
-                           flags.GetString("metrics-json"));
+    MetricsWatcher watcher =
+        MakeWatcher(flags, [&server] { return server.metrics(); });
     server.WaitForFinalizeRequest();
     server.Stop();
     metrics = server.metrics();
@@ -416,8 +466,8 @@ int RunFederateCentral(int argc, char** argv) {
   NetMetrics metrics;
   LdpJoinSketchServer sketch(params, flags.GetDouble("epsilon"));
   {
-    MetricsWatcher watcher([&central] { return central.metrics(); },
-                           flags.GetString("metrics-json"));
+    MetricsWatcher watcher =
+        MakeWatcher(flags, [&central] { return central.metrics(); });
     central.WaitForRegions();
     central.Stop();
     metrics = central.metrics();
@@ -514,8 +564,8 @@ int RunFederateRegion(int argc, char** argv) {
   {
     // region.metrics() (not the bare ingest server's): includes the ship
     // retry/backoff counters and spool traffic.
-    MetricsWatcher watcher([&region] { return region.metrics(); },
-                           flags.GetString("metrics-json"));
+    MetricsWatcher watcher =
+        MakeWatcher(flags, [&region] { return region.metrics(); });
     // A client FINALIZE is the "this region's collection is complete"
     // signal: flush everything upstream and forward the FINALIZE.
     region.server_mutable().WaitForFinalizeRequest();
@@ -570,6 +620,10 @@ int RunSend(int argc, char** argv) {
                "this sender's slice: stream blocks where block % senders == "
                "index (RNG streams unchanged, so N slices union to exactly "
                "the full table)");
+  flags.Define("trace-every", "32",
+               "wrap every Nth DATA batch in a TRACED envelope so the "
+               "server can measure ingest-to-queryable latency end to end "
+               "(0 = off; ignored by pre-v4 servers — frames stay plain)");
   flags.Parse(argc, argv);
 
   const std::string table = flags.GetString("table");
@@ -596,10 +650,13 @@ int RunSend(int argc, char** argv) {
   const uint64_t run_seed =
       Mix64(trial_seed ^ (table == "a" ? 0xA3ULL : 0xB3ULL));
 
+  FrameSender::Options sender_options;
+  sender_options.trace_every =
+      static_cast<uint64_t>(flags.GetInt("trace-every"));
   auto sender = FrameSender::Connect(flags.GetString("host"),
                                      static_cast<uint16_t>(
                                          flags.GetInt("port")),
-                                     params, epsilon);
+                                     params, epsilon, sender_options);
   if (!sender.ok()) {
     std::fprintf(stderr, "connect failed: %s\n",
                  sender.status().ToString().c_str());
@@ -627,6 +684,17 @@ int RunSend(int argc, char** argv) {
     if (!sent.ok()) {
       std::fprintf(stderr, "send failed at block %zu: %s\n", block_index,
                    sent.ToString().c_str());
+      return 1;
+    }
+  }
+  if (sender_options.trace_every > 0 &&
+      sender->negotiated_version() >= 4) {
+    // The PING barrier makes the server absorb (and republish past) every
+    // traced batch above, so the final stats already hold their
+    // ingest-to-queryable samples when this sender exits.
+    const Status pinged = sender->Ping();
+    if (!pinged.ok()) {
+      std::fprintf(stderr, "ping failed: %s\n", pinged.ToString().c_str());
       return 1;
     }
   }
@@ -940,6 +1008,66 @@ int RunQuery(int argc, char** argv) {
 }
 
 // ---------------------------------------------------------------------------
+// stats: the LJSP v4 ops path. Scrape a live server's stats snapshot —
+// counters, per-tier latency histograms, and the end-to-end
+// ingest-to-queryable percentiles — as one JSON line, without interrupting
+// collection (STATS is answered immediately, never ordered behind ingest).
+// --watch N re-scrapes every N seconds on the same session.
+// ---------------------------------------------------------------------------
+int RunStats(int argc, char** argv) {
+  tools::Flags flags;
+  DefineWorkloadFlags(flags);
+  flags.Define("host", "127.0.0.1", "server host");
+  flags.Define("port", "7542", "server port");
+  flags.Define("ping", "1",
+               "PING before each scrape: the barrier republishes the view, "
+               "so sampled traced batches already ingested show up in "
+               "ingest_to_queryable before the scrape reads it");
+  flags.Define("watch", "0",
+               "re-scrape every this many seconds (0 = one shot)");
+  flags.Parse(argc, argv);
+
+  const SketchParams params = SketchFromFlags(flags);
+  auto sender =
+      FrameSender::Connect(flags.GetString("host"),
+                           static_cast<uint16_t>(flags.GetInt("port")),
+                           params, flags.GetDouble("epsilon"));
+  if (!sender.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 sender.status().ToString().c_str());
+    return 1;
+  }
+  const int watch = static_cast<int>(flags.GetInt("watch"));
+  for (;;) {
+    if (flags.GetInt("ping") != 0) {
+      const Status pinged = sender->Ping();
+      if (!pinged.ok()) {
+        std::fprintf(stderr, "ping failed: %s\n",
+                     pinged.ToString().c_str());
+        return 1;
+      }
+    }
+    auto json = sender->Stats();
+    if (!json.ok()) {
+      std::fprintf(stderr, "stats failed: %s\n",
+                   json.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", json->c_str());
+    std::fflush(stdout);
+    if (watch <= 0) break;
+    std::this_thread::sleep_for(std::chrono::seconds(watch));
+  }
+  const Status finished = sender->Finish();
+  if (!finished.ok()) {
+    std::fprintf(stderr, "finish failed: %s\n",
+                 finished.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
 // chaos: sweep seeded fault schedules over a loopback federated run and
 // verify the chaos invariants live — bit-identity of the federated (and
 // windowed) estimate against a direct single-node absorb, and bit-exact
@@ -1120,6 +1248,7 @@ int main(int argc, char** argv) {
     if (subcommand == "send") return RunSend(argc - 1, argv + 1);
     if (subcommand == "estimate") return RunEstimate(argc - 1, argv + 1);
     if (subcommand == "query") return RunQuery(argc - 1, argv + 1);
+    if (subcommand == "stats") return RunStats(argc - 1, argv + 1);
     if (subcommand == "federate-central") {
       return RunFederateCentral(argc - 1, argv + 1);
     }
@@ -1128,7 +1257,7 @@ int main(int argc, char** argv) {
     }
     if (subcommand == "chaos") return RunChaos(argc - 1, argv + 1);
     std::fprintf(stderr,
-                 "unknown subcommand '%s' (serve|send|estimate|query|"
+                 "unknown subcommand '%s' (serve|send|estimate|query|stats|"
                  "federate-central|federate-region|chaos, or flags only "
                  "for experiment mode)\n",
                  subcommand.c_str());
