@@ -39,6 +39,7 @@
 #include "federation/windowed_view.h"
 #include "net/frame_sender.h"
 #include "net/frame_server.h"
+#include "obs/fleet_stats.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "seed_baseline.h"
@@ -562,6 +563,85 @@ void RunIngestionComparison() {
     if (central.metrics().epochs_applied != epoch) std::abort();
   }
 
+  // --- Fleet stats shipping overhead: the snapshot-ship loop with a v5
+  // STATS_PUSH interleaved every 128 epochs on the session, paired against
+  // a plain loop so both see identical machine conditions. Telemetry must
+  // never tax the data path — the bench aborts past 1% throughput cost.
+  // Also times the central-side exact histogram merge of two full registry
+  // snapshots (the per-region cost of rendering the cluster view). --------
+  double stats_push_overhead_pct = 0.0;
+  double fleet_merge_ns = 0.0;
+  {
+    LdpJoinSketchServer epoch_sketch(params, epsilon);
+    epoch_sketch.AbsorbBatch(
+        std::span<const LdpReport>(reports_a.data(),
+                                   std::min<size_t>(n, 100'000)));
+    const std::vector<uint8_t> snapshot = epoch_sketch.Serialize();
+    FrameServerOptions options;
+    options.num_shards = service_shards;
+    FrameServer central_with(params, epsilon, options);
+    FrameServer central_plain(params, epsilon, options);
+    if (!central_with.Start().ok() || !central_plain.Start().ok()) {
+      std::abort();
+    }
+    auto with_sender = FrameSender::Connect(
+        "127.0.0.1", central_with.port(), params, epsilon);
+    auto plain_sender = FrameSender::Connect(
+        "127.0.0.1", central_plain.port(), params, epsilon);
+    if (!with_sender.ok() || !plain_sender.ok()) std::abort();
+    uint64_t epoch_with = 0, epoch_plain = 0;
+    auto push_one = [&](FrameSender& sender, uint64_t* epoch) {
+      auto applied = sender.PushEpochSnapshot(0, (*epoch)++, snapshot);
+      if (!applied.ok() || applied->code != EpochPushAckCode::kApplied) {
+        std::abort();
+      }
+    };
+    const auto [with_bps, plain_bps] = MeasurePairedReportsPerSec(
+        snapshot.size(),
+        [&] {
+          push_one(*with_sender, &epoch_with);
+          if (epoch_with % 128 == 0) {
+            FleetSnapshot stats;
+            stats.region_id = 0;
+            stats.captured_unix_ns = NowNanos();
+            stats.stats = MetricsRegistry::Default().TakeSnapshot();
+            if (!with_sender->PushStats(stats).ok()) std::abort();
+          }
+        },
+        [&] { push_one(*plain_sender, &epoch_plain); });
+    stats_push_overhead_pct =
+        std::max(0.0, (plain_bps - with_bps) / plain_bps * 100.0);
+    if (!with_sender->Finish().ok() || !plain_sender->Finish().ok()) {
+      std::abort();
+    }
+    central_with.Stop();
+    central_plain.Stop();
+    if (central_with.CurrentFleetView().regions.size() != 1) std::abort();
+    if (stats_push_overhead_pct > 1.0) {
+      std::fprintf(stderr,
+                   "STATS_PUSH costs %.2f%% of ship throughput "
+                   "(budget: 1%%)\n",
+                   stats_push_overhead_pct);
+      std::abort();
+    }
+
+    // Merge cost: one region's full registry snapshot folded into a
+    // cluster accumulator, the unit of work FLEET_STATS pays per region.
+    const MetricsRegistry::Snapshot one =
+        MetricsRegistry::Default().TakeSnapshot();
+    int merges = 0;
+    const auto merge_start = Clock::now();
+    double merge_elapsed = 0.0;
+    do {
+      MetricsRegistry::Snapshot accumulator = one;
+      MergeSnapshotInto(accumulator, one);
+      benchmark::DoNotOptimize(accumulator);
+      ++merges;
+      merge_elapsed = SecondsSince(merge_start);
+    } while (merge_elapsed < 0.2 || merges < 100);
+    fleet_merge_ns = merge_elapsed * 1e9 / merges;
+  }
+
   // --- Central windowed estimates: the incrementally cached WindowedView
   // vs the full re-merge FinalizedView, answering the same kind of query
   // (finalized view + join estimate against a fixed sketch) on a central
@@ -911,6 +991,10 @@ void RunIngestionComparison() {
   std::printf("net ingest %zu pumps  : %.3e reports/sec (%.2fx)\n",
               service_shards, net_rps, net_rps / net_single_pump_rps);
   std::printf("snapshot shipping   : %.3e bytes/sec\n", snapshot_ship_bps);
+  std::printf("stats push overhead : %.3f%% of ship throughput (budget 1%%)\n",
+              stats_push_overhead_pct);
+  std::printf("fleet merge         : %.0f ns per region snapshot\n",
+              fleet_merge_ns);
   std::printf("windowed estimates  : %.3e queries/sec (cached %.2fx the "
               "re-merge view)\n",
               windowed_estimate_qps, view_cache_speedup);
@@ -972,6 +1056,8 @@ void RunIngestionComparison() {
           {"net_ingest_single_pump_rps", net_single_pump_rps},
           {"net_ingest_multipump_speedup", net_rps / net_single_pump_rps},
           {"federation_snapshot_ship_bytes_per_sec", snapshot_ship_bps},
+          {"stats_push_overhead_pct", stats_push_overhead_pct},
+          {"fleet_merge_ns", fleet_merge_ns},
           {"central_windowed_estimate_per_sec", windowed_estimate_qps},
           {"central_view_cache_speedup", view_cache_speedup},
           {"rcu_published_reads_per_sec", published_reads_per_sec},
@@ -1010,6 +1096,7 @@ void RunIngestionComparison() {
       "merge_addlanes_lanes_per_sec", "merge_addlanes_vs_indexed_speedup",
       "net_ingest_reports_per_sec", "net_ingest_multipump_speedup",
       "federation_snapshot_ship_bytes_per_sec",
+      "stats_push_overhead_pct", "fleet_merge_ns",
       "central_windowed_estimate_per_sec", "central_view_cache_speedup",
       "rcu_published_reads_per_sec", "rcu_published_vs_copy_speedup",
       "query_qps_1thread", "query_qps_scaling",

@@ -100,6 +100,14 @@ class CentralNode {
   const FrameServer& server() const { return server_; }
   FrameServer& server_mutable() { return server_; }
 
+  /// The fleet view assembled from regions' STATS_PUSH snapshots: per-region
+  /// last snapshots with health verdicts, exact merged cluster histograms,
+  /// and the cluster roll-up. Same object FLEET_STATS serves on the wire.
+  FleetView CurrentFleetView() const { return server_.CurrentFleetView(); }
+  /// Structured operational event log (health transitions, reconnects,
+  /// spool replays, reaps).
+  const EventLog& events() const { return server_.events(); }
+
  private:
   /// Installs the windowed view as the server's epoch observer (no-op when
   /// windowing is off).

@@ -76,15 +76,26 @@ Status RegionalNode::Start() {
         spool_.Open(options_.spool_dir, options_.region_id, &recovered));
     for (SpoolEntry& entry : recovered) {
       next_epoch_ = std::max(next_epoch_, entry.epoch + 1);
-      pending_.push_back(PendingSnapshot{entry.epoch,
-                                         std::move(entry.raw_sketch),
-                                         entry.attempted, TraceContext{}});
+      // The recovered trace context (kTrace record) rides the replayed
+      // push, so crash recovery is visible in the latency series instead
+      // of silently dropping the sample.
+      pending_.push_back(PendingSnapshot{
+          entry.epoch, std::move(entry.raw_sketch), entry.attempted,
+          TraceContext{entry.trace_id, entry.origin_ns}});
     }
     if (replay_start_ns != 0) {
       const uint64_t now = NowNanos();
       spool_replay_hist_->Record(now > replay_start_ns
                                      ? now - replay_start_ns
                                      : 0);
+    }
+    if (!recovered.empty()) {
+      ObsEvent event;
+      event.kind = "spool_replay";
+      event.region_id = options_.region_id;
+      event.cause = std::to_string(recovered.size()) +
+                    " pending epochs rebuilt from spool";
+      server_.events().Record(std::move(event));
     }
   }
   LDPJS_RETURN_IF_ERROR(server_.Start());
@@ -166,6 +177,14 @@ Status RegionalNode::ShipPendingLocked() {
         continue;
       }
       upstream_.emplace(std::move(*sender));
+      if (had_upstream_) {
+        ObsEvent event;
+        event.kind = "reconnect";
+        event.region_id = options_.region_id;
+        event.cause = "upstream session re-established to central";
+        server_.events().Record(std::move(event));
+      }
+      had_upstream_ = true;
       // The HELLO_OK carried the central's next-expected epoch for this
       // region — the restart/collision sync.
       AdoptCentralEpoch(upstream_->region_next_epoch());
@@ -211,13 +230,65 @@ Status RegionalNode::ShipPendingLocked() {
     SpoolMarkShippedLocked(snap);
     pending_.pop_front();
   }
+  MaybePushStatsLocked(/*force=*/false);
   return Status::OK();
+}
+
+FleetSnapshot RegionalNode::BuildStatsSnapshotLocked() const {
+  FleetSnapshot snap;
+  snap.region_id = options_.region_id;
+  snap.captured_unix_ns = NowNanos();
+  snap.stats = MetricsRegistry::Default().TakeSnapshot();
+  // The synthetic net_* series: the central's health evaluator
+  // (SignalsFromSnapshot) reads exactly these names, so a pushed snapshot
+  // carries its own health inputs instead of the central re-scraping.
+  const NetMetrics m = server_.metrics();
+  snap.stats.counters.emplace_back("net_frames_received", m.frames_received);
+  snap.stats.counters.emplace_back("net_frames_shed", m.frames_shed);
+  snap.stats.counters.emplace_back("net_corrupt_frames_rejected",
+                                   m.corrupt_frames_rejected);
+  snap.stats.counters.emplace_back("net_reports_ingested",
+                                   m.reports_ingested);
+  snap.stats.gauges.emplace_back("net_frontier_epoch", next_epoch_);
+  snap.stats.gauges.emplace_back("net_pending_epochs", pending_.size());
+  return snap;
+}
+
+void RegionalNode::MaybePushStatsLocked(bool force) {
+  if (!options_.push_stats || !upstream_) return;
+  // The version gate IS the interop story: against a v4-or-older central
+  // the session never carries a v5 frame, byte for byte.
+  if (upstream_->negotiated_version() < 5) return;
+  const uint64_t now = NowNanos();
+  const uint64_t period_ns =
+      static_cast<uint64_t>(options_.stats_push_period_ms) * 1000000ull;
+  if (!force && last_stats_push_ns_ != 0 &&
+      now - last_stats_push_ns_ < period_ns) {
+    return;
+  }
+  const Status pushed = upstream_->PushStats(BuildStatsSnapshotLocked());
+  if (pushed.ok()) {
+    last_stats_push_ns_ = now;
+    ++stats_pushes_;
+  } else {
+    // The session's state is ambiguous after a failed exchange; drop it so
+    // the next ship reconnects. Data is untouched — a lost stats push just
+    // means the central's row for this region ages until the next one.
+    ++stats_push_failures_;
+    upstream_.reset();
+  }
 }
 
 void RegionalNode::SpoolAppendLocked(const PendingSnapshot& snap) {
   if (!spool_.is_open() || snap.raw_sketch.empty()) return;
   if (!spool_.AppendSnapshot(snap.epoch, snap.raw_sketch).ok()) {
     ++spool_errors_;  // durability degraded; keep shipping from memory
+  } else if (snap.trace.active() &&
+             !spool_
+                  .RecordTrace(snap.epoch, snap.trace.trace_id,
+                               snap.trace.origin_ns)
+                  .ok()) {
+    ++spool_errors_;
   }
 }
 
@@ -276,6 +347,9 @@ Status RegionalNode::FlushAndStop() {
   // A failed ship leaves flushed_ false with the snapshots still pending —
   // FlushAndStop can be called again once the central is reachable.
   LDPJS_RETURN_IF_ERROR(ShipPendingLocked());
+  // Final stats push while the session is still up: the central's fleet
+  // view sees this region's terminal counters, not a mid-run snapshot.
+  MaybePushStatsLocked(/*force=*/true);
   flushed_ = true;
   if (options_.forward_finalize) {
     // Retried at-least-once, counted exactly-once: the FINALIZE carries
@@ -378,6 +452,16 @@ uint64_t RegionalNode::spool_epochs_resumed() const {
 uint64_t RegionalNode::spool_errors() const {
   std::lock_guard<std::mutex> lock(ship_mu_);
   return spool_errors_;
+}
+
+uint64_t RegionalNode::stats_pushes() const {
+  std::lock_guard<std::mutex> lock(ship_mu_);
+  return stats_pushes_;
+}
+
+uint64_t RegionalNode::stats_push_failures() const {
+  std::lock_guard<std::mutex> lock(ship_mu_);
+  return stats_push_failures_;
 }
 
 }  // namespace ldpjs

@@ -77,6 +77,14 @@ struct RegionalNodeOptions {
   /// Forward a client's FINALIZE upstream during FlushAndStop — the CLI
   /// deployment's signal that this region's collection is complete.
   bool forward_finalize = false;
+  /// Ship this node's full stats snapshot (counters, gauges, raw histogram
+  /// buckets) to the central as LJSP v5 STATS_PUSH after ship cycles, at
+  /// most once per stats_push_period_ms (plus a final push at flush).
+  /// Silently off against a v4-or-older central — the negotiated version
+  /// gates it, so old peers stay byte-untouched. A failed push is counted,
+  /// never fatal: telemetry must not interfere with data shipping.
+  bool push_stats = true;
+  int stats_push_period_ms = 1000;
 };
 
 class RegionalNode {
@@ -132,6 +140,9 @@ class RegionalNode {
   uint64_t spool_epochs_resumed() const;
   /// Spool append/sync failures (shipping continued from memory).
   uint64_t spool_errors() const;
+  /// STATS_PUSH frames acked by the central / attempts that failed.
+  uint64_t stats_pushes() const;
+  uint64_t stats_push_failures() const;
 
  private:
   struct PendingSnapshot {
@@ -146,8 +157,9 @@ class RegionalNode {
     /// Oldest sampled trace absorbed into this cut (claimed from the ingest
     /// server at cut time). Rides the EPOCH_PUSH as a TRACED envelope with
     /// the client origin preserved, so the central's view publish measures
-    /// true client→central ingest-to-queryable latency. Not spooled: a
-    /// crash-replayed epoch ships untraced (telemetry, not data).
+    /// true client→central ingest-to-queryable latency. Spooled alongside
+    /// the epoch (kTrace record), so even a crash-replayed epoch ships
+    /// traced with the original origin.
     TraceContext trace;
   };
 
@@ -171,6 +183,17 @@ class RegionalNode {
   void SpoolAppendLocked(const PendingSnapshot& snap);
   void SpoolMarkAttemptedLocked(const PendingSnapshot& snap);
   void SpoolMarkShippedLocked(const PendingSnapshot& snap);
+
+  /// This node's stats as a v5 fleet snapshot: the process-global registry
+  /// plus the synthetic `net_*` series the central's health evaluator reads
+  /// (SignalsFromSnapshot) — frame/shed/corrupt counters, the frontier
+  /// epoch, and the pending-queue depth. Requires ship_mu_.
+  FleetSnapshot BuildStatsSnapshotLocked() const;
+  /// Pushes the snapshot upstream when the session is v5, push_stats is on,
+  /// and the period elapsed (or `force`). A failure drops the upstream
+  /// session (its state is ambiguous) and counts stats_push_failures_ —
+  /// data shipping reconnects and is unaffected. Requires ship_mu_.
+  void MaybePushStatsLocked(bool force);
 
   SketchParams params_;
   double epsilon_;
@@ -205,6 +228,12 @@ class RegionalNode {
   uint64_t epochs_renumbered_ = 0;
   uint64_t ship_backoff_micros_ = 0;  ///< cumulative, across ship incidents
   uint64_t spool_errors_ = 0;
+  uint64_t stats_pushes_ = 0;
+  uint64_t stats_push_failures_ = 0;
+  uint64_t last_stats_push_ns_ = 0;
+  /// True once any upstream session existed — the next successful connect
+  /// is then a reconnect worth an event-log entry.
+  bool had_upstream_ = false;
   bool flushed_ = false;
 };
 

@@ -26,6 +26,7 @@ enum RecordType : uint8_t {
   kAttempted = 2,
   kShipped = 3,
   kRenumber = 4,
+  kTrace = 5,
 };
 
 void PutU32(std::vector<uint8_t>& out, uint32_t v) {
@@ -183,7 +184,7 @@ Status SnapshotSpool::Open(const std::string& dir, uint32_t region_id,
     const bool well_formed =
         (type == kSnapshot && len >= 8) ||
         ((type == kAttempted || type == kShipped) && len == 8) ||
-        (type == kRenumber && len == 16);
+        (type == kRenumber && len == 16) || (type == kTrace && len == 24);
     if (!well_formed) break;
     switch (type) {
       case kSnapshot: {
@@ -211,6 +212,12 @@ Status SnapshotSpool::Open(const std::string& dir, uint32_t region_id,
         }
         break;
       }
+      case kTrace:
+        if (auto it = live.find(ReadU64(payload)); it != live.end()) {
+          it->second.trace_id = ReadU64(payload + 8);
+          it->second.origin_ns = ReadU64(payload + 16);
+        }
+        break;
       default:
         break;
     }
@@ -262,6 +269,15 @@ Status SnapshotSpool::Compact(const std::map<uint64_t, SpoolEntry>& live) {
                    entry.raw_sketch.end());
     const std::vector<uint8_t> record = EncodeRecord(kSnapshot, payload);
     out.insert(out.end(), record.begin(), record.end());
+    if (entry.trace_id != 0) {
+      std::vector<uint8_t> trace_payload;
+      trace_payload.reserve(24);
+      PutU64(trace_payload, epoch);
+      PutU64(trace_payload, entry.trace_id);
+      PutU64(trace_payload, entry.origin_ns);
+      const std::vector<uint8_t> trace = EncodeRecord(kTrace, trace_payload);
+      out.insert(out.end(), trace.begin(), trace.end());
+    }
     if (entry.attempted) {
       std::vector<uint8_t> attempted_payload;
       PutU64(attempted_payload, epoch);
@@ -311,6 +327,16 @@ Status SnapshotSpool::AppendSnapshot(uint64_t epoch,
   LDPJS_RETURN_IF_ERROR(AppendRecord(kSnapshot, payload));
   ++live_entries_;
   return Status::OK();
+}
+
+Status SnapshotSpool::RecordTrace(uint64_t epoch, uint64_t trace_id,
+                                  uint64_t origin_ns) {
+  std::vector<uint8_t> payload;
+  payload.reserve(24);
+  PutU64(payload, epoch);
+  PutU64(payload, trace_id);
+  PutU64(payload, origin_ns);
+  return AppendRecord(kTrace, payload);
 }
 
 Status SnapshotSpool::MarkAttempted(uint64_t epoch) {

@@ -20,6 +20,13 @@
 //   kAttempted u64 epoch                    — first wire attempt imminent
 //   kShipped   u64 epoch                    — EPOCH_PUSH_OK received
 //   kRenumber  u64 old | u64 new            — connect-time epoch sync
+//   kTrace     u64 epoch | u64 id | u64 ns  — trace context of the cut
+//
+// kTrace makes crash-replay observable end to end: the trace id and client
+// origin timestamp claimed at the epoch cut are spooled with the epoch, so
+// a restarted incarnation ships the replayed epoch as a TRACED push and the
+// central's ingest-to-queryable reading still spans the original client
+// send — crash recovery included — instead of silently dropping the trace.
 //
 // kAttempted is fsynced BEFORE the first push of that epoch goes on the
 // wire: a push may merge at the central even if the ack (and this process)
@@ -50,6 +57,10 @@ struct SpoolEntry {
   uint64_t epoch = 0;
   std::vector<uint8_t> raw_sketch;
   bool attempted = false;  ///< number frozen; retry, don't renumber
+  /// Trace context claimed at the cut (0 = untraced). Survives the crash so
+  /// the replayed push still ships traced with the original origin.
+  uint64_t trace_id = 0;
+  uint64_t origin_ns = 0;
 };
 
 class SnapshotSpool {
@@ -72,6 +83,8 @@ class SnapshotSpool {
   /// Appends + fsyncs one record. All return the write/sync error if the
   /// disk fails; the caller decides whether to keep shipping from memory.
   Status AppendSnapshot(uint64_t epoch, std::span<const uint8_t> raw_sketch);
+  /// Attaches the cut's trace context to an already-appended epoch.
+  Status RecordTrace(uint64_t epoch, uint64_t trace_id, uint64_t origin_ns);
   Status MarkAttempted(uint64_t epoch);
   Status MarkShipped(uint64_t epoch);
   Status RecordRenumber(uint64_t old_epoch, uint64_t new_epoch);

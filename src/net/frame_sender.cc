@@ -219,6 +219,43 @@ Result<std::string> FrameSender::Stats() {
   return std::string(reply->payload.begin(), reply->payload.end());
 }
 
+Status FrameSender::PushStats(const FleetSnapshot& snapshot) {
+  LDPJS_CHECK(!finished_);
+  if (session_.version < 5) {
+    return Status::FailedPrecondition(
+        "STATS_PUSH requires LJSP v5; session negotiated v" +
+        std::to_string(session_.version));
+  }
+  const std::vector<uint8_t> payload = EncodeFleetSnapshot(snapshot);
+  LDPJS_RETURN_IF_ERROR(
+      WriteNetFrame(socket_, NetFrameType::kStatsPush, payload));
+  ++frames_sent_;
+  bytes_sent_ += 5 + payload.size();
+  auto reply = ReadReply();
+  if (!reply.ok()) return reply.status();
+  if (reply->type != NetFrameType::kStatsPushOk) {
+    return Status::Corruption("expected STATS_PUSH_OK");
+  }
+  return Status::OK();
+}
+
+Result<FleetView> FrameSender::FleetStats() {
+  LDPJS_CHECK(!finished_);
+  if (session_.version < 5) {
+    return Status::FailedPrecondition(
+        "FLEET_STATS requires LJSP v5; session negotiated v" +
+        std::to_string(session_.version));
+  }
+  LDPJS_RETURN_IF_ERROR(
+      WriteNetFrame(socket_, NetFrameType::kFleetStatsRequest, {}));
+  auto reply = ReadReply();
+  if (!reply.ok()) return reply.status();
+  if (reply->type != NetFrameType::kFleetStats) {
+    return Status::Corruption("expected FLEET_STATS");
+  }
+  return DecodeFleetView(reply->payload);
+}
+
 Status FrameSender::Ping() {
   LDPJS_CHECK(!finished_);
   LDPJS_RETURN_IF_ERROR(WriteNetFrame(socket_, NetFrameType::kPing, {}));

@@ -23,6 +23,7 @@
 #include "common/status.h"
 #include "core/ldp_join_sketch.h"
 #include "net/protocol.h"
+#include "obs/fleet_stats.h"
 #include "obs/trace.h"
 
 namespace ldpjs {
@@ -142,6 +143,20 @@ class FrameSender {
   /// Fails with FailedPrecondition without touching the wire when the
   /// session negotiated < v4. Never ordered behind ingest server-side.
   Result<std::string> Stats();
+
+  /// v5 fleet path: ships this node's full stats snapshot — counters,
+  /// gauges, raw histogram buckets — upstream as STATS_PUSH and waits for
+  /// the ack. A lost or failed push is harmless (the series are cumulative;
+  /// the next push supersedes it), so callers treat errors as advisory.
+  /// Fails with FailedPrecondition without touching the wire when the
+  /// session negotiated < v5.
+  Status PushStats(const FleetSnapshot& snapshot);
+
+  /// v5 fleet path: asks the server (a central) for its merged fleet view —
+  /// every region's last pushed snapshot, the exactly-merged cluster
+  /// histograms, and per-region + cluster health verdicts. Same < v5
+  /// local refusal as PushStats.
+  Result<FleetView> FleetStats();
 
   /// Asks the server to end collection (the CLI `serve` loop exits, drains,
   /// and finalizes). FINALIZE is processed after every frame this

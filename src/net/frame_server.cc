@@ -208,6 +208,10 @@ void FrameServer::ReaderLoop(Connection* conn) {
              hello_frame.status().code() == StatusCode::kDeadlineExceeded) {
     // Connected but never spoke: the idle deadline reaps it.
     idle_reaped_.fetch_add(1, std::memory_order_relaxed);
+    ObsEvent reap;
+    reap.kind = "idle_reap";
+    reap.cause = "connection silent before HELLO";
+    events_.Record(std::move(reap));
     conn->socket.ShutdownBoth();
   } else {
     conn->corrupt_frames.fetch_add(1, std::memory_order_relaxed);
@@ -223,6 +227,10 @@ void FrameServer::ReaderLoop(Connection* conn) {
         // connection so a hung client cannot pin a thread and fd forever.
         // Its already-queued frames still drain — reaping loses nothing.
         idle_reaped_.fetch_add(1, std::memory_order_relaxed);
+        ObsEvent reap;
+        reap.kind = "idle_reap";
+        reap.cause = "session idle past deadline";
+        events_.Record(std::move(reap));
         SendError(*conn, frame.status());
         conn->socket.ShutdownBoth();
         break;
@@ -271,12 +279,16 @@ void FrameServer::ReaderLoop(Connection* conn) {
     const bool is_data = effective_type == NetFrameType::kData;
     const bool is_query = effective_type == NetFrameType::kQuery;
     const bool is_stats = effective_type == NetFrameType::kStatsRequest;
+    const bool is_stats_push = effective_type == NetFrameType::kStatsPush;
+    const bool is_fleet_stats =
+        effective_type == NetFrameType::kFleetStatsRequest;
     const bool is_control = effective_type == NetFrameType::kSnapshot ||
                             effective_type == NetFrameType::kEpochPush ||
                             effective_type == NetFrameType::kFinalize ||
                             effective_type == NetFrameType::kPing ||
                             effective_type == NetFrameType::kBye;
-    if (!is_data && !is_control && !is_query && !is_stats) {
+    if (!is_data && !is_control && !is_query && !is_stats && !is_stats_push &&
+        !is_fleet_stats) {
       conn->corrupt_frames.fetch_add(1, std::memory_order_relaxed);
       SendError(*conn, Status::Corruption("unexpected client frame type"));
       conn->socket.ShutdownBoth();
@@ -299,6 +311,29 @@ void FrameServer::ReaderLoop(Connection* conn) {
         break;
       }
       HandleStats(*conn);
+      continue;
+    }
+
+    if (is_stats_push || is_fleet_stats) {
+      // v5 fleet frames: telemetry, never behind the drain barrier — a
+      // region's stats push must land even while its data frames queue,
+      // and a dashboard scrape must never stall behind ingest.
+      if (conn->version < 5) {
+        conn->corrupt_frames.fetch_add(1, std::memory_order_relaxed);
+        SendError(*conn,
+                  Status::FailedPrecondition(
+                      std::string(is_stats_push ? "STATS_PUSH"
+                                                : "FLEET_STATS_REQUEST") +
+                      " requires LJSP v5; session negotiated v" +
+                      std::to_string(conn->version)));
+        conn->socket.ShutdownBoth();
+        break;
+      }
+      if (is_stats_push) {
+        if (!HandleStatsPush(*conn, payload)) break;
+      } else {
+        HandleFleetStats(*conn);
+      }
       continue;
     }
 
@@ -873,11 +908,83 @@ void FrameServer::HandleStats(Connection& conn) {
   }
 }
 
+bool FrameServer::HandleStatsPush(Connection& conn,
+                                  std::span<const uint8_t> payload) {
+  auto snapshot = DecodeFleetSnapshot(payload);
+  if (!snapshot.ok()) {
+    conn.corrupt_frames.fetch_add(1, std::memory_order_relaxed);
+    SendError(conn, snapshot.status());
+    conn.socket.ShutdownBoth();
+    return false;
+  }
+  const uint32_t region_id = snapshot->region_id;
+  const FleetStore::ApplyResult result =
+      fleet_.Apply(std::move(*snapshot), NowNanos(), options_.health);
+  if (result.region_changed) {
+    ObsEvent event;
+    event.kind = "health_transition";
+    event.region_id = region_id;
+    event.from = HealthStateName(result.previous.state);
+    event.to = HealthStateName(result.current.state);
+    event.cause = result.current.cause;
+    events_.Record(std::move(event));
+  }
+  if (result.cluster_changed) {
+    ObsEvent event;
+    event.kind = "health_transition";
+    event.region_id = region_id;
+    event.from = HealthStateName(result.cluster_previous.state);
+    event.to = HealthStateName(result.cluster_current.state);
+    event.cause = "cluster: " + result.cluster_current.cause;
+    events_.Record(std::move(event));
+  }
+  std::lock_guard<std::mutex> g(conn.write_mu);
+  if (!WriteNetFrame(conn.socket, NetFrameType::kStatsPushOk, {}).ok()) {
+    conn.socket.ShutdownBoth();
+    return false;
+  }
+  return true;
+}
+
+void FrameServer::HandleFleetStats(Connection& conn) {
+  const std::vector<uint8_t> payload = EncodeFleetView(CurrentFleetView());
+  std::lock_guard<std::mutex> g(conn.write_mu);
+  if (!WriteNetFrame(conn.socket, NetFrameType::kFleetStats, payload).ok()) {
+    conn.socket.ShutdownBoth();
+  }
+}
+
+FleetView FrameServer::CurrentFleetView() const {
+  return fleet_.View(NowNanos(), options_.health);
+}
+
 std::string FrameServer::StatsJson() const {
   const NetMetrics m = options_.stats_metrics_source
                            ? options_.stats_metrics_source()
                            : metrics();
-  return StatsToJson(m, &MetricsRegistry::Default());
+  // This server's own verdict, from the same numbers the JSON carries. The
+  // scrape is where a state change becomes observable, so the transition
+  // event is recorded here — idempotent for unchanged states.
+  const HealthVerdict local = EvaluateHealth(
+      SignalsFromMetrics(m, MetricsRegistry::Default().TakeSnapshot()),
+      options_.health);
+  const uint8_t previous = local_health_state_.exchange(
+      static_cast<uint8_t>(local.state), std::memory_order_relaxed);
+  if (previous != static_cast<uint8_t>(local.state)) {
+    ObsEvent event;
+    event.kind = "health_transition";
+    event.from = HealthStateName(static_cast<HealthState>(previous));
+    event.to = HealthStateName(local.state);
+    event.cause = local.cause;
+    events_.Record(std::move(event));
+  }
+  std::string extra = "\"health\":";
+  extra += HealthVerdictToJson(local);
+  extra += ",\"fleet\":";
+  extra += FleetViewToJson(CurrentFleetView());
+  extra += ",\"events\":";
+  extra += events_.ToJsonArray();
+  return StatsToJson(m, &MetricsRegistry::Default(), extra);
 }
 
 void FrameServer::DisconnectClients() {

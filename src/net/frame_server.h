@@ -58,6 +58,9 @@
 #include "core/ldp_join_sketch.h"
 #include "net/net_metrics.h"
 #include "net/protocol.h"
+#include "obs/events.h"
+#include "obs/fleet_stats.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "service/published_view.h"
@@ -118,6 +121,10 @@ struct FrameServerOptions {
   /// stats scrape of the regional ingest port also sees the ship-side
   /// counters (retries, backoff, spool) the bare server cannot know.
   std::function<NetMetrics()> stats_metrics_source;
+  /// Thresholds for the health evaluator — both this server's own "health"
+  /// verdict and, on a central, the per-region verdicts over STATS_PUSH
+  /// snapshots. Transitions land in events().
+  HealthOptions health;
 };
 
 class FrameServer {
@@ -200,8 +207,21 @@ class FrameServer {
 
   /// The JSON a STATS frame answers with: the stats_metrics_source (or the
   /// server's own metrics()) serialized together with the process-global
-  /// registry through the one shared serializer (obs/stats_export.h).
+  /// registry through the one shared serializer (obs/stats_export.h) —
+  /// plus, since v5, "health" (this server's own verdict), "fleet" (the
+  /// merged view over pushed region snapshots; empty regions list when
+  /// nothing has pushed), and "events" (the bounded transition ring).
   std::string StatsJson() const;
+
+  /// The merged fleet view over every STATS_PUSH received so far, rendered
+  /// now — what a FLEET_STATS frame answers with.
+  FleetView CurrentFleetView() const;
+
+  /// The structured event ring (health transitions, reconnects, spool
+  /// replays, idle reaps). RegionalNode records its ship-side events here
+  /// so one scrape of the node tells the whole story.
+  EventLog& events() { return events_; }
+  const EventLog& events() const { return events_; }
 
  private:
   struct Connection {
@@ -279,6 +299,13 @@ class FrameServer {
   /// never behind the drain barrier — an ops probe must not stall behind
   /// a busy ingest queue.
   void HandleStats(Connection& conn);
+  /// Absorbs one STATS_PUSH into the fleet store (health transitions go to
+  /// the event log) and acks. Returns false when the connection should be
+  /// closed (corrupt payload). Never behind the drain barrier: a stats
+  /// push is telemetry, ordered after nothing.
+  bool HandleStatsPush(Connection& conn, std::span<const uint8_t> payload);
+  /// Answers one FLEET_STATS_REQUEST with the encoded CurrentFleetView().
+  void HandleFleetStats(Connection& conn);
   /// Notes a traced frame absorbed into the lanes: the pending-publish and
   /// pending-cut slots keep the oldest unclaimed origin, so the claimed
   /// latency is the conservative (worst) one across a publish interval.
@@ -354,6 +381,13 @@ class FrameServer {
   ObsHistogram* query_error_latency_hist_ = nullptr;
   ObsHistogram* query_kind_latency_[6] = {};
   ObsGauge* view_last_publish_gauge_ = nullptr;
+  /// v5 fleet state. Both are internally synchronized; `mutable` because
+  /// StatsJson() — a const read — evaluates local health and must record
+  /// the transition it observes (the read is when a state change becomes
+  /// visible, so that is when the event exists).
+  mutable FleetStore fleet_;
+  mutable EventLog events_;
+  mutable std::atomic<uint8_t> local_health_state_{0};
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> handshakes_rejected_{0};
   std::atomic<uint64_t> accept_failures_{0};      ///< transient, retried

@@ -8,7 +8,7 @@ namespace {
 
 bool IsKnownFrameType(uint8_t type) {
   return type >= static_cast<uint8_t>(NetFrameType::kHello) &&
-         type <= static_cast<uint8_t>(NetFrameType::kTraced);
+         type <= static_cast<uint8_t>(NetFrameType::kFleetStats);
 }
 
 }  // namespace

@@ -72,7 +72,19 @@ inline constexpr uint32_t kNetMagic = 0x50534A4CU;  // "LJSP" little-endian
 /// was encoded — so a sampled batch can be timed across every tier it
 /// crosses. Untraced frames are byte-identical to v3, preserving the
 /// bit-identity invariant of the ingest path.
-inline constexpr uint8_t kNetVersion = 4;
+///
+/// v5: fleet observability. Negotiated in HELLO exactly like v3/v4 (the
+/// HELLO/HELLO_OK layout is unchanged, only the accepted band widens), so
+/// v2..v4 peers keep working byte-for-byte. On a v5 session a regional
+/// aggregator may ship its full stats snapshot upstream with STATS_PUSH —
+/// counters, gauges, and *raw* log2 histogram buckets, never precomputed
+/// percentiles, because bucket arrays merge losslessly by elementwise
+/// addition (the same mergeability argument that federates the sketches)
+/// — and any client may ask the central for its merged fleet view with
+/// FLEET_STATS_REQUEST. A v4-or-older session sending either gets ERROR +
+/// close; a v5 client talking to a v4 server refuses locally without
+/// touching the wire.
+inline constexpr uint8_t kNetVersion = 5;
 /// Oldest protocol version this build still speaks.
 inline constexpr uint8_t kNetMinVersion = 2;
 
@@ -141,6 +153,24 @@ enum class NetFrameType : uint8_t {
   /// arrived bare — tracing rides alongside the bytes, it never re-encodes
   /// them.
   kTraced = 20,
+  /// v5 fleet telemetry: a regional node ships its stats snapshot to the
+  /// central. Payload: a FleetSnapshot (see obs/fleet_stats.h) — u32
+  /// region_id, u64 capture timestamp, then the registry's counters,
+  /// gauges, and histograms with raw bucket arrays. Like STATS_REQUEST it
+  /// is answered immediately (telemetry must not stall behind a busy
+  /// ingest queue), and a lost or failed push is harmless — the next one
+  /// carries the cumulative totals again.
+  kStatsPush = 21,
+  /// Ack for kStatsPush (empty payload): the snapshot is in the central's
+  /// per-region fleet store.
+  kStatsPushOk = 22,
+  /// v5 fleet read path: ask the central for its merged fleet view. Empty
+  /// payload; answered immediately with kFleetStats.
+  kFleetStatsRequest = 23,
+  /// Payload: a FleetView (see obs/fleet_stats.h) — every region's last
+  /// pushed snapshot plus the exactly-merged cluster histograms and the
+  /// per-region / cluster health verdicts.
+  kFleetStats = 24,
 };
 
 /// Hard cap on client→server frame payloads. A batch envelope is at most

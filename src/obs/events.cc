@@ -1,0 +1,95 @@
+#include "obs/events.h"
+
+#include "obs/metrics.h"
+
+namespace ldpjs {
+
+namespace {
+
+void AppendEscaped(std::string& out, const std::string& text) {
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';  // control bytes would break the JSONL line contract
+    } else {
+      out += c;
+    }
+  }
+}
+
+void AppendStringField(std::string& out, const char* name,
+                       const std::string& value) {
+  out += ",\"";
+  out += name;
+  out += "\":\"";
+  AppendEscaped(out, value);
+  out += '"';
+}
+
+}  // namespace
+
+std::string EventToJson(const ObsEvent& event) {
+  std::string out = "{\"unix_ns\":";
+  out += std::to_string(event.unix_ns);
+  AppendStringField(out, "kind", event.kind);
+  out += ",\"region_id\":";
+  out += std::to_string(event.region_id);
+  AppendStringField(out, "from", event.from);
+  AppendStringField(out, "to", event.to);
+  AppendStringField(out, "cause", event.cause);
+  out += '}';
+  return out;
+}
+
+void EventLog::Record(ObsEvent event) {
+  if (event.unix_ns == 0) event.unix_ns = NowNanos();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++total_;
+  ring_.push_back(std::move(event));
+  if (ring_.size() > kCapacity) ring_.pop_front();
+}
+
+std::vector<ObsEvent> EventLog::Collect() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+size_t EventLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+uint64_t EventLog::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+uint64_t EventLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ - ring_.size();
+}
+
+std::string EventLog::ToJsonArray() const {
+  const std::vector<ObsEvent> events = Collect();
+  std::string out = "[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) out += ',';
+    out += EventToJson(events[i]);
+  }
+  out += ']';
+  return out;
+}
+
+std::string EventLog::ToJsonl() const {
+  const std::vector<ObsEvent> events = Collect();
+  std::string out;
+  for (const ObsEvent& event : events) {
+    out += EventToJson(event);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ldpjs

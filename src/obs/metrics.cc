@@ -43,6 +43,17 @@ uint64_t HistogramSnapshot::Percentile(double p) const {
   return ~0ull;  // unreachable when count == sum of buckets
 }
 
+HistogramSnapshot MergeHistogram(const HistogramSnapshot& a,
+                                 const HistogramSnapshot& b) {
+  HistogramSnapshot merged;
+  merged.sum = a.sum + b.sum;
+  for (size_t i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+    merged.buckets[i] = a.buckets[i] + b.buckets[i];
+    merged.count += merged.buckets[i];
+  }
+  return merged;
+}
+
 size_t ObsHistogram::ThreadStripe() {
   thread_local const uint32_t slot =
       g_next_stripe.fetch_add(1, std::memory_order_relaxed);

@@ -93,6 +93,15 @@ struct HistogramSnapshot {
   }
 };
 
+/// Lossless merge of two histogram snapshots: elementwise bucket addition
+/// plus sum addition, count re-derived from the merged buckets. Because the
+/// buckets are raw observation counts (never precomputed percentiles), the
+/// merge of N regions' snapshots is bit-identical to one histogram fed the
+/// union of their records — the same mergeability argument that lets the
+/// LDP sketches federate, applied to the telemetry.
+HistogramSnapshot MergeHistogram(const HistogramSnapshot& a,
+                                 const HistogramSnapshot& b);
+
 /// Log2-bucketed latency histogram, striped 8 ways so concurrent writers
 /// on different cores do not bounce one cache line.
 class ObsHistogram {

@@ -47,7 +47,8 @@ void AppendHistogram(std::string& out, const std::string& name,
 
 }  // namespace
 
-std::string StatsToJson(const NetMetrics& m, const MetricsRegistry* registry) {
+std::string StatsToJson(const NetMetrics& m, const MetricsRegistry* registry,
+                        std::string_view extra_sections) {
   std::string out;
   out.reserve(1024 + 128 * (m.connections.size() + m.shards.size() +
                             m.regions.size()));
@@ -184,6 +185,10 @@ std::string StatsToJson(const NetMetrics& m, const MetricsRegistry* registry) {
     bool f2 = false;
     AppendDoubleField(out, "view_staleness_ms", staleness_ms, &f2);
     out += '}';
+  }
+  if (!extra_sections.empty()) {
+    out += ',';
+    out += extra_sections;
   }
   out += '}';
   return out;

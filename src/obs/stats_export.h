@@ -15,6 +15,7 @@
 #define LDPJS_OBS_STATS_EXPORT_H_
 
 #include <string>
+#include <string_view>
 
 #include "net/net_metrics.h"
 #include "obs/metrics.h"
@@ -25,8 +26,15 @@ namespace ldpjs {
 /// registry's instruments — as one JSON object. `registry == nullptr`
 /// reproduces the pre-obs NetMetricsToJson output byte-compatibly (modulo
 /// the additive query_rejected_kinds key).
+///
+/// `extra_sections`, when non-empty, is spliced verbatim before the closing
+/// brace (the caller supplies `"key":value[,...]` without a leading comma).
+/// The fleet sections — "health", "fleet", "events" — arrive this way so
+/// this serializer does not depend on the server layer, and so they land
+/// AFTER every frozen legacy key (the schema-freeze tests pin the prefix).
 std::string StatsToJson(const NetMetrics& metrics,
-                        const MetricsRegistry* registry);
+                        const MetricsRegistry* registry,
+                        std::string_view extra_sections = {});
 
 }  // namespace ldpjs
 

@@ -21,6 +21,7 @@
 #include "federation/regional_node.h"
 #include "federation/snapshot_spool.h"
 #include "net/frame_sender.h"
+#include "obs/metrics.h"
 
 namespace ldpjs {
 namespace {
@@ -164,6 +165,37 @@ TEST(SnapshotSpoolTest, TornTailAndCorruptRecordsTruncatedAtRecovery) {
   EXPECT_EQ(recovered[0].raw_sketch, sketch);
 }
 
+TEST(SnapshotSpoolTest, TraceContextSurvivesRecoveryAndCompaction) {
+  const std::string dir = ScratchDir("trace");
+  const std::vector<uint8_t> sketch(48, 0xD4);
+  {
+    SnapshotSpool spool;
+    std::vector<SpoolEntry> recovered;
+    ASSERT_TRUE(spool.Open(dir, 8, &recovered).ok());
+    ASSERT_TRUE(spool.AppendSnapshot(0, sketch).ok());
+    ASSERT_TRUE(spool.RecordTrace(0, 0xABCDEF, 123456789).ok());
+    ASSERT_TRUE(spool.AppendSnapshot(1, sketch).ok());  // untraced epoch
+  }
+  {
+    SnapshotSpool reopened;
+    std::vector<SpoolEntry> recovered;
+    ASSERT_TRUE(reopened.Open(dir, 8, &recovered).ok());
+    ASSERT_EQ(recovered.size(), 2u);
+    EXPECT_EQ(recovered[0].trace_id, 0xABCDEFu);
+    EXPECT_EQ(recovered[0].origin_ns, 123456789u);
+    EXPECT_EQ(recovered[1].trace_id, 0u);  // untraced stays untraced
+    EXPECT_EQ(recovered[1].origin_ns, 0u);
+  }
+  // The first reopen compacted the file; the trace must have been
+  // re-emitted with its epoch, so a SECOND recovery still sees it.
+  SnapshotSpool again;
+  std::vector<SpoolEntry> recovered;
+  ASSERT_TRUE(again.Open(dir, 8, &recovered).ok());
+  ASSERT_EQ(recovered.size(), 2u);
+  EXPECT_EQ(recovered[0].trace_id, 0xABCDEFu);
+  EXPECT_EQ(recovered[0].origin_ns, 123456789u);
+}
+
 TEST(SnapshotSpoolTest, RefusesASpoolBelongingToAnotherRegion) {
   const std::string dir = ScratchDir("region_mismatch");
   {
@@ -263,6 +295,72 @@ TEST(FederationSpoolTest, CrashRestartResumesUnshippedEpochsBitIdentical) {
   direct.Finalize();
   EXPECT_EQ(federated.Serialize(), direct.Serialize());
   EXPECT_EQ(federated.total_reports(), first.size() + second.size());
+}
+
+// A crash-replayed epoch ships TRACED with the original client origin: the
+// trace claimed at the cut is spooled (kTrace) beside the epoch, the
+// restarted incarnation recovers it into the pending snapshot, and the
+// replayed push carries it — so the central still produces an
+// ingest-to-queryable sample spanning the ORIGINAL send, crash included.
+// The restarted incarnation ingests nothing itself, so any new i2q sample
+// after the restart can only come from the replayed traced push.
+TEST(FederationSpoolTest, CrashReplayedEpochStillShipsTraced) {
+  const std::string dir = ScratchDir("trace_replay");
+  const SketchParams params = TestParams();
+  const double epsilon = 2.0;
+  LdpJoinSketchClient client(params, epsilon);
+  const std::vector<LdpReport> reports = PerturbColumn(client, 2000, 90);
+
+  uint16_t central_port = 0;
+  {
+    auto probe = Socket::ListenTcp(0);
+    ASSERT_TRUE(probe.ok());
+    central_port = probe->local_port();
+  }
+
+  RegionalNodeOptions options;
+  options.region_id = 5;
+  options.central_port = central_port;
+  options.spool_dir = dir;
+  options.max_ship_attempts = 2;
+  options.ship_backoff = {.base_micros = 1000, .cap_micros = 4000};
+  {
+    RegionalNode incarnation1(params, epsilon, options);
+    ASSERT_TRUE(incarnation1.Start().ok());
+    FrameSender::Options traced;
+    traced.trace_every = 1;  // every batch traced → the cut claims one
+    auto sender = FrameSender::Connect("127.0.0.1", incarnation1.port(),
+                                       params, epsilon, traced);
+    ASSERT_TRUE(sender.ok());
+    ASSERT_TRUE(sender->SendReports(reports).ok());
+    ASSERT_TRUE(sender->Ping().ok());  // absorb barrier before the cut
+    EXPECT_EQ(incarnation1.CutAndShip().code(), StatusCode::kUnavailable);
+    ASSERT_TRUE(sender->Finish().ok());
+    // "Crash": destruction with the traced epoch only in the spool.
+  }
+
+  const uint64_t i2q_before =
+      MetricsRegistry::Default().HistogramByName("ingest_to_queryable_ns")
+          .count;
+
+  CentralNodeOptions central_options;
+  central_options.server.port = central_port;
+  CentralNode central(params, epsilon, central_options);
+  ASSERT_TRUE(central.Start().ok());
+  {
+    RegionalNode incarnation2(params, epsilon, options);
+    ASSERT_TRUE(incarnation2.Start().ok());
+    EXPECT_EQ(incarnation2.spool_epochs_resumed(), 1u);
+    ASSERT_TRUE(incarnation2.FlushAndStop().ok());
+    EXPECT_EQ(incarnation2.epochs_shipped(), 1u);
+  }
+  // The replayed push carried the recovered trace: the central's view
+  // publish produced a fresh end-to-end sample.
+  EXPECT_GT(MetricsRegistry::Default()
+                .HistogramByName("ingest_to_queryable_ns")
+                .count,
+            i2q_before);
+  central.Stop();
 }
 
 // Exactly-once across a crash in the ambiguous window: the push merged

@@ -169,6 +169,107 @@ TEST(ObsMetricsTest, HammerWritersVsSnapshotReader) {
   EXPECT_GT(snapshots_taken.load(), 0u);
 }
 
+// The fleet-view exactness pin: merging two regions' histogram snapshots
+// bucket-by-bucket must equal one histogram fed the union of records —
+// same buckets, same count, same sum, and therefore the same percentiles.
+// This is what lets the central report true cluster p99 from pushed raw
+// buckets instead of averaging per-region percentiles (which is wrong).
+TEST(ObsMetricsTest, MergeHistogramEqualsUnionOfRecords) {
+  ObsHistogram region_a, region_b, unioned;
+  // Overlapping and distinct buckets, non-uniform counts.
+  const uint64_t values_a[] = {0, 1, 3, 900, 900, 1 << 20};
+  const uint64_t values_b[] = {2, 900, 4096, 4096, 1ull << 40};
+  for (const uint64_t v : values_a) {
+    region_a.Record(v);
+    unioned.Record(v);
+  }
+  for (const uint64_t v : values_b) {
+    region_b.Record(v);
+    unioned.Record(v);
+  }
+  const HistogramSnapshot merged =
+      MergeHistogram(region_a.Snapshot(), region_b.Snapshot());
+  const HistogramSnapshot expected = unioned.Snapshot();
+  EXPECT_EQ(merged.count, expected.count);
+  EXPECT_EQ(merged.sum, expected.sum);
+  for (size_t i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+    EXPECT_EQ(merged.buckets[i], expected.buckets[i]) << "bucket " << i;
+  }
+  EXPECT_EQ(merged.Percentile(0.50), expected.Percentile(0.50));
+  EXPECT_EQ(merged.Percentile(0.99), expected.Percentile(0.99));
+}
+
+TEST(ObsMetricsTest, MergeHistogramEmptyAndDisjointRegions) {
+  ObsHistogram loaded;
+  for (int i = 0; i < 10; ++i) loaded.Record(1000);
+  const HistogramSnapshot snap = loaded.Snapshot();
+  // Empty is the identity on either side.
+  const HistogramSnapshot left = MergeHistogram(HistogramSnapshot{}, snap);
+  const HistogramSnapshot right = MergeHistogram(snap, HistogramSnapshot{});
+  EXPECT_EQ(left.count, snap.count);
+  EXPECT_EQ(right.sum, snap.sum);
+  EXPECT_EQ(left.Percentile(0.99), snap.Percentile(0.99));
+  EXPECT_EQ(MergeHistogram(HistogramSnapshot{}, HistogramSnapshot{}).count,
+            0u);
+  // Fully disjoint buckets: one fast region, one slow region. The merged
+  // p50 sits in the fast bucket, the merged p99 in the slow one — the
+  // cross-region tail survives the merge.
+  ObsHistogram fast, slow;
+  for (int i = 0; i < 90; ++i) fast.Record(1000);
+  for (int i = 0; i < 10; ++i) slow.Record(1000000);
+  const HistogramSnapshot mixed =
+      MergeHistogram(fast.Snapshot(), slow.Snapshot());
+  EXPECT_EQ(mixed.count, 100u);
+  EXPECT_EQ(mixed.Percentile(0.50), (1ull << 10) - 1);
+  EXPECT_EQ(mixed.Percentile(0.99), (1ull << 20) - 1);
+}
+
+// Merging snapshots taken WHILE writers hammer both histograms: each
+// input snapshot is internally consistent (the striped-read contract), so
+// the merge must be too — count == sum of buckets, never torn. After the
+// writers join, a final merge is exact against the union totals.
+TEST(ObsMetricsTest, MergeOfConcurrentSnapshotsNeverTorn) {
+  constexpr int kWritersPerHist = 4;
+  constexpr uint64_t kPerWriter = 50000;
+  ObsHistogram hist_a, hist_b;
+  std::atomic<bool> done{false};
+
+  std::thread merger([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const HistogramSnapshot merged =
+          MergeHistogram(hist_a.Snapshot(), hist_b.Snapshot());
+      uint64_t bucket_total = 0;
+      for (const uint64_t b : merged.buckets) bucket_total += b;
+      ASSERT_EQ(merged.count, bucket_total);
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWritersPerHist; ++w) {
+    writers.emplace_back([&hist_a, w] {
+      const uint64_t value = 1ull << (w * 3);
+      for (uint64_t i = 0; i < kPerWriter; ++i) hist_a.Record(value);
+    });
+    writers.emplace_back([&hist_b, w] {
+      const uint64_t value = 1ull << (w * 3 + 1);
+      for (uint64_t i = 0; i < kPerWriter; ++i) hist_b.Record(value);
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  done.store(true, std::memory_order_release);
+  merger.join();
+
+  const HistogramSnapshot final_merge =
+      MergeHistogram(hist_a.Snapshot(), hist_b.Snapshot());
+  EXPECT_EQ(final_merge.count, 2u * kWritersPerHist * kPerWriter);
+  uint64_t expected_sum = 0;
+  for (int w = 0; w < kWritersPerHist; ++w) {
+    expected_sum += (1ull << (w * 3)) * kPerWriter;
+    expected_sum += (1ull << (w * 3 + 1)) * kPerWriter;
+  }
+  EXPECT_EQ(final_merge.sum, expected_sum);
+}
+
 TEST(ObsMetricsTest, CountersRaceExact) {
   MetricsRegistry registry;
   ObsCounter* counter = registry.GetCounter("hits");

@@ -40,7 +40,10 @@
 // water/per-region counters plus the obs registry's latency histograms —
 // and can append the same JSON periodically with --stats-jsonl FILE
 // --stats-period N. `ldpjs_cli stats --port P [--watch N]` scrapes the
-// identical snapshot from a live server over LJSP v4 (see RunStats).
+// identical snapshot from a live server over LJSP v4 (see RunStats);
+// `stats --cluster` and `top` scrape the central's fleet view — per-region
+// STATS_PUSH snapshots, exactly-merged cluster histograms, health states —
+// over LJSP v5 (see RunTop).
 //
 // Chaos mode:
 //
@@ -56,9 +59,12 @@
 #include <cstdio>
 #include <cstring>
 #include <functional>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "common/backoff.h"
 
 #include "common/stats.h"
 #include "core/join_methods.h"
@@ -71,6 +77,8 @@
 #include "federation/regional_node.h"
 #include "net/frame_sender.h"
 #include "net/frame_server.h"
+#include "obs/fleet_stats.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/stats_export.h"
 #include "service/published_view.h"
@@ -340,6 +348,10 @@ void DefineServerFlags(tools::Flags& flags) {
                "and SIGUSR1 dump) here every --stats-period seconds");
   flags.Define("stats-period", "10",
                "seconds between --stats-jsonl samples");
+  flags.Define("slo-i2q-ms", "250",
+               "ingest-to-queryable p99 SLO target in ms: p99 past it is "
+               "DEGRADED, past 4x it is CRITICAL (health shows up in the "
+               "stats JSON, the fleet view, and the event log)");
 }
 
 MetricsWatcher MakeWatcher(const tools::Flags& flags,
@@ -356,6 +368,7 @@ FrameServerOptions ServerOptionsFromFlags(const tools::Flags& flags,
   options.num_shards = static_cast<size_t>(flags.GetInt("shards"));
   options.queue_capacity = static_cast<size_t>(flags.GetInt("queue"));
   options.idle_timeout_seconds = static_cast<int>(flags.GetInt("idle-timeout"));
+  options.health.i2q_p99_target_ms = flags.GetDouble("slo-i2q-ms");
   *ok = ParseBackpressure(flags.GetString("backpressure"),
                           &options.backpressure);
   return options;
@@ -530,6 +543,10 @@ int RunFederateRegion(int argc, char** argv) {
   flags.Define("recv-timeout", "30",
                "seconds a ship may wait on a hung central for any ack "
                "before reconnect+retry (0 = wait forever)");
+  flags.Define("stats-push-ms", "1000",
+               "ship this region's stats snapshot to the central (LJSP v5 "
+               "STATS_PUSH) at most every this many ms (0 = off; silently "
+               "off against a v4-or-older central)");
   flags.Parse(argc, argv);
 
   bool policy_ok = false;
@@ -544,6 +561,9 @@ int RunFederateRegion(int argc, char** argv) {
   options.upstream_recv_timeout_seconds =
       static_cast<int>(flags.GetInt("recv-timeout"));
   options.forward_finalize = true;
+  const int stats_push_ms = static_cast<int>(flags.GetInt("stats-push-ms"));
+  options.push_stats = stats_push_ms > 0;
+  options.stats_push_period_ms = stats_push_ms > 0 ? stats_push_ms : 1000;
 
   const SketchParams params = SketchFromFlags(flags);
   RegionalNode region(params, flags.GetDouble("epsilon"), options);
@@ -1008,11 +1028,15 @@ int RunQuery(int argc, char** argv) {
 }
 
 // ---------------------------------------------------------------------------
-// stats: the LJSP v4 ops path. Scrape a live server's stats snapshot —
+// stats: the LJSP v4/v5 ops path. Scrape a live server's stats snapshot —
 // counters, per-tier latency histograms, and the end-to-end
 // ingest-to-queryable percentiles — as one JSON line, without interrupting
 // collection (STATS is answered immediately, never ordered behind ingest).
-// --watch N re-scrapes every N seconds on the same session.
+// --cluster scrapes the central's FLEET_STATS view instead: every region's
+// last STATS_PUSH snapshot plus the exactly-merged cluster histograms and
+// the health roll-up. --watch N re-scrapes every N seconds, reconnecting
+// with jittered backoff across transient connection loss — a monitor that
+// dies with the first server blip is not a monitor.
 // ---------------------------------------------------------------------------
 int RunStats(int argc, char** argv) {
   tools::Flags flags;
@@ -1025,35 +1049,74 @@ int RunStats(int argc, char** argv) {
                "ingest_to_queryable before the scrape reads it");
   flags.Define("watch", "0",
                "re-scrape every this many seconds (0 = one shot)");
+  flags.Define("cluster", "0",
+               "1 = scrape the fleet view (per-region STATS_PUSH snapshots "
+               "+ exactly-merged cluster histograms + health roll-up) "
+               "instead of the server's own stats; needs LJSP v5");
   flags.Parse(argc, argv);
 
   const SketchParams params = SketchFromFlags(flags);
-  auto sender =
-      FrameSender::Connect(flags.GetString("host"),
-                           static_cast<uint16_t>(flags.GetInt("port")),
-                           params, flags.GetDouble("epsilon"));
-  if (!sender.ok()) {
-    std::fprintf(stderr, "connect failed: %s\n",
-                 sender.status().ToString().c_str());
-    return 1;
-  }
+  const double epsilon = flags.GetDouble("epsilon");
+  const std::string host = flags.GetString("host");
+  const uint16_t port = static_cast<uint16_t>(flags.GetInt("port"));
   const int watch = static_cast<int>(flags.GetInt("watch"));
+  const bool cluster = flags.GetInt("cluster") != 0;
+  const bool ping = flags.GetInt("ping") != 0;
+
+  std::optional<FrameSender> sender;
+  Backoff backoff(BackoffOptions{.base_micros = 200000,
+                                 .cap_micros = 5000000});
   for (;;) {
-    if (flags.GetInt("ping") != 0) {
-      const Status pinged = sender->Ping();
-      if (!pinged.ok()) {
-        std::fprintf(stderr, "ping failed: %s\n",
-                     pinged.ToString().c_str());
-        return 1;
+    if (!sender.has_value()) {
+      auto connected = FrameSender::Connect(host, port, params, epsilon);
+      if (!connected.ok()) {
+        if (watch <= 0) {
+          std::fprintf(stderr, "connect failed: %s\n",
+                       connected.status().ToString().c_str());
+          return 1;
+        }
+        std::fprintf(stderr, "connect failed (%s); retrying\n",
+                     connected.status().ToString().c_str());
+        backoff.SleepNext();
+        continue;
+      }
+      sender.emplace(std::move(*connected));
+      backoff.Reset();
+    }
+    Status scrape = Status::OK();
+    if (ping) scrape = sender->Ping();
+    if (scrape.ok()) {
+      if (cluster) {
+        auto view = sender->FleetStats();
+        if (view.ok()) {
+          std::printf("%s\n", FleetViewToJson(*view).c_str());
+        } else {
+          scrape = view.status();
+        }
+      } else {
+        auto json = sender->Stats();
+        if (json.ok()) {
+          std::printf("%s\n", json->c_str());
+        } else {
+          scrape = json.status();
+        }
       }
     }
-    auto json = sender->Stats();
-    if (!json.ok()) {
-      std::fprintf(stderr, "stats failed: %s\n",
-                   json.status().ToString().c_str());
-      return 1;
+    if (!scrape.ok()) {
+      // FailedPrecondition is the version gate (server too old for this
+      // scrape) — reconnecting can never fix it, so fail fast even under
+      // --watch rather than retrying forever against the wrong peer.
+      if (watch <= 0 || scrape.code() == StatusCode::kFailedPrecondition) {
+        std::fprintf(stderr, "stats failed: %s\n",
+                     scrape.ToString().c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "scrape failed (%s); reconnecting\n",
+                   scrape.ToString().c_str());
+      sender.reset();
+      backoff.SleepNext();
+      continue;
     }
-    std::printf("%s\n", json->c_str());
     std::fflush(stdout);
     if (watch <= 0) break;
     std::this_thread::sleep_for(std::chrono::seconds(watch));
@@ -1063,6 +1126,149 @@ int RunStats(int argc, char** argv) {
     std::fprintf(stderr, "finish failed: %s\n",
                  finished.ToString().c_str());
     return 1;
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// top: live terminal dashboard over the central's fleet view. One row per
+// region (health state, frontier epoch, pending depth, i2q/ship-RTT
+// percentiles from the pushed raw buckets, snapshot age) plus the cluster
+// roll-up from the exactly-merged histograms. Scrapes FLEET_STATS every
+// --interval seconds on a reconnecting session.
+// ---------------------------------------------------------------------------
+
+/// ns → short human string for a dashboard cell ("-" for an empty series).
+std::string FormatNanos(double ns) {
+  if (ns <= 0) return "-";
+  char buf[32];
+  if (ns < 1e3) {
+    std::snprintf(buf, sizeof buf, "%.0fns", ns);
+  } else if (ns < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.1fus", ns / 1e3);
+  } else if (ns < 1e9) {
+    std::snprintf(buf, sizeof buf, "%.1fms", ns / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1fs", ns / 1e9);
+  }
+  return buf;
+}
+
+void RenderFleetView(const FleetView& view, const std::string& target) {
+  std::printf("ldpjs fleet @ %s    cluster=%s  regions=%zu\n", target.c_str(),
+              std::string(HealthStateName(view.cluster.state)).c_str(),
+              view.regions.size());
+  if (!view.cluster.cause.empty()) {
+    std::printf("  cause: %s\n", view.cluster.cause.c_str());
+  }
+  std::printf("%-8s %-9s %9s %8s %10s %10s %12s %8s %8s\n", "REGION",
+              "STATE", "FRONTIER", "PENDING", "I2Q-P50", "I2Q-P99",
+              "SHIP-RTT-P99", "SHED", "AGE");
+  for (const FleetRegionView& region : view.regions) {
+    const HistogramSnapshot i2q =
+        FleetHistogramByName(region.snapshot.stats, "ingest_to_queryable_ns");
+    const HistogramSnapshot rtt =
+        FleetHistogramBySuffix(region.snapshot.stats, "_ship_rtt_ns");
+    uint64_t shed = 0;
+    for (const auto& [name, value] : region.snapshot.stats.counters) {
+      if (name == "net_frames_shed") shed = value;
+    }
+    std::printf(
+        "%-8u %-9s %9llu %8llu %10s %10s %12s %8llu %8s\n",
+        region.snapshot.region_id,
+        std::string(HealthStateName(region.health.state)).c_str(),
+        static_cast<unsigned long long>(
+            FleetGaugeByName(region.snapshot.stats, "net_frontier_epoch")),
+        static_cast<unsigned long long>(
+            FleetGaugeByName(region.snapshot.stats, "net_pending_epochs")),
+        FormatNanos(i2q.Percentile(0.50)).c_str(),
+        FormatNanos(i2q.Percentile(0.99)).c_str(),
+        FormatNanos(rtt.Percentile(0.99)).c_str(),
+        static_cast<unsigned long long>(shed),
+        FormatNanos(static_cast<double>(region.age_ns)).c_str());
+  }
+  const HistogramSnapshot merged_i2q =
+      FleetHistogramByName(view.merged, "ingest_to_queryable_ns");
+  uint64_t frames = 0, reports = 0;
+  for (const auto& [name, value] : view.merged.counters) {
+    if (name == "net_frames_received") frames = value;
+    if (name == "net_reports_ingested") reports = value;
+  }
+  std::printf("CLUSTER  i2q p50=%s p99=%s (n=%llu)  frames=%llu "
+              "reports=%llu\n",
+              FormatNanos(merged_i2q.Percentile(0.50)).c_str(),
+              FormatNanos(merged_i2q.Percentile(0.99)).c_str(),
+              static_cast<unsigned long long>(merged_i2q.count),
+              static_cast<unsigned long long>(frames),
+              static_cast<unsigned long long>(reports));
+}
+
+int RunTop(int argc, char** argv) {
+  tools::Flags flags;
+  DefineWorkloadFlags(flags);
+  flags.Define("host", "127.0.0.1", "central host");
+  flags.Define("port", "7650", "central port");
+  flags.Define("interval", "2", "seconds between scrapes");
+  flags.Define("iterations", "0",
+               "stop after this many rendered frames (0 = until killed; "
+               "CI smoke runs bound it)");
+  flags.Define("clear", "1",
+               "clear the terminal before each frame (0 = append, for "
+               "logs/CI)");
+  flags.Parse(argc, argv);
+
+  const SketchParams params = SketchFromFlags(flags);
+  const double epsilon = flags.GetDouble("epsilon");
+  const std::string host = flags.GetString("host");
+  const uint16_t port = static_cast<uint16_t>(flags.GetInt("port"));
+  const std::string target = host + ":" + std::to_string(port);
+  const int interval = static_cast<int>(flags.GetInt("interval"));
+  const uint64_t iterations =
+      static_cast<uint64_t>(flags.GetInt("iterations"));
+  const bool clear = flags.GetInt("clear") != 0;
+
+  std::optional<FrameSender> sender;
+  Backoff backoff(BackoffOptions{.base_micros = 200000,
+                                 .cap_micros = 5000000});
+  for (uint64_t rendered = 0; iterations == 0 || rendered < iterations;) {
+    if (!sender.has_value()) {
+      auto connected = FrameSender::Connect(host, port, params, epsilon);
+      if (!connected.ok()) {
+        std::fprintf(stderr, "connect failed (%s); retrying\n",
+                     connected.status().ToString().c_str());
+        backoff.SleepNext();
+        continue;
+      }
+      sender.emplace(std::move(*connected));
+      backoff.Reset();
+    }
+    auto view = sender->FleetStats();
+    if (!view.ok()) {
+      if (view.status().code() == StatusCode::kFailedPrecondition) {
+        std::fprintf(stderr, "top failed: %s\n",
+                     view.status().ToString().c_str());
+        return 1;  // the version gate; reconnecting cannot fix it
+      }
+      std::fprintf(stderr, "scrape failed (%s); reconnecting\n",
+                   view.status().ToString().c_str());
+      sender.reset();
+      backoff.SleepNext();
+      continue;
+    }
+    if (clear) std::printf("\x1b[H\x1b[2J");
+    RenderFleetView(*view, target);
+    std::fflush(stdout);
+    ++rendered;
+    if (iterations != 0 && rendered >= iterations) break;
+    std::this_thread::sleep_for(std::chrono::seconds(interval));
+  }
+  if (sender.has_value()) {
+    const Status finished = sender->Finish();
+    if (!finished.ok()) {
+      std::fprintf(stderr, "finish failed: %s\n",
+                   finished.ToString().c_str());
+      return 1;
+    }
   }
   return 0;
 }
@@ -1249,6 +1455,7 @@ int main(int argc, char** argv) {
     if (subcommand == "estimate") return RunEstimate(argc - 1, argv + 1);
     if (subcommand == "query") return RunQuery(argc - 1, argv + 1);
     if (subcommand == "stats") return RunStats(argc - 1, argv + 1);
+    if (subcommand == "top") return RunTop(argc - 1, argv + 1);
     if (subcommand == "federate-central") {
       return RunFederateCentral(argc - 1, argv + 1);
     }
@@ -1258,7 +1465,7 @@ int main(int argc, char** argv) {
     if (subcommand == "chaos") return RunChaos(argc - 1, argv + 1);
     std::fprintf(stderr,
                  "unknown subcommand '%s' (serve|send|estimate|query|stats|"
-                 "federate-central|federate-region|chaos, or flags only "
+                 "top|federate-central|federate-region|chaos, or flags only "
                  "for experiment mode)\n",
                  subcommand.c_str());
     return 2;
