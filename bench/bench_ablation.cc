@@ -78,7 +78,7 @@ int main() {
                                         start)
               .count();
       // Keep the compiler from dropping the loop.
-      if (sink == 42) std::printf("");
+      if (sink == 42) std::printf("%s", "");
       return static_cast<double>(n) / seconds;
     };
     const double fast = time_path([&](uint64_t v, Xoshiro256& r) {

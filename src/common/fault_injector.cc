@@ -50,7 +50,7 @@ FaultInjector::FaultInjector(uint64_t seed, double rate, uint64_t max_faults)
 
 void FaultInjector::AddRule(std::string site, uint64_t hit, FaultKind kind,
                             uint64_t param) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   rules_[std::move(site)].push_back(Rule{hit, kind, param});
 }
 
@@ -94,7 +94,7 @@ FaultAction FaultInjector::ScheduledAction(std::string_view site,
 }
 
 FaultAction FaultInjector::Next(std::string_view site) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto [it, inserted] = sites_.try_emplace(std::string(site));
   FaultSiteStats& stats = it->second;
   const uint64_t hit = stats.hits++;
@@ -121,26 +121,26 @@ FaultAction FaultInjector::Next(std::string_view site) {
 }
 
 uint64_t FaultInjector::total_hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t total = 0;
   for (const auto& [site, stats] : sites_) total += stats.hits;
   return total;
 }
 
 uint64_t FaultInjector::total_injected() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t total = 0;
   for (const auto& [site, stats] : sites_) total += stats.injected;
   return total;
 }
 
 std::map<std::string, FaultSiteStats> FaultInjector::site_stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return {sites_.begin(), sites_.end()};
 }
 
 std::string FaultInjector::StatsString() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   for (const auto& [site, stats] : sites_) {
     if (!out.empty()) out += ' ';

@@ -35,10 +35,11 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace ldpjs {
 
@@ -123,10 +124,13 @@ class FaultInjector {
   uint64_t max_faults_ = 0;
   bool seeded_ = false;
 
-  mutable std::mutex mu_;
-  std::map<std::string, FaultSiteStats, std::less<>> sites_;
-  std::map<std::string, std::vector<Rule>, std::less<>> rules_;
-  uint64_t scheduled_injected_ = 0;  ///< against max_faults_
+  mutable Mutex mu_;
+  std::map<std::string, FaultSiteStats, std::less<>> sites_
+      LDPJS_GUARDED_BY(mu_);
+  std::map<std::string, std::vector<Rule>, std::less<>> rules_
+      LDPJS_GUARDED_BY(mu_);
+  /// Scheduled faults fired so far (against max_faults_).
+  uint64_t scheduled_injected_ LDPJS_GUARDED_BY(mu_) = 0;
 
   static std::atomic<FaultInjector*> active_;
 };

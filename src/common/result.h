@@ -11,8 +11,9 @@
 namespace ldpjs {
 
 /// Holds either a T or a non-OK Status describing why no T was produced.
+/// [[nodiscard]] like Status: a dropped Result is a swallowed failure.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -45,7 +45,12 @@ constexpr std::string_view StatusCodeName(StatusCode code) {
 
 /// Result of a fallible operation: a code plus an optional message.
 /// A default-constructed Status is OK; OK statuses carry no message.
-class Status {
+///
+/// [[nodiscard]] on the type: any call returning a Status by value errors
+/// (under -Werror) when the result is dropped on the floor. The explicit
+/// opt-out for a genuinely-fire-and-forget call is `(void)TheCall();` —
+/// which is greppable, unlike silence.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)

@@ -1,0 +1,189 @@
+// Clang Thread Safety Analysis for the repo's lock discipline.
+//
+// Every mutex-holding class in src/ expresses its invariants through these
+// macros and the annotated Mutex / MutexLock / CondVar wrappers below, and
+// the CI static-analysis job builds with -Werror=thread-safety, so "which
+// lock guards this member" and "which lock must be held to call this
+// method" are compile-checked contracts, not comments. Under GCC (or any
+// non-Clang compiler) every macro expands to nothing and the wrappers are
+// zero-cost shims over std::mutex / std::condition_variable — behavior is
+// byte-identical.
+//
+// What the analysis guarantees: every read/write of an LDPJS_GUARDED_BY
+// member happens with its mutex held, every LDPJS_REQUIRES method is called
+// under the right lock, and scoped locks are never double-acquired or
+// leaked, on every path through the code — not just the interleavings a
+// test happens to execute (which is all TSan can see). What it doesn't:
+// deadlock freedom across *different* mutexes (no global lock order is
+// declared), data published through atomics/RCU (annotation-free by
+// design), and functions explicitly opted out with
+// LDPJS_NO_THREAD_SAFETY_ANALYSIS (dynamic lock sets the static analysis
+// cannot model — each such site says why).
+//
+// Conventions:
+//   - Members:  `int x LDPJS_GUARDED_BY(mu_);`
+//   - Methods that must be called with the lock held are named *Locked and
+//     annotated `LDPJS_REQUIRES(mu_)`.
+//   - Public methods that take the lock themselves are annotated
+//     `LDPJS_EXCLUDES(mu_)` when an accidental reentrant call would
+//     self-deadlock.
+//   - Condition waits are explicit loops — `while (!pred) cv_.Wait(mu_);` —
+//     never lambda predicates, so the guarded reads stay inside the
+//     annotated scope (the analysis treats a lambda as a separate,
+//     capability-free function).
+#ifndef LDPJS_COMMON_THREAD_ANNOTATIONS_H_
+#define LDPJS_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define LDPJS_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define LDPJS_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op
+#endif
+
+#define LDPJS_CAPABILITY(x) \
+  LDPJS_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+#define LDPJS_SCOPED_CAPABILITY \
+  LDPJS_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+#define LDPJS_GUARDED_BY(x) \
+  LDPJS_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+#define LDPJS_PT_GUARDED_BY(x) \
+  LDPJS_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+#define LDPJS_ACQUIRED_BEFORE(...) \
+  LDPJS_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+
+#define LDPJS_ACQUIRED_AFTER(...) \
+  LDPJS_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+#define LDPJS_REQUIRES(...) \
+  LDPJS_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+#define LDPJS_REQUIRES_SHARED(...) \
+  LDPJS_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+#define LDPJS_ACQUIRE(...) \
+  LDPJS_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+#define LDPJS_RELEASE(...) \
+  LDPJS_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+#define LDPJS_TRY_ACQUIRE(...) \
+  LDPJS_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+#define LDPJS_EXCLUDES(...) \
+  LDPJS_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+#define LDPJS_ASSERT_CAPABILITY(x) \
+  LDPJS_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+#define LDPJS_RETURN_CAPABILITY(x) \
+  LDPJS_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+#define LDPJS_NO_THREAD_SAFETY_ANALYSIS \
+  LDPJS_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+namespace ldpjs {
+
+class CondVar;
+
+/// std::mutex carrying the "mutex" capability. Same footprint, same cost;
+/// the annotations exist only at compile time.
+class LDPJS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() LDPJS_ACQUIRE() { mu_.lock(); }
+  void Unlock() LDPJS_RELEASE() { mu_.unlock(); }
+  bool TryLock() LDPJS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Tells the analysis (not the runtime) that the lock is held — for the
+  /// rare spot where the caller's ownership is real but inexpressible.
+  void AssertHeld() LDPJS_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock for Mutex — std::lock_guard with a scoped capability, plus
+/// mid-scope Unlock()/Lock() for the "drop the lock around a callback"
+/// pattern. The destructor releases only if held.
+class LDPJS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) LDPJS_ACQUIRE(mu) : mu_(mu), owns_(true) {
+    mu_.Lock();
+  }
+  ~MutexLock() LDPJS_RELEASE() {
+    if (owns_) mu_.Unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void Unlock() LDPJS_RELEASE() {
+    mu_.Unlock();
+    owns_ = false;
+  }
+  void Lock() LDPJS_ACQUIRE() {
+    mu_.Lock();
+    owns_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool owns_;
+};
+
+/// std::condition_variable over Mutex. Wait* atomically release `mu` while
+/// blocked and reacquire before returning, so the caller's capability is
+/// intact on both sides — which is exactly what LDPJS_REQUIRES(mu) states.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) LDPJS_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // ownership stays with the caller's scope
+  }
+
+  /// false on timeout (like cv_status::timeout).
+  template <typename Rep, typename Period>
+  bool WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& d)
+      LDPJS_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const bool notified = cv_.wait_for(lock, d) == std::cv_status::no_timeout;
+    lock.release();
+    return notified;
+  }
+
+  /// false on timeout.
+  template <typename Clock, typename Duration>
+  bool WaitUntil(Mutex& mu, const std::chrono::time_point<Clock, Duration>& tp)
+      LDPJS_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const bool notified = cv_.wait_until(lock, tp) == std::cv_status::no_timeout;
+    lock.release();
+    return notified;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace ldpjs
+
+#endif  // LDPJS_COMMON_THREAD_ANNOTATIONS_H_

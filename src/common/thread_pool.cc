@@ -16,25 +16,25 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_ = true;
   }
-  task_ready_.notify_all();
+  task_ready_.NotifyAll();
   for (auto& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     tasks_.push(std::move(task));
     ++in_flight_;
   }
-  task_ready_.notify_one();
+  task_ready_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  while (in_flight_ != 0) all_done_.Wait(mutex_);
 }
 
 void ThreadPool::ParallelFor(
@@ -50,8 +50,8 @@ void ThreadPool::ParallelFor(
   // Per-call completion latch: this call only waits for its own shards, so
   // concurrent ParallelFor calls on a shared pool don't block on each
   // other's work.
-  std::mutex latch_mutex;
-  std::condition_variable latch_done;
+  Mutex latch_mutex;
+  CondVar latch_done;
   const size_t submitted = (total + chunk - 1) / chunk;
   size_t remaining = submitted;
   for (size_t shard = 0; shard < submitted; ++shard) {
@@ -61,13 +61,13 @@ void ThreadPool::ParallelFor(
       fn(shard, begin, end);
       // Notify while holding the lock: the waiter owns the latch's stack
       // frame and may destroy it the moment the mutex is free, so an
-      // unlocked notify could fire on a dead condition_variable.
-      std::lock_guard<std::mutex> lock(latch_mutex);
-      if (--remaining == 0) latch_done.notify_one();
+      // unlocked notify could fire on a dead condition variable.
+      MutexLock lock(latch_mutex);
+      if (--remaining == 0) latch_done.NotifyOne();
     });
   }
-  std::unique_lock<std::mutex> lock(latch_mutex);
-  latch_done.wait(lock, [&] { return remaining == 0; });
+  MutexLock lock(latch_mutex);
+  while (remaining != 0) latch_done.Wait(latch_mutex);
 }
 
 ThreadPool& SharedThreadPool() {
@@ -90,8 +90,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      task_ready_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      while (!shutdown_ && tasks_.empty()) task_ready_.Wait(mutex_);
       if (tasks_.empty()) {
         if (shutdown_) return;
         continue;
@@ -101,9 +101,9 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+      if (in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }

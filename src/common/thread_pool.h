@@ -5,13 +5,13 @@
 #ifndef LDPJS_COMMON_THREAD_POOL_H_
 #define LDPJS_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace ldpjs {
 
@@ -47,12 +47,12 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable task_ready_;
-  std::condition_variable all_done_;
-  size_t in_flight_ = 0;
-  bool shutdown_ = false;
+  Mutex mutex_;
+  std::queue<std::function<void()>> tasks_ LDPJS_GUARDED_BY(mutex_);
+  CondVar task_ready_;
+  CondVar all_done_;
+  size_t in_flight_ LDPJS_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ LDPJS_GUARDED_BY(mutex_) = false;
 };
 
 /// Lazily constructed process-wide pool (hardware-concurrency workers) used

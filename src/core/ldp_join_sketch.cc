@@ -412,6 +412,9 @@ Result<LdpJoinSketchServer> LdpJoinSketchServer::Deserialize(
     }
     server.lanes_ = std::move(*lanes);
   }
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes after sketch");
+  }
   return server;
 }
 

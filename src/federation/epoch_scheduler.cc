@@ -15,55 +15,58 @@ EpochScheduler::EpochScheduler(std::chrono::milliseconds period,
 EpochScheduler::~EpochScheduler() { Stop(); }
 
 void EpochScheduler::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   LDPJS_CHECK(!started_);
   started_ = true;
   thread_ = std::thread(&EpochScheduler::Loop, this);
 }
 
 void EpochScheduler::Loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
     if (period_.count() > 0) {
-      cv_.wait_for(lock, period_,
-                   [&] { return stopping_ || trigger_pending_; });
+      // Periodic mode: a deadline expiry fires a tick just like a trigger.
+      const auto deadline = std::chrono::steady_clock::now() + period_;
+      while (!stopping_ && !trigger_pending_) {
+        if (!cv_.WaitUntil(mu_, deadline)) break;
+      }
     } else {
-      cv_.wait(lock, [&] { return stopping_ || trigger_pending_; });
+      while (!stopping_ && !trigger_pending_) cv_.Wait(mu_);
     }
     if (stopping_) return;
     // Fire: a period expiry and a pending trigger coalesce into one tick.
     trigger_pending_ = false;
     const uint64_t epoch = next_epoch_++;
-    lock.unlock();
+    lock.Unlock();
     tick_(epoch);
-    lock.lock();
+    lock.Lock();
     ++completed_;
-    cv_.notify_all();  // TriggerNow waiters
+    cv_.NotifyAll();  // TriggerNow waiters
   }
 }
 
 void EpochScheduler::TriggerNow() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   LDPJS_CHECK(started_);
   if (stopping_) return;
   trigger_pending_ = true;
   const uint64_t want = next_epoch_ + 1;
-  cv_.notify_all();
-  cv_.wait(lock, [&] { return completed_ >= want || stopping_; });
+  cv_.NotifyAll();
+  while (completed_ < want && !stopping_) cv_.Wait(mu_);
 }
 
 void EpochScheduler::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!started_) return;
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (thread_.joinable()) thread_.join();
 }
 
 uint64_t EpochScheduler::epochs_fired() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return next_epoch_;
 }
 

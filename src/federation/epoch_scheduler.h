@@ -10,11 +10,11 @@
 #define LDPJS_FEDERATION_EPOCH_SCHEDULER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
+
+#include "common/thread_annotations.h"
 
 namespace ldpjs {
 
@@ -48,13 +48,15 @@ class EpochScheduler {
   std::function<void(uint64_t)> tick_;
   std::thread thread_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  bool started_ = false;
-  bool stopping_ = false;
-  bool trigger_pending_ = false;
-  uint64_t next_epoch_ = 0;   ///< epochs fired so far
-  uint64_t completed_ = 0;    ///< ticks fully executed
+  mutable Mutex mu_;
+  CondVar cv_;
+  bool started_ LDPJS_GUARDED_BY(mu_) = false;
+  bool stopping_ LDPJS_GUARDED_BY(mu_) = false;
+  bool trigger_pending_ LDPJS_GUARDED_BY(mu_) = false;
+  /// Epochs fired so far.
+  uint64_t next_epoch_ LDPJS_GUARDED_BY(mu_) = 0;
+  /// Ticks fully executed.
+  uint64_t completed_ LDPJS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace ldpjs

@@ -69,7 +69,7 @@ Status RegionalNode::Start() {
     // attempted epochs retry under their frozen numbers (the dedup
     // resolves merged-but-unacked to exactly-once), un-attempted ones
     // renumber safely.
-    std::lock_guard<std::mutex> lock(ship_mu_);
+    MutexLock lock(ship_mu_);
     const uint64_t replay_start_ns = ObsEnabled() ? NowNanos() : 0;
     std::vector<SpoolEntry> recovered;
     LDPJS_RETURN_IF_ERROR(
@@ -112,7 +112,7 @@ Status RegionalNode::Start() {
 }
 
 Status RegionalNode::CutAndShip() {
-  std::lock_guard<std::mutex> lock(ship_mu_);
+  MutexLock lock(ship_mu_);
   if (flushed_) {
     return Status::FailedPrecondition("region already flushed");
   }
@@ -334,7 +334,7 @@ Status RegionalNode::FlushAndStop() {
   // Stop drains every queued frame into the lanes, so the final cut below
   // holds everything any client pushed to this region.
   server_.Stop();
-  std::lock_guard<std::mutex> lock(ship_mu_);
+  MutexLock lock(ship_mu_);
   if (flushed_) return Status::OK();
   ShardedAggregator::EpochCut cut = server_.CutEpochSnapshot();
   const TraceContext cut_trace = server_.TakeCutTrace();
@@ -400,7 +400,7 @@ Status RegionalNode::FlushAndStop() {
 
 NetMetrics RegionalNode::metrics() const {
   NetMetrics m = server_.metrics();
-  std::lock_guard<std::mutex> lock(ship_mu_);
+  MutexLock lock(ship_mu_);
   m.retries_attempted += ship_retries_;
   m.backoff_millis += ship_backoff_micros_ / 1000;
   m.spool_bytes_written = spool_.bytes_written();
@@ -410,57 +410,57 @@ NetMetrics RegionalNode::metrics() const {
 }
 
 uint64_t RegionalNode::epochs_shipped() const {
-  std::lock_guard<std::mutex> lock(ship_mu_);
+  MutexLock lock(ship_mu_);
   return epochs_shipped_;
 }
 
 uint64_t RegionalNode::snapshot_bytes_shipped() const {
-  std::lock_guard<std::mutex> lock(ship_mu_);
+  MutexLock lock(ship_mu_);
   return snapshot_bytes_shipped_;
 }
 
 uint64_t RegionalNode::ship_retries() const {
-  std::lock_guard<std::mutex> lock(ship_mu_);
+  MutexLock lock(ship_mu_);
   return ship_retries_;
 }
 
 uint64_t RegionalNode::duplicate_acks() const {
-  std::lock_guard<std::mutex> lock(ship_mu_);
+  MutexLock lock(ship_mu_);
   return duplicate_acks_;
 }
 
 size_t RegionalNode::pending_snapshots() const {
-  std::lock_guard<std::mutex> lock(ship_mu_);
+  MutexLock lock(ship_mu_);
   return pending_.size();
 }
 
 uint64_t RegionalNode::epochs_renumbered() const {
-  std::lock_guard<std::mutex> lock(ship_mu_);
+  MutexLock lock(ship_mu_);
   return epochs_renumbered_;
 }
 
 uint64_t RegionalNode::next_epoch() const {
-  std::lock_guard<std::mutex> lock(ship_mu_);
+  MutexLock lock(ship_mu_);
   return next_epoch_;
 }
 
 uint64_t RegionalNode::spool_epochs_resumed() const {
-  std::lock_guard<std::mutex> lock(ship_mu_);
+  MutexLock lock(ship_mu_);
   return spool_.epochs_resumed();
 }
 
 uint64_t RegionalNode::spool_errors() const {
-  std::lock_guard<std::mutex> lock(ship_mu_);
+  MutexLock lock(ship_mu_);
   return spool_errors_;
 }
 
 uint64_t RegionalNode::stats_pushes() const {
-  std::lock_guard<std::mutex> lock(ship_mu_);
+  MutexLock lock(ship_mu_);
   return stats_pushes_;
 }
 
 uint64_t RegionalNode::stats_push_failures() const {
-  std::lock_guard<std::mutex> lock(ship_mu_);
+  MutexLock lock(ship_mu_);
   return stats_push_failures_;
 }
 

@@ -31,13 +31,13 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/backoff.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "federation/epoch_scheduler.h"
 #include "federation/snapshot_spool.h"
 #include "net/frame_sender.h"
@@ -164,8 +164,8 @@ class RegionalNode {
   };
 
   /// Ships every pending snapshot in epoch order; stops at the first
-  /// snapshot whose attempt budget runs out. Requires ship_mu_.
-  Status ShipPendingLocked();
+  /// snapshot whose attempt budget runs out.
+  Status ShipPendingLocked() LDPJS_REQUIRES(ship_mu_);
 
   /// Connect-time epoch sync: folds the central's next-expected epoch for
   /// this region (from the HELLO_OK) into our numbering — un-attempted
@@ -173,27 +173,31 @@ class RegionalNode {
   /// adopts max(local, central). This is what makes epoch numbers survive
   /// restarts: a fresh incarnation starts at 0, syncs on first connect,
   /// and can never collide with (and be silently deduped against) an
-  /// epoch its predecessor already shipped. Requires ship_mu_.
-  void AdoptCentralEpoch(uint64_t central_next_epoch);
+  /// epoch its predecessor already shipped.
+  void AdoptCentralEpoch(uint64_t central_next_epoch)
+      LDPJS_REQUIRES(ship_mu_);
 
   /// Write-ahead helpers around the spool: no-ops when the spool is off or
   /// the snapshot is a heartbeat; a disk failure counts spool_errors_ and
   /// shipping continues from memory (durability degrades, data does not
-  /// stop flowing). Require ship_mu_.
-  void SpoolAppendLocked(const PendingSnapshot& snap);
-  void SpoolMarkAttemptedLocked(const PendingSnapshot& snap);
-  void SpoolMarkShippedLocked(const PendingSnapshot& snap);
+  /// stop flowing).
+  void SpoolAppendLocked(const PendingSnapshot& snap)
+      LDPJS_REQUIRES(ship_mu_);
+  void SpoolMarkAttemptedLocked(const PendingSnapshot& snap)
+      LDPJS_REQUIRES(ship_mu_);
+  void SpoolMarkShippedLocked(const PendingSnapshot& snap)
+      LDPJS_REQUIRES(ship_mu_);
 
   /// This node's stats as a v5 fleet snapshot: the process-global registry
   /// plus the synthetic `net_*` series the central's health evaluator reads
   /// (SignalsFromSnapshot) — frame/shed/corrupt counters, the frontier
-  /// epoch, and the pending-queue depth. Requires ship_mu_.
-  FleetSnapshot BuildStatsSnapshotLocked() const;
+  /// epoch, and the pending-queue depth.
+  FleetSnapshot BuildStatsSnapshotLocked() const LDPJS_REQUIRES(ship_mu_);
   /// Pushes the snapshot upstream when the session is v5, push_stats is on,
   /// and the period elapsed (or `force`). A failure drops the upstream
   /// session (its state is ambiguous) and counts stats_push_failures_ —
-  /// data shipping reconnects and is unaffected. Requires ship_mu_.
-  void MaybePushStatsLocked(bool force);
+  /// data shipping reconnects and is unaffected.
+  void MaybePushStatsLocked(bool force) LDPJS_REQUIRES(ship_mu_);
 
   SketchParams params_;
   double epsilon_;
@@ -206,35 +210,37 @@ class RegionalNode {
   /// Start()-time spool recovery duration (one sample per recovery).
   ObsHistogram* spool_replay_hist_;
   std::unique_ptr<EpochScheduler> scheduler_;
-  SnapshotSpool spool_;  ///< open iff options_.spool_dir non-empty; ship_mu_
+  /// Open iff options_.spool_dir non-empty.
+  SnapshotSpool spool_ LDPJS_GUARDED_BY(ship_mu_);
 
   /// Serializes cut+ship: scheduler ticks, manual CutAndShip calls, and the
   /// final flush never interleave, so epochs are numbered and shipped in
   /// order (the central's dedup high-water relies on that).
-  mutable std::mutex ship_mu_;
-  std::optional<FrameSender> upstream_;
-  std::deque<PendingSnapshot> pending_;
+  mutable Mutex ship_mu_;
+  std::optional<FrameSender> upstream_ LDPJS_GUARDED_BY(ship_mu_);
+  std::deque<PendingSnapshot> pending_ LDPJS_GUARDED_BY(ship_mu_);
   /// Incarnation-local monotonic epoch sequence, starting at 0 and synced
   /// with the central's per-region high-water on every (re)connect (see
   /// AdoptCentralEpoch). Earlier versions seeded this from the wall clock,
   /// which silently LOST data when a restart landed in the same clock tick
   /// or the clock stepped backwards — the central's dedup discarded the
   /// new incarnation's colliding epochs as already applied.
-  uint64_t next_epoch_ = 0;
-  uint64_t epochs_shipped_ = 0;
-  uint64_t snapshot_bytes_shipped_ = 0;
-  uint64_t ship_retries_ = 0;
-  uint64_t duplicate_acks_ = 0;
-  uint64_t epochs_renumbered_ = 0;
-  uint64_t ship_backoff_micros_ = 0;  ///< cumulative, across ship incidents
-  uint64_t spool_errors_ = 0;
-  uint64_t stats_pushes_ = 0;
-  uint64_t stats_push_failures_ = 0;
-  uint64_t last_stats_push_ns_ = 0;
+  uint64_t next_epoch_ LDPJS_GUARDED_BY(ship_mu_) = 0;
+  uint64_t epochs_shipped_ LDPJS_GUARDED_BY(ship_mu_) = 0;
+  uint64_t snapshot_bytes_shipped_ LDPJS_GUARDED_BY(ship_mu_) = 0;
+  uint64_t ship_retries_ LDPJS_GUARDED_BY(ship_mu_) = 0;
+  uint64_t duplicate_acks_ LDPJS_GUARDED_BY(ship_mu_) = 0;
+  uint64_t epochs_renumbered_ LDPJS_GUARDED_BY(ship_mu_) = 0;
+  /// Cumulative, across ship incidents.
+  uint64_t ship_backoff_micros_ LDPJS_GUARDED_BY(ship_mu_) = 0;
+  uint64_t spool_errors_ LDPJS_GUARDED_BY(ship_mu_) = 0;
+  uint64_t stats_pushes_ LDPJS_GUARDED_BY(ship_mu_) = 0;
+  uint64_t stats_push_failures_ LDPJS_GUARDED_BY(ship_mu_) = 0;
+  uint64_t last_stats_push_ns_ LDPJS_GUARDED_BY(ship_mu_) = 0;
   /// True once any upstream session existed — the next successful connect
   /// is then a reconnect worth an event-log entry.
-  bool had_upstream_ = false;
-  bool flushed_ = false;
+  bool had_upstream_ LDPJS_GUARDED_BY(ship_mu_) = false;
+  bool flushed_ LDPJS_GUARDED_BY(ship_mu_) = false;
 };
 
 }  // namespace ldpjs

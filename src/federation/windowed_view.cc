@@ -15,13 +15,13 @@ WindowedView::WindowedView(const SketchParams& params, double epsilon,
   LDPJS_CHECK(window_ >= 1);
   // Initial empty publication: Published() is never null, so readers are a
   // bare atomic load with no "not yet published" branch to race on.
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   PublishLocked();
 }
 
 void WindowedView::OnEpochApplied(uint32_t region_id, uint64_t epoch,
                                   LdpJoinSketchServer* snapshot) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   RegionWindow& region = regions_[region_id];
   // The shipper sends epochs in order and the central dedups, so a fresh
   // epoch is strictly above the region's high-water. An empty-epoch
@@ -108,12 +108,12 @@ void WindowedView::AdvanceLocked() {
 }
 
 LdpJoinSketchServer WindowedView::RawWindow() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return acc_;
 }
 
 LdpJoinSketchServer WindowedView::RecomputeRaw() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   LdpJoinSketchServer merged(acc_.params(), acc_.epsilon());
   for (const auto& [id, region] : regions_) {
     for (const auto& [epoch, stored] : region.epochs) {
@@ -124,33 +124,33 @@ LdpJoinSketchServer WindowedView::RecomputeRaw() const {
 }
 
 bool WindowedView::aligned() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return has_frontier_;
 }
 
 uint64_t WindowedView::frontier() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   LDPJS_CHECK(has_frontier_);
   return frontier_;
 }
 
 uint64_t WindowedView::window_reports() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return acc_.total_reports();
 }
 
 uint64_t WindowedView::epochs_in_window() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return in_window_;
 }
 
 uint64_t WindowedView::epochs_expired() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return expired_;
 }
 
 uint64_t WindowedView::epochs_pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t pending = 0;
   for (const auto& [id, region] : regions_) {
     for (const auto& [epoch, stored] : region.epochs) {

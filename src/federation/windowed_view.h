@@ -49,8 +49,8 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 
+#include "common/thread_annotations.h"
 #include "core/ldp_join_sketch.h"
 #include "service/published_view.h"
 
@@ -129,28 +129,30 @@ class WindowedView {
 
   /// Recomputes the frontier and reconciles the accumulator with the
   /// window (E-W, E]: merge what entered, subtract what expired, free what
-  /// slid past. Requires mu_. Sets dirty_ when the accumulator changed.
-  void AdvanceLocked();
+  /// slid past. Sets dirty_ when the accumulator changed.
+  void AdvanceLocked() LDPJS_REQUIRES(mu_);
 
-  /// Finalizes a copy of the accumulator and swaps it into the publisher.
-  /// Requires mu_ (writer side only — readers never come here).
-  void PublishLocked();
+  /// Finalizes a copy of the accumulator and swaps it into the publisher
+  /// (writer side only — readers never come here).
+  void PublishLocked() LDPJS_REQUIRES(mu_);
 
   const uint64_t window_;
   const size_t expected_regions_;
 
-  mutable std::mutex mu_;
-  std::map<uint32_t, RegionWindow> regions_;
-  LdpJoinSketchServer acc_;  ///< raw lanes over the window, incremental
-  bool has_frontier_ = false;
-  uint64_t frontier_ = 0;
-  uint64_t in_window_ = 0;
-  uint64_t expired_ = 0;
-  bool dirty_ = false;  ///< accumulator changed since the last publish; mu_
+  mutable Mutex mu_;
+  std::map<uint32_t, RegionWindow> regions_ LDPJS_GUARDED_BY(mu_);
+  /// Raw lanes over the window, incremental.
+  LdpJoinSketchServer acc_ LDPJS_GUARDED_BY(mu_);
+  bool has_frontier_ LDPJS_GUARDED_BY(mu_) = false;
+  uint64_t frontier_ LDPJS_GUARDED_BY(mu_) = 0;
+  uint64_t in_window_ LDPJS_GUARDED_BY(mu_) = 0;
+  uint64_t expired_ LDPJS_GUARDED_BY(mu_) = 0;
+  /// Accumulator changed since the last publish.
+  bool dirty_ LDPJS_GUARDED_BY(mu_) = false;
   /// Last published (aligned, frontier) — republish when either moves even
   /// if the accumulator did not (e.g. heartbeat-only frontier advance).
-  bool pub_aligned_ = false;   ///< mu_
-  uint64_t pub_frontier_ = 0;  ///< mu_
+  bool pub_aligned_ LDPJS_GUARDED_BY(mu_) = false;
+  uint64_t pub_frontier_ LDPJS_GUARDED_BY(mu_) = 0;
   ViewPublisher publisher_;
 };
 

@@ -59,16 +59,26 @@ FrameServer::FrameServer(const SketchParams& params, double epsilon,
 }
 
 FrameServer::~FrameServer() {
-  if (started_ && !stopped_) Stop();
+  bool need_stop;
+  {
+    // The destructor races nothing by contract, but started_/stopped_ are
+    // mu_-guarded state — read them like everyone else.
+    MutexLock lock(mu_);
+    need_stop = started_ && !stopped_;
+  }
+  if (need_stop) Stop();
 }
 
 Status FrameServer::Start() {
-  LDPJS_CHECK(!started_);
   auto listener = Socket::ListenTcp(options_.port);
   if (!listener.ok()) return listener.status();
   listener_ = std::move(*listener);
   port_ = listener_.local_port();
-  started_ = true;
+  {
+    MutexLock lock(mu_);
+    LDPJS_CHECK(!started_);
+    started_ = true;
+  }
   // Initial empty publication: CurrentPublishedView() is never null once
   // the server is up, so query paths have no "not yet published" branch.
   PublishView();
@@ -92,7 +102,7 @@ void FrameServer::AcceptLoop() {
     ReapFinishedConnections();
     auto socket = listener_.Accept();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (stopping_) return;
     }
     if (!socket.ok()) {
@@ -129,7 +139,7 @@ void FrameServer::AcceptLoop() {
     // handle — registration under mu_ is the happens-before edge.
     raw->reader = std::thread(&FrameServer::ReaderLoop, this, raw);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       connections_.push_back(std::move(conn));
       // A Stop() racing this accept has already swept the registered
       // sockets; cover the newcomer so its reader is unblocked too.
@@ -151,14 +161,14 @@ bool FrameServer::HelloMatches(const SessionHello& hello) const {
 
 void FrameServer::SendError(Connection& conn, const Status& status) {
   // Best effort: the peer may already be gone.
-  std::lock_guard<std::mutex> g(conn.write_mu);
+  MutexLock g(conn.write_mu);
   (void)WriteNetFrame(conn.socket, NetFrameType::kError,
                       EncodeErrorPayload(status));
 }
 
 void FrameServer::WaitConnDrained(Connection* conn) {
-  std::unique_lock<std::mutex> lock(mu_);
-  drain_cv_.wait(lock, [&] { return conn->data_inflight == 0; });
+  MutexLock lock(mu_);
+  while (conn->data_inflight != 0) drain_cv_.Wait(mu_);
 }
 
 void FrameServer::ReaderLoop(Connection* conn) {
@@ -192,11 +202,11 @@ void FrameServer::ReaderLoop(Connection* conn) {
         // first epoch this server has NOT applied for that region. A
         // region it has never heard from reads as 0 — the region keeps its
         // own numbering. Read-only: a HELLO must not create a region row.
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         auto it = regions_.find(hello->region_id);
         if (it != regions_.end()) ok.region_next_epoch = it->second.next_epoch;
       }
-      std::lock_guard<std::mutex> g(conn->write_mu);
+      MutexLock g(conn->write_mu);
       session_open =
           WriteNetFrame(conn->socket, NetFrameType::kHelloOk, EncodeHelloOk(ok))
               .ok();
@@ -363,7 +373,7 @@ void FrameServer::ReaderLoop(Connection* conn) {
       ShardLane& lane = *lanes_[shard];
       bool shed = false;
       {
-        std::unique_lock<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (options_.backpressure == BackpressurePolicy::kShed &&
             lane.queue.size() >= options_.queue_capacity && !stopping_) {
           shed = true;
@@ -372,9 +382,9 @@ void FrameServer::ReaderLoop(Connection* conn) {
           // stopping drain the frame is admitted regardless so the reader
           // can reach the client's close — memory stays bounded at
           // capacity + 1 per shard.
-          space_cv_.wait(lock, [&] {
-            return lane.queue.size() < options_.queue_capacity || stopping_;
-          });
+          while (lane.queue.size() >= options_.queue_capacity && !stopping_) {
+            space_cv_.Wait(mu_);
+          }
           ++conn->data_inflight;
           PumpItem item;
           item.conn = conn;
@@ -394,17 +404,17 @@ void FrameServer::ReaderLoop(Connection* conn) {
       if (shed) {
         conn->frames_shed.fetch_add(1, std::memory_order_relaxed);
         const uint8_t busy = static_cast<uint8_t>(DataAckCode::kBusy);
-        std::lock_guard<std::mutex> g(conn->write_mu);
+        MutexLock g(conn->write_mu);
         if (!WriteNetFrame(conn->socket, NetFrameType::kDataAck, {&busy, 1})
                  .ok()) {
           session_open = false;
         }
         continue;
       }
-      lane.work_cv.notify_one();
+      lane.work_cv.NotifyOne();
       if (options_.backpressure == BackpressurePolicy::kShed) {
         const uint8_t ok = static_cast<uint8_t>(DataAckCode::kAbsorbed);
-        std::lock_guard<std::mutex> g(conn->write_mu);
+        MutexLock g(conn->write_mu);
         if (!WriteNetFrame(conn->socket, NetFrameType::kDataAck, {&ok, 1})
                  .ok()) {
           session_open = false;
@@ -442,14 +452,14 @@ void FrameServer::ReaderLoop(Connection* conn) {
         // the complete view.
         PublishView();
         {
-          std::lock_guard<std::mutex> g(conn->write_mu);
+          MutexLock g(conn->write_mu);
           if (!WriteNetFrame(conn->socket, NetFrameType::kFinalizeOk, {})
                    .ok()) {
             conn->socket.ShutdownBoth();
           }
         }
         {
-          std::lock_guard<std::mutex> lock(mu_);
+          MutexLock lock(mu_);
           if (frame->payload.size() == 4) {
             // Region-tagged: idempotent — a retried forward after a lost
             // FINALIZE_OK counts the region once, never twice.
@@ -462,7 +472,7 @@ void FrameServer::ReaderLoop(Connection* conn) {
             ++anonymous_finalizes_;
           }
         }
-        finalize_cv_.notify_all();
+        finalize_cv_.NotifyAll();
         break;
       }
       case NetFrameType::kPing: {
@@ -471,14 +481,14 @@ void FrameServer::ReaderLoop(Connection* conn) {
         // Republish before acking, so "ping, then query" reads your own
         // writes from the published view.
         PublishView();
-        std::lock_guard<std::mutex> g(conn->write_mu);
+        MutexLock g(conn->write_mu);
         if (!WriteNetFrame(conn->socket, NetFrameType::kPingOk, {}).ok()) {
           conn->socket.ShutdownBoth();
         }
         break;
       }
       case NetFrameType::kBye: {
-        std::lock_guard<std::mutex> g(conn->write_mu);
+        MutexLock g(conn->write_mu);
         (void)WriteNetFrame(conn->socket, NetFrameType::kByeOk, {});
         session_open = false;  // client is done sending
         break;
@@ -494,17 +504,17 @@ void FrameServer::ReaderLoop(Connection* conn) {
   // accumulating fds and unjoined threads until the next accept.
   ReapFinishedConnections();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     conn->reader_done = true;
   }
-  drain_cv_.notify_all();
+  drain_cv_.NotifyAll();
 }
 
 void FrameServer::HandleSnapshot(Connection& conn) {
   // Raw-lane snapshot of everything ingested so far (multi-epoch
   // streaming: snapshots merge bit-exactly across epochs).
   const std::vector<uint8_t> bytes = MergeShardsLocked().Serialize();
-  std::lock_guard<std::mutex> g(conn.write_mu);
+  MutexLock g(conn.write_mu);
   if (!WriteNetFrame(conn.socket, NetFrameType::kSnapshotData, bytes).ok()) {
     // The peer stopped reading (send timed out) or vanished; cut it.
     conn.socket.ShutdownBoth();
@@ -546,7 +556,7 @@ void FrameServer::HandleEpochPush(Connection& conn,
   EpochPushAck ack;
   bool fresh = false;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     RegionState& region = regions_[push->region_id];
     region.metrics.region_id = push->region_id;
     if (push->epoch < region.next_epoch) {
@@ -555,9 +565,7 @@ void FrameServer::HandleEpochPush(Connection& conn,
       // mean "applied" — the shipper will ship the NEXT epoch on reading
       // it, and the windowed view's observer relies on seeing a region's
       // epochs in order.
-      drain_cv_.wait(lock, [&] {
-        return regions_[push->region_id].inflight.count(push->epoch) == 0;
-      });
+      while (region.inflight.count(push->epoch) != 0) drain_cv_.Wait(mu_);
       ++region.metrics.duplicates_ignored;
       ack.code = EpochPushAckCode::kDuplicate;
     } else {
@@ -575,11 +583,11 @@ void FrameServer::HandleEpochPush(Connection& conn,
     if (!heartbeat) {
       const size_t shard =
           push_shard_.fetch_add(1, std::memory_order_relaxed) % lanes_.size();
-      std::lock_guard<std::mutex> agg(lanes_[shard]->agg_mu);
+      MutexLock agg(lanes_[shard]->agg_mu);
       aggregator_.MergeRawSketch(shard, *snapshot);
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       RegionState& region = regions_[push->region_id];
       if (heartbeat) {
         ++region.metrics.empty_epochs;
@@ -610,16 +618,16 @@ void FrameServer::HandleEpochPush(Connection& conn,
     // reads EPOCH_PUSH_OK, queries serve a view containing the epoch.
     PublishView();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       regions_[push->region_id].inflight.erase(push->epoch);
     }
-    drain_cv_.notify_all();
+    drain_cv_.NotifyAll();
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ack.next_epoch = regions_[push->region_id].next_epoch;
   }
-  std::lock_guard<std::mutex> g(conn.write_mu);
+  MutexLock g(conn.write_mu);
   if (!WriteNetFrame(conn.socket, NetFrameType::kEpochPushOk,
                      EncodeEpochPushAck(ack))
            .ok()) {
@@ -640,7 +648,7 @@ void FrameServer::ReapFinishedConnections() {
   // snapshot, free everything else.
   std::vector<std::unique_ptr<Connection>> finished;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (auto& conn : connections_) {
       if (conn->reader_done && conn->data_inflight == 0) {
         // Counters are final here: the reader mutates them only before
@@ -679,23 +687,23 @@ void FrameServer::PumpLoop(size_t shard) {
   for (;;) {
     PumpItem item;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       // Sleep until there is an item to pump, or — during shutdown, once
       // every reader has exited (no producer remains) — the queue is dry.
-      lane.work_cv.wait(lock, [&] {
-        return !lane.queue.empty() || (stopping_ && AllReadersDone());
-      });
+      while (lane.queue.empty() && !(stopping_ && AllReadersDone())) {
+        lane.work_cv.Wait(mu_);
+      }
       if (lane.queue.empty()) return;  // fully drained
       item = std::move(lane.queue.front());
       lane.queue.pop_front();
     }
-    space_cv_.notify_all();
+    space_cv_.NotifyAll();
     ProcessData(shard, item);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --item.conn->data_inflight;
     }
-    drain_cv_.notify_all();
+    drain_cv_.NotifyAll();
   }
 }
 
@@ -711,7 +719,7 @@ void FrameServer::ProcessData(size_t shard, PumpItem& item) {
   Status status;
   uint64_t delta = 0;
   {
-    std::lock_guard<std::mutex> agg(lane.agg_mu);
+    MutexLock agg(lane.agg_mu);
     const uint64_t before = aggregator_.shard(shard).reports_ingested();
     status = aggregator_.IngestFrameToShard(shard, payload);
     delta = aggregator_.shard(shard).reports_ingested() - before;
@@ -744,7 +752,7 @@ void FrameServer::ProcessData(size_t shard, PumpItem& item) {
 }
 
 void FrameServer::NoteAbsorbedTrace(const TraceContext& trace) {
-  std::lock_guard<std::mutex> lock(obs_mu_);
+  MutexLock lock(obs_mu_);
   // Keep the oldest unclaimed origin in each slot, so the latency claimed
   // at the next publish/cut is the conservative one for the interval.
   if (!pending_publish_trace_.active() ||
@@ -758,31 +766,41 @@ void FrameServer::NoteAbsorbedTrace(const TraceContext& trace) {
 }
 
 void FrameServer::WaitForFinalizeRequests(size_t count) {
-  std::unique_lock<std::mutex> lock(mu_);
-  finalize_cv_.wait(lock, [&] {
-    return anonymous_finalizes_ + finalized_regions_.size() >= count;
-  });
+  MutexLock lock(mu_);
+  while (anonymous_finalizes_ + finalized_regions_.size() < count) {
+    finalize_cv_.Wait(mu_);
+  }
 }
 
 LdpJoinSketchServer FrameServer::MergeShardsLocked() const {
-  std::vector<std::unique_lock<std::mutex>> locks;
-  locks.reserve(lanes_.size());
-  for (const auto& lane : lanes_) locks.emplace_back(lane->agg_mu);
-  return aggregator_.MergeShards();
+  // Dynamic lock set — one agg_mu per lane, all held across the merge —
+  // which is why the declaration opts out of the static analysis.
+  for (const auto& lane : lanes_) lane->agg_mu.Lock();
+  LdpJoinSketchServer merged = aggregator_.MergeShards();
+  for (const auto& lane : lanes_) lane->agg_mu.Unlock();
+  return merged;
+}
+
+ShardedAggregator::EpochCut FrameServer::CutAllShards() {
+  // Same dynamic-lock-set opt-out as MergeShardsLocked.
+  for (const auto& lane : lanes_) lane->agg_mu.Lock();
+  ShardedAggregator::EpochCut cut = aggregator_.CutEpoch();
+  for (const auto& lane : lanes_) lane->agg_mu.Unlock();
+  return cut;
 }
 
 ShardedAggregator::EpochCut FrameServer::CutEpochSnapshot() {
-  LDPJS_CHECK(!finalized_);
+  {
+    MutexLock lock(mu_);
+    LDPJS_CHECK(!finalized_);
+  }
   const uint64_t cut_start_ns = ObsEnabled() ? NowNanos() : 0;
-  std::vector<std::unique_lock<std::mutex>> locks;
-  locks.reserve(lanes_.size());
-  for (const auto& lane : lanes_) locks.emplace_back(lane->agg_mu);
-  ShardedAggregator::EpochCut cut = aggregator_.CutEpoch();
+  ShardedAggregator::EpochCut cut = CutAllShards();
   TraceContext claimed;
   {
     // Claim the oldest traced frame absorbed since the last cut: it is in
     // this cut's snapshot now, and TakeCutTrace() hands it to the shipper.
-    std::lock_guard<std::mutex> lock(obs_mu_);
+    MutexLock lock(obs_mu_);
     last_cut_trace_ = pending_cut_trace_;
     pending_cut_trace_ = TraceContext{};
     claimed = last_cut_trace_;
@@ -795,7 +813,7 @@ ShardedAggregator::EpochCut FrameServer::CutEpochSnapshot() {
 }
 
 TraceContext FrameServer::TakeCutTrace() {
-  std::lock_guard<std::mutex> lock(obs_mu_);
+  MutexLock lock(obs_mu_);
   TraceContext trace = last_cut_trace_;
   last_cut_trace_ = TraceContext{};
   return trace;
@@ -818,7 +836,7 @@ void FrameServer::PublishView() {
   view_last_publish_gauge_->Set(now);
   TraceContext claimed;
   {
-    std::lock_guard<std::mutex> lock(obs_mu_);
+    MutexLock lock(obs_mu_);
     claimed = pending_publish_trace_;
     pending_publish_trace_ = TraceContext{};
   }
@@ -886,7 +904,7 @@ bool FrameServer::HandleQuery(Connection& conn,
     TraceLog::Global().Record(trace.trace_id, "query_serve", start_ns,
                               NowNanos());
   }
-  std::lock_guard<std::mutex> g(conn.write_mu);
+  MutexLock g(conn.write_mu);
   if (!WriteNetFrame(conn.socket, NetFrameType::kQueryOk,
                      EncodeQueryResponse(*response))
            .ok()) {
@@ -898,7 +916,7 @@ bool FrameServer::HandleQuery(Connection& conn,
 
 void FrameServer::HandleStats(Connection& conn) {
   const std::string json = StatsJson();
-  std::lock_guard<std::mutex> g(conn.write_mu);
+  MutexLock g(conn.write_mu);
   if (!WriteNetFrame(conn.socket, NetFrameType::kStats,
                      std::span<const uint8_t>(
                          reinterpret_cast<const uint8_t*>(json.data()),
@@ -938,7 +956,7 @@ bool FrameServer::HandleStatsPush(Connection& conn,
     event.cause = "cluster: " + result.cluster_current.cause;
     events_.Record(std::move(event));
   }
-  std::lock_guard<std::mutex> g(conn.write_mu);
+  MutexLock g(conn.write_mu);
   if (!WriteNetFrame(conn.socket, NetFrameType::kStatsPushOk, {}).ok()) {
     conn.socket.ShutdownBoth();
     return false;
@@ -948,7 +966,7 @@ bool FrameServer::HandleStatsPush(Connection& conn,
 
 void FrameServer::HandleFleetStats(Connection& conn) {
   const std::vector<uint8_t> payload = EncodeFleetView(CurrentFleetView());
-  std::lock_guard<std::mutex> g(conn.write_mu);
+  MutexLock g(conn.write_mu);
   if (!WriteNetFrame(conn.socket, NetFrameType::kFleetStats, payload).ok()) {
     conn.socket.ShutdownBoth();
   }
@@ -988,13 +1006,13 @@ std::string FrameServer::StatsJson() const {
 }
 
 void FrameServer::DisconnectClients() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& conn : connections_) conn->socket.ShutdownBoth();
 }
 
 void FrameServer::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!started_ || stopped_) return;
     stopping_ = true;
     // Disconnect whoever is still attached: readers blocked in recv see
@@ -1003,31 +1021,34 @@ void FrameServer::Stop() {
     // frames the stragglers queued are still drained by the pumps below.
     for (auto& conn : connections_) conn->socket.ShutdownBoth();
   }
-  space_cv_.notify_all();
-  drain_cv_.notify_all();
+  space_cv_.NotifyAll();
+  drain_cv_.NotifyAll();
   listener_.ShutdownBoth();
   acceptor_.join();
   // Registration is complete once the acceptor is joined; wait for every
   // reader to exit, so no producer can enqueue behind a pump's back.
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    drain_cv_.wait(lock, [&] { return AllReadersDone(); });
+    MutexLock lock(mu_);
+    while (!AllReadersDone()) drain_cv_.Wait(mu_);
   }
   // Pumps drain their queues dry, then exit.
-  for (auto& lane : lanes_) lane->work_cv.notify_all();
+  for (auto& lane : lanes_) lane->work_cv.NotifyAll();
   for (auto& lane : lanes_) lane->pump.join();
   ReapFinishedConnections();
   listener_.Close();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopped_ = true;
   }
 }
 
 LdpJoinSketchServer FrameServer::Finalize() {
-  LDPJS_CHECK(stopped_);     // queues are drained exactly when stopped
-  LDPJS_CHECK(!finalized_);  // the global debias+transform happens once
-  finalized_ = true;
+  {
+    MutexLock lock(mu_);
+    LDPJS_CHECK(stopped_);     // queues are drained exactly when stopped
+    LDPJS_CHECK(!finalized_);  // the global debias+transform happens once
+    finalized_ = true;
+  }
   return aggregator_.Finalize();
 }
 
@@ -1047,7 +1068,7 @@ ConnectionMetrics FrameServer::SnapshotConnection(
 
 NetMetrics FrameServer::metrics() const {
   NetMetrics m;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   m.connections_accepted =
       connections_accepted_.load(std::memory_order_relaxed);
   m.handshakes_rejected = handshakes_rejected_.load(std::memory_order_relaxed);

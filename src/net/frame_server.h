@@ -42,19 +42,18 @@
 #define LDPJS_NET_FRAME_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <thread>
 #include <vector>
 
 #include "common/socket.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/ldp_join_sketch.h"
 #include "net/net_metrics.h"
 #include "net/protocol.h"
@@ -231,7 +230,11 @@ class FrameServer {
     /// only legal at >= 3; a v2 session sending one gets ERROR + close.
     uint8_t version = kNetVersion;
     std::thread reader;
-    std::mutex write_mu;       ///< serializes socket writes (acks, replies)
+    /// Serializes socket writes (acks, replies). A nested struct cannot
+    /// name the owning server's mu_ in a GUARDED_BY, so the two fields
+    /// below carry their discipline as comments; the enclosing class's
+    /// annotated methods are where the analysis enforces it.
+    Mutex write_mu;
     bool reader_done = false;  ///< guarded by FrameServer::mu_
     uint64_t data_inflight = 0;  ///< queued-but-unabsorbed DATA; mu_
     size_t next_shard = 0;     ///< connection-local round-robin cursor
@@ -255,9 +258,9 @@ class FrameServer {
   /// snapshot/cut/merge paths without stopping the other pumps.
   struct ShardLane {
     std::deque<PumpItem> queue;        ///< guarded by FrameServer::mu_
-    std::condition_variable work_cv;   ///< pump waits for queue items
+    CondVar work_cv;                   ///< pump waits for queue items
     std::thread pump;
-    mutable std::mutex agg_mu;         ///< guards aggregator shard state
+    mutable Mutex agg_mu;              ///< guards aggregator shard state
     /// Written by readers under mu_, but read lock-free by metrics paths —
     /// atomic so a TSan-clean snapshot never has to take the queue lock.
     std::atomic<uint64_t> queue_high_water{0};
@@ -311,13 +314,19 @@ class FrameServer {
   /// latency is the conservative (worst) one across a publish interval.
   void NoteAbsorbedTrace(const TraceContext& trace);
   void RecordQueryOutcome(size_t kind_index, uint64_t start_ns, bool rejected);
-  bool AllReadersDone() const;  ///< requires mu_
-  void ReapFinishedConnections();
+  bool AllReadersDone() const LDPJS_REQUIRES(mu_);
+  void ReapFinishedConnections() LDPJS_EXCLUDES(mu_);
   ConnectionMetrics SnapshotConnection(const Connection& conn) const;
   void SendError(Connection& conn, const Status& status);
   bool HelloMatches(const SessionHello& hello) const;
   /// Merges every shard's lanes under all shard locks (consistent cut).
-  LdpJoinSketchServer MergeShardsLocked() const;
+  /// The lock set is dynamic (one agg_mu per lane), which the static
+  /// analysis cannot model — the definition opts out and documents why.
+  LdpJoinSketchServer MergeShardsLocked() const
+      LDPJS_NO_THREAD_SAFETY_ANALYSIS;
+  /// Cuts the epoch under all shard locks (same dynamic-lock-set opt-out).
+  ShardedAggregator::EpochCut CutAllShards()
+      LDPJS_NO_THREAD_SAFETY_ANALYSIS;
 
   SketchParams params_;
   double epsilon_;
@@ -331,32 +340,33 @@ class FrameServer {
   uint16_t port_ = 0;
   std::thread acceptor_;
 
-  mutable std::mutex mu_;
-  std::condition_variable space_cv_;     ///< readers wait for queue space
-  std::condition_variable drain_cv_;     ///< waits for inflight==0 / readers
-  std::condition_variable finalize_cv_;
+  mutable Mutex mu_;
+  CondVar space_cv_;     ///< readers wait for queue space
+  CondVar drain_cv_;     ///< waits for inflight==0 / readers
+  CondVar finalize_cv_;
   /// Live connections only: once a connection's reader has exited and its
   /// in-flight frames are absorbed, it is reaped (thread joined, counters
   /// folded into departed_) — server memory does not grow with the total
   /// number of clients ever served.
-  std::vector<std::unique_ptr<Connection>> connections_;
+  std::vector<std::unique_ptr<Connection>> connections_ LDPJS_GUARDED_BY(mu_);
   /// Final per-conn snapshots, newest last. Bounded: once it exceeds
   /// kMaxDepartedRows the oldest rows are folded into departed_folded_ —
   /// a reconnect storm grows counters, never memory.
-  std::deque<ConnectionMetrics> departed_;
-  ConnectionMetrics departed_folded_;  ///< accumulator of folded rows; mu_
-  uint64_t connections_folded_ = 0;    ///< rows folded so far; mu_
-  std::map<uint32_t, RegionState> regions_;  ///< guarded by mu_
-  bool started_ = false;
-  bool stopping_ = false;
-  bool stopped_ = false;
-  /// Finalize barrier state, guarded by mu_: anonymous FINALIZEs count
+  std::deque<ConnectionMetrics> departed_ LDPJS_GUARDED_BY(mu_);
+  /// Accumulator of folded rows / rows folded so far.
+  ConnectionMetrics departed_folded_ LDPJS_GUARDED_BY(mu_);
+  uint64_t connections_folded_ LDPJS_GUARDED_BY(mu_) = 0;
+  std::map<uint32_t, RegionState> regions_ LDPJS_GUARDED_BY(mu_);
+  bool started_ LDPJS_GUARDED_BY(mu_) = false;
+  bool stopping_ LDPJS_GUARDED_BY(mu_) = false;
+  bool stopped_ LDPJS_GUARDED_BY(mu_) = false;
+  /// Finalize barrier state: anonymous FINALIZEs count
   /// every time, region-tagged ones once per region — a region retrying a
   /// FINALIZE whose ack was lost cannot end a multi-region collection
   /// early. The effective count is anonymous + |regions|.
-  size_t anonymous_finalizes_ = 0;
-  std::set<uint32_t> finalized_regions_;
-  bool finalized_ = false;
+  size_t anonymous_finalizes_ LDPJS_GUARDED_BY(mu_) = 0;
+  std::set<uint32_t> finalized_regions_ LDPJS_GUARDED_BY(mu_);
+  bool finalized_ LDPJS_GUARDED_BY(mu_) = false;
   /// RCU-published lifetime view (see CurrentPublishedView).
   ViewPublisher publisher_;
   /// Query counters: answered frames, rejected (corrupt/invalid/v2), and
@@ -370,10 +380,10 @@ class FrameServer {
   /// publish/cut paths ever touch them). publish: claimed by PublishView()
   /// — serve-tier ingest-to-queryable. cut: claimed by CutEpochSnapshot()
   /// — handed to the regional shipper via TakeCutTrace().
-  std::mutex obs_mu_;
-  TraceContext pending_publish_trace_;
-  TraceContext pending_cut_trace_;
-  TraceContext last_cut_trace_;
+  Mutex obs_mu_;
+  TraceContext pending_publish_trace_ LDPJS_GUARDED_BY(obs_mu_);
+  TraceContext pending_cut_trace_ LDPJS_GUARDED_BY(obs_mu_);
+  TraceContext last_cut_trace_ LDPJS_GUARDED_BY(obs_mu_);
   /// Cached registry instruments (stable pointers into the process-global
   /// registry; per-shard ones live on the lanes).
   ObsHistogram* ingest_to_queryable_hist_ = nullptr;

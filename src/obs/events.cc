@@ -45,29 +45,29 @@ std::string EventToJson(const ObsEvent& event) {
 
 void EventLog::Record(ObsEvent event) {
   if (event.unix_ns == 0) event.unix_ns = NowNanos();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++total_;
   ring_.push_back(std::move(event));
   if (ring_.size() > kCapacity) ring_.pop_front();
 }
 
 std::vector<ObsEvent> EventLog::Collect() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return {ring_.begin(), ring_.end()};
 }
 
 size_t EventLog::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return ring_.size();
 }
 
 uint64_t EventLog::total_recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return total_;
 }
 
 uint64_t EventLog::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return total_ - ring_.size();
 }
 

@@ -15,9 +15,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace ldpjs {
 
@@ -59,9 +60,9 @@ class EventLog {
   std::string ToJsonl() const;
 
  private:
-  mutable std::mutex mu_;
-  std::deque<ObsEvent> ring_;
-  uint64_t total_ = 0;
+  mutable Mutex mu_;
+  std::deque<ObsEvent> ring_ LDPJS_GUARDED_BY(mu_);
+  uint64_t total_ LDPJS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace ldpjs

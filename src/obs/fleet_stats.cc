@@ -371,7 +371,7 @@ uint64_t FleetGaugeByName(const MetricsRegistry::Snapshot& snap,
 FleetStore::ApplyResult FleetStore::Apply(FleetSnapshot snapshot,
                                           uint64_t now_ns,
                                           const HealthOptions& options) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Entry& entry = regions_[snapshot.region_id];
   const bool first_push = entry.received_ns == 0;
   entry.snapshot = std::move(snapshot);
@@ -422,7 +422,7 @@ FleetStore::ApplyResult FleetStore::Apply(FleetSnapshot snapshot,
 
 FleetView FleetStore::View(uint64_t now_ns,
                            const HealthOptions& options) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return ViewLocked(now_ns, options);
 }
 
@@ -462,7 +462,7 @@ FleetView FleetStore::ViewLocked(uint64_t now_ns,
 }
 
 size_t FleetStore::region_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return regions_.size();
 }
 

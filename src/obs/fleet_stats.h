@@ -16,12 +16,12 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "common/serialize.h"
 #include "common/status.h"
 #include "obs/health.h"
@@ -124,11 +124,12 @@ class FleetStore {
   };
 
   /// Builds the view from `regions` (mu_ must be held by the caller).
-  FleetView ViewLocked(uint64_t now_ns, const HealthOptions& options) const;
+  FleetView ViewLocked(uint64_t now_ns, const HealthOptions& options) const
+      LDPJS_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<uint32_t, Entry> regions_;
-  HealthState cluster_state_ = HealthState::kOk;
+  mutable Mutex mu_;
+  std::map<uint32_t, Entry> regions_ LDPJS_GUARDED_BY(mu_);
+  HealthState cluster_state_ LDPJS_GUARDED_BY(mu_) = HealthState::kOk;
 };
 
 }  // namespace ldpjs

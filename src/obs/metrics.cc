@@ -82,7 +82,7 @@ MetricsRegistry& MetricsRegistry::Default() {
 }
 
 ObsCounter* MetricsRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_
@@ -93,7 +93,7 @@ ObsCounter* MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 ObsGauge* MetricsRegistry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<ObsGauge>())
@@ -103,7 +103,7 @@ ObsGauge* MetricsRegistry::GetGauge(std::string_view name) {
 }
 
 ObsHistogram* MetricsRegistry::GetHistogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -115,7 +115,7 @@ ObsHistogram* MetricsRegistry::GetHistogram(std::string_view name) {
 
 MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
   Snapshot snap;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   snap.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
     snap.counters.emplace_back(name, counter->value());
@@ -133,7 +133,7 @@ MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
 
 HistogramSnapshot MetricsRegistry::HistogramByName(
     std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) return HistogramSnapshot{};
   return it->second->Snapshot();

@@ -29,10 +29,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace ldpjs {
 
@@ -157,11 +158,13 @@ class MetricsRegistry {
   HistogramSnapshot HistogramByName(std::string_view name) const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<ObsCounter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<ObsGauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<ObsHistogram>, std::less<>>
-      histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<ObsCounter>, std::less<>> counters_
+      LDPJS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<ObsGauge>, std::less<>> gauges_
+      LDPJS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<ObsHistogram>, std::less<>> histograms_
+      LDPJS_GUARDED_BY(mu_);
 };
 
 }  // namespace ldpjs

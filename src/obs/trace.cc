@@ -11,7 +11,7 @@ void TraceLog::Record(uint64_t trace_id, std::string stage, uint64_t start_ns,
                       uint64_t end_ns) {
   if (trace_id == 0) return;
   TraceSpan span{trace_id, std::move(stage), start_ns, end_ns};
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (ring_.size() < kCapacity) {
     ring_.push_back(std::move(span));
     return;
@@ -23,7 +23,7 @@ void TraceLog::Record(uint64_t trace_id, std::string stage, uint64_t start_ns,
 
 std::vector<TraceSpan> TraceLog::Collect(uint64_t trace_id) const {
   std::vector<TraceSpan> out;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Record order: once wrapped, the oldest retained span sits at next_.
   const size_t n = ring_.size();
   const size_t first = wrapped_ ? next_ : 0;
@@ -35,7 +35,7 @@ std::vector<TraceSpan> TraceLog::Collect(uint64_t trace_id) const {
 }
 
 size_t TraceLog::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return ring_.size();
 }
 

@@ -17,9 +17,10 @@
 #define LDPJS_OBS_TRACE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace ldpjs {
 
@@ -60,10 +61,10 @@ class TraceLog {
   size_t size() const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<TraceSpan> ring_;
-  size_t next_ = 0;    // ring insertion point once full
-  bool wrapped_ = false;
+  mutable Mutex mu_;
+  std::vector<TraceSpan> ring_ LDPJS_GUARDED_BY(mu_);
+  size_t next_ LDPJS_GUARDED_BY(mu_) = 0;  // ring insertion point once full
+  bool wrapped_ LDPJS_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace ldpjs

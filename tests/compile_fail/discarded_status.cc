@@ -1,0 +1,21 @@
+// Negative-compile case: a dropped Status must not compile.
+//
+// Built twice by the configure-time suite in CMakeLists.txt: once as-is
+// (the control, proving the scaffolding is valid C++) and once with
+// -DLDPJS_EXPECT_FAIL, which swaps in the violation. The class-level
+// [[nodiscard]] on Status plus -Werror=unused-result turns the silent
+// drop into a hard error on both GCC and Clang.
+#include "common/status.h"
+
+namespace {
+ldpjs::Status DoFallibleThing() { return ldpjs::Status::OK(); }
+}  // namespace
+
+int main() {
+#ifdef LDPJS_EXPECT_FAIL
+  DoFallibleThing();  // Status dropped on the floor.
+#else
+  (void)DoFallibleThing();  // The greppable opt-out compiles fine.
+#endif
+  return 0;
+}

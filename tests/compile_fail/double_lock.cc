@@ -1,0 +1,16 @@
+// Negative-compile case: acquiring a Mutex already held in the same
+// scope must not compile under -Werror=thread-safety (the wrapper is
+// non-reentrant; a second MutexLock on the same capability is deadlock).
+//
+// Clang-only (the annotations are no-ops elsewhere); the configure-time
+// suite in CMakeLists.txt registers it only for Clang builds.
+#include "common/thread_annotations.h"
+
+int main() {
+  ldpjs::Mutex mu;
+  ldpjs::MutexLock lock(mu);
+#ifdef LDPJS_EXPECT_FAIL
+  ldpjs::MutexLock again(mu);  // Capability 'mu' is already held.
+#endif
+  return 0;
+}

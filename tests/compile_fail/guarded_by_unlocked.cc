@@ -1,0 +1,27 @@
+// Negative-compile case: reading a LDPJS_GUARDED_BY member without the
+// lock must not compile under -Werror=thread-safety.
+//
+// Clang-only (the annotations are no-ops elsewhere); the configure-time
+// suite in CMakeLists.txt registers it only for Clang builds.
+#include "common/thread_annotations.h"
+
+namespace {
+struct Counter {
+  ldpjs::Mutex mu;
+  int value LDPJS_GUARDED_BY(mu) = 0;
+};
+
+int ReadCounter(Counter& counter) {
+#ifdef LDPJS_EXPECT_FAIL
+  return counter.value;  // No lock held.
+#else
+  ldpjs::MutexLock lock(counter.mu);
+  return counter.value;
+#endif
+}
+}  // namespace
+
+int main() {
+  Counter counter;
+  return ReadCounter(counter);
+}

@@ -225,6 +225,23 @@ TEST(LdpServerTest, DeserializeRejectsTruncation) {
   EXPECT_FALSE(LdpJoinSketchServer::Deserialize(bytes).ok());
 }
 
+TEST(LdpServerTest, DeserializeRejectsTrailingBytes) {
+  const SketchParams params = TestParams(2, 64);
+  // Raw-lane (un-finalized) encoding.
+  LdpJoinSketchServer raw(params, 1.0);
+  auto raw_bytes = raw.Serialize();
+  raw_bytes.push_back(0);
+  EXPECT_EQ(LdpJoinSketchServer::Deserialize(raw_bytes).status().code(),
+            StatusCode::kCorruption);
+  // Finalized encoding.
+  LdpJoinSketchServer finalized(params, 1.0);
+  finalized.Finalize();
+  auto finalized_bytes = finalized.Serialize();
+  finalized_bytes.push_back(0);
+  EXPECT_EQ(LdpJoinSketchServer::Deserialize(finalized_bytes).status().code(),
+            StatusCode::kCorruption);
+}
+
 TEST(LdpServerDeathTest, LifecycleViolationsAbort) {
   const SketchParams params = TestParams(2, 64);
   LdpJoinSketchServer server(params, 1.0);

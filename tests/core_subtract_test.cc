@@ -139,6 +139,11 @@ TEST(CoreSubtractTest, ShardedAggregatorSubtractRawSketch) {
   // Validation still rejects garbage and mismatched shapes before any lane.
   const std::vector<uint8_t> garbage(32, 0xAB);
   EXPECT_FALSE(aggregator.DecodeCompatibleSketch(garbage).ok());
+  // Trailing bytes after a well-formed sketch are corruption, not ignored.
+  auto trailing = epoch_b.Serialize();
+  trailing.push_back(0);
+  EXPECT_EQ(aggregator.DecodeCompatibleSketch(trailing).status().code(),
+            StatusCode::kCorruption);
   LdpJoinSketchServer wrong(TestParams(3, 64), epsilon);
   auto mismatch = aggregator.DecodeCompatibleSketch(wrong.Serialize());
   EXPECT_EQ(mismatch.status().code(), StatusCode::kFailedPrecondition);

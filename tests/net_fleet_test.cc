@@ -233,6 +233,13 @@ TEST(NetFleetTest, SloBurnTransitionsToDegradedAndLogsTheCause) {
   EXPECT_NE(json.find("\"health\":{\"state\":"), std::string::npos) << json;
   EXPECT_NE(json.find("\"fleet\":{\"rendered_unix_ns\":"),
             std::string::npos);
+  EXPECT_NE(json.find("\"region_count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"age_ms\":"), std::string::npos);
+  // Merged histograms render the full quantile ladder.
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p90\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p999\":"), std::string::npos);
   EXPECT_NE(json.find("\"events\":["), std::string::npos);
   EXPECT_NE(json.find("health_transition"), std::string::npos);
 

@@ -182,7 +182,9 @@ TEST(NetLoopbackTest, MalformedFramesAreCountedAndServerSurvives) {
   auto expect_error_then_close = [](const Socket& socket) {
     // The server answers with ERROR and stops reading from this peer.
     auto reply = ReadNetFrame(socket, kMaxControlFramePayload);
-    if (reply.ok()) EXPECT_EQ(reply->type, NetFrameType::kError);
+    if (reply.ok()) {
+      EXPECT_EQ(reply->type, NetFrameType::kError);
+    }
   };
 
   {  // Oversized declared length.

@@ -223,6 +223,38 @@ TEST(NetProtocolTest, QueryRequestRejectsTruncationGarbageAndTrailing) {
   }
 }
 
+TEST(NetProtocolTest, TracedRoundTripsAndRejectsTruncationAndBadInner) {
+  const QueryRequest request = AllQueryKinds().front();
+  const std::vector<uint8_t> inner = EncodeQueryRequest(request);
+  const std::vector<uint8_t> bytes =
+      EncodeTraced(NetFrameType::kQuery, 0xABCDULL, 77, inner);
+  auto decoded = DecodeTraced(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->inner_type, NetFrameType::kQuery);
+  EXPECT_EQ(decoded->trace_id, 0xABCDULL);
+  EXPECT_EQ(decoded->origin_ns, 77u);
+  ASSERT_TRUE(DecodeQueryRequest(decoded->inner_payload).ok());
+  // Truncating anywhere inside the 17-byte envelope header fails cleanly.
+  for (size_t cut = 0; cut < kTracedHeaderBytes; ++cut) {
+    const std::vector<uint8_t> truncated(
+        bytes.begin(), bytes.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(DecodeTraced(truncated).ok()) << "cut=" << cut;
+  }
+  // Wrapping a control frame (FINALIZE would bypass the drain barrier) is
+  // rejected up front.
+  const std::vector<uint8_t> control =
+      EncodeTraced(NetFrameType::kFinalize, 1, 1, {});
+  EXPECT_EQ(DecodeTraced(control).status().code(), StatusCode::kCorruption);
+  // The envelope itself is length-transparent: trailing bytes land in
+  // inner_payload, where the inner codec rejects them.
+  std::vector<uint8_t> trailing = bytes;
+  trailing.push_back(0);
+  auto reparsed = DecodeTraced(trailing);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(DecodeQueryRequest(reparsed->inner_payload).status().code(),
+            StatusCode::kCorruption);
+}
+
 TEST(NetProtocolTest, QueryResponseRoundTripsBitExactAndRejectsGarbage) {
   QueryResponse response;
   response.kind = QueryKind::kFrequentItems;

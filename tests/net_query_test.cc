@@ -459,7 +459,9 @@ TEST(NetQueryTest, HostileQueryPayloadsDegradeCleanlyAndNeverStallFinalize) {
                                static_cast<uint8_t>(NetFrameType::kQuery)};
     ASSERT_TRUE(socket.SendAll(header).ok());
     auto reply = ReadNetFrame(socket, kMaxControlFramePayload);
-    if (reply.ok()) EXPECT_EQ(reply->type, NetFrameType::kError);
+    if (reply.ok()) {
+      EXPECT_EQ(reply->type, NetFrameType::kError);
+    }
     // The server must also CLOSE: an open fd would park a peer that is
     // still mid-send on the oversized payload (see the MidSend test).
     EXPECT_FALSE(ReadNetFrame(socket, kMaxControlFramePayload).ok());

@@ -3,7 +3,7 @@
 // Experiment mode (no subcommand, the original interface): run any join-
 // size method on any of the simulated Table-II workloads.
 //
-//   ldpjs_cli --method ldpjoinsketch+ --dataset movielens --rows 1000000 \
+//   ldpjs_cli --method ldpjoinsketch+ --dataset movielens --rows 1000000
 //             --epsilon 2 --k 18 --m 1024 --trials 3 [--shards 4] [--net 1]
 //
 // Network mode (subcommands) — the distributed deployment, on real sockets:
@@ -23,9 +23,9 @@
 // Federated mode (subcommands) — the two-tier deployment:
 //
 //   ldpjs_cli federate-central --port 7650 --finalize-after 2 --out a.bin
-//   ldpjs_cli federate-region --port 7651 --central-port 7650 --region 0 \
+//   ldpjs_cli federate-region --port 7651 --central-port 7650 --region 0
 //             --epoch-ms 200
-//   ldpjs_cli send --port 7651 --table a --senders 2 --sender-index 0 \
+//   ldpjs_cli send --port 7651 --table a --senders 2 --sender-index 0
 //             --finalize 1
 //
 // Regions ingest client traffic and ship raw-lane epoch snapshots upstream
